@@ -1,0 +1,129 @@
+//! # sawl-algos — baseline wear-leveling algorithms
+//!
+//! The paper classifies existing wear-leveling schemes into three families
+//! (§2.1) and evaluates one or two representatives of each; this crate
+//! implements all of them behind a single [`WearLeveler`] trait:
+//!
+//! | family | scheme | module | paper's verdict on MLC NVM |
+//! |--------|--------|--------|----------------------------|
+//! | table-based (TBWL) | Segment Swapping | [`segment_swap`] | RAA-vulnerable (static intra-segment offset) |
+//! | algebraic (AWL) | Region-Based Start-Gap | [`start_gap`] | RAA-vulnerable (static region mapping) |
+//! | algebraic (AWL) | two-level Security Refresh | [`security_refresh`] | survives RAA, lifetime collapses (Fig. 3) |
+//! | hybrid (HWL) | PCM-S | [`pcms`] | long lifetime, huge on-chip table (Figs. 4-5) |
+//! | hybrid (HWL) | MWSR | [`mwsr`] | like PCM-S, bigger table entries |
+//! | — | no wear leveling | [`nowl`] | the IPC baseline of Fig. 17 |
+//! | — | ideal oracle | [`nowl`] | defines "ideal lifetime" = lines × Wmax |
+//!
+//! ## Simulation contract
+//!
+//! A wear leveler owns the logical→physical permutation for a device. The
+//! experiment drivers funnel every demand request through [`WearLeveler::write`]
+//! / [`WearLeveler::read`]; the scheme translates the address, applies the
+//! demand write to the [`NvmDevice`], and runs its own remapping machinery,
+//! charging any data-movement writes to the device via
+//! [`NvmDevice::write_wl`]. Wear-leveling data exchanges are modelled as the
+//! set of physical lines rewritten; reads performed during an exchange do
+//! not wear cells and are not charged.
+//!
+//! Every scheme maintains the invariant that `translate` is injective over
+//! the logical space — verified by [`verify::check_permutation`] and by
+//! property tests in each module.
+
+pub mod mwsr;
+pub mod nowl;
+pub mod pcms;
+pub mod region;
+pub mod security_refresh;
+pub mod segment_swap;
+pub mod start_gap;
+pub mod verify;
+
+pub use mwsr::Mwsr;
+pub use nowl::{Ideal, NoWl};
+pub use pcms::PcmS;
+pub use region::RegionGeometry;
+pub use security_refresh::{SecurityRefresh, Tlsr};
+pub use segment_swap::SegmentSwap;
+pub use start_gap::StartGap;
+
+use sawl_nvm::{La, NvmDevice, Pa};
+
+/// A wear-leveling scheme: owns the logical→physical line mapping of one
+/// device and decides when to exchange data to spread wear.
+pub trait WearLeveler {
+    /// Short name used on report axes ("tlsr", "pcm-s", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of logical lines served. May be smaller than the device's
+    /// physical line count when the scheme reserves gap/spare space
+    /// (Start-Gap, MWSR).
+    fn logical_lines(&self) -> u64;
+
+    /// Current physical location of logical line `la`, without side
+    /// effects. `la` must be `< logical_lines()`.
+    fn translate(&self, la: La) -> Pa;
+
+    /// Serve a demand write to `la`: apply it to the device at the current
+    /// translation and run the scheme's wear-leveling machinery (which may
+    /// remap lines and charge overhead writes). Returns the physical address
+    /// the demand write landed on.
+    fn write(&mut self, la: La, dev: &mut NvmDevice) -> Pa;
+
+    /// Serve a demand read. Default: translate and count the read.
+    fn read(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
+        let pa = self.translate(la);
+        dev.read(pa);
+        pa
+    }
+
+    /// Bits of mapping state the scheme must keep **on chip** for correct
+    /// operation (tables, keys, pointers, counters). This is the hardware
+    /// overhead axis of the paper's Fig. 5 / §4.5.
+    fn onchip_bits(&self) -> u64;
+}
+
+/// Blanket impl so drivers can hold `Box<dyn WearLeveler>`.
+impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn logical_lines(&self) -> u64 {
+        (**self).logical_lines()
+    }
+
+    fn translate(&self, la: La) -> Pa {
+        (**self).translate(la)
+    }
+
+    fn write(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
+        (**self).write(la, dev)
+    }
+
+    fn read(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
+        (**self).read(la, dev)
+    }
+
+    fn onchip_bits(&self) -> u64 {
+        (**self).onchip_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_nvm::NvmConfig;
+
+    #[test]
+    fn boxed_wear_leveler_delegates() {
+        let cfg = NvmConfig::builder().lines(64).banks(1).endurance(100).build().unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        let mut wl: Box<dyn WearLeveler> = Box::new(NoWl::new(64));
+        assert_eq!(wl.name(), "baseline");
+        assert_eq!(wl.logical_lines(), 64);
+        assert_eq!(wl.translate(5), 5);
+        assert_eq!(wl.write(5, &mut dev), 5);
+        assert_eq!(wl.read(6, &mut dev), 6);
+        assert_eq!(wl.onchip_bits(), 0);
+    }
+}

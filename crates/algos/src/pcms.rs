@@ -1,0 +1,301 @@
+//! PCM-S — the hybrid (HWL) scheme adopted by SAWL's data-exchange module.
+//!
+//! Seznec, "Towards Phase Change Memory as a Secure Main Memory" (WEST '10),
+//! as described in the paper's §2.1 and Fig. 2(a): a mapping table tracks
+//! each logical region's physical region number (`prn`) and an intra-region
+//! offset parameter (`key`); within a region, the physical offset is
+//! `lao XOR key`. Wear-leveling events exchange two regions wholesale and
+//! re-randomize both keys, dispersing writes "across the entire memory by
+//! randomly exchanging the regions and shifting the location of its lines
+//! simultaneously".
+//!
+//! **Swapping period.** A region is exchanged after `period × S` writes to
+//! it (S = lines per region); the exchange rewrites both regions, 2·S line
+//! writes, so the steady-state overhead is `2/period` regardless of the
+//! region size — matching the percentages on the paper's Fig. 4 legend
+//! (period 8 → 25%, 16 → 12.5%, 32 → 6.25%, 64 → 3.1%).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sawl_nvm::{La, NvmDevice, Pa};
+
+use crate::region::RegionGeometry;
+use crate::WearLeveler;
+
+/// The PCM-S hybrid wear-leveling scheme.
+#[derive(Debug, Clone)]
+pub struct PcmS {
+    geo: RegionGeometry,
+    /// logical region -> physical region
+    prn: Vec<u32>,
+    /// logical region -> intra-region XOR key
+    key: Vec<u32>,
+    /// physical region -> logical region (inverse)
+    p2l: Vec<u32>,
+    /// demand writes to each logical region since its last exchange
+    ctr: Vec<u32>,
+    /// writes-per-line swapping period (exchange after period * S writes)
+    period: u64,
+    rng: SmallRng,
+    exchanges: u64,
+}
+
+impl PcmS {
+    /// PCM-S over `lines` logical lines in regions of `region_lines`, with
+    /// the given swapping period (writes per line between exchanges).
+    pub fn new(lines: u64, region_lines: u64, period: u64, seed: u64) -> Self {
+        assert!(period > 0, "swapping period must be non-zero");
+        let geo = RegionGeometry::new(lines, region_lines);
+        let regions = geo.regions() as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Start with identity placement but random keys, as hardware would
+        // after a randomized boot.
+        let key: Vec<u32> =
+            (0..regions).map(|_| (rng.random::<u64>() & (geo.region_lines() - 1)) as u32).collect();
+        Self {
+            geo,
+            prn: (0..regions as u32).collect(),
+            key,
+            p2l: (0..regions as u32).collect(),
+            ctr: vec![0; regions],
+            period,
+            rng,
+            exchanges: 0,
+        }
+    }
+
+    /// Region exchanges performed so far.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// The region geometry in use.
+    pub fn geometry(&self) -> RegionGeometry {
+        self.geo
+    }
+
+    /// Writes to a region that trigger its exchange.
+    pub fn exchange_threshold(&self) -> u64 {
+        self.period * self.geo.region_lines()
+    }
+
+    /// Exchange logical region `a` with a uniformly random other region,
+    /// re-randomizing both keys and charging 2·S overhead writes.
+    fn exchange(&mut self, a: u32, dev: &mut NvmDevice) {
+        let regions = self.geo.regions();
+        if regions == 1 {
+            // Degenerate: only re-randomize the key (still shifts lines).
+            let s = self.geo.region_lines();
+            self.key[0] = (self.rng.random::<u64>() & (s - 1)) as u32;
+            for off in 0..s {
+                dev.write_wl(off);
+            }
+            self.ctr[0] = 0;
+            self.exchanges += 1;
+            return;
+        }
+        let mut b = a;
+        while b == a {
+            b = self.rng.random_range(0..regions) as u32;
+        }
+        let s = self.geo.region_lines();
+        let (pa, pb) = (self.prn[a as usize], self.prn[b as usize]);
+        // Swap placements and draw fresh keys.
+        self.prn[a as usize] = pb;
+        self.prn[b as usize] = pa;
+        self.p2l[pa as usize] = b;
+        self.p2l[pb as usize] = a;
+        self.key[a as usize] = (self.rng.random::<u64>() & (s - 1)) as u32;
+        self.key[b as usize] = (self.rng.random::<u64>() & (s - 1)) as u32;
+        // Every line of both physical regions is rewritten at its new home.
+        let base_a = u64::from(pa) * s;
+        let base_b = u64::from(pb) * s;
+        for off in 0..s {
+            dev.write_wl(base_a + off);
+            dev.write_wl(base_b + off);
+        }
+        // Only the triggering region's counter resets: the partner was
+        // relocated as a bystander and keeps its own wear-leveling cadence,
+        // so the steady-state overhead stays exactly 2/period.
+        self.ctr[a as usize] = 0;
+        self.exchanges += 1;
+    }
+}
+
+impl WearLeveler for PcmS {
+    fn name(&self) -> &'static str {
+        "pcm-s"
+    }
+
+    fn logical_lines(&self) -> u64 {
+        self.geo.lines()
+    }
+
+    #[inline]
+    fn translate(&self, la: La) -> Pa {
+        let lrn = self.geo.region_of(la) as usize;
+        let lao = self.geo.offset_of(la);
+        let pao = lao ^ u64::from(self.key[lrn]);
+        u64::from(self.prn[lrn]) * self.geo.region_lines() + pao
+    }
+
+    fn write(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
+        let pa = self.translate(la);
+        dev.write(pa);
+        let lrn = self.geo.region_of(la) as usize;
+        self.ctr[lrn] += 1;
+        if u64::from(self.ctr[lrn]) >= self.exchange_threshold() {
+            self.exchange(lrn as u32, dev);
+        }
+        pa
+    }
+
+    fn onchip_bits(&self) -> u64 {
+        // Per logical region: prn + key + a 20-bit write counter (the
+        // paper's §2.2 item 4 counts prn and key; the counter is required
+        // to trigger exchanges).
+        let entry = u64::from(self.geo.region_bits()) + u64::from(self.geo.offset_bits()) + 20;
+        self.geo.regions() * entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_permutation, mapping_snapshot, moved_lines};
+    use sawl_nvm::NvmConfig;
+
+    fn dev(lines: u64, endurance: u32) -> NvmDevice {
+        NvmDevice::new(
+            NvmConfig::builder()
+                .lines(lines)
+                .banks(1)
+                .endurance(endurance)
+                .spare_shift(4)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn translation_uses_xor_key_within_region() {
+        let wl = PcmS::new(256, 16, 8, 1);
+        // Within one region, translated offsets must be a permutation of
+        // the region's offsets.
+        let base_region = wl.translate(0) >> 4;
+        let mut offsets: Vec<u64> = (0..16).map(|la| wl.translate(la) & 15).collect();
+        for la in 0..16 {
+            assert_eq!(wl.translate(la) >> 4, base_region, "la {la} left its region");
+        }
+        offsets.sort_unstable();
+        assert_eq!(offsets, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn is_permutation_initially_and_after_traffic() {
+        let mut wl = PcmS::new(1 << 10, 1 << 4, 4, 2);
+        check_permutation(&wl, 1 << 10);
+        let mut d = dev(1 << 10, 1_000_000);
+        let mut x = 777u64;
+        for _ in 0..100_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            wl.write(x % (1 << 10), &mut d);
+        }
+        assert!(wl.exchanges() > 0);
+        check_permutation(&wl, 1 << 10);
+    }
+
+    #[test]
+    fn exchange_fires_at_threshold_and_costs_2s() {
+        let mut wl = PcmS::new(256, 16, 4, 3);
+        let mut d = dev(256, 1_000_000);
+        let threshold = wl.exchange_threshold(); // 4 * 16 = 64
+        assert_eq!(threshold, 64);
+        for _ in 0..threshold {
+            wl.write(5, &mut d);
+        }
+        assert_eq!(wl.exchanges(), 1);
+        assert_eq!(d.wear().overhead_writes, 32); // 2 regions * 16 lines
+    }
+
+    #[test]
+    fn exchange_moves_exactly_two_regions() {
+        let mut wl = PcmS::new(256, 16, 4, 4);
+        let mut d = dev(256, 1_000_000);
+        let before = mapping_snapshot(&wl);
+        for _ in 0..wl.exchange_threshold() {
+            wl.write(0, &mut d);
+        }
+        let after = mapping_snapshot(&wl);
+        let moved = moved_lines(&before, &after);
+        // Both exchanged regions move entirely (keys re-randomized); a line
+        // may coincidentally keep its address, so allow a little slack.
+        assert!((28..=32).contains(&moved), "moved {moved}");
+    }
+
+    #[test]
+    fn raa_migrates_across_whole_memory() {
+        let mut wl = PcmS::new(1 << 12, 4, 8, 5);
+        let mut d = dev(1 << 12, 1_000_000);
+        let mut regions_seen = std::collections::HashSet::new();
+        for _ in 0..200_000 {
+            wl.write(0, &mut d);
+            regions_seen.insert(wl.translate(0) >> 2);
+        }
+        // 200k writes / (8*4) per exchange = ~6250 exchanges; the hot
+        // region must have visited a large share of the 1024 regions.
+        assert!(regions_seen.len() > 256, "visited only {} regions", regions_seen.len());
+    }
+
+    #[test]
+    fn overhead_fraction_is_two_over_period() {
+        for period in [8u64, 16, 32, 64] {
+            let mut wl = PcmS::new(1 << 10, 1 << 3, period, 6);
+            let mut d = dev(1 << 10, u32::MAX);
+            let n = 500_000;
+            let mut x = 9u64;
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                wl.write(x % (1 << 10), &mut d);
+            }
+            let measured = d.wear().overhead_writes as f64 / n as f64;
+            let nominal = 2.0 / period as f64; // overhead writes per demand write
+            assert!(
+                (measured - nominal).abs() < 0.01,
+                "period {period}: measured {measured}, nominal {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn better_lifetime_with_more_regions_under_attack() {
+        // The paper's Fig. 4 trend: more regions (smaller region size) ->
+        // longer lifetime under BPA-like traffic. RAA is the extreme case.
+        let life = |region_lines: u64| {
+            let mut wl = PcmS::new(1 << 10, region_lines, 16, 7);
+            let mut d = dev(1 << 10, 2_000);
+            while !d.is_dead() {
+                wl.write(0, &mut d);
+            }
+            d.normalized_lifetime()
+        };
+        let coarse = life(1 << 7);
+        let fine = life(1 << 2);
+        assert!(fine > coarse, "fine {fine} <= coarse {coarse}");
+    }
+
+    #[test]
+    fn single_region_rekeys_without_partner() {
+        let mut wl = PcmS::new(64, 64, 2, 8);
+        let mut d = dev(64, 1_000_000);
+        for _ in 0..128 {
+            wl.write(0, &mut d);
+        }
+        assert_eq!(wl.exchanges(), 1);
+        check_permutation(&wl, 64);
+    }
+}

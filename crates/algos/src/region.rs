@@ -1,0 +1,129 @@
+//! Region geometry shared by the region-based schemes.
+//!
+//! All region-based schemes in the paper split the (power-of-two) logical
+//! space into equal power-of-two regions; a logical address is then
+//! `(region number, offset)`. Keeping the split in one type avoids each
+//! scheme re-deriving masks and shifts.
+
+use serde::{Deserialize, Serialize};
+
+/// Power-of-two split of a power-of-two address space into regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionGeometry {
+    lines_log2: u32,
+    region_log2: u32,
+}
+
+impl RegionGeometry {
+    /// Split `lines` (power of two) into regions of `region_lines` (power of
+    /// two, `<= lines`).
+    pub fn new(lines: u64, region_lines: u64) -> Self {
+        assert!(lines.is_power_of_two() && lines > 0, "lines must be a power of two");
+        assert!(
+            region_lines.is_power_of_two() && region_lines > 0 && region_lines <= lines,
+            "region size must be a power of two <= lines"
+        );
+        Self { lines_log2: lines.trailing_zeros(), region_log2: region_lines.trailing_zeros() }
+    }
+
+    /// Total lines in the space.
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        1 << self.lines_log2
+    }
+
+    /// Lines per region.
+    #[inline]
+    pub fn region_lines(&self) -> u64 {
+        1 << self.region_log2
+    }
+
+    /// Number of regions.
+    #[inline]
+    pub fn regions(&self) -> u64 {
+        1 << (self.lines_log2 - self.region_log2)
+    }
+
+    /// log2 of lines per region (number of offset bits).
+    #[inline]
+    pub fn offset_bits(&self) -> u32 {
+        self.region_log2
+    }
+
+    /// log2 of the region count (number of region bits).
+    #[inline]
+    pub fn region_bits(&self) -> u32 {
+        self.lines_log2 - self.region_log2
+    }
+
+    /// Region number of an address.
+    #[inline]
+    pub fn region_of(&self, la: u64) -> u64 {
+        la >> self.region_log2
+    }
+
+    /// Offset of an address within its region.
+    #[inline]
+    pub fn offset_of(&self, la: u64) -> u64 {
+        la & (self.region_lines() - 1)
+    }
+
+    /// Recombine a region number and an offset into an address.
+    #[inline]
+    pub fn combine(&self, region: u64, offset: u64) -> u64 {
+        debug_assert!(region < self.regions());
+        debug_assert!(offset < self.region_lines());
+        (region << self.region_log2) | offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_recombine_round_trip() {
+        let g = RegionGeometry::new(1 << 10, 1 << 4);
+        for la in [0u64, 1, 15, 16, 17, 1023] {
+            assert_eq!(g.combine(g.region_of(la), g.offset_of(la)), la);
+        }
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = RegionGeometry::new(4096, 64);
+        assert_eq!(g.regions(), 64);
+        assert_eq!(g.region_lines(), 64);
+        assert_eq!(g.lines(), 4096);
+        assert_eq!(g.offset_bits(), 6);
+        assert_eq!(g.region_bits(), 6);
+    }
+
+    #[test]
+    fn degenerate_single_region() {
+        let g = RegionGeometry::new(256, 256);
+        assert_eq!(g.regions(), 1);
+        assert_eq!(g.region_of(255), 0);
+        assert_eq!(g.offset_of(255), 255);
+    }
+
+    #[test]
+    fn degenerate_one_line_regions() {
+        let g = RegionGeometry::new(256, 1);
+        assert_eq!(g.regions(), 256);
+        assert_eq!(g.region_of(17), 17);
+        assert_eq!(g.offset_of(17), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_region() {
+        let _ = RegionGeometry::new(256, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "<= lines")]
+    fn rejects_region_larger_than_space() {
+        let _ = RegionGeometry::new(64, 128);
+    }
+}

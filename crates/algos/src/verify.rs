@@ -1,0 +1,71 @@
+//! Invariant checkers shared by unit, integration and property tests.
+//!
+//! The central correctness property of any wear-leveling scheme is that its
+//! logical→physical mapping stays a *injection into the device* at all
+//! times: two logical lines must never resolve to the same physical line,
+//! or data would be silently lost. These helpers make that property cheap
+//! to assert after arbitrary write sequences.
+
+use crate::WearLeveler;
+
+/// Check that `wl.translate` is injective over the whole logical space and
+/// lands within `physical_lines`. Panics with a diagnostic on violation.
+///
+/// O(logical lines) time and memory — intended for tests, not hot loops.
+pub fn check_permutation<W: WearLeveler + ?Sized>(wl: &W, physical_lines: u64) {
+    let n = wl.logical_lines();
+    let mut owner: Vec<u64> = vec![u64::MAX; physical_lines as usize];
+    for la in 0..n {
+        let pa = wl.translate(la);
+        assert!(
+            pa < physical_lines,
+            "{}: la {la} translated to pa {pa} beyond device ({physical_lines} lines)",
+            wl.name()
+        );
+        assert!(
+            owner[pa as usize] == u64::MAX,
+            "{}: la {la} and la {} both map to pa {pa}",
+            wl.name(),
+            owner[pa as usize]
+        );
+        owner[pa as usize] = la;
+    }
+}
+
+/// Snapshot the full logical→physical mapping (for diffing before/after an
+/// operation, e.g. to count how many lines a data exchange moved).
+pub fn mapping_snapshot<W: WearLeveler + ?Sized>(wl: &W) -> Vec<u64> {
+    (0..wl.logical_lines()).map(|la| wl.translate(la)).collect()
+}
+
+/// Number of logical lines whose physical location differs between two
+/// snapshots taken with [`mapping_snapshot`].
+pub fn moved_lines(before: &[u64], after: &[u64]) -> u64 {
+    assert_eq!(before.len(), after.len(), "snapshots of different spaces");
+    before.iter().zip(after).filter(|(b, a)| b != a).count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nowl::NoWl;
+
+    #[test]
+    fn identity_is_a_permutation() {
+        check_permutation(&NoWl::new(128), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device")]
+    fn detects_out_of_range() {
+        check_permutation(&NoWl::new(128), 64);
+    }
+
+    #[test]
+    fn snapshot_diffing_counts_moves() {
+        let a = vec![0u64, 1, 2, 3];
+        let b = vec![0u64, 2, 1, 3];
+        assert_eq!(moved_lines(&a, &b), 2);
+        assert_eq!(moved_lines(&a, &a), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks of the simulation hot paths.
+//!
+//! Lifetime experiments push 1e8–1e9 writes through the wear levelers;
+//! these benches keep the per-write costs visible so regressions in the
+//! simulator's throughput are caught. Groups:
+//!
+//! * `device_write` — the per-write endurance accounting;
+//! * `translate` — address translation of every scheme;
+//! * `write_path` — the full demand-write path (translate + wear + WL
+//!   machinery) of every scheme;
+//! * `cmt` — cache hit and miss+insert costs;
+//! * `streams` — request generation (Zipf sampling and SPEC models).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use sawl_algos::{Mwsr, NoWl, PcmS, SegmentSwap, StartGap, Tlsr, WearLeveler};
+use sawl_core::{Sawl, SawlConfig};
+use sawl_nvm::{NvmConfig, NvmDevice};
+use sawl_tiered::cmt::{Cmt, CmtLookup};
+use sawl_tiered::{Nwl, NwlConfig};
+use sawl_trace::{AddressStream, SpecBenchmark, Zipf};
+
+const LINES: u64 = 1 << 16;
+
+fn device(lines: u64) -> NvmDevice {
+    NvmDevice::new(
+        NvmConfig::builder()
+            .lines(lines)
+            .banks(32)
+            .endurance(u32::MAX)
+            .spare_shift(6)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn bench_device_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("device_write");
+    g.bench_function("write", |b| {
+        let mut dev = device(LINES);
+        let mut pa = 0u64;
+        b.iter(|| {
+            pa = (pa + 12_345) & (LINES - 1);
+            black_box(dev.write(pa));
+        });
+    });
+    g.finish();
+}
+
+fn schemes() -> Vec<(&'static str, Box<dyn WearLeveler>)> {
+    vec![
+        ("nowl", Box::new(NoWl::new(LINES))),
+        ("segment-swap", Box::new(SegmentSwap::new(LINES, 64, 1 << 20))),
+        ("rbsg", Box::new(StartGap::new(256, 255, 64))),
+        ("tlsr", Box::new(Tlsr::new(LINES, 64, 8, 32, 1))),
+        ("pcm-s", Box::new(PcmS::new(LINES, 16, 32, 1))),
+        ("mwsr", Box::new(Mwsr::new(LINES, 16, 32, 1))),
+        (
+            "nwl-4",
+            Box::new(Nwl::new(NwlConfig { data_lines: LINES, ..NwlConfig::default() })),
+        ),
+        (
+            "sawl",
+            Box::new(Sawl::new(SawlConfig { data_lines: LINES, ..SawlConfig::default() })),
+        ),
+    ]
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("translate");
+    for (name, wl) in schemes() {
+        let n = wl.logical_lines();
+        g.bench_function(name, |b| {
+            let mut la = 0u64;
+            b.iter(|| {
+                la = (la + 7_919) % n;
+                black_box(wl.translate(la));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_path");
+    for (name, mut wl) in schemes() {
+        let n = wl.logical_lines();
+        // Physical footprint differs per scheme (gaps, spares, translation
+        // region); size the device generously.
+        let mut dev = device((2 * LINES).next_power_of_two());
+        g.bench_function(name, |b| {
+            let mut la = 0u64;
+            b.iter(|| {
+                la = (la + 7_919) % n;
+                black_box(wl.write(la, &mut dev));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cmt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cmt");
+    g.bench_function("hit", |b| {
+        let mut cmt: Cmt<u64> = Cmt::new(1024);
+        for k in 0..1024u64 {
+            cmt.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 37) & 1023;
+            match cmt.lookup(k) {
+                CmtLookup::Hit(v) => black_box(v),
+                CmtLookup::Miss => unreachable!(),
+            }
+        });
+    });
+    g.bench_function("miss_insert_evict", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut cmt: Cmt<u64> = Cmt::new(1024);
+                for k in 0..1024u64 {
+                    cmt.insert(k, k);
+                }
+                (cmt, 10_000u64)
+            },
+            |(cmt, k)| {
+                *k += 1;
+                cmt.lookup(*k);
+                black_box(cmt.insert(*k, *k));
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streams");
+    g.bench_function("zipf_sample", |b| {
+        let z = Zipf::new(1 << 20, 1.1);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+    for bench in [SpecBenchmark::Soplex, SpecBenchmark::Mcf] {
+        g.bench_function(format!("spec_{}", bench.name()), |b| {
+            let mut s = bench.stream(1 << 22, 5);
+            b.iter(|| black_box(s.next_req()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_device_write, bench_translate, bench_write_path, bench_cmt, bench_streams
+}
+criterion_main!(benches);

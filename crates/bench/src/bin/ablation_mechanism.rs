@@ -1,0 +1,55 @@
+//! Ablation — isolate SAWL's two mechanisms (DESIGN.md §9).
+//!
+//! Runs the soplex-like workload with (a) full SAWL, (b) merge-only,
+//! (c) split-only, (d) neither (fixed granularity = NWL at P). Merging is
+//! what rescues the hit rate in low-locality phases; splitting is what
+//! protects endurance when the hit rate pins high. Expect (b) to match
+//! (a)'s hit rate but with a coarser average region (worse leveling), and
+//! (c) to degenerate to (d).
+
+use sawl_bench::{emit, paper_note, run_sawl_history, PERF_LINES};
+use sawl_core::SawlConfig;
+use sawl_simctl::report::pct;
+use sawl_simctl::Table;
+use sawl_trace::SpecBenchmark;
+
+fn main() {
+    let requests: u64 = 50_000_000;
+    let variants: [(&str, bool, bool); 4] = [
+        ("full", true, true),
+        ("merge-only", true, false),
+        ("split-only", false, true),
+        ("neither", false, false),
+    ];
+    let mut table = Table::new(
+        "Ablation: SAWL mechanisms under soplex-like traffic",
+        &["variant", "avg hit rate (%)", "avg region size", "merges", "splits"],
+    );
+    for (name, merge, split) in variants {
+        let cfg = SawlConfig {
+            data_lines: PERF_LINES,
+            cmt_entries: (512 * 1024 * 8 / 48) as usize,
+            swap_period: 128,
+            observation_window: 1 << 20,
+            settling_window: 1 << 20,
+            sample_interval: 100_000,
+            max_granularity: 256,
+            enable_merge: merge,
+            enable_split: split,
+            ..Default::default()
+        };
+        let (history, stats) = run_sawl_history(SpecBenchmark::Soplex, cfg, requests, 0xAB1A);
+        table.row(vec![
+            name.into(),
+            pct(history.average_hit_rate()),
+            format!("{:.1}", history.average_region_size()),
+            stats.merges.to_string(),
+            stats.splits.to_string(),
+        ]);
+    }
+    emit(&table, "ablation_mechanism");
+    paper_note(
+        "Not in the paper — an ablation of the two §3.2 mechanisms. Merge drives the \
+         hit-rate recovery; split bounds the steady-state granularity.",
+    );
+}

@@ -1,0 +1,56 @@
+//! Run the complete experiment suite — every table and figure plus the
+//! ablations — by invoking the sibling binaries in sequence. Output goes
+//! to stdout and `results/*.csv`.
+//!
+//! ```text
+//! cargo run --release -p sawl-bench --bin all_experiments
+//! ```
+
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "tab1_config",
+    "fig3_tlsr_bpa",
+    "fig4_hybrid_bpa",
+    "fig5_cache_size",
+    "fig12_observation_window",
+    "fig13_settling_window",
+    "fig14_hitrate_traces",
+    "fig15_sawl_bpa",
+    "fig16_lifetime_apps",
+    "fig17_ipc",
+    "sec45_overhead",
+    "ablation_mechanism",
+    "ablation_bpa_dwell",
+    "ablation_thresholds",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("cannot locate this binary");
+    let dir = me.parent().expect("binary has no parent directory");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        let path = dir.join(name);
+        println!("\n##### {name} #####");
+        let started = std::time::Instant::now();
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {
+                println!("##### {name} done in {:.0}s #####", started.elapsed().as_secs_f64());
+            }
+            Ok(status) => {
+                eprintln!("##### {name} FAILED: {status} #####");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("##### {name} could not run ({e}); build with `cargo build --release -p sawl-bench` first #####");
+                failures.push(*name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed; CSVs under results/.");
+    } else {
+        eprintln!("\nFailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

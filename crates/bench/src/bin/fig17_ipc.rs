@@ -1,0 +1,96 @@
+//! Fig. 17 — IPC degradation (vs a no-wear-leveling baseline) of BWL,
+//! NWL-4 and SAWL under the 14 SPEC-like applications.
+//!
+//! Configurations (§4.4 plus our documented interpretation): the baseline
+//! performs no translation; **BWL** is non-tiered PCM-S with its full table
+//! on chip (flat 5 ns translation) at the aggressive swapping period 8 —
+//! the setting that gives the hybrids their competitive Fig. 15 lifetime —
+//! so its cost is write amplification; **NWL-4** and **SAWL** run the
+//! tiered architecture (5/55 ns by CMT hit/miss) at swapping period 128
+//! with the 256 KB CMT.
+
+use sawl_bench::{emit, paper_note, CMT_BYTES};
+use sawl_simctl::report::pct;
+use sawl_simctl::{parallel_map, run_perf, DeviceSpec, PerfExperiment, SchemeSpec, Table};
+use sawl_trace::ALL_BENCHMARKS;
+
+fn main() {
+    // The 2^22-line space makes NWL-4's CMT pressure realistic; the warmup
+    // covers SAWL's lazy granularity ramp (~3 levels over the largest
+    // footprints, see the monitor probes in EXPERIMENTS.md).
+    const PERF_LINES: u64 = 1 << 22;
+    let requests: u64 = 5_000_000;
+    let warmup: u64 = 8_000_000;
+    let cmt_entries = (CMT_BYTES * 8 / 48) as usize;
+    let schemes: Vec<(&str, SchemeSpec)> = vec![
+        ("bwl", SchemeSpec::PcmS { region_lines: 4, period: 8 }),
+        (
+            "nwl-4",
+            SchemeSpec::Nwl { granularity: 4, cmt_entries, swap_period: 128 },
+        ),
+        (
+            "sawl",
+            SchemeSpec::Sawl {
+                initial_granularity: 4,
+                max_granularity: 256,
+                cmt_entries,
+                swap_period: 128,
+                observation_window: 1 << 20,
+                settling_window: 1 << 20,
+                sample_interval: 100_000,
+            },
+        ),
+    ];
+
+    let mut experiments = Vec::new();
+    for bench in ALL_BENCHMARKS {
+        for (name, scheme) in &schemes {
+            experiments.push(PerfExperiment {
+                id: format!("fig17/{}/{}", bench.name(), name),
+                scheme: scheme.clone(),
+                benchmark: bench,
+                data_lines: PERF_LINES,
+                device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+                requests,
+                warmup_requests: warmup,
+            });
+        }
+    }
+    let results = parallel_map(&experiments, run_perf);
+
+    let mut table = Table::new(
+        "Fig. 17 IPC degradation vs no-wear-leveling baseline (%)",
+        &["benchmark", "bwl", "nwl-4", "sawl", "nwl-4 hit (%)", "sawl hit (%)"],
+    );
+    let mut sums = [0.0f64; 3];
+    for (bi, bench) in ALL_BENCHMARKS.iter().enumerate() {
+        let row_results = &results[bi * 3..bi * 3 + 3];
+        for (si, r) in row_results.iter().enumerate() {
+            sums[si] += r.ipc_degradation;
+        }
+        table.row(vec![
+            bench.name().to_string(),
+            pct(row_results[0].ipc_degradation),
+            pct(row_results[1].ipc_degradation),
+            pct(row_results[2].ipc_degradation),
+            pct(row_results[1].hit_rate),
+            pct(row_results[2].hit_rate),
+        ]);
+    }
+    let n = ALL_BENCHMARKS.len() as f64;
+    table.row(vec![
+        "Mean".into(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+        "".into(),
+        "".into(),
+    ]);
+    emit(&table, "fig17_ipc");
+    paper_note(
+        "Paper Fig. 17: average IPC degradation 23% (BWL), 10% (NWL-4), 5% (SAWL); \
+         bzip2 and milc barely degrade (sparse, cache-resident accesses). Expect \
+         the ordering BWL > NWL-4 > SAWL on average, with SAWL in the single \
+         digits and the cache-friendly benchmarks near zero.",
+    );
+}

@@ -1,0 +1,201 @@
+//! # sawl-bench — figure/table regeneration harness
+//!
+//! One binary per table and figure of the paper (`src/bin/fig*.rs`,
+//! `tab1_config.rs`, `sec45_overhead.rs`), plus ablation binaries for the
+//! design choices called out in DESIGN.md §9 and Criterion microbenchmarks
+//! for the hot paths (`benches/hot_paths.rs`).
+//!
+//! Every binary prints the aligned table of the series the paper reports
+//! and writes the same data to `results/<name>.csv`. This module holds the
+//! shared scaled-geometry constants (DESIGN.md §4) and output helpers.
+
+use std::path::PathBuf;
+
+use sawl_algos::WearLeveler;
+use sawl_core::{History, Sawl, SawlConfig, SawlStats};
+use sawl_nvm::NvmDevice;
+use sawl_simctl::report::Table;
+use sawl_simctl::{DeviceSpec, WorkloadSpec};
+use sawl_tiered::{Nwl, NwlConfig};
+use sawl_trace::{AddressStream, SpecBenchmark};
+
+/// Logical data lines for lifetime experiments (scaled device, §4 of
+/// DESIGN.md). 2^16 lines at Wmax 1e4 wears out in a few seconds of
+/// simulation per configuration.
+pub const LIFETIME_LINES: u64 = 1 << 16;
+
+/// Scaled stand-in for the paper's 1e6-endurance cells (uniform 100×
+/// scale; see DESIGN.md §4).
+pub const ENDURANCE_1E6_CLASS: u32 = 10_000;
+
+/// Scaled stand-in for the paper's 1e5-endurance cells.
+pub const ENDURANCE_1E5_CLASS: u32 = 1_000;
+
+/// Logical lines for hit-rate/performance experiments (no wear-out needed,
+/// so the space can be larger to make CMT pressure realistic).
+pub const PERF_LINES: u64 = 1 << 22;
+
+/// The Table 1 CMT budget in bytes.
+pub const CMT_BYTES: u64 = 256 * 1024;
+
+/// The paper's BPA: "randomly select logical addresses and repeatedly
+/// write to each one precisely". The dwell (writes per target) is not
+/// published; we pin it to one full endurance budget — an unprotected line
+/// dies within a single targeting, so the attack's damage is bounded only
+/// by how fast the scheme migrates the victim (swept in
+/// `ablation_bpa_dwell`).
+pub fn bpa(endurance: u32) -> WorkloadSpec {
+    WorkloadSpec::Bpa { writes_per_target: u64::from(endurance).max(64) }
+}
+
+/// Device spec for a given endurance class, paper provisioning.
+pub fn device(endurance: u32) -> DeviceSpec {
+    DeviceSpec { endurance, ..Default::default() }
+}
+
+/// Repository-level results directory (`results/` next to Cargo.toml, or
+/// `SAWL_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("SAWL_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    // crates/bench -> workspace root
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| {
+        PathBuf::from("results")
+    })
+}
+
+/// Print the aligned table and persist it as `results/<stem>.csv`.
+pub fn emit(table: &Table, stem: &str) {
+    println!("{}", table.to_aligned_string());
+    let path = results_dir().join(format!("{stem}.csv"));
+    match table.write_csv(&path) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+    }
+}
+
+/// Print the paper's expectation alongside a figure, for EXPERIMENTS.md.
+pub fn paper_note(note: &str) {
+    println!("\n--- paper reference ---\n{note}\n");
+}
+
+/// Wear-free device sized for a scheme's physical-line requirement
+/// (hit-rate experiments never wear anything out).
+pub fn wearless_device(physical_lines: u64) -> NvmDevice {
+    DeviceSpec { endurance: u32::MAX, ..Default::default() }.build(physical_lines, 1)
+}
+
+/// Drive `requests` of a benchmark stream through a SAWL engine and return
+/// its recorded history plus run statistics. Used by the Figs. 12-14
+/// trajectory binaries.
+pub fn run_sawl_history(
+    bench: SpecBenchmark,
+    cfg: SawlConfig,
+    requests: u64,
+    seed: u64,
+) -> (History, SawlStats) {
+    let mut sawl = Sawl::new(cfg.clone());
+    let mut dev = wearless_device(sawl.required_physical_lines());
+    let mut stream = bench.stream(cfg.data_lines, seed);
+    for _ in 0..requests {
+        let r = stream.next_req();
+        if r.write {
+            sawl.write(r.la, &mut dev);
+        } else {
+            sawl.read(r.la, &mut dev);
+        }
+    }
+    (sawl.history().clone(), sawl.stats())
+}
+
+/// Drive `requests` of a benchmark through an NWL instance and return its
+/// whole-run CMT hit rate.
+pub fn run_nwl_hit_rate(
+    bench: SpecBenchmark,
+    cfg: NwlConfig,
+    requests: u64,
+    seed: u64,
+) -> f64 {
+    let mut nwl = Nwl::new(cfg.clone());
+    let mut dev = wearless_device(nwl.required_physical_lines());
+    let mut stream = bench.stream(cfg.data_lines, seed);
+    for _ in 0..requests {
+        let r = stream.next_req();
+        if r.write {
+            nwl.write(r.la, &mut dev);
+        } else {
+            nwl.read(r.la, &mut dev);
+        }
+    }
+    nwl.mapping_stats().hit_rate()
+}
+
+/// Write a history's samples as a CSV trajectory (requests, windowed hit
+/// rate, instant hit rate, cached region size).
+pub fn save_history_csv(history: &History, stem: &str) {
+    let mut t = Table::new(
+        "",
+        &["requests", "windowed_hit_rate", "instant_hit_rate", "region_size"],
+    );
+    for s in history.samples() {
+        t.row(vec![
+            s.requests.to_string(),
+            format!("{:.4}", s.windowed_hit_rate),
+            format!("{:.4}", s.instant_hit_rate),
+            format!("{:.2}", s.cached_region_size),
+        ]);
+    }
+    let path = results_dir().join(format!("{stem}.csv"));
+    match t.write_csv(&path) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+    }
+}
+
+/// Format the number of regions for a (lines, region_lines) pair the way
+/// the paper's x-axes do (16K, 32K, ... 1M).
+pub fn fmt_regions(regions: u64) -> String {
+    if regions >= 1 << 20 {
+        format!("{}M", regions >> 20)
+    } else if regions >= 1 << 10 {
+        format!("{}K", regions >> 10)
+    } else {
+        regions.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_formatting() {
+        assert_eq!(fmt_regions(512), "512");
+        assert_eq!(fmt_regions(16 << 10), "16K");
+        assert_eq!(fmt_regions(2 << 20), "2M");
+    }
+
+    #[test]
+    fn bpa_dwell_scales_with_endurance() {
+        let strong = bpa(10_000);
+        let weak = bpa(1_000);
+        match (strong, weak) {
+            (
+                WorkloadSpec::Bpa { writes_per_target: s },
+                WorkloadSpec::Bpa { writes_per_target: w },
+            ) => {
+                assert_eq!(s, 10_000);
+                assert_eq!(w, 1_000);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Time-series recording for the paper's trajectory figures.
+//!
+//! Figs. 12–14 plot the cache hit rate and the region size as functions of
+//! runtime (number of requests). The engine appends one [`Sample`] per
+//! monitor sample; the figure binaries serialize the series to CSV.
+
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Requests served so far.
+    pub requests: u64,
+    /// Hit rate over the observation window at this instant (0 before the
+    /// window fills).
+    pub windowed_hit_rate: f64,
+    /// Hit rate within this sample interval alone.
+    pub instant_hit_rate: f64,
+    /// Mean region size (lines) over the currently cached entries.
+    pub cached_region_size: f64,
+    /// Mean region size (lines) over the whole memory.
+    pub global_region_size: f64,
+}
+
+/// A recorded run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    samples: Vec<Sample>,
+}
+
+impl History {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, s: Sample) {
+        self.samples.push(s);
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Average instant hit rate over the run (the "Avg. cache hit rate"
+    /// annotation of Figs. 13–14).
+    pub fn average_hit_rate(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.instant_hit_rate).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Average cached region size over the run (§4.2: "the average region
+    /// size of SAWL is about 16 memory lines").
+    pub fn average_region_size(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.cached_region_size).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Distinct region sizes visited (how much adaptation happened).
+    pub fn region_size_changes(&self) -> usize {
+        let mut changes = 0;
+        for w in self.samples.windows(2) {
+            if (w[0].cached_region_size - w[1].cached_region_size).abs() > 0.5 {
+                changes += 1;
+            }
+        }
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(requests: u64, rate: f64, size: f64) -> Sample {
+        Sample {
+            requests,
+            windowed_hit_rate: rate,
+            instant_hit_rate: rate,
+            cached_region_size: size,
+            global_region_size: size,
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let mut h = History::new();
+        h.push(s(100, 0.8, 4.0));
+        h.push(s(200, 0.9, 8.0));
+        assert!((h.average_hit_rate() - 0.85).abs() < 1e-12);
+        assert!((h.average_region_size() - 6.0).abs() < 1e-12);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn counts_region_size_changes() {
+        let mut h = History::new();
+        for (r, size) in [(1u64, 4.0), (2, 4.0), (3, 8.0), (4, 8.0), (5, 16.0)] {
+            h.push(s(r, 0.9, size));
+        }
+        assert_eq!(h.region_size_changes(), 2);
+    }
+
+    #[test]
+    fn empty_history_is_benign() {
+        let h = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.average_hit_rate(), 0.0);
+        assert_eq!(h.region_size_changes(), 0);
+    }
+}

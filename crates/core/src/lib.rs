@@ -1,0 +1,34 @@
+//! # sawl-core — Self-Adaptive Wear Leveling
+//!
+//! The paper's contribution (§3): a tiered wear-leveling architecture whose
+//! wear-leveling granularity *adapts at runtime*. The full mapping table
+//! (IMT) lives in NVM; an on-chip CMT caches hot entries; and the engine
+//! watches the CMT hit rate through an observation window:
+//!
+//! * hit rate persistently **below** the low threshold (90%) → the cached
+//!   regions are **merged** pairwise with their buddies, so each CMT entry
+//!   covers twice the address space and the hit rate recovers;
+//! * hit rate persistently **above** the high threshold (95%) *and* hits
+//!   concentrated in the hot half of the LRU stack (or a sub-queue above
+//!   99%) → the cached regions are **split**, restoring fine-grained wear
+//!   leveling at no data-movement cost (the XOR mapping makes split a pure
+//!   metadata update, §3.2).
+//!
+//! Data exchange between regions follows PCM-S (the paper adopts it in the
+//! data-exchange module); exchanges, merges and splits all write their
+//! mapping updates through the GTD so translation-line wear is modelled
+//! too.
+//!
+//! Modules: [`config`] (tunables incl. the §4.2-trained SOW/SSW), [`monitor`]
+//! (windowed hit-rate tracking and merge/split decisions), [`engine`] (the
+//! wear leveler itself), [`history`] (time series for Figs. 12–14).
+
+pub mod config;
+pub mod engine;
+pub mod history;
+pub mod monitor;
+
+pub use config::SawlConfig;
+pub use engine::{Sawl, SawlStats};
+pub use history::{History, Sample};
+pub use monitor::{Decision, HitRateMonitor, MonitorInputs};

@@ -1,0 +1,366 @@
+//! Hit-rate monitoring and granularity decisions (§3.2, §4.2).
+//!
+//! SAWL measures the runtime cache hit rate "by calculating the percentage
+//! of memory access requests that hit the cache out of a certain total
+//! number of requests observed" — the **observation window** (SOW). The
+//! rate is sampled every 100 000 requests. Before acting on a low/high
+//! rate, SAWL "waits for a certain number of requests to ensure that the
+//! cache hit rate ... is sufficiently stable" — the **settling window**
+//! (SSW). §4.2 trains both to 2^22 requests.
+//!
+//! The monitor is a pure state machine over `(hit, split-counter)` inputs,
+//! independent of the engine, so its windowing logic is directly unit
+//! tested and reusable by the NWL ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SawlConfig;
+
+/// Granularity decision emitted by the monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decision {
+    /// Keep the current granularity.
+    Hold,
+    /// Merge cached regions (hit rate persistently low).
+    Merge,
+    /// Split cached regions (hit rate persistently high and hits
+    /// concentrated per the §3.2 sub-queue rule).
+    Split,
+}
+
+/// Per-sample inputs the engine feeds the monitor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorInputs {
+    /// Hits in the first (MRU) half of the CMT since the last sample.
+    pub hits_first_half: u64,
+    /// Hits in the second half since the last sample.
+    pub hits_second_half: u64,
+    /// Misses since the last sample.
+    pub misses: u64,
+}
+
+impl MonitorInputs {
+    fn total(&self) -> u64 {
+        self.hits_first_half + self.hits_second_half + self.misses
+    }
+
+    fn hits(&self) -> u64 {
+        self.hits_first_half + self.hits_second_half
+    }
+}
+
+/// One block of the observation-window ring buffer.
+#[derive(Debug, Clone, Copy, Default)]
+struct Block {
+    hits: u64,
+    total: u64,
+    hits_first: u64,
+    hits_second: u64,
+}
+
+/// Windowed hit-rate monitor with settling.
+#[derive(Debug, Clone)]
+pub struct HitRateMonitor {
+    sample_interval: u64,
+    /// Ring of per-sample blocks covering the observation window.
+    ring: Vec<Block>,
+    ring_pos: usize,
+    filled: usize,
+    /// Running sums over the ring.
+    sum_hits: u64,
+    sum_total: u64,
+    sum_first: u64,
+    sum_second: u64,
+    merge_threshold: f64,
+    split_threshold: f64,
+    subqueue_split_threshold: f64,
+    first_half_dominance: f64,
+    /// Samples the condition must persist before acting.
+    settle_samples: u64,
+    below_streak: u64,
+    above_streak: u64,
+    /// Cool-down after an action, in samples.
+    cooldown: u64,
+}
+
+impl HitRateMonitor {
+    /// Build from a [`SawlConfig`].
+    pub fn new(cfg: &SawlConfig) -> Self {
+        let blocks = (cfg.observation_window / cfg.sample_interval).max(1) as usize;
+        let settle_samples = (cfg.settling_window / cfg.sample_interval).max(1);
+        Self {
+            sample_interval: cfg.sample_interval,
+            ring: vec![Block::default(); blocks],
+            ring_pos: 0,
+            filled: 0,
+            sum_hits: 0,
+            sum_total: 0,
+            sum_first: 0,
+            sum_second: 0,
+            merge_threshold: cfg.merge_threshold,
+            split_threshold: cfg.split_threshold,
+            subqueue_split_threshold: cfg.subqueue_split_threshold,
+            first_half_dominance: cfg.first_half_dominance,
+            settle_samples,
+            below_streak: 0,
+            above_streak: 0,
+            cooldown: 0,
+        }
+    }
+
+    /// Requests per sample.
+    pub fn sample_interval(&self) -> u64 {
+        self.sample_interval
+    }
+
+    /// Hit rate over the observation window (`None` until the first sample).
+    pub fn windowed_hit_rate(&self) -> Option<f64> {
+        if self.sum_total == 0 {
+            None
+        } else {
+            Some(self.sum_hits as f64 / self.sum_total as f64)
+        }
+    }
+
+    /// Feed one sample block (covering `sample_interval` requests) and get
+    /// the decision for this instant.
+    pub fn on_sample(&mut self, inputs: MonitorInputs) -> Decision {
+        // Rotate the ring: subtract the expiring block, add the new one.
+        let slot = &mut self.ring[self.ring_pos];
+        self.sum_hits -= slot.hits;
+        self.sum_total -= slot.total;
+        self.sum_first -= slot.hits_first;
+        self.sum_second -= slot.hits_second;
+        *slot = Block {
+            hits: inputs.hits(),
+            total: inputs.total(),
+            hits_first: inputs.hits_first_half,
+            hits_second: inputs.hits_second_half,
+        };
+        self.sum_hits += slot.hits;
+        self.sum_total += slot.total;
+        self.sum_first += slot.hits_first;
+        self.sum_second += slot.hits_second;
+        self.ring_pos = (self.ring_pos + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.below_streak = 0;
+            self.above_streak = 0;
+            return Decision::Hold;
+        }
+        // Wait until the observation window is at least half full so the
+        // windowed rate is meaningful.
+        if self.filled < self.ring.len() / 2 + 1 || self.sum_total == 0 {
+            return Decision::Hold;
+        }
+        let rate = self.sum_hits as f64 / self.sum_total as f64;
+
+        if rate < self.merge_threshold {
+            self.below_streak += 1;
+            self.above_streak = 0;
+            if self.below_streak >= self.settle_samples {
+                self.action_taken();
+                return Decision::Merge;
+            }
+        } else if rate > self.split_threshold && self.split_imbalance() {
+            self.above_streak += 1;
+            self.below_streak = 0;
+            if self.above_streak >= self.settle_samples {
+                self.action_taken();
+                return Decision::Split;
+            }
+        } else {
+            self.below_streak = 0;
+            self.above_streak = 0;
+        }
+        Decision::Hold
+    }
+
+    /// §3.2's split criterion: "if the hit ratio of the first queue OR the
+    /// hit ratio of the second queue >= 99%" — i.e. one half of the LRU
+    /// stack alone serves ≥99% of all lookups — "the NVM system splits the
+    /// region for endurance, thus avoiding the decrease of cache hit rate
+    /// after region-split completes"; or the first half dominates the hits
+    /// so thoroughly that the second half is dead weight. Both conditions
+    /// guarantee the post-split halved coverage still holds the working
+    /// set, which is what keeps SAWL from thrashing at the coverage
+    /// boundary (a workload that *needs* the whole stack spreads its hits
+    /// and never satisfies either).
+    fn split_imbalance(&self) -> bool {
+        let hits = self.sum_first + self.sum_second;
+        if hits == 0 {
+            return false;
+        }
+        let first_frac = self.sum_first as f64 / hits as f64;
+        let first_ratio = self.sum_first as f64 / self.sum_total as f64;
+        let second_ratio = self.sum_second as f64 / self.sum_total as f64;
+        first_frac >= self.first_half_dominance
+            || first_ratio >= self.subqueue_split_threshold
+            || second_ratio >= self.subqueue_split_threshold
+    }
+
+    /// Cancel the post-action cooldown. The engine calls this when a
+    /// decision turned out to be a no-op (e.g. a split requested while
+    /// every cached region already sits at the minimum granularity), so a
+    /// fruitless decision does not stall real adaptation for a settling
+    /// window.
+    pub fn cancel_cooldown(&mut self) {
+        self.cooldown = 0;
+    }
+
+    fn action_taken(&mut self) {
+        self.below_streak = 0;
+        self.above_streak = 0;
+        // After acting, hold for a settling window so the effect of the
+        // adjustment is observed before the next one.
+        self.cooldown = self.settle_samples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(sow_samples: u64, ssw_samples: u64) -> SawlConfig {
+        SawlConfig {
+            sample_interval: 1000,
+            observation_window: 1000 * sow_samples,
+            settling_window: 1000 * ssw_samples,
+            ..Default::default()
+        }
+    }
+
+    fn sample(hit_rate: f64, first_frac: f64) -> MonitorInputs {
+        let total = 1000u64;
+        let hits = (total as f64 * hit_rate) as u64;
+        let first = (hits as f64 * first_frac) as u64;
+        MonitorInputs {
+            hits_first_half: first,
+            hits_second_half: hits - first,
+            misses: total - hits,
+        }
+    }
+
+    #[test]
+    fn holds_until_window_fills() {
+        let mut m = HitRateMonitor::new(&cfg(8, 1));
+        for _ in 0..4 {
+            assert_eq!(m.on_sample(sample(0.2, 0.5)), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn merges_after_settling_on_low_rate() {
+        let mut m = HitRateMonitor::new(&cfg(4, 3));
+        let mut decisions = Vec::new();
+        for _ in 0..8 {
+            decisions.push(m.on_sample(sample(0.5, 0.5)));
+        }
+        assert!(decisions.contains(&Decision::Merge));
+        // Exactly one merge within the cooldown horizon.
+        assert_eq!(decisions.iter().filter(|&&d| d == Decision::Merge).count(), 1);
+    }
+
+    #[test]
+    fn splits_on_high_rate_with_first_half_dominance() {
+        let mut m = HitRateMonitor::new(&cfg(4, 2));
+        let mut got_split = false;
+        for _ in 0..10 {
+            if m.on_sample(sample(0.97, 0.95)) == Decision::Split {
+                got_split = true;
+            }
+        }
+        assert!(got_split);
+    }
+
+    #[test]
+    fn high_rate_without_imbalance_holds() {
+        let mut m = HitRateMonitor::new(&cfg(4, 2));
+        for _ in 0..20 {
+            // 96% hit rate but hits spread evenly across the stack: the
+            // current granularity is "satisfactory" (§3.2).
+            assert_eq!(m.on_sample(sample(0.96, 0.55)), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn subqueue_or_rule_splits_when_one_half_serves_everything() {
+        // First sub-queue alone serving >= 99% of lookups fires the
+        // endurance split.
+        let mut m = HitRateMonitor::new(&cfg(4, 2));
+        let mut got_split = false;
+        for _ in 0..10 {
+            if m.on_sample(sample(0.998, 0.999)) == Decision::Split {
+                got_split = true;
+            }
+        }
+        assert!(got_split);
+    }
+
+    #[test]
+    fn high_but_spread_hit_rate_never_splits() {
+        // 99.5% hit rate with hits spread across both halves: the working
+        // set needs the whole stack, splitting would thrash — hold.
+        let mut m = HitRateMonitor::new(&cfg(4, 2));
+        for _ in 0..30 {
+            assert_eq!(m.on_sample(sample(0.995, 0.6)), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn mid_band_rate_never_acts() {
+        let mut m = HitRateMonitor::new(&cfg(4, 1));
+        for _ in 0..50 {
+            assert_eq!(m.on_sample(sample(0.92, 0.9)), Decision::Hold);
+        }
+    }
+
+    #[test]
+    fn settling_requires_consecutive_samples() {
+        // One-sample observation window: the windowed rate equals the
+        // instant rate, so alternating low / mid-band samples keep
+        // resetting the settling streak and nothing ever fires.
+        let mut m = HitRateMonitor::new(&cfg(1, 3));
+        for i in 0..30 {
+            let s = if i % 2 == 0 { sample(0.5, 0.5) } else { sample(0.92, 0.5) };
+            assert_eq!(m.on_sample(s), Decision::Hold, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn cooldown_spaces_out_actions() {
+        let mut m = HitRateMonitor::new(&cfg(2, 2));
+        let mut merges = 0;
+        let mut gap_since_last = 0;
+        let mut min_gap = u64::MAX;
+        for _ in 0..40 {
+            gap_since_last += 1;
+            if m.on_sample(sample(0.3, 0.5)) == Decision::Merge {
+                merges += 1;
+                if merges > 1 {
+                    min_gap = min_gap.min(gap_since_last);
+                }
+                gap_since_last = 0;
+            }
+        }
+        assert!(merges >= 2, "merges {merges}");
+        // settle (2) + cooldown (2) apart at minimum.
+        assert!(min_gap >= 4, "actions too close: {min_gap}");
+    }
+
+    #[test]
+    fn windowed_rate_tracks_recent_blocks_only() {
+        let mut m = HitRateMonitor::new(&cfg(4, 100));
+        for _ in 0..4 {
+            m.on_sample(sample(0.2, 0.5));
+        }
+        assert!((m.windowed_hit_rate().unwrap() - 0.2).abs() < 0.01);
+        for _ in 0..4 {
+            m.on_sample(sample(1.0, 0.5));
+        }
+        // Old low blocks rotated out entirely.
+        assert!(m.windowed_hit_rate().unwrap() > 0.99);
+    }
+}

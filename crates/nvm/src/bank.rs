@@ -1,0 +1,85 @@
+//! Bank geometry.
+//!
+//! The paper simulates a 64 GB device as 32 banks of 2 GB. Banks matter in
+//! two places: the timing model exploits bank-level parallelism, and wear
+//! reports can be broken down per bank. Lines are interleaved across banks
+//! by the low address bits (the common open-row-agnostic layout for
+//! line-granularity NVM), so sequential lines land on different banks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Pa;
+
+/// Geometry helper mapping physical line addresses to banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankGeometry {
+    banks: u32,
+    bank_mask: u64,
+}
+
+impl BankGeometry {
+    /// Create a geometry with `banks` banks (must be a power of two).
+    pub fn new(banks: u32) -> Self {
+        assert!(banks.is_power_of_two() && banks > 0, "banks must be a power of two");
+        Self { banks, bank_mask: u64::from(banks) - 1 }
+    }
+
+    /// Number of banks.
+    #[inline]
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+
+    /// Bank holding physical line `pa` (low-bit interleaving).
+    #[inline]
+    pub fn bank_of(&self, pa: Pa) -> u32 {
+        (pa & self.bank_mask) as u32
+    }
+
+    /// Per-bank totals of a per-line write-count array.
+    pub fn per_bank_totals(&self, counts: &[u32]) -> Vec<u64> {
+        let mut totals = vec![0u64; self.banks as usize];
+        for (pa, &c) in counts.iter().enumerate() {
+            totals[self.bank_of(pa as Pa) as usize] += u64::from(c);
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_lines_interleave() {
+        let g = BankGeometry::new(4);
+        assert_eq!(g.bank_of(0), 0);
+        assert_eq!(g.bank_of(1), 1);
+        assert_eq!(g.bank_of(2), 2);
+        assert_eq!(g.bank_of(3), 3);
+        assert_eq!(g.bank_of(4), 0);
+    }
+
+    #[test]
+    fn per_bank_totals_sum_to_grand_total() {
+        let g = BankGeometry::new(8);
+        let counts: Vec<u32> = (0..64).collect();
+        let totals = g.per_bank_totals(&counts);
+        assert_eq!(totals.len(), 8);
+        let sum: u64 = totals.iter().sum();
+        assert_eq!(sum, counts.iter().map(|&c| u64::from(c)).sum::<u64>());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = BankGeometry::new(3);
+    }
+
+    #[test]
+    fn single_bank_takes_everything() {
+        let g = BankGeometry::new(1);
+        assert_eq!(g.bank_of(12345), 0);
+        assert_eq!(g.per_bank_totals(&[1, 2, 3]), vec![6]);
+    }
+}

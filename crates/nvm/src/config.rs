@@ -1,0 +1,284 @@
+//! Device configuration and builder.
+//!
+//! A configuration describes the geometry (number of lines, line size,
+//! banks), the endurance model (nominal `Wmax`, process variation), and the
+//! over-provisioning (spare pool). Experiments in the paper use a 64 GB
+//! device with 256M lines and 4M spares; the reproduction scales geometry
+//! down (see DESIGN.md §4) while keeping every ratio the phenomena depend
+//! on, so the default here is a small device suitable for unit tests and the
+//! experiment drivers override it per figure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::variation::EnduranceModel;
+
+/// Errors produced when validating an [`NvmConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NvmConfigError {
+    /// `lines` must be non-zero. (It need *not* be a power of two: schemes
+    /// like Start-Gap reserve extra physical gap slots beyond their
+    /// power-of-two logical space, so devices can have odd sizes.)
+    ZeroLines,
+    /// `line_bytes` must be a non-zero power of two.
+    LineBytesNotPowerOfTwo(u32),
+    /// Nominal endurance must be non-zero.
+    ZeroEndurance,
+    /// `banks` must be a non-zero power of two that divides `lines`.
+    BadBankCount { banks: u32, lines: u64 },
+    /// The spare fraction shift would leave zero spare lines.
+    NoSpares { lines: u64, spare_shift: u32 },
+}
+
+impl std::fmt::Display for NvmConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroLines => write!(f, "line count must be non-zero"),
+            Self::LineBytesNotPowerOfTwo(n) => {
+                write!(f, "line size {n} is not a non-zero power of two")
+            }
+            Self::ZeroEndurance => write!(f, "nominal endurance must be non-zero"),
+            Self::BadBankCount { banks, lines } => {
+                write!(f, "bank count {banks} must be a power of two dividing {lines} lines")
+            }
+            Self::NoSpares { lines, spare_shift } => {
+                write!(f, "{lines} lines >> {spare_shift} leaves no spare lines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NvmConfigError {}
+
+/// Validated configuration of an NVM device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NvmConfig {
+    /// Number of data lines (power of two).
+    pub lines: u64,
+    /// Bytes per line; 64 B matches the last-level cache line of Table 1.
+    pub line_bytes: u32,
+    /// Nominal cell endurance `Wmax` (writes per line before wear-out).
+    pub endurance: u32,
+    /// Process-variation model applied around the nominal endurance.
+    pub variation: EnduranceModel,
+    /// Spare pool expressed as a right shift of `lines`: spares = lines >>
+    /// `spare_shift`. The paper provisions 4M of 256M lines, i.e. shift 6.
+    pub spare_shift: u32,
+    /// Number of banks (power of two). The paper simulates 32 banks of 2 GB.
+    pub banks: u32,
+    /// RNG seed for the per-line endurance draw; the same seed always
+    /// produces the same device, which keeps experiments reproducible.
+    pub seed: u64,
+}
+
+impl NvmConfig {
+    /// Start building a configuration. All fields have working defaults; the
+    /// builder validates on [`NvmConfigBuilder::build`].
+    pub fn builder() -> NvmConfigBuilder {
+        NvmConfigBuilder::default()
+    }
+
+    /// Number of spare lines provisioned beyond the addressable space.
+    pub fn spare_lines(&self) -> u64 {
+        self.lines >> self.spare_shift
+    }
+
+    /// The device's ideal lifetime in total line writes: every line worn
+    /// exactly to its nominal endurance. Normalized lifetime reported by the
+    /// experiment drivers is measured against this quantity, matching the
+    /// paper's "ideal lifetime ... with fully uniform writes".
+    pub fn ideal_lifetime_writes(&self) -> u64 {
+        self.lines * u64::from(self.endurance)
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.lines * u64::from(self.line_bytes)
+    }
+
+    /// log2 of the line count for power-of-two devices; panics otherwise.
+    pub fn lines_log2(&self) -> u32 {
+        assert!(self.lines.is_power_of_two(), "lines_log2 on non-power-of-two device");
+        self.lines.trailing_zeros()
+    }
+}
+
+/// Builder for [`NvmConfig`].
+#[derive(Debug, Clone)]
+pub struct NvmConfigBuilder {
+    lines: u64,
+    line_bytes: u32,
+    endurance: u32,
+    variation: EnduranceModel,
+    spare_shift: u32,
+    banks: u32,
+    seed: u64,
+}
+
+impl Default for NvmConfigBuilder {
+    fn default() -> Self {
+        Self {
+            lines: 1 << 16,
+            line_bytes: 64,
+            endurance: 10_000,
+            variation: EnduranceModel::Uniform,
+            spare_shift: 6,
+            banks: 32,
+            seed: 0xC0FF_EE00_D15E_A5E5,
+        }
+    }
+}
+
+impl NvmConfigBuilder {
+    /// Set the number of lines (must be a power of two).
+    pub fn lines(mut self, lines: u64) -> Self {
+        self.lines = lines;
+        self
+    }
+
+    /// Set the line size in bytes (must be a power of two).
+    pub fn line_bytes(mut self, line_bytes: u32) -> Self {
+        self.line_bytes = line_bytes;
+        self
+    }
+
+    /// Set the nominal per-line endurance `Wmax`.
+    pub fn endurance(mut self, endurance: u32) -> Self {
+        self.endurance = endurance;
+        self
+    }
+
+    /// Set the process-variation model.
+    pub fn variation(mut self, variation: EnduranceModel) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Set the spare pool as a right shift of the line count.
+    pub fn spare_shift(mut self, spare_shift: u32) -> Self {
+        self.spare_shift = spare_shift;
+        self
+    }
+
+    /// Set the number of banks.
+    pub fn banks(mut self, banks: u32) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Set the endurance-draw RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<NvmConfig, NvmConfigError> {
+        if self.lines == 0 {
+            return Err(NvmConfigError::ZeroLines);
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(NvmConfigError::LineBytesNotPowerOfTwo(self.line_bytes));
+        }
+        if self.endurance == 0 {
+            return Err(NvmConfigError::ZeroEndurance);
+        }
+        let banks_ok = self.banks != 0
+            && self.banks.is_power_of_two()
+            && u64::from(self.banks) <= self.lines;
+        if !banks_ok {
+            return Err(NvmConfigError::BadBankCount { banks: self.banks, lines: self.lines });
+        }
+        if self.lines >> self.spare_shift == 0 {
+            return Err(NvmConfigError::NoSpares {
+                lines: self.lines,
+                spare_shift: self.spare_shift,
+            });
+        }
+        Ok(NvmConfig {
+            lines: self.lines,
+            line_bytes: self.line_bytes,
+            endurance: self.endurance,
+            variation: self.variation,
+            spare_shift: self.spare_shift,
+            banks: self.banks,
+            seed: self.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_valid() {
+        let cfg = NvmConfig::builder().build().unwrap();
+        assert_eq!(cfg.lines, 1 << 16);
+        assert_eq!(cfg.line_bytes, 64);
+        assert_eq!(cfg.spare_lines(), (1 << 16) / 64);
+    }
+
+    #[test]
+    fn accepts_non_power_of_two_lines() {
+        let cfg = NvmConfig::builder().lines(1000).banks(8).build().unwrap();
+        assert_eq!(cfg.lines, 1000);
+    }
+
+    #[test]
+    fn rejects_zero_lines() {
+        let err = NvmConfig::builder().lines(0).build().unwrap_err();
+        assert_eq!(err, NvmConfigError::ZeroLines);
+    }
+
+    #[test]
+    fn rejects_zero_endurance() {
+        let err = NvmConfig::builder().endurance(0).build().unwrap_err();
+        assert_eq!(err, NvmConfigError::ZeroEndurance);
+    }
+
+    #[test]
+    fn rejects_bank_count_exceeding_lines() {
+        let err = NvmConfig::builder().lines(16).banks(32).build().unwrap_err();
+        assert!(matches!(err, NvmConfigError::BadBankCount { .. }));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_banks() {
+        let err = NvmConfig::builder().banks(3).build().unwrap_err();
+        assert!(matches!(err, NvmConfigError::BadBankCount { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_spare_pool() {
+        let err = NvmConfig::builder().lines(16).banks(2).spare_shift(10).build().unwrap_err();
+        assert!(matches!(err, NvmConfigError::NoSpares { .. }));
+    }
+
+    #[test]
+    fn ideal_lifetime_is_lines_times_endurance() {
+        let cfg = NvmConfig::builder().lines(1 << 10).endurance(500).build().unwrap();
+        assert_eq!(cfg.ideal_lifetime_writes(), (1 << 10) * 500);
+    }
+
+    #[test]
+    fn capacity_and_log2() {
+        let cfg = NvmConfig::builder().lines(1 << 12).line_bytes(64).build().unwrap();
+        assert_eq!(cfg.capacity_bytes(), (1 << 12) * 64);
+        assert_eq!(cfg.lines_log2(), 12);
+    }
+
+    #[test]
+    fn paper_geometry_spare_fraction() {
+        // 256M lines with shift 6 -> 4M spares, the paper's provisioning.
+        let cfg = NvmConfig::builder().lines(1 << 28).spare_shift(6).build().unwrap();
+        assert_eq!(cfg.spare_lines(), 1 << 22);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let msg = NvmConfigError::ZeroLines.to_string();
+        assert!(msg.contains("non-zero"));
+        let msg = NvmConfigError::BadBankCount { banks: 3, lines: 8 }.to_string();
+        assert!(msg.contains('3') && msg.contains('8'));
+    }
+}

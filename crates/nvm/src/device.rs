@@ -1,0 +1,342 @@
+//! The NVM device: per-line wear accounting, line failure, spare pool,
+//! device-death rule.
+//!
+//! This is the hottest code in the whole suite — lifetime experiments push
+//! 1e8–1e9 writes through [`NvmDevice::write`] — so the write path is a
+//! bounds-checked array increment plus two compares, with no allocation and
+//! no branching beyond the failure checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NvmConfig;
+use crate::stats::WearStats;
+use crate::Pa;
+
+/// Result of a single line write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write succeeded and the line is still within its endurance.
+    Ok,
+    /// This write made the line reach its endurance limit. The controller
+    /// transparently remaps the line to a spare; subsequent writes to the
+    /// same physical address keep working (they wear the replacement), but
+    /// one spare has been consumed.
+    LineFailed,
+    /// The spare pool was already exhausted when a line failed: the device
+    /// is dead. Once dead, a device reports `DeviceDead` for every further
+    /// write and stops mutating its counters.
+    DeviceDead,
+}
+
+/// Aggregate wear counters maintained incrementally by the device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WearCounters {
+    /// All writes applied to the device (demand + wear-leveling overhead).
+    pub total_writes: u64,
+    /// Writes issued on behalf of the workload.
+    pub demand_writes: u64,
+    /// Extra writes issued by wear-leveling machinery (data exchanges,
+    /// mapping-table updates). `total_writes = demand + overhead`.
+    pub overhead_writes: u64,
+    /// Reads served (reads do not wear NVM cells).
+    pub reads: u64,
+    /// Number of lines that reached their endurance limit so far.
+    pub failed_lines: u64,
+}
+
+impl WearCounters {
+    /// Fraction of all writes that were wear-leveling overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_writes == 0 {
+            0.0
+        } else {
+            self.overhead_writes as f64 / self.total_writes as f64
+        }
+    }
+}
+
+/// An NVM device instance.
+///
+/// The device does not store data contents — only wear. Correctness of data
+/// movement is checked at the wear-leveling layer with shadow maps; the
+/// device's job is endurance accounting with the paper's failure rule.
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    cfg: NvmConfig,
+    /// Per-line write counts.
+    write_counts: Vec<u32>,
+    /// Per-line endurance limits; `None` means every line has `cfg.endurance`.
+    limits: Option<Vec<u32>>,
+    counters: WearCounters,
+    /// Demand writes recorded at the moment the device died.
+    demand_writes_at_death: Option<u64>,
+    dead: bool,
+}
+
+impl NvmDevice {
+    /// Create a fresh (unworn) device from a validated configuration.
+    pub fn new(cfg: NvmConfig) -> Self {
+        let limits = cfg.variation.materialize(cfg.lines, cfg.endurance, cfg.seed);
+        Self {
+            write_counts: vec![0; cfg.lines as usize],
+            limits,
+            counters: WearCounters::default(),
+            demand_writes_at_death: None,
+            dead: false,
+            cfg,
+        }
+    }
+
+    /// The configuration this device was built from.
+    pub fn config(&self) -> &NvmConfig {
+        &self.cfg
+    }
+
+    /// Number of addressable lines.
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        self.cfg.lines
+    }
+
+    /// Whether the device has exhausted its spare pool.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Aggregate wear counters.
+    #[inline]
+    pub fn wear(&self) -> &WearCounters {
+        &self.counters
+    }
+
+    /// Endurance limit of one line.
+    #[inline]
+    pub fn limit(&self, pa: Pa) -> u32 {
+        match &self.limits {
+            Some(l) => l[pa as usize],
+            None => self.cfg.endurance,
+        }
+    }
+
+    /// Current write count of one line.
+    #[inline]
+    pub fn write_count(&self, pa: Pa) -> u32 {
+        self.write_counts[pa as usize]
+    }
+
+    /// Demand writes served before the device died, if it has died.
+    pub fn demand_writes_at_death(&self) -> Option<u64> {
+        self.demand_writes_at_death
+    }
+
+    /// Normalized lifetime achieved by this (dead or alive) device: demand
+    /// writes served so far divided by the ideal lifetime writes. Matches
+    /// the paper's metric when read at device death.
+    pub fn normalized_lifetime(&self) -> f64 {
+        let served = self.demand_writes_at_death.unwrap_or(self.counters.demand_writes);
+        served as f64 / self.cfg.ideal_lifetime_writes() as f64
+    }
+
+    /// Record a read. Reads do not wear cells but are counted for the
+    /// timing model and request statistics.
+    #[inline]
+    pub fn read(&mut self, _pa: Pa) {
+        self.counters.reads += 1;
+    }
+
+    /// Apply a demand (workload) write to physical line `pa`.
+    #[inline]
+    pub fn write(&mut self, pa: Pa) -> WriteOutcome {
+        self.write_impl(pa, false)
+    }
+
+    /// Apply a wear-leveling overhead write (data exchange, table update).
+    #[inline]
+    pub fn write_wl(&mut self, pa: Pa) -> WriteOutcome {
+        self.write_impl(pa, true)
+    }
+
+    #[inline]
+    fn write_impl(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
+        if self.dead {
+            return WriteOutcome::DeviceDead;
+        }
+        self.counters.total_writes += 1;
+        if overhead {
+            self.counters.overhead_writes += 1;
+        } else {
+            self.counters.demand_writes += 1;
+        }
+        let wc = &mut self.write_counts[pa as usize];
+        *wc += 1;
+        let limit = match &self.limits {
+            Some(l) => l[pa as usize],
+            None => self.cfg.endurance,
+        };
+        // A line fails when its count reaches the limit; the controller
+        // remaps it to a spare, and that spare wears out after another
+        // `limit` writes — hence the modulo: hammering one physical address
+        // consumes one spare every `limit` writes.
+        if *wc % limit == 0 {
+            self.counters.failed_lines += 1;
+            if self.counters.failed_lines > self.cfg.spare_lines() {
+                self.dead = true;
+                self.demand_writes_at_death = Some(self.counters.demand_writes);
+                return WriteOutcome::DeviceDead;
+            }
+            return WriteOutcome::LineFailed;
+        }
+        WriteOutcome::Ok
+    }
+
+    /// Compute full wear-distribution statistics (O(lines)).
+    pub fn wear_stats(&self) -> WearStats {
+        WearStats::from_counts(&self.write_counts)
+    }
+
+    /// Raw per-line write counts (for tests and detailed reports).
+    pub fn write_counts(&self) -> &[u32] {
+        &self.write_counts
+    }
+
+    /// Reset all wear state, keeping the configuration (and, for the
+    /// Gaussian model, the same per-line limits). Used by sweep drivers to
+    /// reuse allocations between runs of the same geometry.
+    pub fn reset(&mut self) {
+        self.write_counts.fill(0);
+        self.counters = WearCounters::default();
+        self.demand_writes_at_death = None;
+        self.dead = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::EnduranceModel;
+
+    fn tiny(lines: u64, endurance: u32, spare_shift: u32) -> NvmDevice {
+        let cfg = NvmConfig::builder()
+            .lines(lines)
+            .banks(1)
+            .endurance(endurance)
+            .spare_shift(spare_shift)
+            .build()
+            .unwrap();
+        NvmDevice::new(cfg)
+    }
+
+    #[test]
+    fn write_increments_counters() {
+        let mut dev = tiny(16, 100, 2);
+        assert_eq!(dev.write(3), WriteOutcome::Ok);
+        assert_eq!(dev.write_wl(3), WriteOutcome::Ok);
+        dev.read(5);
+        let w = dev.wear();
+        assert_eq!(w.total_writes, 2);
+        assert_eq!(w.demand_writes, 1);
+        assert_eq!(w.overhead_writes, 1);
+        assert_eq!(w.reads, 1);
+        assert_eq!(dev.write_count(3), 2);
+        assert_eq!(dev.write_count(0), 0);
+    }
+
+    #[test]
+    fn line_fails_exactly_at_limit() {
+        let mut dev = tiny(16, 3, 2);
+        assert_eq!(dev.write(0), WriteOutcome::Ok);
+        assert_eq!(dev.write(0), WriteOutcome::Ok);
+        assert_eq!(dev.write(0), WriteOutcome::LineFailed);
+        assert_eq!(dev.wear().failed_lines, 1);
+        // The controller remapped to a spare; further writes keep working
+        // and the spare itself fails after another full endurance budget.
+        assert_eq!(dev.write(0), WriteOutcome::Ok);
+        assert_eq!(dev.write(0), WriteOutcome::Ok);
+        assert_eq!(dev.write(0), WriteOutcome::LineFailed);
+        assert_eq!(dev.wear().failed_lines, 2);
+    }
+
+    #[test]
+    fn device_dies_when_spares_exhausted() {
+        // 16 lines, shift 2 -> 4 spares. The 5th failed line kills it.
+        let mut dev = tiny(16, 1, 2);
+        for pa in 0..4 {
+            assert_eq!(dev.write(pa), WriteOutcome::LineFailed);
+        }
+        assert!(!dev.is_dead());
+        assert_eq!(dev.write(4), WriteOutcome::DeviceDead);
+        assert!(dev.is_dead());
+        assert_eq!(dev.demand_writes_at_death(), Some(5));
+        // A dead device refuses further traffic without mutating counters.
+        let before = *dev.wear();
+        assert_eq!(dev.write(7), WriteOutcome::DeviceDead);
+        assert_eq!(*dev.wear(), before);
+    }
+
+    #[test]
+    fn normalized_lifetime_is_one_under_perfectly_uniform_writes() {
+        let mut dev = tiny(16, 4, 2);
+        // Wear every line to its limit in round-robin order: 16*4 = 64
+        // demand writes. The device dies only after spares run out, i.e.
+        // after 16 + 4 = 20 line failures... with uniform wear all 16 lines
+        // fail in the last round-robin sweep, which exceeds 4 spares on the
+        // 5th failure.
+        let mut served = 0u64;
+        'outer: for _round in 0..4 {
+            for pa in 0..16 {
+                served += 1;
+                if dev.write(pa) == WriteOutcome::DeviceDead {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(dev.is_dead());
+        // Died 5 failures into the final sweep: 3*16 + 5 demand writes.
+        assert_eq!(served, 3 * 16 + 5);
+        let nl = dev.normalized_lifetime();
+        assert!(nl > 0.8 && nl <= 1.0, "normalized lifetime {nl}");
+    }
+
+    #[test]
+    fn gaussian_limits_are_respected() {
+        let cfg = NvmConfig::builder()
+            .lines(8)
+            .banks(1)
+            .endurance(100)
+            .spare_shift(1)
+            .variation(EnduranceModel::Gaussian { cov: 0.3 })
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        let limit0 = dev.limit(0);
+        for _ in 0..limit0 - 1 {
+            assert_eq!(dev.write(0), WriteOutcome::Ok);
+        }
+        assert_eq!(dev.write(0), WriteOutcome::LineFailed);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut dev = tiny(16, 1, 2);
+        for pa in 0..5 {
+            dev.write(pa);
+        }
+        assert!(dev.is_dead());
+        dev.reset();
+        assert!(!dev.is_dead());
+        assert_eq!(dev.wear().total_writes, 0);
+        assert_eq!(dev.write(0), WriteOutcome::LineFailed); // endurance 1 again
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let mut dev = tiny(16, 100, 2);
+        for _ in 0..3 {
+            dev.write(1);
+        }
+        dev.write_wl(2);
+        assert!((dev.wear().overhead_fraction() - 0.25).abs() < 1e-12);
+    }
+}

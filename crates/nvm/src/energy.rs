@@ -1,0 +1,104 @@
+//! Access-energy model.
+//!
+//! The paper motivates NVM by energy: "leakage energy grows with the
+//! memory capacity ... and becomes a main contributor to operational
+//! costs" (§1). Wear-leveling write amplification directly buys lifetime
+//! with dynamic energy, so the ablation benches report the energy cost of
+//! each configuration next to its lifetime. Per-access energies default to
+//! the MLC-PCM-class values used across the literature (CompEx, Lee et
+//! al.): reads ~2 pJ/bit, writes an order of magnitude more, plus a
+//! standby floor per byte.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::WearCounters;
+
+/// Per-operation energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per line read, nanojoules.
+    pub read_nj: f64,
+    /// Energy per line write, nanojoules.
+    pub write_nj: f64,
+    /// Standby power per gigabyte, milliwatts (near zero for NVM — its
+    /// headline advantage over DRAM).
+    pub standby_mw_per_gb: f64,
+}
+
+impl EnergyModel {
+    /// MLC-PCM-class defaults for 64-byte lines: 2 pJ/bit read,
+    /// 20 pJ/bit write, near-zero standby.
+    pub fn mlc_pcm() -> Self {
+        Self { read_nj: 1.0, write_nj: 10.2, standby_mw_per_gb: 1.0 }
+    }
+
+    /// DRAM-class defaults: symmetric access energy, large refresh/standby
+    /// component.
+    pub fn dram() -> Self {
+        Self { read_nj: 1.2, write_nj: 1.2, standby_mw_per_gb: 120.0 }
+    }
+
+    /// Dynamic energy of a run, joules.
+    pub fn dynamic_joules(&self, wear: &WearCounters) -> f64 {
+        (wear.reads as f64 * self.read_nj + wear.total_writes as f64 * self.write_nj) * 1e-9
+    }
+
+    /// Dynamic energy attributable to wear-leveling overhead writes alone,
+    /// joules.
+    pub fn overhead_joules(&self, wear: &WearCounters) -> f64 {
+        wear.overhead_writes as f64 * self.write_nj * 1e-9
+    }
+
+    /// Standby energy for a capacity over a duration, joules.
+    pub fn standby_joules(&self, capacity_bytes: u64, seconds: f64) -> f64 {
+        let gb = capacity_bytes as f64 / (1u64 << 30) as f64;
+        self.standby_mw_per_gb * 1e-3 * gb * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wear(reads: u64, demand: u64, overhead: u64) -> WearCounters {
+        WearCounters {
+            total_writes: demand + overhead,
+            demand_writes: demand,
+            overhead_writes: overhead,
+            reads,
+            failed_lines: 0,
+        }
+    }
+
+    #[test]
+    fn writes_dominate_pcm_dynamic_energy() {
+        let m = EnergyModel::mlc_pcm();
+        let read_heavy = m.dynamic_joules(&wear(1_000_000, 0, 0));
+        let write_heavy = m.dynamic_joules(&wear(0, 1_000_000, 0));
+        assert!(write_heavy > 8.0 * read_heavy);
+    }
+
+    #[test]
+    fn overhead_energy_is_the_wl_share() {
+        let m = EnergyModel::mlc_pcm();
+        let w = wear(0, 1_000, 250);
+        let total = m.dynamic_joules(&w);
+        let overhead = m.overhead_joules(&w);
+        assert!((overhead / total - 0.2).abs() < 1e-9); // 250 of 1250
+    }
+
+    #[test]
+    fn nvm_standby_is_far_below_dram() {
+        let pcm = EnergyModel::mlc_pcm().standby_joules(64 << 30, 3600.0);
+        let dram = EnergyModel::dram().standby_joules(64 << 30, 3600.0);
+        assert!(dram > 50.0 * pcm, "dram {dram} vs pcm {pcm}");
+    }
+
+    #[test]
+    fn standby_scales_with_capacity_and_time() {
+        let m = EnergyModel::mlc_pcm();
+        let base = m.standby_joules(1 << 30, 10.0);
+        assert!((m.standby_joules(2 << 30, 10.0) - 2.0 * base).abs() < 1e-12);
+        assert!((m.standby_joules(1 << 30, 20.0) - 2.0 * base).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Latency model (paper Table 1).
+//!
+//! | component                    | latency |
+//! |------------------------------|---------|
+//! | DRAM read / write            | 50 / 50 ns |
+//! | PCM (MLC NVM) read / write   | 50 / 350 ns |
+//! | address translation, CMT hit | 5 ns |
+//! | address translation, miss    | 55 ns |
+//!
+//! The timing crate consumes these numbers; they live here so that device
+//! and timing configuration travel together.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory technology of the main-memory device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemTech {
+    /// Volatile DRAM (used for the baseline comparisons).
+    Dram,
+    /// MLC-based NVM (PCM/RRAM-class: symmetric-ish read, slow write).
+    MlcNvm,
+}
+
+/// Access latencies in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyConfig {
+    /// Line read latency of the main-memory device.
+    pub read_ns: f64,
+    /// Line write latency of the main-memory device.
+    pub write_ns: f64,
+    /// Address-translation latency when the mapping entry hits the on-chip
+    /// CMT/GTD SRAM (paper: 5 ns).
+    pub translation_hit_ns: f64,
+    /// Address-translation latency when the mapping entry must be fetched
+    /// from the in-NVM IMT (paper: 55 ns = 5 ns SRAM + 50 ns device read).
+    pub translation_miss_ns: f64,
+}
+
+impl LatencyConfig {
+    /// Latencies for a given technology, per Table 1.
+    pub fn for_tech(tech: MemTech) -> Self {
+        match tech {
+            MemTech::Dram => Self {
+                read_ns: 50.0,
+                write_ns: 50.0,
+                translation_hit_ns: 5.0,
+                translation_miss_ns: 55.0,
+            },
+            MemTech::MlcNvm => Self {
+                read_ns: 50.0,
+                write_ns: 350.0,
+                translation_hit_ns: 5.0,
+                translation_miss_ns: 55.0,
+            },
+        }
+    }
+
+    /// Expected translation latency at a given CMT hit rate in [0, 1].
+    pub fn expected_translation_ns(&self, hit_rate: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&hit_rate));
+        hit_rate * self.translation_hit_ns + (1.0 - hit_rate) * self.translation_miss_ns
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        Self::for_tech(MemTech::MlcNvm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers() {
+        let nvm = LatencyConfig::for_tech(MemTech::MlcNvm);
+        assert_eq!(nvm.read_ns, 50.0);
+        assert_eq!(nvm.write_ns, 350.0);
+        assert_eq!(nvm.translation_hit_ns, 5.0);
+        assert_eq!(nvm.translation_miss_ns, 55.0);
+        let dram = LatencyConfig::for_tech(MemTech::Dram);
+        assert_eq!(dram.write_ns, 50.0);
+    }
+
+    #[test]
+    fn expected_translation_interpolates() {
+        let l = LatencyConfig::default();
+        assert_eq!(l.expected_translation_ns(1.0), 5.0);
+        assert_eq!(l.expected_translation_ns(0.0), 55.0);
+        assert!((l.expected_translation_ns(0.9) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,175 @@
+//! Wear-distribution statistics.
+//!
+//! Wear leveling is judged by how uniformly writes land on physical lines.
+//! Beyond the paper's lifetime metric we expose the classical dispersion
+//! measures used in the wear-leveling literature: coefficient of variation,
+//! Gini coefficient, max/mean ("wear focus"), and a log-scale histogram.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over per-line write counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearStats {
+    /// Number of lines summarized.
+    pub lines: u64,
+    /// Sum of all write counts.
+    pub total: u64,
+    /// Maximum per-line write count.
+    pub max: u32,
+    /// Minimum per-line write count.
+    pub min: u32,
+    /// Mean write count.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Coefficient of variation (stddev / mean); 0 for unwritten devices.
+    pub cov: f64,
+    /// Gini coefficient of the write-count distribution in [0, 1];
+    /// 0 = perfectly uniform wear, ->1 = all wear on one line.
+    pub gini: f64,
+    /// `max / mean`; 1.0 means the most-worn line is no worse than average.
+    pub wear_focus: f64,
+    /// Histogram bucketed by bit length of the write count: bucket 0 holds
+    /// lines with count 0, bucket k holds counts in [2^(k-1), 2^k).
+    pub log2_histogram: Vec<u64>,
+}
+
+impl WearStats {
+    /// Compute statistics from raw per-line counts. O(n log n) due to the
+    /// sort used for the Gini coefficient.
+    pub fn from_counts(counts: &[u32]) -> Self {
+        assert!(!counts.is_empty(), "cannot summarize an empty device");
+        let n = counts.len() as u64;
+        let mut total = 0u64;
+        let mut max = 0u32;
+        let mut min = u32::MAX;
+        let mut hist = vec![0u64; 33];
+        for &c in counts {
+            total += u64::from(c);
+            max = max.max(c);
+            min = min.min(c);
+            let bucket = if c == 0 { 0 } else { 32 - c.leading_zeros() as usize };
+            hist[bucket] += 1;
+        }
+        while hist.len() > 1 && *hist.last().unwrap() == 0 {
+            hist.pop();
+        }
+        let mean = total as f64 / n as f64;
+        let var = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let stddev = var.sqrt();
+        let cov = if mean > 0.0 { stddev / mean } else { 0.0 };
+        let gini = gini_coefficient(counts);
+        let wear_focus = if mean > 0.0 { f64::from(max) / mean } else { 0.0 };
+        Self {
+            lines: n,
+            total,
+            max,
+            min,
+            mean,
+            stddev,
+            cov,
+            gini,
+            wear_focus,
+            log2_histogram: hist,
+        }
+    }
+}
+
+/// Gini coefficient of a non-negative sample, via the sorted-rank formula
+/// G = (2 * sum_i(i * x_i) / (n * sum(x))) - (n + 1) / n with x sorted
+/// ascending and i ranked from 1.
+fn gini_coefficient(counts: &[u32]) -> f64 {
+    let n = counts.len() as f64;
+    let total: f64 = counts.iter().map(|&c| f64::from(c)).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u32> = counts.to_vec();
+    sorted.sort_unstable();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as f64 + 1.0) * f64::from(c))
+        .sum();
+    (2.0 * weighted / (n * total)) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_have_zero_dispersion() {
+        let s = WearStats::from_counts(&[5; 100]);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 5);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!(s.stddev < 1e-12);
+        assert!(s.cov < 1e-12);
+        assert!(s.gini.abs() < 1e-9);
+        assert!((s.wear_focus - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_wear_has_high_gini() {
+        let mut counts = vec![0u32; 1000];
+        counts[0] = 100_000;
+        let s = WearStats::from_counts(&counts);
+        assert!(s.gini > 0.99, "gini {}", s.gini);
+        assert!(s.wear_focus > 900.0);
+    }
+
+    #[test]
+    fn gini_of_linear_ramp_is_one_third() {
+        // x_i = i for i in 0..n has Gini -> 1/3 as n grows.
+        let counts: Vec<u32> = (0..10_000).collect();
+        let s = WearStats::from_counts(&counts);
+        assert!((s.gini - 1.0 / 3.0).abs() < 1e-3, "gini {}", s.gini);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let s = WearStats::from_counts(&[0, 1, 2, 3, 4, 8, 1024]);
+        // bucket 0: {0}; bucket 1: {1}; bucket 2: {2,3}; bucket 3: {4};
+        // bucket 4: {8}; bucket 11: {1024}
+        assert_eq!(s.log2_histogram[0], 1);
+        assert_eq!(s.log2_histogram[1], 1);
+        assert_eq!(s.log2_histogram[2], 2);
+        assert_eq!(s.log2_histogram[3], 1);
+        assert_eq!(s.log2_histogram[4], 1);
+        assert_eq!(s.log2_histogram[11], 1);
+        assert_eq!(s.log2_histogram.len(), 12);
+    }
+
+    #[test]
+    fn unwritten_device_is_all_zeroes() {
+        let s = WearStats::from_counts(&[0; 64]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.gini, 0.0);
+        assert_eq!(s.cov, 0.0);
+        assert_eq!(s.log2_histogram, vec![64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty device")]
+    fn empty_input_panics() {
+        let _ = WearStats::from_counts(&[]);
+    }
+
+    #[test]
+    fn mean_and_total_consistent() {
+        let counts = [1u32, 2, 3, 4];
+        let s = WearStats::from_counts(&counts);
+        assert_eq!(s.total, 10);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+    }
+}

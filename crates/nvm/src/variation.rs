@@ -1,0 +1,122 @@
+//! Process-variation models for per-cell endurance.
+//!
+//! MLC fabrication produces "remarkable variations on access latency and
+//! cell endurance" (paper §1). The lifetime experiments in the paper assume
+//! a per-cell write limit (1e5 or 1e6); real devices draw each cell's limit
+//! from a distribution around that nominal value. We support both: the
+//! uniform model reproduces the paper's configuration exactly, while the
+//! Gaussian model is available for the ablation benches.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How each line's endurance limit is derived from the nominal `Wmax`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EnduranceModel {
+    /// Every line gets exactly the nominal endurance (the paper's setting).
+    Uniform,
+    /// Per-line endurance drawn from a normal distribution with the given
+    /// coefficient of variation (sigma / mean), truncated at ±3 sigma and
+    /// clamped to at least 1 write.
+    Gaussian {
+        /// Coefficient of variation, e.g. 0.1 for sigma = 10% of `Wmax`.
+        cov: f64,
+    },
+}
+
+impl EnduranceModel {
+    /// Materialize per-line endurance limits for `lines` lines around the
+    /// nominal `wmax`, deterministically from `seed`.
+    ///
+    /// Returns `None` for the uniform model: callers should then treat every
+    /// line as having exactly `wmax`, avoiding a redundant multi-megabyte
+    /// allocation on large devices.
+    pub fn materialize(&self, lines: u64, wmax: u32, seed: u64) -> Option<Vec<u32>> {
+        match *self {
+            EnduranceModel::Uniform => None,
+            EnduranceModel::Gaussian { cov } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mean = f64::from(wmax);
+                let sigma = mean * cov;
+                let mut v = Vec::with_capacity(lines as usize);
+                for _ in 0..lines {
+                    let z = sample_standard_normal(&mut rng).clamp(-3.0, 3.0);
+                    let e = (mean + sigma * z).round();
+                    v.push(e.max(1.0) as u32);
+                }
+                Some(v)
+            }
+        }
+    }
+}
+
+/// Draw one standard-normal sample via the Box-Muller transform.
+///
+/// `rand` itself only ships uniform distributions (the `rand_distr` crate is
+/// not in our dependency budget), so we implement the transform directly.
+fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_materializes_to_none() {
+        assert!(EnduranceModel::Uniform.materialize(1024, 1000, 1).is_none());
+    }
+
+    #[test]
+    fn gaussian_mean_is_close_to_nominal() {
+        let v = EnduranceModel::Gaussian { cov: 0.1 }
+            .materialize(20_000, 10_000, 42)
+            .unwrap();
+        let mean: f64 = v.iter().map(|&e| f64::from(e)).sum::<f64>() / v.len() as f64;
+        assert!((mean - 10_000.0).abs() < 100.0, "mean {mean} too far from nominal");
+    }
+
+    #[test]
+    fn gaussian_spread_matches_cov() {
+        let v = EnduranceModel::Gaussian { cov: 0.2 }
+            .materialize(50_000, 10_000, 7)
+            .unwrap();
+        let n = v.len() as f64;
+        let mean: f64 = v.iter().map(|&e| f64::from(e)).sum::<f64>() / n;
+        let var: f64 = v.iter().map(|&e| (f64::from(e) - mean).powi(2)).sum::<f64>() / n;
+        let cov = var.sqrt() / mean;
+        // Truncation at 3 sigma shaves a little off the empirical CoV.
+        assert!((cov - 0.2).abs() < 0.02, "empirical cov {cov}");
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_per_seed() {
+        let a = EnduranceModel::Gaussian { cov: 0.1 }.materialize(100, 1000, 5).unwrap();
+        let b = EnduranceModel::Gaussian { cov: 0.1 }.materialize(100, 1000, 5).unwrap();
+        let c = EnduranceModel::Gaussian { cov: 0.1 }.materialize(100, 1000, 6).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gaussian_never_yields_zero_endurance() {
+        // Extreme CoV would push samples negative without the clamp.
+        let v = EnduranceModel::Gaussian { cov: 2.0 }.materialize(10_000, 10, 3).unwrap();
+        assert!(v.iter().all(|&e| e >= 1));
+    }
+
+    #[test]
+    fn standard_normal_is_roughly_standard() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

@@ -1,0 +1,94 @@
+//! `sawl-sim` — run a custom experiment from a JSON spec.
+//!
+//! ```text
+//! sawl-sim lifetime <spec.json>   run a lifetime experiment
+//! sawl-sim perf     <spec.json>   run a performance experiment
+//! sawl-sim example  lifetime|perf print a template spec
+//! ```
+//!
+//! Specs are the serde form of [`sawl_simctl::LifetimeExperiment`] /
+//! [`sawl_simctl::PerfExperiment`]; results are printed as pretty JSON so
+//! the tool composes with jq-style pipelines.
+
+use std::process::ExitCode;
+
+use sawl_simctl::{
+    run_lifetime, run_perf, DeviceSpec, LifetimeExperiment, PerfExperiment, SchemeSpec,
+    WorkloadSpec,
+};
+use sawl_trace::SpecBenchmark;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sawl-sim lifetime <spec.json>\n  sawl-sim perf <spec.json>\n  sawl-sim example lifetime|perf"
+    );
+    ExitCode::from(2)
+}
+
+fn template_lifetime() -> LifetimeExperiment {
+    LifetimeExperiment {
+        id: "custom/lifetime".into(),
+        scheme: SchemeSpec::sawl_default(4096),
+        workload: WorkloadSpec::Bpa { writes_per_target: 10_000 },
+        data_lines: 1 << 16,
+        device: DeviceSpec::default(),
+        max_demand_writes: 0,
+    }
+}
+
+fn template_perf() -> PerfExperiment {
+    PerfExperiment {
+        id: "custom/perf".into(),
+        scheme: SchemeSpec::Nwl { granularity: 4, cmt_entries: 4096, swap_period: 128 },
+        benchmark: SpecBenchmark::Soplex,
+        data_lines: 1 << 20,
+        device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+        requests: 10_000_000,
+        warmup_requests: 1_000_000,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("example") => match args.get(2).map(String::as_str) {
+            Some("lifetime") => {
+                println!("{}", serde_json::to_string_pretty(&template_lifetime()).unwrap());
+                ExitCode::SUCCESS
+            }
+            Some("perf") => {
+                println!("{}", serde_json::to_string_pretty(&template_perf()).unwrap());
+                ExitCode::SUCCESS
+            }
+            _ => usage(),
+        },
+        Some(mode @ ("lifetime" | "perf")) => {
+            let Some(path) = args.get(2) else { return usage() };
+            let raw = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let out = if mode == "lifetime" {
+                serde_json::from_str::<LifetimeExperiment>(&raw)
+                    .map(|exp| serde_json::to_string_pretty(&run_lifetime(&exp)).unwrap())
+            } else {
+                serde_json::from_str::<PerfExperiment>(&raw)
+                    .map(|exp| serde_json::to_string_pretty(&run_perf(&exp)).unwrap())
+            };
+            match out {
+                Ok(json) => {
+                    println!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("invalid {mode} spec {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,36 @@
+//! # sawl-simctl — experiment control plane
+//!
+//! Everything needed to turn the crates below into the paper's numbers:
+//!
+//! * [`spec`] — serializable descriptions of schemes, workloads and
+//!   devices; a `(SchemeSpec, WorkloadSpec, DeviceSpec)` triple plus a seed
+//!   fully determines a run, so every figure is reproducible from its
+//!   config JSON.
+//! * [`lifetime`] — the lifetime driver: run demand writes through a
+//!   wear leveler until the device exhausts its spare pool and report the
+//!   normalized lifetime (the paper's §4.3 metric).
+//! * [`perf`] — the performance driver: replay a workload through a scheme
+//!   while feeding the closed-loop timing simulator, reporting CMT hit
+//!   rate, mean memory latency, and IPC degradation versus the
+//!   no-wear-leveling baseline (§4.4).
+//! * [`runner`] — a work-stealing parallel map used to sweep experiment
+//!   grids across cores; results keep their input order and every run is
+//!   seeded deterministically ([`seed`]).
+//! * [`report`] — CSV and aligned-table rendering for the figure binaries.
+//! * [`sysconfig`] — the Table 1 system configuration, printable.
+
+pub mod lifetime;
+pub mod perf;
+pub mod report;
+pub mod runner;
+pub mod seed;
+pub mod spec;
+pub mod sysconfig;
+
+pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
+pub use perf::{run_perf, PerfExperiment, PerfResult};
+pub use report::Table;
+pub use runner::parallel_map;
+pub use seed::stable_seed;
+pub use spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
+pub use sysconfig::SystemConfig;

@@ -1,0 +1,173 @@
+//! Lifetime experiments (§4.3).
+//!
+//! Drive demand writes through a wear leveler until the device dies (spare
+//! pool exhausted) and report the **normalized lifetime**: demand writes
+//! served divided by the ideal-lifetime write count `lines × Wmax` — the
+//! same normalization the paper uses against its "ideal lifetime ... with
+//! fully uniform writes".
+//!
+//! Reads are skipped in lifetime runs: they do not wear cells, and the
+//! paper's BPA attack issues writes only. (SPEC-like workloads *do* contain
+//! reads; for lifetime purposes we play only their writes, which preserves
+//! the write-address distribution exactly.)
+
+use serde::{Deserialize, Serialize};
+
+use crate::seed::stable_seed;
+use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
+
+/// A lifetime run specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeExperiment {
+    /// Human-readable id used for seeding and reports (e.g. "fig3/32k/8").
+    pub id: String,
+    /// Scheme under test.
+    pub scheme: SchemeSpec,
+    /// Workload.
+    pub workload: WorkloadSpec,
+    /// Logical data lines (power of two).
+    pub data_lines: u64,
+    /// Device endurance/spares.
+    pub device: DeviceSpec,
+    /// Safety cap on demand writes (0 = 4× the ideal lifetime).
+    pub max_demand_writes: u64,
+}
+
+/// Outcome of a lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeResult {
+    /// The experiment id.
+    pub id: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Demand writes served / (physical lines × Wmax).
+    pub normalized_lifetime: f64,
+    /// Demand writes served before death (or the cap).
+    pub demand_writes: u64,
+    /// Wear-leveling writes issued.
+    pub overhead_writes: u64,
+    /// overhead / demand.
+    pub overhead_fraction: f64,
+    /// Whether the device actually died (false = hit the write cap).
+    pub device_died: bool,
+    /// Coefficient of variation of final per-line wear.
+    pub wear_cov: f64,
+    /// Gini coefficient of final per-line wear.
+    pub wear_gini: f64,
+}
+
+/// Run one lifetime experiment to completion.
+pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
+    let seed = stable_seed(&exp.id);
+    let phys = exp.scheme.physical_lines(exp.data_lines);
+    let mut wl = exp.scheme.build(exp.data_lines, seed);
+    let mut dev = exp.device.build(phys, seed);
+    let mut stream = exp.workload.build(wl.logical_lines(), seed);
+
+    let cap = if exp.max_demand_writes == 0 {
+        4 * dev.config().ideal_lifetime_writes()
+    } else {
+        exp.max_demand_writes
+    };
+
+    while !dev.is_dead() && dev.wear().demand_writes < cap {
+        let req = stream.next_req();
+        if req.write {
+            wl.write(req.la, &mut dev);
+        }
+        // Reads skipped: no wear, and lifetime is the only output here.
+    }
+
+    let wear = *dev.wear();
+    let stats = dev.wear_stats();
+    // Normalize against the *logical* capacity so schemes with different
+    // reserved space (gap slots, translation region) compare on the same
+    // denominator — the paper's ideal lifetime of the user-visible device.
+    let ideal = exp.data_lines as f64 * f64::from(exp.device.endurance);
+    LifetimeResult {
+        id: exp.id.clone(),
+        scheme: exp.scheme.name(),
+        workload: exp.workload.name(),
+        normalized_lifetime: wear.demand_writes as f64 / ideal,
+        demand_writes: wear.demand_writes,
+        overhead_writes: wear.overhead_writes,
+        overhead_fraction: if wear.demand_writes == 0 {
+            0.0
+        } else {
+            wear.overhead_writes as f64 / wear.demand_writes as f64
+        },
+        device_died: dev.is_dead(),
+        wear_cov: stats.cov,
+        wear_gini: stats.gini,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(scheme: SchemeSpec, workload: WorkloadSpec, endurance: u32) -> LifetimeExperiment {
+        LifetimeExperiment {
+            id: format!("test/{}/{}", scheme.name(), workload.name()),
+            scheme,
+            workload,
+            data_lines: 1 << 10,
+            device: DeviceSpec { endurance, ..Default::default() },
+            max_demand_writes: 0,
+        }
+    }
+
+    #[test]
+    fn ideal_reaches_near_full_lifetime() {
+        let r = run_lifetime(&exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 500));
+        assert!(r.device_died);
+        assert!(r.normalized_lifetime > 0.9, "{}", r.normalized_lifetime);
+        assert!(r.wear_cov < 0.1);
+    }
+
+    #[test]
+    fn baseline_dies_early_under_raa() {
+        let r = run_lifetime(&exp(SchemeSpec::Baseline, WorkloadSpec::Raa, 500));
+        assert!(r.device_died);
+        assert!(r.normalized_lifetime < 0.05, "{}", r.normalized_lifetime);
+        assert!(r.wear_gini > 0.9);
+    }
+
+    #[test]
+    fn pcms_beats_baseline_under_bpa() {
+        let bpa = WorkloadSpec::Bpa { writes_per_target: 2048 };
+        let base = run_lifetime(&exp(SchemeSpec::Baseline, bpa.clone(), 1000));
+        let pcms =
+            run_lifetime(&exp(SchemeSpec::PcmS { region_lines: 4, period: 16 }, bpa, 1000));
+        assert!(
+            pcms.normalized_lifetime > 3.0 * base.normalized_lifetime,
+            "pcm-s {} vs baseline {}",
+            pcms.normalized_lifetime,
+            base.normalized_lifetime
+        );
+        assert!(pcms.overhead_fraction > 0.05);
+    }
+
+    #[test]
+    fn results_are_reproducible() {
+        let e = exp(
+            SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 },
+            WorkloadSpec::Bpa { writes_per_target: 1024 },
+            1000,
+        );
+        let a = run_lifetime(&e);
+        let b = run_lifetime(&e);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_cap_prevents_infinite_runs() {
+        let mut e = exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 1_000_000);
+        e.max_demand_writes = 10_000;
+        let r = run_lifetime(&e);
+        assert!(!r.device_died);
+        assert_eq!(r.demand_writes, 10_000);
+    }
+}

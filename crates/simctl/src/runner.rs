@@ -1,0 +1,124 @@
+//! Parallel experiment sweeps.
+//!
+//! Figure sweeps are dozens of independent, CPU-bound simulations; this
+//! module fans them out over the machine's cores. Each worker pulls the
+//! next item off a shared atomic cursor — work-stealing degenerate to a
+//! single deque — so long-running configurations don't leave cores idle
+//! behind a static partition, and streams its `(index, result)` pairs back
+//! over a crossbeam channel. Results are reassembled in input order, and
+//! every run derives its own seed from its id, so the sweep's output is
+//! independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel;
+
+/// Apply `f` to every item on all cores; results keep the input order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    if threads == 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::bounded::<(usize, R)>(threads * 2);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(|| {
+                // Move the clone into the worker; the last drop closes the
+                // channel once every worker finishes.
+                let tx = tx;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break; // receiver gone: nothing left to report to
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Collect on the calling thread while workers run.
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker skipped an item")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicU64::new(0);
+        let items: Vec<u32> = (0..500).collect();
+        let _ = parallel_map(&items, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = parallel_map(&Vec::<u32>::new(), |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = parallel_map(&[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with very different costs: the atomic cursor ensures no
+        // static partition straggles. We only check correctness here.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 100_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn results_can_outnumber_channel_capacity() {
+        // More items than the bounded channel's capacity: backpressure
+        // must not deadlock the workers.
+        let items: Vec<u32> = (0..10_000).collect();
+        let out = parallel_map(&items, |&x| x + 1);
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(out[9_999], 10_000);
+    }
+}

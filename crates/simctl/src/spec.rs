@@ -1,0 +1,375 @@
+//! Serializable experiment specifications.
+//!
+//! A run is `(SchemeSpec, WorkloadSpec, DeviceSpec, seed)`. The spec layer
+//! owns the fiddly geometry coupling: each scheme dictates how many
+//! physical lines the device must provide (Start-Gap's gap slots, MWSR's
+//! spare region, the tiered schemes' translation region), and the workload
+//! is generated over the scheme's *logical* space.
+
+use serde::{Deserialize, Serialize};
+
+use sawl_algos::{Ideal, Mwsr, NoWl, PcmS, SecurityRefresh, SegmentSwap, StartGap, Tlsr, WearLeveler};
+use sawl_core::{Sawl, SawlConfig};
+use sawl_nvm::{EnduranceModel, NvmConfig, NvmDevice};
+use sawl_tiered::{Nwl, NwlConfig};
+use sawl_trace::{AddressStream, Bpa, Raa, SpecBenchmark, Uniform};
+
+use crate::seed::derive;
+
+/// How a scheme translates addresses — determines the per-request
+/// translation latency in the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TranslationKind {
+    /// No translation at all (the Fig. 17 baseline).
+    None,
+    /// Full mapping state on chip: every translation costs the SRAM hit
+    /// latency (BWL, the algebraic schemes).
+    OnChip,
+    /// Tiered: hit/miss against the CMT decides 5 ns vs 55 ns.
+    Tiered,
+}
+
+/// Wear-leveling scheme selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemeSpec {
+    /// No wear leveling (identity mapping).
+    Baseline,
+    /// Round-robin oracle (normalization yardstick).
+    Ideal,
+    /// Table-based Segment Swapping.
+    SegmentSwap {
+        /// Lines per segment.
+        segment_lines: u64,
+        /// Writes to a segment between swaps.
+        swap_period: u64,
+    },
+    /// Region-Based Start-Gap.
+    Rbsg {
+        /// Number of regions.
+        regions: u64,
+        /// Logical lines per region.
+        region_lines: u64,
+        /// Writes per gap movement.
+        period: u64,
+    },
+    /// Single-level Security Refresh over the whole space.
+    SingleSr {
+        /// Writes per refresh step.
+        period: u64,
+    },
+    /// Two-level Security Refresh.
+    Tlsr {
+        /// Lines per region.
+        region_lines: u64,
+        /// Inner swapping period.
+        inner_period: u64,
+        /// Outer swapping period (the paper fixes 32).
+        outer_period: u64,
+    },
+    /// PCM-S hybrid (also the "BWL" of Fig. 17 — full table on chip).
+    PcmS {
+        /// Lines per region.
+        region_lines: u64,
+        /// Writes per line between exchanges.
+        period: u64,
+    },
+    /// MWSR hybrid.
+    Mwsr {
+        /// Lines per region.
+        region_lines: u64,
+        /// Writes to a region per migration step.
+        period: u64,
+    },
+    /// Naive tiered scheme at a fixed granularity (NWL-4 / NWL-64).
+    Nwl {
+        /// Region size in lines.
+        granularity: u64,
+        /// CMT capacity in entries.
+        cmt_entries: usize,
+        /// PCM-S swapping period.
+        swap_period: u64,
+    },
+    /// Self-adaptive wear leveling (the paper's scheme).
+    Sawl {
+        /// Initial granularity P.
+        initial_granularity: u64,
+        /// Merge cap.
+        max_granularity: u64,
+        /// CMT capacity in entries.
+        cmt_entries: usize,
+        /// PCM-S swapping period.
+        swap_period: u64,
+        /// Observation window (requests).
+        observation_window: u64,
+        /// Settling window (requests).
+        settling_window: u64,
+        /// Hit-rate sample interval (requests).
+        sample_interval: u64,
+    },
+}
+
+impl SchemeSpec {
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            Self::Baseline => "baseline".into(),
+            Self::Ideal => "ideal".into(),
+            Self::SegmentSwap { .. } => "segment-swap".into(),
+            Self::Rbsg { .. } => "rbsg".into(),
+            Self::SingleSr { .. } => "sr".into(),
+            Self::Tlsr { inner_period, .. } => format!("tlsr/{inner_period}"),
+            Self::PcmS { period, .. } => format!("pcm-s/{period}"),
+            Self::Mwsr { period, .. } => format!("mwsr/{period}"),
+            Self::Nwl { granularity, .. } => format!("nwl-{granularity}"),
+            Self::Sawl { .. } => "sawl".into(),
+        }
+    }
+
+    /// Translation cost class for the timing model.
+    pub fn translation_kind(&self) -> TranslationKind {
+        match self {
+            Self::Baseline | Self::Ideal => TranslationKind::None,
+            Self::Nwl { .. } | Self::Sawl { .. } => TranslationKind::Tiered,
+            _ => TranslationKind::OnChip,
+        }
+    }
+
+    /// SAWL defaults for a given data size and cache, paper parameters.
+    pub fn sawl_default(cmt_entries: usize) -> Self {
+        Self::Sawl {
+            initial_granularity: 4,
+            max_granularity: 64,
+            cmt_entries,
+            swap_period: 128,
+            observation_window: 1 << 22,
+            settling_window: 1 << 22,
+            sample_interval: 100_000,
+        }
+    }
+
+    /// Instantiate the scheme over `data_lines` logical lines.
+    pub fn build(&self, data_lines: u64, seed: u64) -> Box<dyn WearLeveler + Send> {
+        match *self {
+            Self::Baseline => Box::new(NoWl::new(data_lines)),
+            Self::Ideal => Box::new(Ideal::new(data_lines)),
+            Self::SegmentSwap { segment_lines, swap_period } => {
+                Box::new(SegmentSwap::new(data_lines, segment_lines, swap_period))
+            }
+            Self::Rbsg { regions, region_lines, period } => {
+                assert_eq!(
+                    regions * region_lines,
+                    data_lines,
+                    "RBSG geometry must cover the logical space"
+                );
+                Box::new(StartGap::new(regions, region_lines, period))
+            }
+            Self::SingleSr { period } => {
+                Box::new(SecurityRefresh::new(data_lines, period, derive(seed, "sr")))
+            }
+            Self::Tlsr { region_lines, inner_period, outer_period } => Box::new(Tlsr::new(
+                data_lines,
+                region_lines,
+                inner_period,
+                outer_period,
+                derive(seed, "tlsr"),
+            )),
+            Self::PcmS { region_lines, period } => {
+                Box::new(PcmS::new(data_lines, region_lines, period, derive(seed, "pcms")))
+            }
+            Self::Mwsr { region_lines, period } => {
+                Box::new(Mwsr::new(data_lines, region_lines, period, derive(seed, "mwsr")))
+            }
+            Self::Nwl { granularity, cmt_entries, swap_period } => Box::new(Nwl::new(NwlConfig {
+                data_lines,
+                granularity,
+                cmt_entries,
+                swap_period,
+                gtd_period: 32,
+                seed: derive(seed, "nwl"),
+            })),
+            Self::Sawl {
+                initial_granularity,
+                max_granularity,
+                cmt_entries,
+                swap_period,
+                observation_window,
+                settling_window,
+                sample_interval,
+            } => Box::new(Sawl::new(SawlConfig {
+                data_lines,
+                initial_granularity,
+                max_granularity,
+                cmt_entries,
+                swap_period,
+                observation_window,
+                settling_window,
+                sample_interval,
+                seed: derive(seed, "sawl"),
+                ..SawlConfig::default()
+            })),
+        }
+    }
+
+    /// Physical lines the device must provide for this scheme over
+    /// `data_lines` logical lines.
+    pub fn physical_lines(&self, data_lines: u64) -> u64 {
+        match *self {
+            Self::Rbsg { regions, region_lines, .. } => regions * (region_lines + 1),
+            Self::Mwsr { region_lines, .. } => data_lines + region_lines,
+            Self::Nwl { granularity, .. } => {
+                sawl_tiered::TieredLayout::new(data_lines, granularity).total_lines()
+            }
+            Self::Sawl { initial_granularity, .. } => {
+                sawl_tiered::TieredLayout::new(data_lines, initial_granularity).total_lines()
+            }
+            _ => data_lines,
+        }
+    }
+}
+
+/// Workload selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// Repeated Address Attack on line 0.
+    Raa,
+    /// Birthday Paradox Attack with the given per-target dwell.
+    Bpa {
+        /// Writes to each randomly chosen target.
+        writes_per_target: u64,
+    },
+    /// Uniform random traffic with a write ratio.
+    Uniform {
+        /// Fraction of requests that are writes.
+        write_ratio: f64,
+    },
+    /// One of the 14 SPEC-like benchmark models.
+    Spec(SpecBenchmark),
+}
+
+impl WorkloadSpec {
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            Self::Raa => "raa".into(),
+            Self::Bpa { .. } => "bpa".into(),
+            Self::Uniform { .. } => "uniform".into(),
+            Self::Spec(b) => b.name().into(),
+        }
+    }
+
+    /// Instantiate over `space` logical lines (power of two).
+    pub fn build(&self, space: u64, seed: u64) -> Box<dyn AddressStream + Send> {
+        match *self {
+            Self::Raa => Box::new(Raa::new(0, space)),
+            Self::Bpa { writes_per_target } => {
+                Box::new(Bpa::new(space, writes_per_target, derive(seed, "bpa")))
+            }
+            Self::Uniform { write_ratio } => {
+                Box::new(Uniform::new(space, write_ratio, derive(seed, "uniform")))
+            }
+            Self::Spec(b) => Box::new(b.stream(space, derive(seed, b.name()))),
+        }
+    }
+}
+
+/// Device parameters (geometry comes from the scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Nominal cell endurance (the scaled Wmax, DESIGN.md §4).
+    pub endurance: u32,
+    /// Spare pool: spares = lines >> spare_shift (paper: 6).
+    pub spare_shift: u32,
+    /// Endurance process variation.
+    pub variation: EnduranceModel,
+    /// Banks.
+    pub banks: u32,
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self { endurance: 10_000, spare_shift: 6, variation: EnduranceModel::Uniform, banks: 32 }
+    }
+}
+
+impl DeviceSpec {
+    /// Build a device with `physical_lines` lines.
+    pub fn build(&self, physical_lines: u64, seed: u64) -> NvmDevice {
+        let banks = if u64::from(self.banks) > physical_lines { 1 } else { self.banks };
+        NvmDevice::new(
+            NvmConfig::builder()
+                .lines(physical_lines)
+                .endurance(self.endurance)
+                .spare_shift(self.spare_shift)
+                .variation(self.variation)
+                .banks(banks)
+                .seed(derive(seed, "device"))
+                .build()
+                .expect("invalid device spec"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_builds_and_serves_traffic() {
+        let data_lines = 1 << 12;
+        let specs = vec![
+            SchemeSpec::Baseline,
+            SchemeSpec::Ideal,
+            SchemeSpec::SegmentSwap { segment_lines: 64, swap_period: 100 },
+            SchemeSpec::Rbsg { regions: 16, region_lines: 256, period: 64 },
+            SchemeSpec::SingleSr { period: 32 },
+            SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 },
+            SchemeSpec::PcmS { region_lines: 16, period: 32 },
+            SchemeSpec::Mwsr { region_lines: 16, period: 32 },
+            SchemeSpec::Nwl { granularity: 4, cmt_entries: 128, swap_period: 128 },
+            SchemeSpec::sawl_default(128),
+        ];
+        for spec in specs {
+            let phys = spec.physical_lines(data_lines);
+            assert!(phys >= data_lines, "{}", spec.name());
+            let mut wl = spec.build(data_lines, 7);
+            let mut dev = DeviceSpec::default().build(phys, 7);
+            let mut stream = WorkloadSpec::Uniform { write_ratio: 0.5 }.build(wl.logical_lines(), 7);
+            for _ in 0..2_000 {
+                let r = stream.next_req();
+                if r.write {
+                    wl.write(r.la, &mut dev);
+                } else {
+                    wl.read(r.la, &mut dev);
+                }
+            }
+            assert!(dev.wear().demand_writes > 0, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn specs_serialize_round_trip() {
+        let spec = SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SchemeSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let w = WorkloadSpec::Spec(SpecBenchmark::Soplex);
+        let json = serde_json::to_string(&w).unwrap();
+        assert_eq!(w, serde_json::from_str::<WorkloadSpec>(&json).unwrap());
+    }
+
+    #[test]
+    fn translation_kinds() {
+        assert_eq!(SchemeSpec::Baseline.translation_kind(), TranslationKind::None);
+        assert_eq!(
+            SchemeSpec::PcmS { region_lines: 4, period: 8 }.translation_kind(),
+            TranslationKind::OnChip
+        );
+        assert_eq!(SchemeSpec::sawl_default(64).translation_kind(), TranslationKind::Tiered);
+    }
+
+    #[test]
+    fn workload_names() {
+        assert_eq!(WorkloadSpec::Raa.name(), "raa");
+        assert_eq!(WorkloadSpec::Spec(SpecBenchmark::Gcc).name(), "gcc");
+    }
+}

@@ -1,0 +1,202 @@
+//! The Integrated Mapping Table.
+//!
+//! One entry per initial-granularity region (`P` lines). An entry packs the
+//! paper's *address information* `D = prn × Q + key` — the physical region
+//! number in units of the entry's real granularity `Q`, and the
+//! intra-region XOR key — plus the granularity itself. In hardware the
+//! granularity is implicit ("the NVM obtains the real wear-leveling
+//! granularity of a region based on the number of adjacent regions which
+//! have the same address information", §3.2); we store `q_log2` explicitly
+//! and *maintain the adjacency property as an invariant*, which the SAWL
+//! engine's tests verify.
+//!
+//! The table's contents live in NVM translation lines (6 entries per line,
+//! §3.3 "K ... is 6 in our design"); entry updates therefore wear the
+//! translation region — the [`crate::gtd::Gtd`] charges and wear-levels
+//! those writes.
+
+use serde::{Deserialize, Serialize};
+
+/// Entries per translation line ("K", §3.3).
+pub const ENTRIES_PER_TRANSLATION_LINE: u64 = 6;
+
+/// One IMT entry: where a region lives and how big it currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImtEntry {
+    /// Packed address information: `prn * Q + key` where `prn` is in units
+    /// of `Q`-line regions.
+    pub d: u64,
+    /// log2 of the entry's real wear-leveling granularity `Q`, in lines.
+    pub q_log2: u8,
+}
+
+impl ImtEntry {
+    /// Real granularity `Q` in lines.
+    #[inline]
+    pub fn q(&self) -> u64 {
+        1 << self.q_log2
+    }
+
+    /// Physical region number (in units of `Q`-line regions): `prn = D/Q`.
+    #[inline]
+    pub fn prn(&self) -> u64 {
+        self.d >> self.q_log2
+    }
+
+    /// Intra-region offset key: `key = D % Q`.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        self.d & (self.q() - 1)
+    }
+
+    /// Build from parts.
+    #[inline]
+    pub fn pack(prn: u64, key: u64, q_log2: u8) -> Self {
+        debug_assert!(key < (1 << q_log2));
+        Self { d: (prn << q_log2) | key, q_log2 }
+    }
+
+    /// Translate a logical memory address covered by this entry:
+    /// `pao = lao ^ key`, `pma = prn * Q + pao` (paper Fig. 11 steps 5-7).
+    #[inline]
+    pub fn translate(&self, lma: u64) -> u64 {
+        let q_mask = self.q() - 1;
+        let lao = lma & q_mask;
+        let pao = lao ^ self.key();
+        (self.prn() << self.q_log2) | pao
+    }
+}
+
+/// The full mapping table (one entry per `P`-line granule).
+#[derive(Debug, Clone)]
+pub struct ImtTable {
+    entries: Vec<ImtEntry>,
+    /// Initial granularity P in lines.
+    p: u64,
+}
+
+impl ImtTable {
+    /// Identity-mapped table over `data_lines` at initial granularity `p`,
+    /// with per-entry keys of zero.
+    pub fn identity(data_lines: u64, p: u64) -> Self {
+        assert!(data_lines.is_power_of_two() && p.is_power_of_two() && p <= data_lines);
+        let p_log2 = p.trailing_zeros() as u8;
+        let n = data_lines / p;
+        let entries =
+            (0..n).map(|lrn| ImtEntry::pack(lrn, 0, p_log2)).collect();
+        Self { entries, p }
+    }
+
+    /// Initial granularity P in lines.
+    #[inline]
+    pub fn p(&self) -> u64 {
+        self.p
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty (never for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entry covering logical granule `lrn` (= lma / P).
+    #[inline]
+    pub fn entry(&self, lrn: u64) -> ImtEntry {
+        self.entries[lrn as usize]
+    }
+
+    /// Logical granule of a logical memory address.
+    #[inline]
+    pub fn lrn_of(&self, lma: u64) -> u64 {
+        lma / self.p
+    }
+
+    /// Overwrite the entry for `lrn`; returns the translation line that was
+    /// written (`tlma = lrn / K`, paper Fig. 11 step 1 uses `lrn/(P·K)`
+    /// relative to addresses; relative to granules it is `lrn / K`).
+    #[inline]
+    pub fn set_entry(&mut self, lrn: u64, e: ImtEntry) -> u64 {
+        self.entries[lrn as usize] = e;
+        lrn / ENTRIES_PER_TRANSLATION_LINE
+    }
+
+    /// Translation line holding the entry of `lrn`.
+    #[inline]
+    pub fn translation_line_of(&self, lrn: u64) -> u64 {
+        lrn / ENTRIES_PER_TRANSLATION_LINE
+    }
+
+    /// Translate a logical memory address through the table.
+    #[inline]
+    pub fn translate(&self, lma: u64) -> u64 {
+        self.entry(self.lrn_of(lma)).translate(lma)
+    }
+
+    /// All entries (tests / invariant checks).
+    pub fn entries(&self) -> &[ImtEntry] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let e = ImtEntry::pack(13, 5, 3);
+        assert_eq!(e.prn(), 13);
+        assert_eq!(e.key(), 5);
+        assert_eq!(e.q(), 8);
+        assert_eq!(e.d, 13 * 8 + 5);
+    }
+
+    #[test]
+    fn translate_applies_xor_within_region() {
+        let e = ImtEntry::pack(2, 0b11, 2); // Q=4, key=3, prn=2
+        // lma offsets 0..4 -> pao = off ^ 3, region base = 8.
+        assert_eq!(e.translate(0), 8 + 3);
+        assert_eq!(e.translate(1), 8 + 2);
+        assert_eq!(e.translate(2), 8 + 1);
+        assert_eq!(e.translate(3), 8);
+        // Only the low q bits of lma matter.
+        assert_eq!(e.translate(4 + 1), 8 + 2);
+    }
+
+    #[test]
+    fn identity_table_translates_identically() {
+        let t = ImtTable::identity(1 << 10, 4);
+        for lma in [0u64, 1, 5, 255, 1023] {
+            assert_eq!(t.translate(lma), lma);
+        }
+        assert_eq!(t.len(), 256);
+    }
+
+    #[test]
+    fn set_entry_reports_translation_line() {
+        let mut t = ImtTable::identity(1 << 10, 4);
+        let e = ImtEntry::pack(7, 1, 2);
+        assert_eq!(t.set_entry(0, e), 0);
+        assert_eq!(t.set_entry(5, e), 0);
+        assert_eq!(t.set_entry(6, e), 1);
+        assert_eq!(t.translation_line_of(12), 2);
+        assert_eq!(t.entry(5), e);
+    }
+
+    #[test]
+    fn entry_translation_is_bijective_per_region() {
+        let e = ImtEntry::pack(3, 9, 4); // Q = 16
+        let mut seen = [false; 16];
+        for off in 0..16u64 {
+            let pa = e.translate(off) as usize;
+            let slot = pa - 3 * 16;
+            assert!(!seen[slot]);
+            seen[slot] = true;
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Physical layout of a tiered device: data lines + reserved translation
+//! region.
+//!
+//! "The IMT table is stored in a reserved space of the NVM devices with its
+//! entries packed into memory lines that are called translation lines, in
+//! contrast to the data lines that hold user data" (§3.1). The layout
+//! places the data lines at the bottom of the physical address space and
+//! the translation region above them; the translation region is padded to a
+//! power of two so it can be wear-leveled with an XOR-based Security
+//! Refresh instance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::imt::ENTRIES_PER_TRANSLATION_LINE;
+
+/// Layout derived from the data size and the initial granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TieredLayout {
+    /// User-visible data lines (power of two).
+    pub data_lines: u64,
+    /// Initial wear-leveling granularity P, in lines (power of two).
+    pub granularity: u64,
+    /// Number of IMT entries (= data_lines / granularity).
+    pub imt_entries: u64,
+    /// Translation lines actually holding entries.
+    pub translation_lines: u64,
+    /// Size of the reserved translation region (power of two, >=
+    /// `translation_lines`).
+    pub translation_space: u64,
+}
+
+impl TieredLayout {
+    /// Compute the layout for `data_lines` user lines at initial
+    /// granularity `p` lines per region.
+    pub fn new(data_lines: u64, p: u64) -> Self {
+        assert!(data_lines.is_power_of_two(), "data lines must be a power of two");
+        assert!(p.is_power_of_two() && p <= data_lines, "granularity must divide the space");
+        let imt_entries = data_lines / p;
+        let translation_lines = imt_entries.div_ceil(ENTRIES_PER_TRANSLATION_LINE);
+        let translation_space = translation_lines.next_power_of_two();
+        Self { data_lines, granularity: p, imt_entries, translation_lines, translation_space }
+    }
+
+    /// First physical line of the translation region.
+    #[inline]
+    pub fn translation_base(&self) -> u64 {
+        self.data_lines
+    }
+
+    /// Total physical lines the device must provide.
+    #[inline]
+    pub fn total_lines(&self) -> u64 {
+        self.data_lines + self.translation_space
+    }
+
+    /// Fraction of the device consumed by the translation region.
+    pub fn reserved_fraction(&self) -> f64 {
+        self.translation_space as f64 / self.total_lines() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_and_line_counts() {
+        let l = TieredLayout::new(1 << 16, 4);
+        assert_eq!(l.imt_entries, 1 << 14);
+        assert_eq!(l.translation_lines, (1u64 << 14).div_ceil(6));
+        assert!(l.translation_space.is_power_of_two());
+        assert!(l.translation_space >= l.translation_lines);
+        assert_eq!(l.translation_base(), 1 << 16);
+    }
+
+    #[test]
+    fn reserved_fraction_is_small() {
+        // The paper reports 0.3% for a 64 GB device at 64M regions; at our
+        // scale the share stays in the low percent range.
+        let l = TieredLayout::new(1 << 20, 4);
+        assert!(l.reserved_fraction() < 0.07, "{}", l.reserved_fraction());
+    }
+
+    #[test]
+    fn coarse_granularity_needs_fewer_translation_lines() {
+        let fine = TieredLayout::new(1 << 16, 4);
+        let coarse = TieredLayout::new(1 << 16, 64);
+        assert!(coarse.translation_lines < fine.translation_lines);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_data_size() {
+        let _ = TieredLayout::new(1000, 4);
+    }
+}

@@ -1,0 +1,426 @@
+//! NWL — the naive tiered wear-leveling scheme.
+//!
+//! §3's strawman: run the PCM-S hybrid algorithm, but keep the full mapping
+//! table (IMT) in NVM and only a cache (CMT) on chip. Correct, and the
+//! on-chip cost no longer scales with the region count — but under
+//! workloads with weak locality the CMT hit rate collapses and every miss
+//! pays a 55 ns in-NVM table lookup. NWL-4 and NWL-64 (4- and 64-line
+//! regions) are the fixed-granularity baselines of Figs. 14 and 17;
+//! SAWL exists to beat them by *adapting* the granularity.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sawl_nvm::{La, NvmDevice, Pa};
+
+use sawl_algos::WearLeveler;
+use serde::{Deserialize, Serialize};
+
+use crate::cmt::{Cmt, CmtLookup};
+use crate::gtd::Gtd;
+use crate::imt::{ImtEntry, ImtTable};
+use crate::layout::TieredLayout;
+
+/// Configuration of an NWL instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NwlConfig {
+    /// User data lines (power of two).
+    pub data_lines: u64,
+    /// Wear-leveling granularity (region size) in lines — the "4" of NWL-4.
+    pub granularity: u64,
+    /// CMT capacity in entries.
+    pub cmt_entries: usize,
+    /// Writes per line between region exchanges (PCM-S swapping period).
+    pub swap_period: u64,
+    /// Translation-line writes per GTD refresh step.
+    pub gtd_period: u64,
+    /// RNG seed for exchange-partner and key draws.
+    pub seed: u64,
+}
+
+impl NwlConfig {
+    /// Bits per CMT entry for this geometry: tag (lrn) + packed address
+    /// information D. Used to size the CMT from a byte budget.
+    pub fn entry_bits(&self) -> u64 {
+        let lrn_bits = 64 - (self.data_lines / self.granularity - 1).leading_zeros() as u64;
+        let d_bits = 64 - (self.data_lines - 1).leading_zeros() as u64;
+        lrn_bits + d_bits
+    }
+
+    /// Set `cmt_entries` from an SRAM budget in bytes.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cmt_entries = ((bytes * 8) / self.entry_bits()).max(2) as usize;
+        self
+    }
+}
+
+impl Default for NwlConfig {
+    fn default() -> Self {
+        Self {
+            data_lines: 1 << 16,
+            granularity: 4,
+            cmt_entries: 1024,
+            swap_period: 128,
+            gtd_period: 32,
+            seed: 0x5A5A_1234,
+        }
+    }
+}
+
+/// Hit/miss statistics of the translation path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingStats {
+    /// CMT hits.
+    pub hits: u64,
+    /// CMT misses (each paid an in-NVM IMT read).
+    pub misses: u64,
+}
+
+impl MappingStats {
+    /// Hit rate in [0, 1]; 0 when no lookups have occurred.
+    pub fn hit_rate(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+}
+
+/// The naive tiered wear-leveling scheme.
+#[derive(Debug, Clone)]
+pub struct Nwl {
+    cfg: NwlConfig,
+    layout: TieredLayout,
+    imt: ImtTable,
+    /// physical region -> logical region (exchange bookkeeping)
+    p2l: Vec<u32>,
+    /// demand writes per logical region since its last triggered exchange
+    ctr: Vec<u32>,
+    cmt: Cmt<ImtEntry>,
+    gtd: Gtd,
+    rng: SmallRng,
+    exchanges: u64,
+}
+
+impl Nwl {
+    /// Build an NWL instance. The device must provide
+    /// [`Nwl::required_physical_lines`] lines.
+    pub fn new(cfg: NwlConfig) -> Self {
+        assert!(cfg.swap_period > 0);
+        let layout = TieredLayout::new(cfg.data_lines, cfg.granularity);
+        let imt = ImtTable::identity(cfg.data_lines, cfg.granularity);
+        let regions = layout.imt_entries;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let gtd = Gtd::new(
+            layout.translation_base(),
+            layout.translation_space,
+            cfg.gtd_period,
+            rng.random(),
+        );
+        Self {
+            cmt: Cmt::new(cfg.cmt_entries),
+            p2l: (0..regions as u32).collect(),
+            ctr: vec![0; regions as usize],
+            imt,
+            layout,
+            gtd,
+            rng,
+            exchanges: 0,
+            cfg,
+        }
+    }
+
+    /// Physical lines the device must provide (data + translation region).
+    pub fn required_physical_lines(&self) -> u64 {
+        self.layout.total_lines()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &NwlConfig {
+        &self.cfg
+    }
+
+    /// The physical layout.
+    pub fn layout(&self) -> TieredLayout {
+        self.layout
+    }
+
+    /// Translation-path statistics.
+    pub fn mapping_stats(&self) -> MappingStats {
+        MappingStats { hits: self.cmt.hits(), misses: self.cmt.misses() }
+    }
+
+    /// The CMT (hit counters, occupancy) for monitors and tests.
+    pub fn cmt(&self) -> &Cmt<ImtEntry> {
+        &self.cmt
+    }
+
+    /// Region exchanges performed.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Resolve the mapping entry for `lrn` through the cache, charging an
+    /// IMT read on a miss.
+    fn resolve_entry(&mut self, lrn: u64, dev: &mut NvmDevice) -> ImtEntry {
+        match self.cmt.lookup(lrn) {
+            CmtLookup::Hit(e) => {
+                debug_assert_eq!(e, self.imt.entry(lrn), "CMT out of sync with IMT");
+                e
+            }
+            CmtLookup::Miss => {
+                let tl = self.imt.translation_line_of(lrn);
+                self.gtd.read_line(tl, dev);
+                let e = self.imt.entry(lrn);
+                self.cmt.insert(lrn, e);
+                e
+            }
+        }
+    }
+
+    /// PCM-S region exchange: swap `a` with a random partner, re-key both,
+    /// rewrite both regions, and push the two updated entries through the
+    /// GTD into their translation lines.
+    fn exchange(&mut self, a: u64, dev: &mut NvmDevice) {
+        let regions = self.layout.imt_entries;
+        let g = self.cfg.granularity;
+        let key_mask = g - 1;
+        let q_log2 = g.trailing_zeros() as u8;
+        let (ea, new_a, new_b, b);
+        if regions == 1 {
+            // Degenerate single region: re-key in place.
+            ea = self.imt.entry(0);
+            b = 0;
+            new_a = ImtEntry::pack(ea.prn(), self.rng.random::<u64>() & key_mask, q_log2);
+            new_b = new_a;
+        } else {
+            let mut partner = a;
+            while partner == a {
+                partner = self.rng.random_range(0..regions);
+            }
+            b = partner;
+            ea = self.imt.entry(a);
+            let eb = self.imt.entry(b);
+            new_a = ImtEntry::pack(eb.prn(), self.rng.random::<u64>() & key_mask, q_log2);
+            new_b = ImtEntry::pack(ea.prn(), self.rng.random::<u64>() & key_mask, q_log2);
+            self.p2l[eb.prn() as usize] = a as u32;
+            self.p2l[ea.prn() as usize] = b as u32;
+        }
+        // Rewrite every line of both physical regions at their new homes.
+        for off in 0..g {
+            dev.write_wl((new_a.prn() << q_log2) | off);
+            if regions > 1 {
+                dev.write_wl((new_b.prn() << q_log2) | off);
+            }
+        }
+        // Update IMT (through the GTD: translation lines wear) and CMT.
+        let tl_a = self.imt.set_entry(a, new_a);
+        self.gtd.write_line(tl_a, dev);
+        self.cmt.update_in_place(a, new_a);
+        if regions > 1 {
+            let tl_b = self.imt.set_entry(b, new_b);
+            if tl_b != tl_a {
+                self.gtd.write_line(tl_b, dev);
+            }
+            self.cmt.update_in_place(b, new_b);
+        }
+        self.ctr[a as usize] = 0;
+        self.exchanges += 1;
+    }
+}
+
+impl WearLeveler for Nwl {
+    fn name(&self) -> &'static str {
+        "nwl"
+    }
+
+    fn logical_lines(&self) -> u64 {
+        self.cfg.data_lines
+    }
+
+    #[inline]
+    fn translate(&self, la: La) -> Pa {
+        self.imt.translate(la)
+    }
+
+    fn write(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
+        let lrn = self.imt.lrn_of(la);
+        let e = self.resolve_entry(lrn, dev);
+        let pa = e.translate(la);
+        dev.write(pa);
+        self.ctr[lrn as usize] += 1;
+        if u64::from(self.ctr[lrn as usize]) >= self.cfg.swap_period * self.cfg.granularity {
+            self.exchange(lrn, dev);
+        }
+        pa
+    }
+
+    fn read(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
+        let lrn = self.imt.lrn_of(la);
+        let e = self.resolve_entry(lrn, dev);
+        let pa = e.translate(la);
+        dev.read(pa);
+        pa
+    }
+
+    fn onchip_bits(&self) -> u64 {
+        self.cmt.capacity() as u64 * self.cfg.entry_bits() + self.gtd.onchip_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_algos::verify::check_permutation;
+    use sawl_nvm::NvmConfig;
+
+    fn make(cfg: NwlConfig) -> (Nwl, NvmDevice) {
+        let nwl = Nwl::new(cfg);
+        let dev = NvmDevice::new(
+            NvmConfig::builder()
+                .lines(nwl.required_physical_lines())
+                .banks(1)
+                .endurance(1_000_000)
+                .spare_shift(6)
+                .build()
+                .unwrap(),
+        );
+        (nwl, dev)
+    }
+
+    #[test]
+    fn starts_identity_and_translates() {
+        let (nwl, _) = make(NwlConfig::default());
+        for la in [0u64, 5, 1000, 65535] {
+            assert_eq!(nwl.translate(la), la);
+        }
+    }
+
+    #[test]
+    fn misses_then_hits() {
+        let (mut nwl, mut dev) = make(NwlConfig::default());
+        nwl.write(0, &mut dev);
+        assert_eq!(nwl.mapping_stats().misses, 1);
+        nwl.write(1, &mut dev); // same 4-line region -> hit
+        assert_eq!(nwl.mapping_stats().hits, 1);
+        nwl.write(4, &mut dev); // next region -> miss
+        assert_eq!(nwl.mapping_stats().misses, 2);
+    }
+
+    #[test]
+    fn miss_charges_an_imt_read() {
+        let (mut nwl, mut dev) = make(NwlConfig::default());
+        nwl.write(0, &mut dev);
+        assert_eq!(dev.wear().reads, 1); // translation-line fetch
+        nwl.write(1, &mut dev);
+        assert_eq!(dev.wear().reads, 1); // hit: no extra device read
+    }
+
+    #[test]
+    fn exchange_rewrites_regions_and_translation_lines() {
+        let cfg = NwlConfig { swap_period: 4, ..NwlConfig::default() };
+        let (mut nwl, mut dev) = make(cfg);
+        // 4 * 4 = 16 writes to region 0 trigger one exchange.
+        for _ in 0..16 {
+            nwl.write(0, &mut dev);
+        }
+        assert_eq!(nwl.exchanges(), 1);
+        // Overhead: 2 regions * 4 lines + 1-2 translation-line writes.
+        let ov = dev.wear().overhead_writes;
+        assert!((9..=11).contains(&ov), "overhead {ov}");
+        assert_ne!(nwl.translate(0), 0, "region 0 should have moved");
+        check_permutation(&nwl, nwl.layout().data_lines);
+    }
+
+    #[test]
+    fn cmt_stays_coherent_across_exchanges() {
+        let cfg = NwlConfig { swap_period: 2, cmt_entries: 64, ..NwlConfig::default() };
+        let (mut nwl, mut dev) = make(cfg);
+        let mut x = 42u64;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // resolve_entry debug-asserts CMT == IMT on every hit.
+            nwl.write(x % (1 << 16), &mut dev);
+        }
+        assert!(nwl.exchanges() > 0);
+        check_permutation(&nwl, nwl.layout().data_lines);
+    }
+
+    #[test]
+    fn small_cache_misses_more_than_large() {
+        let run = |entries: usize| {
+            let cfg = NwlConfig { cmt_entries: entries, ..NwlConfig::default() };
+            let (mut nwl, mut dev) = make(cfg);
+            let mut x = 7u64;
+            for _ in 0..100_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                nwl.write(x % (1 << 14), &mut dev); // 4K regions touched
+            }
+            nwl.mapping_stats().hit_rate()
+        };
+        let small = run(64);
+        let large = run(8192);
+        assert!(large > small + 0.2, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn coarser_granularity_raises_hit_rate() {
+        // The motivating observation for SAWL: same cache, bigger regions
+        // -> more address space covered -> higher hit rate.
+        let run = |g: u64| {
+            let cfg = NwlConfig { granularity: g, cmt_entries: 256, ..NwlConfig::default() };
+            let (mut nwl, mut dev) = make(cfg);
+            let mut x = 9u64;
+            for _ in 0..100_000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                nwl.write(x % (1 << 14), &mut dev);
+            }
+            nwl.mapping_stats().hit_rate()
+        };
+        let nwl4 = run(4);
+        let nwl64 = run(64);
+        assert!(nwl64 > nwl4 + 0.3, "nwl64 {nwl64} vs nwl4 {nwl4}");
+    }
+
+    #[test]
+    fn reads_count_toward_hit_rate_but_not_wear() {
+        let (mut nwl, mut dev) = make(NwlConfig::default());
+        nwl.read(0, &mut dev);
+        nwl.read(1, &mut dev);
+        let s = nwl.mapping_stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(dev.wear().total_writes, 0);
+    }
+
+    #[test]
+    fn entry_bits_and_cache_sizing() {
+        let cfg = NwlConfig { data_lines: 1 << 16, granularity: 4, ..NwlConfig::default() };
+        // lrn bits = 14, d bits = 16 -> 30 bits per entry.
+        assert_eq!(cfg.entry_bits(), 30);
+        let sized = cfg.with_cache_bytes(64 * 1024);
+        assert_eq!(sized.cmt_entries, (64 * 1024 * 8 / 30) as usize);
+    }
+
+    #[test]
+    fn translation_line_wear_is_leveled() {
+        // Hammer one region so its translation line is updated over and
+        // over; the GTD's refresh must spread that wear.
+        let cfg = NwlConfig { swap_period: 1, ..NwlConfig::default() };
+        let (mut nwl, mut dev) = make(cfg);
+        for _ in 0..200_000 {
+            nwl.write(0, &mut dev);
+        }
+        let base = nwl.layout().translation_base() as usize;
+        let t_counts = &dev.write_counts()[base..];
+        let touched = t_counts.iter().filter(|&&c| c > 0).count();
+        assert!(touched > 16, "translation wear stuck on {touched} lines");
+    }
+}

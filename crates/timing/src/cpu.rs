@@ -1,0 +1,85 @@
+//! Per-benchmark CPU-side model.
+//!
+//! Table 1's processor: 8 cores, x86-64, 3.2 GHz. Each benchmark is
+//! summarized by its non-memory CPI and its post-L2 memory intensity
+//! (requests per kilo-instruction) — the two numbers that determine how
+//! sensitive IPC is to added memory latency. Both come from the SPEC-like
+//! model parameters in `sawl-trace` (see DESIGN.md §5 for the calibration
+//! rationale).
+
+use serde::{Deserialize, Serialize};
+
+use sawl_trace::SpecBenchmark;
+
+/// CPU-side characteristics of a workload on the Table 1 system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Number of cores issuing requests (rate mode: all run the benchmark).
+    pub cores: u32,
+    /// Core frequency in GHz.
+    pub freq_ghz: f64,
+    /// Cycles per instruction spent off the memory path.
+    pub base_cpi: f64,
+    /// Post-L2 memory requests per 1000 instructions (per core).
+    pub mem_per_kilo_instr: f64,
+    /// Outstanding memory requests each core can sustain (MSHR depth).
+    pub mlp_per_core: u32,
+}
+
+impl CpuModel {
+    /// The Table 1 machine running a given benchmark.
+    pub fn for_benchmark(b: SpecBenchmark) -> Self {
+        let p = b.params();
+        Self {
+            cores: 8,
+            freq_ghz: 3.2,
+            base_cpi: p.base_cpi,
+            mem_per_kilo_instr: p.mem_per_kilo_instr,
+            mlp_per_core: 4,
+        }
+    }
+
+    /// Instructions represented by one memory request (per core).
+    pub fn instr_per_request(&self) -> f64 {
+        1000.0 / self.mem_per_kilo_instr
+    }
+
+    /// Core compute time between consecutive memory requests of the
+    /// aggregate 8-core stream, in nanoseconds. In rate mode the cores
+    /// interleave, so the aggregate inter-request think time is the
+    /// per-core time divided by the core count.
+    pub fn think_ns(&self) -> f64 {
+        self.instr_per_request() * self.base_cpi / self.freq_ghz / f64::from(self.cores)
+    }
+
+    /// Total outstanding-request window of the machine.
+    pub fn window(&self) -> usize {
+        (self.cores * self.mlp_per_core) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let m = CpuModel::for_benchmark(SpecBenchmark::Mcf);
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.freq_ghz, 3.2);
+        assert_eq!(m.window(), 32);
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_think_less() {
+        let mcf = CpuModel::for_benchmark(SpecBenchmark::Mcf);
+        let namd = CpuModel::for_benchmark(SpecBenchmark::Namd);
+        assert!(mcf.think_ns() < namd.think_ns());
+    }
+
+    #[test]
+    fn instr_per_request_inverts_intensity() {
+        let m = CpuModel::for_benchmark(SpecBenchmark::Lbm); // 35 per kilo
+        assert!((m.instr_per_request() - 1000.0 / 35.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! IPC estimation on top of the closed-loop simulator.
+//!
+//! Fig. 17 reports IPC *degradation*: `1 - IPC_scheme / IPC_baseline`,
+//! where the baseline runs the identical request stream with no address
+//! translation and no wear-leveling writes. The [`IpcModel`] wraps the
+//! closed-loop simulator with the per-benchmark CPU model and converts
+//! elapsed time into instructions per cycle.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuModel;
+use crate::event::MemEvent;
+use crate::queue::{ClosedLoopConfig, ClosedLoopSim};
+
+/// Result of an IPC simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IpcEstimate {
+    /// Aggregate instructions per cycle across all cores.
+    pub ipc: f64,
+    /// Mean demand-request memory latency, ns.
+    pub mean_latency_ns: f64,
+    /// Demand requests simulated.
+    pub requests: u64,
+    /// Simulated wall-clock, ns.
+    pub elapsed_ns: f64,
+}
+
+/// Per-benchmark IPC simulator.
+#[derive(Debug, Clone)]
+pub struct IpcModel {
+    cpu: CpuModel,
+    sim: ClosedLoopSim,
+}
+
+impl IpcModel {
+    /// Build for a CPU model over the Table 1 memory system.
+    pub fn new(cpu: CpuModel) -> Self {
+        let sim = ClosedLoopSim::new(ClosedLoopConfig::table1(cpu.think_ns(), cpu.window()));
+        Self { cpu, sim }
+    }
+
+    /// Feed one memory event.
+    pub fn push(&mut self, e: MemEvent) {
+        self.sim.push(e);
+    }
+
+    /// Finish and report.
+    pub fn estimate(&self) -> IpcEstimate {
+        let requests = self.sim.events();
+        let elapsed_ns = self.sim.elapsed_ns();
+        // Each request stands for instr_per_request instructions on its
+        // core; the aggregate instruction count spans all requests.
+        let instructions = requests as f64 * self.cpu.instr_per_request();
+        let cycles = elapsed_ns * self.cpu.freq_ghz;
+        let ipc = if cycles > 0.0 { instructions / cycles } else { 0.0 };
+        IpcEstimate {
+            ipc,
+            mean_latency_ns: self.sim.mean_latency_ns(),
+            requests,
+            elapsed_ns,
+        }
+    }
+
+    /// The CPU model in use.
+    pub fn cpu(&self) -> CpuModel {
+        self.cpu
+    }
+}
+
+/// Fig. 17's metric: fractional IPC loss of `scheme` versus `baseline`.
+pub fn ipc_degradation(baseline: IpcEstimate, scheme: IpcEstimate) -> f64 {
+    if baseline.ipc <= 0.0 {
+        return 0.0;
+    }
+    1.0 - scheme.ipc / baseline.ipc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_trace::SpecBenchmark;
+
+    fn run(b: SpecBenchmark, translation_ns: f64, wl_every: u32, wl_writes: u32) -> IpcEstimate {
+        let mut m = IpcModel::new(CpuModel::for_benchmark(b));
+        let mut x = 17u64;
+        for i in 0..40_000u32 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let mut e = if x & 7 < 3 { MemEvent::write((x >> 8) as u32) } else { MemEvent::read((x >> 8) as u32) }
+                .with_translation(translation_ns);
+            if wl_every > 0 && i % wl_every == 0 {
+                e = e.with_wl_writes(wl_writes);
+            }
+            m.push(e);
+        }
+        m.estimate()
+    }
+
+    #[test]
+    fn translation_latency_degrades_ipc() {
+        let base = run(SpecBenchmark::Mcf, 0.0, 0, 0);
+        let hit = run(SpecBenchmark::Mcf, 5.0, 0, 0);
+        let miss = run(SpecBenchmark::Mcf, 55.0, 0, 0);
+        assert!(base.ipc > hit.ipc);
+        assert!(hit.ipc > miss.ipc);
+        let d_miss = ipc_degradation(base, miss);
+        assert!(d_miss > 0.02, "55ns translation cost only {d_miss}");
+    }
+
+    #[test]
+    fn write_amplification_degrades_ipc() {
+        let base = run(SpecBenchmark::Lbm, 5.0, 0, 0);
+        // ~25% write overhead (8 extra writes every 32 requests).
+        let heavy = run(SpecBenchmark::Lbm, 5.0, 32, 8);
+        let d = ipc_degradation(base, heavy);
+        assert!(d > 0.05, "write amplification cost only {d}");
+    }
+
+    #[test]
+    fn memory_bound_apps_suffer_more_from_translation() {
+        let mcf_d = {
+            let b = run(SpecBenchmark::Mcf, 0.0, 0, 0);
+            ipc_degradation(b, run(SpecBenchmark::Mcf, 55.0, 0, 0))
+        };
+        let namd_d = {
+            let b = run(SpecBenchmark::Namd, 0.0, 0, 0);
+            ipc_degradation(b, run(SpecBenchmark::Namd, 55.0, 0, 0))
+        };
+        assert!(
+            mcf_d > namd_d,
+            "memory-bound mcf ({mcf_d}) should lose more than compute-bound namd ({namd_d})"
+        );
+    }
+
+    #[test]
+    fn degradation_of_identical_runs_is_zero() {
+        let a = run(SpecBenchmark::Gcc, 5.0, 0, 0);
+        let b = run(SpecBenchmark::Gcc, 5.0, 0, 0);
+        assert!(ipc_degradation(a, b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded() {
+        let e = run(SpecBenchmark::Bzip2, 5.0, 64, 8);
+        assert!(e.ipc > 0.0);
+        // 8 cores can't beat 8 instructions/cycle... with base_cpi >= 0.5
+        // the bound is far lower; sanity only.
+        assert!(e.ipc < 64.0);
+        assert!(e.mean_latency_ns >= 50.0);
+    }
+}

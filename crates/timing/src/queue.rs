@@ -1,0 +1,308 @@
+//! Closed-loop bank-contention simulator.
+//!
+//! A window of `W = cores × MLP` outstanding requests circulates through
+//! the memory system: a new request may issue only when a window slot is
+//! free (the oldest outstanding request completed). Each request
+//!
+//! 1. waits `think_ns` of core compute after the previous issue,
+//! 2. pays its translation latency on the critical path (the controller
+//!    cannot address the device before translating),
+//! 3. occupies its bank for the device service time (50 ns read / 350 ns
+//!    write, Table 1), queueing behind earlier occupants FR-FCFS-style, and
+//! 4. schedules its wear-leveling writes as background bank occupancy on
+//!    the banks adjacent to the accessed one (data exchanges move whole
+//!    regions, i.e. interleave-adjacent lines).
+//!
+//! The simulation's output is wall-clock time for the event sequence, from
+//! which the IPC model derives throughput. Everything is deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::MemEvent;
+
+/// Ordered f64 for the completion heap (times are finite by construction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Static parameters of the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopConfig {
+    /// Number of banks (Table 1: 32).
+    pub banks: u32,
+    /// Outstanding-request window (cores × per-core MLP).
+    pub window: usize,
+    /// Core compute time between consecutive issues, ns.
+    pub think_ns: f64,
+    /// Device read service time, ns.
+    pub read_ns: f64,
+    /// Device write service time, ns.
+    pub write_ns: f64,
+}
+
+impl ClosedLoopConfig {
+    /// Table 1 memory system under a given think time and window.
+    pub fn table1(think_ns: f64, window: usize) -> Self {
+        Self { banks: 32, window, think_ns, read_ns: 50.0, write_ns: 350.0 }
+    }
+}
+
+/// The simulator state.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopSim {
+    cfg: ClosedLoopConfig,
+    /// Next-free time per bank.
+    bank_free: Vec<f64>,
+    /// Completion times of outstanding requests.
+    outstanding: BinaryHeap<Reverse<Time>>,
+    /// Core issue clock.
+    now: f64,
+    /// Latest completion seen.
+    finish: f64,
+    events: u64,
+    /// Accumulated request latency (completion - issue-ready), for the
+    /// average-latency report.
+    total_latency: f64,
+    /// Latency histogram in 50 ns buckets (last bucket = overflow), for
+    /// tail-latency reporting.
+    latency_hist: Vec<u64>,
+}
+
+/// Width of one latency-histogram bucket, ns.
+const LATENCY_BUCKET_NS: f64 = 50.0;
+/// Number of histogram buckets (the last one collects the overflow).
+const LATENCY_BUCKETS: usize = 64;
+
+impl ClosedLoopSim {
+    /// Fresh simulator.
+    pub fn new(cfg: ClosedLoopConfig) -> Self {
+        assert!(cfg.banks > 0 && cfg.window > 0);
+        Self {
+            cfg,
+            bank_free: vec![0.0; cfg.banks as usize],
+            outstanding: BinaryHeap::with_capacity(cfg.window + 1),
+            now: 0.0,
+            finish: 0.0,
+            events: 0,
+            total_latency: 0.0,
+            latency_hist: vec![0; LATENCY_BUCKETS],
+        }
+    }
+
+    /// Feed one event.
+    pub fn push(&mut self, e: MemEvent) {
+        let cfg = self.cfg;
+        // Core compute before this request can issue.
+        self.now += cfg.think_ns;
+        // Window admission: wait for the oldest outstanding completion.
+        if self.outstanding.len() >= cfg.window {
+            let Reverse(Time(c)) = self.outstanding.pop().unwrap();
+            if c > self.now {
+                self.now = c;
+            }
+        }
+        // Translation on the critical path.
+        let ready = self.now + e.translation_ns;
+        let bank = (e.bank % cfg.banks) as usize;
+        let service = if e.write { cfg.write_ns } else { cfg.read_ns };
+        let start = self.bank_free[bank].max(ready);
+        let done = start + service;
+        self.bank_free[bank] = done;
+        self.outstanding.push(Reverse(Time(done)));
+        self.finish = self.finish.max(done);
+        let latency = done - self.now;
+        self.total_latency += latency;
+        let bucket = ((latency / LATENCY_BUCKET_NS) as usize).min(LATENCY_BUCKETS - 1);
+        self.latency_hist[bucket] += 1;
+        self.events += 1;
+        // Background wear-leveling writes: spread across banks starting at
+        // the accessed one (region moves touch interleave-adjacent lines).
+        for k in 0..e.wl_writes {
+            let b = ((e.bank + k) % cfg.banks) as usize;
+            let s = self.bank_free[b].max(ready);
+            let d = s + cfg.write_ns;
+            self.bank_free[b] = d;
+            self.finish = self.finish.max(d);
+        }
+    }
+
+    /// Total simulated time once all events have been pushed, ns.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.finish.max(self.now)
+    }
+
+    /// Demand events processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Mean demand-request latency (queueing + translation + service), ns.
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.total_latency / self.events as f64
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> ClosedLoopConfig {
+        self.cfg
+    }
+
+    /// Latency at the given percentile (0 < p <= 1), to 50 ns resolution;
+    /// 0 before any event.
+    pub fn latency_percentile_ns(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "percentile out of range");
+        if self.events == 0 {
+            return 0.0;
+        }
+        let target = (self.events as f64 * p).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.latency_hist.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i as f64 + 1.0) * LATENCY_BUCKET_NS;
+            }
+        }
+        LATENCY_BUCKETS as f64 * LATENCY_BUCKET_NS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClosedLoopConfig {
+        ClosedLoopConfig { banks: 4, window: 2, think_ns: 10.0, read_ns: 50.0, write_ns: 350.0 }
+    }
+
+    #[test]
+    fn single_read_takes_think_plus_service() {
+        let mut s = ClosedLoopSim::new(cfg());
+        s.push(MemEvent::read(0));
+        assert!((s.elapsed_ns() - 60.0).abs() < 1e-9);
+        assert!((s.mean_latency_ns() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn translation_adds_to_critical_path() {
+        let mut s = ClosedLoopSim::new(cfg());
+        s.push(MemEvent::read(0).with_translation(55.0));
+        assert!((s.elapsed_ns() - 115.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn different_banks_overlap() {
+        let mut a = ClosedLoopSim::new(cfg());
+        a.push(MemEvent::read(0));
+        a.push(MemEvent::read(1));
+        // Issues at 10 and 20; both served in parallel; finish 70.
+        assert!((a.elapsed_ns() - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_bank_serializes() {
+        let mut a = ClosedLoopSim::new(cfg());
+        a.push(MemEvent::read(0));
+        a.push(MemEvent::read(0));
+        // Second starts when the bank frees at 60, done at 110.
+        assert!((a.elapsed_ns() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_backpressures_issue() {
+        let mut s = ClosedLoopSim::new(cfg()); // window 2
+        for _ in 0..3 {
+            s.push(MemEvent::write(0)); // same bank: 350ns each
+        }
+        // Request 3 cannot issue until request 1 completes (t=360).
+        // Bank serialization: completions at 360, 710, 1060.
+        assert!((s.elapsed_ns() - 1060.0).abs() < 1e-9, "{}", s.elapsed_ns());
+    }
+
+    #[test]
+    fn wl_writes_occupy_banks() {
+        let mut with = ClosedLoopSim::new(cfg());
+        with.push(MemEvent::write(0).with_wl_writes(4));
+        with.push(MemEvent::write(0));
+        let mut without = ClosedLoopSim::new(cfg());
+        without.push(MemEvent::write(0));
+        without.push(MemEvent::write(0));
+        assert!(
+            with.elapsed_ns() > without.elapsed_ns() + 300.0,
+            "wl writes had no effect: {} vs {}",
+            with.elapsed_ns(),
+            without.elapsed_ns()
+        );
+    }
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let mut w = ClosedLoopSim::new(cfg());
+        let mut r = ClosedLoopSim::new(cfg());
+        for _ in 0..100 {
+            w.push(MemEvent::write(0));
+            r.push(MemEvent::read(0));
+        }
+        assert!(w.elapsed_ns() > 5.0 * r.elapsed_ns());
+    }
+
+    #[test]
+    fn latency_percentiles_track_contention() {
+        let mut uncontended = ClosedLoopSim::new(cfg());
+        let mut contended = ClosedLoopSim::new(cfg());
+        for i in 0..1_000u32 {
+            uncontended.push(MemEvent::read(i)); // spread over banks
+            contended.push(MemEvent::write(0)); // one bank, serialized
+        }
+        assert!(uncontended.latency_percentile_ns(0.5) <= 100.0);
+        assert!(
+            contended.latency_percentile_ns(0.99) > uncontended.latency_percentile_ns(0.99),
+            "contention must fatten the tail"
+        );
+        // The median is never above the p99.
+        assert!(
+            contended.latency_percentile_ns(0.5) <= contended.latency_percentile_ns(0.99)
+        );
+    }
+
+    #[test]
+    fn throughput_scales_with_banks() {
+        let mut narrow = ClosedLoopSim::new(ClosedLoopConfig {
+            banks: 1,
+            window: 8,
+            think_ns: 1.0,
+            read_ns: 50.0,
+            write_ns: 350.0,
+        });
+        let mut wide = ClosedLoopSim::new(ClosedLoopConfig {
+            banks: 8,
+            window: 8,
+            think_ns: 1.0,
+            read_ns: 50.0,
+            write_ns: 350.0,
+        });
+        for i in 0..800u32 {
+            narrow.push(MemEvent::read(i));
+            wide.push(MemEvent::read(i));
+        }
+        assert!(narrow.elapsed_ns() > 4.0 * wide.elapsed_ns());
+    }
+}

@@ -1,0 +1,241 @@
+//! Compact binary trace format.
+//!
+//! Generated streams can be recorded once and replayed across experiments
+//! (and across schemes, so every scheme sees bit-identical traffic). The
+//! format is deliberately simple:
+//!
+//! ```text
+//! magic   8 bytes  b"SAWLTRC1"
+//! space   8 bytes  u64 LE   logical address space in lines
+//! count   8 bytes  u64 LE   number of records
+//! records count * 8 bytes   u64 LE: (la << 1) | write
+//! ```
+//!
+//! Records pack the write flag into bit 0, which caps the address space at
+//! 2^63 lines — far beyond any device we simulate.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{AddressStream, MemReq};
+
+const MAGIC: &[u8; 8] = b"SAWLTRC1";
+
+/// Streaming trace writer over any `io::Write`.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    space: u64,
+    count: u64,
+    buf: BytesMut,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Begin a trace over `space` lines. The header is written immediately
+    /// with a zero count; call [`finish`](Self::finish) to backpatch...
+    /// actually the format stores count up front, so this writer buffers the
+    /// count and requires `finish` to produce a valid file only when `W`
+    /// supports it. To keep the writer usable on non-seekable sinks, the
+    /// count written in the header is `u64::MAX` (meaning "until EOF") and
+    /// `finish` is optional.
+    pub fn new(mut out: W, space: u64) -> io::Result<Self> {
+        let mut header = BytesMut::with_capacity(24);
+        header.put_slice(MAGIC);
+        header.put_u64_le(space);
+        header.put_u64_le(u64::MAX);
+        out.write_all(&header)?;
+        Ok(Self { out, space, count: 0, buf: BytesMut::with_capacity(64 * 1024) })
+    }
+
+    /// Append one request.
+    pub fn push(&mut self, req: MemReq) -> io::Result<()> {
+        assert!(req.la < self.space, "address {} outside trace space {}", req.la, self.space);
+        self.buf.put_u64_le((req.la << 1) | u64::from(req.write));
+        self.count += 1;
+        if self.buf.len() >= 64 * 1024 {
+            self.out.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Record `n` requests from a stream.
+    pub fn record<S: AddressStream>(&mut self, stream: &mut S, n: u64) -> io::Result<()> {
+        for _ in 0..n {
+            self.push(stream.next_req())?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered records and return the sink and the record count.
+    pub fn finish(mut self) -> io::Result<(W, u64)> {
+        self.out.write_all(&self.buf)?;
+        self.out.flush()?;
+        Ok((self.out, self.count))
+    }
+}
+
+/// Trace reader that replays a recorded stream; implements
+/// [`AddressStream`] by cycling when the trace is exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceReader {
+    records: Bytes,
+    space: u64,
+    pos: usize,
+}
+
+impl TraceReader {
+    /// Parse a complete trace from any reader.
+    pub fn from_reader<R: Read>(mut r: R) -> io::Result<Self> {
+        let mut all = Vec::new();
+        r.read_to_end(&mut all)?;
+        Self::from_bytes(Bytes::from(all))
+    }
+
+    /// Parse a complete trace held in memory.
+    pub fn from_bytes(mut data: Bytes) -> io::Result<Self> {
+        if data.len() < 24 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "trace shorter than header"));
+        }
+        let mut magic = [0u8; 8];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        }
+        let space = data.get_u64_le();
+        let declared = data.get_u64_le();
+        if data.len() % 8 != 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace record"));
+        }
+        let actual = (data.len() / 8) as u64;
+        if declared != u64::MAX && declared != actual {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace declares {declared} records but contains {actual}"),
+            ));
+        }
+        if actual == 0 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        }
+        Ok(Self { records: data, space, pos: 0 })
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> u64 {
+        (self.records.len() / 8) as u64
+    }
+
+    /// Whether the trace holds no records (never true for parsed traces).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Read the record at `idx` without advancing the cursor.
+    pub fn get(&self, idx: u64) -> MemReq {
+        let off = (idx * 8) as usize;
+        let raw = u64::from_le_bytes(self.records[off..off + 8].try_into().unwrap());
+        MemReq { la: raw >> 1, write: raw & 1 == 1 }
+    }
+}
+
+impl AddressStream for TraceReader {
+    fn next_req(&mut self) -> MemReq {
+        let idx = self.pos as u64 % self.len();
+        self.pos += 1;
+        self.get(idx)
+    }
+
+    fn space_lines(&self) -> u64 {
+        self.space
+    }
+
+    fn name(&self) -> &str {
+        "trace-replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Uniform;
+
+    #[test]
+    fn round_trip_preserves_requests() {
+        let mut gen = Uniform::new(1 << 12, 0.4, 7);
+        let mut expected = Vec::new();
+        let mut w = TraceWriter::new(Vec::new(), 1 << 12).unwrap();
+        for _ in 0..1000 {
+            let r = gen.next_req();
+            expected.push(r);
+            w.push(r).unwrap();
+        }
+        let (bytes, count) = w.finish().unwrap();
+        assert_eq!(count, 1000);
+        let mut reader = TraceReader::from_bytes(Bytes::from(bytes)).unwrap();
+        assert_eq!(reader.len(), 1000);
+        assert_eq!(reader.space_lines(), 1 << 12);
+        for r in &expected {
+            assert_eq!(reader.next_req(), *r);
+        }
+    }
+
+    #[test]
+    fn reader_cycles_at_end() {
+        let mut w = TraceWriter::new(Vec::new(), 16).unwrap();
+        w.push(MemReq::write(3)).unwrap();
+        w.push(MemReq::read(5)).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        let mut r = TraceReader::from_bytes(Bytes::from(bytes)).unwrap();
+        assert_eq!(r.next_req(), MemReq::write(3));
+        assert_eq!(r.next_req(), MemReq::read(5));
+        assert_eq!(r.next_req(), MemReq::write(3));
+    }
+
+    #[test]
+    fn record_helper_pulls_from_stream() {
+        let mut gen = Uniform::new(64, 1.0, 1);
+        let mut w = TraceWriter::new(Vec::new(), 64).unwrap();
+        w.record(&mut gen, 50).unwrap();
+        let (bytes, count) = w.finish().unwrap();
+        assert_eq!(count, 50);
+        let r = TraceReader::from_bytes(Bytes::from(bytes)).unwrap();
+        assert_eq!(r.len(), 50);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = TraceReader::from_bytes(Bytes::from(vec![0u8; 32])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        let err = TraceReader::from_bytes(Bytes::from(vec![0u8; 10])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let mut w = TraceWriter::new(Vec::new(), 16).unwrap();
+        w.push(MemReq::write(1)).unwrap();
+        let (mut bytes, _) = w.finish().unwrap();
+        bytes.pop();
+        let err = TraceReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_empty_trace() {
+        let w = TraceWriter::new(Vec::new(), 16).unwrap();
+        let (bytes, _) = w.finish().unwrap();
+        let err = TraceReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside trace space")]
+    fn writer_rejects_out_of_space_address() {
+        let mut w = TraceWriter::new(Vec::new(), 16).unwrap();
+        let _ = w.push(MemReq::write(16));
+    }
+}

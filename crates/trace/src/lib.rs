@@ -1,0 +1,116 @@
+//! # sawl-trace — memory request streams
+//!
+//! The SAWL paper evaluates wear leveling under three kinds of traffic:
+//!
+//! 1. **Attack programs** — Repeated Address Attack (RAA) writes one logical
+//!    address forever; Birthday Paradox Attack (BPA) randomly selects logical
+//!    addresses and hammers each precisely ([`attack`]).
+//! 2. **SPEC CPU2006 applications** — 14 memory-intensive benchmarks played
+//!    through gem5. SPEC traces are proprietary, so this crate provides
+//!    *synthetic SPEC-like models* ([`spec`]): parameterized address-stream
+//!    generators (footprint, Zipf skew, scan fraction, write ratio, phase
+//!    schedule) whose parameters are chosen per benchmark to reproduce the
+//!    qualitative access classes the paper reports. See DESIGN.md §5.
+//! 3. **Microbenchmark patterns** — uniform, stride, sequential, hotspot
+//!    ([`patterns`]) used by unit tests and ablations.
+//!
+//! Every generator implements [`AddressStream`]; streams compose via
+//! [`phased::Phased`] and [`phased::Mix`]. Streams can be recorded to and
+//! replayed from a compact binary format ([`file`]).
+//!
+//! All randomness is deterministic per seed: the same (generator, seed)
+//! pair always produces the same request sequence.
+
+pub mod attack;
+pub mod file;
+pub mod patterns;
+pub mod phased;
+pub mod rate_mode;
+pub mod reuse;
+pub mod spec;
+pub mod stats;
+pub mod zipf;
+
+pub use attack::{Bpa, Raa};
+pub use file::{TraceReader, TraceWriter};
+pub use patterns::{Hotspot, SeqScan, Stride, Uniform};
+pub use phased::{Mix, Phased};
+pub use rate_mode::RateMode;
+pub use reuse::ReuseTracker;
+pub use spec::{SpecBenchmark, SpecModel, ALL_BENCHMARKS};
+pub use stats::StreamStats;
+pub use zipf::Zipf;
+
+/// One memory request at line granularity, after the on-chip caches: this
+/// is the traffic the memory controller (and hence wear leveling) sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemReq {
+    /// Logical line address.
+    pub la: u64,
+    /// `true` for a write (wears the cell), `false` for a read.
+    pub write: bool,
+}
+
+impl MemReq {
+    /// Construct a read request.
+    pub fn read(la: u64) -> Self {
+        Self { la, write: false }
+    }
+
+    /// Construct a write request.
+    pub fn write(la: u64) -> Self {
+        Self { la, write: true }
+    }
+}
+
+/// An infinite stream of memory requests over a logical address space of
+/// `space_lines()` lines. Implementations must be deterministic functions of
+/// their construction parameters (including seeds).
+pub trait AddressStream {
+    /// Produce the next request. Streams are infinite; generators cycle or
+    /// re-draw as needed.
+    fn next_req(&mut self) -> MemReq;
+
+    /// Size of the logical address space this stream draws from; every
+    /// produced `la` is `< space_lines()`.
+    fn space_lines(&self) -> u64;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "stream"
+    }
+}
+
+impl<S: AddressStream + ?Sized> AddressStream for Box<S> {
+    fn next_req(&mut self) -> MemReq {
+        (**self).next_req()
+    }
+
+    fn space_lines(&self) -> u64 {
+        (**self).space_lines()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memreq_constructors() {
+        assert!(!MemReq::read(7).write);
+        assert!(MemReq::write(7).write);
+        assert_eq!(MemReq::read(7).la, 7);
+    }
+
+    #[test]
+    fn boxed_stream_delegates() {
+        let mut s: Box<dyn AddressStream> = Box::new(Raa::new(5, 64));
+        assert_eq!(s.next_req(), MemReq::write(5));
+        assert_eq!(s.space_lines(), 64);
+        assert_eq!(s.name(), "raa");
+    }
+}

@@ -1,0 +1,140 @@
+//! Rate-mode execution: N cores each running a private copy of the same
+//! benchmark.
+//!
+//! The paper "perform[s] evaluations by executing the benchmark in rate
+//! mode, where all the eight cores execute the same benchmark" (§4.1,
+//! citing DEUCE). Each copy owns its own data, so the logical address
+//! space is partitioned into `cores` equal slices; core `i`'s requests are
+//! confined to slice `i`, and the memory controller sees the round-robin
+//! interleaving of the per-core streams (a faithful model for cores that
+//! progress at the same rate, which is what rate mode is for).
+
+use crate::{AddressStream, MemReq};
+
+/// Round-robin interleaving of per-core benchmark copies over a sliced
+/// address space.
+pub struct RateMode<S> {
+    cores: Vec<S>,
+    slice_lines: u64,
+    space: u64,
+    next: usize,
+    label: String,
+}
+
+impl<S: AddressStream> RateMode<S> {
+    /// Build from per-core streams. Each stream must cover `space / N`
+    /// lines (its private slice); the combined stream covers `space`.
+    pub fn new(cores: Vec<S>, space: u64) -> Self {
+        assert!(!cores.is_empty(), "rate mode needs at least one core");
+        let n = cores.len() as u64;
+        assert!(space % n == 0, "space must divide evenly across cores");
+        let slice_lines = space / n;
+        for (i, c) in cores.iter().enumerate() {
+            assert_eq!(
+                c.space_lines(),
+                slice_lines,
+                "core {i} stream covers {} lines, expected the {slice_lines}-line slice",
+                c.space_lines()
+            );
+        }
+        let label = format!("rate{}({})", cores.len(), cores[0].name());
+        Self { cores, slice_lines, space, next: 0, label }
+    }
+
+    /// Convenience: clone one generator per core with derived seeds.
+    pub fn homogeneous(
+        space: u64,
+        cores: u64,
+        make: impl Fn(u64, u64) -> S, // (slice_lines, core_seed) -> stream
+        seed: u64,
+    ) -> Self {
+        assert!(cores > 0 && space % cores == 0);
+        let slice = space / cores;
+        let streams = (0..cores).map(|i| make(slice, seed.wrapping_add(i * 0x9E37))).collect();
+        Self::new(streams, space)
+    }
+}
+
+impl<S: AddressStream> AddressStream for RateMode<S> {
+    fn next_req(&mut self) -> MemReq {
+        let core = self.next;
+        self.next = (self.next + 1) % self.cores.len();
+        let r = self.cores[core].next_req();
+        MemReq { la: core as u64 * self.slice_lines + r.la, write: r.write }
+    }
+
+    fn space_lines(&self) -> u64 {
+        self.space
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::SeqScan;
+    use crate::spec::SpecBenchmark;
+
+    #[test]
+    fn interleaves_round_robin_with_slice_offsets() {
+        let cores: Vec<SeqScan> =
+            (0..4).map(|i| SeqScan::new(16, 0, 4, 1.0, i)).collect();
+        let mut rm = RateMode::new(cores, 64);
+        let first_round: Vec<u64> = (0..4).map(|_| rm.next_req().la).collect();
+        assert_eq!(first_round, vec![0, 16, 32, 48]);
+        let second_round: Vec<u64> = (0..4).map(|_| rm.next_req().la).collect();
+        assert_eq!(second_round, vec![1, 17, 33, 49]);
+    }
+
+    #[test]
+    fn each_core_stays_in_its_slice() {
+        let mut rm = RateMode::homogeneous(
+            1 << 16,
+            8,
+            |slice, seed| SpecBenchmark::Gcc.stream(slice, seed),
+            42,
+        );
+        for i in 0..10_000u64 {
+            let core = (i % 8) as u64;
+            let r = rm.next_req();
+            let slice = (1u64 << 16) / 8;
+            assert!(
+                r.la >= core * slice && r.la < (core + 1) * slice,
+                "request {} for core {core} left its slice: {}",
+                i,
+                r.la
+            );
+        }
+    }
+
+    #[test]
+    fn cores_draw_distinct_randomness() {
+        let mut rm = RateMode::homogeneous(
+            1 << 14,
+            2,
+            |slice, seed| SpecBenchmark::Mcf.stream(slice, seed),
+            7,
+        );
+        let a: Vec<u64> = (0..64).map(|_| rm.next_req().la).collect();
+        let core0: Vec<u64> = a.iter().step_by(2).map(|&x| x).collect();
+        let core1: Vec<u64> = a.iter().skip(1).step_by(2).map(|&x| x % (1 << 13)).collect();
+        assert_ne!(core0, core1, "cores replayed identical sequences");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn rejects_uneven_split() {
+        let cores: Vec<SeqScan> = (0..3).map(|i| SeqScan::new(16, 0, 4, 1.0, i)).collect();
+        let _ = RateMode::new(cores, 64);
+    }
+
+    #[test]
+    fn name_reflects_core_count() {
+        let cores: Vec<SeqScan> = (0..2).map(|i| SeqScan::new(8, 0, 4, 1.0, i)).collect();
+        let rm = RateMode::new(cores, 16);
+        assert_eq!(rm.name(), "rate2(seqscan)");
+    }
+}

@@ -1,0 +1,169 @@
+//! Online statistics over a request stream.
+//!
+//! Used by the experiment drivers to report workload characteristics next
+//! to results (write ratio, footprint, region-touch spread) and by tests to
+//! validate that the SPEC-like models have the intended shape.
+
+use std::collections::HashMap;
+
+use crate::MemReq;
+
+/// Accumulates statistics as requests flow by.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    reads: u64,
+    writes: u64,
+    /// Exact per-line write counts; bounded by the footprint, not the
+    /// stream length.
+    write_counts: HashMap<u64, u64>,
+    /// Exact set of all touched lines (reads and writes).
+    touched: HashMap<u64, ()>,
+    min_la: u64,
+    max_la: u64,
+}
+
+impl StreamStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self { min_la: u64::MAX, ..Self::default() }
+    }
+
+    /// Record one request.
+    pub fn observe(&mut self, req: MemReq) {
+        if req.write {
+            self.writes += 1;
+            *self.write_counts.entry(req.la).or_insert(0) += 1;
+        } else {
+            self.reads += 1;
+        }
+        self.touched.entry(req.la).or_insert(());
+        self.min_la = self.min_la.min(req.la);
+        self.max_la = self.max_la.max(req.la);
+    }
+
+    /// Total requests observed.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Reads observed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes observed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Fraction of requests that were writes.
+    pub fn write_ratio(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.writes as f64 / self.total() as f64
+        }
+    }
+
+    /// Number of distinct lines touched.
+    pub fn footprint(&self) -> u64 {
+        self.touched.len() as u64
+    }
+
+    /// Number of distinct lines written.
+    pub fn write_footprint(&self) -> u64 {
+        self.write_counts.len() as u64
+    }
+
+    /// Smallest fraction of written lines receiving `frac` of all writes —
+    /// e.g. `write_concentration(0.5) == 0.01` means 1% of written lines
+    /// absorb half the writes. Lower is more concentrated.
+    pub fn write_concentration(&self, frac: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&frac));
+        if self.writes == 0 {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = self.write_counts.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let target = (self.writes as f64 * frac).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i + 1) as f64 / counts.len() as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Span of addresses seen, as `(min, max)`; `None` before any request.
+    pub fn address_span(&self) -> Option<(u64, u64)> {
+        if self.total() == 0 {
+            None
+        } else {
+            Some((self.min_la, self.max_la))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemReq;
+
+    #[test]
+    fn counts_reads_and_writes() {
+        let mut s = StreamStats::new();
+        s.observe(MemReq::write(1));
+        s.observe(MemReq::write(1));
+        s.observe(MemReq::read(2));
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.writes(), 2);
+        assert_eq!(s.reads(), 1);
+        assert!((s.write_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprints_are_distinct_counts() {
+        let mut s = StreamStats::new();
+        for la in [1, 1, 2, 3] {
+            s.observe(MemReq::write(la));
+        }
+        s.observe(MemReq::read(9));
+        assert_eq!(s.footprint(), 4);
+        assert_eq!(s.write_footprint(), 3);
+    }
+
+    #[test]
+    fn concentration_of_uniform_writes_is_proportional() {
+        let mut s = StreamStats::new();
+        for la in 0..100 {
+            s.observe(MemReq::write(la));
+        }
+        let c = s.write_concentration(0.5);
+        assert!((c - 0.5).abs() < 0.02, "uniform concentration {c}");
+    }
+
+    #[test]
+    fn concentration_of_skewed_writes_is_small() {
+        let mut s = StreamStats::new();
+        for _ in 0..1000 {
+            s.observe(MemReq::write(0));
+        }
+        for la in 1..100 {
+            s.observe(MemReq::write(la));
+        }
+        // Line 0 alone has ~91% of writes.
+        assert!(s.write_concentration(0.5) <= 0.02);
+    }
+
+    #[test]
+    fn address_span_tracks_extremes() {
+        let mut s = StreamStats::new();
+        assert_eq!(s.address_span(), None);
+        s.observe(MemReq::read(5));
+        s.observe(MemReq::write(2));
+        s.observe(MemReq::write(40));
+        assert_eq!(s.address_span(), Some((2, 40)));
+    }
+}

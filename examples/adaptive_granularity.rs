@@ -1,0 +1,93 @@
+//! Adaptive granularity — watch SAWL resize its regions live.
+//!
+//! Runs a workload that alternates between a tight hot set (high CMT hit
+//! rate) and scattered uniform traffic (poor hit rate) and prints the
+//! engine's sampled hit rate and region size as they evolve: merges kick
+//! in when the scattered phase drags the hit rate below the 90% threshold,
+//! splits when the tight phase pins it above 95%.
+//!
+//! ```text
+//! cargo run --release --example adaptive_granularity
+//! ```
+
+use sawl::algos::WearLeveler;
+use sawl::nvm::{NvmConfig, NvmDevice};
+use sawl::sawl::{Sawl, SawlConfig};
+use sawl::trace::{AddressStream, Phased, Uniform, Zipf};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A tight zipf-hot stream over a small window (stands in for a cache-
+/// friendly execution phase).
+struct HotPhase {
+    zipf: Zipf,
+    rng: SmallRng,
+    space: u64,
+}
+
+impl AddressStream for HotPhase {
+    fn next_req(&mut self) -> sawl::trace::MemReq {
+        let la = self.zipf.sample(&mut self.rng) * 4;
+        sawl::trace::MemReq { la, write: true }
+    }
+
+    fn space_lines(&self) -> u64 {
+        self.space
+    }
+
+    fn name(&self) -> &str {
+        "hot"
+    }
+}
+
+fn main() {
+    let space: u64 = 1 << 18;
+    let cfg = SawlConfig {
+        data_lines: space,
+        cmt_entries: 256,
+        max_granularity: 512,
+        sample_interval: 20_000,
+        observation_window: 1 << 18,
+        settling_window: 1 << 17,
+        swap_period: 1 << 20, // keep exchanges quiet so adaptation stands out
+        ..SawlConfig::default()
+    };
+    let mut sawl = Sawl::new(cfg);
+    let mut device = NvmDevice::new(
+        NvmConfig::builder()
+            .lines(sawl.required_physical_lines())
+            .endurance(u32::MAX)
+            .build()
+            .unwrap(),
+    );
+
+    let hot = Box::new(HotPhase {
+        zipf: Zipf::new(512, 1.2),
+        rng: SmallRng::seed_from_u64(7),
+        space,
+    });
+    let scattered = Box::new(Uniform::new(space, 1.0, 11));
+    let mut workload = Phased::new(vec![(3_000_000, hot), (3_000_000, scattered)]);
+
+    for _ in 0..18_000_000u64 {
+        let req = workload.next_req();
+        sawl.write(req.la, &mut device);
+    }
+
+    println!("requests  windowed-hit%  region-size(lines)");
+    for s in sawl.history().samples().iter().step_by(15) {
+        let bar = "#".repeat((s.cached_region_size.log2().max(0.0) * 4.0) as usize);
+        println!(
+            "{:>9}  {:>12.1}  {:>8.1} {bar}",
+            s.requests,
+            s.windowed_hit_rate * 100.0,
+            s.cached_region_size,
+        );
+    }
+    let stats = sawl.stats();
+    println!(
+        "\nmerges: {}  splits: {}  final region count: {}",
+        stats.merges, stats.splits, stats.region_count
+    );
+    assert!(stats.merges > 0, "expected the scattered phases to force merges");
+}

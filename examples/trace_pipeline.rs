@@ -1,0 +1,85 @@
+//! Trace pipeline — record once, replay everywhere.
+//!
+//! Records a SPEC-like workload into the suite's binary trace format, then
+//! replays the *identical* request sequence through two different wear
+//! levelers and through the timing model, the way the paper's evaluation
+//! holds the workload fixed across schemes.
+//!
+//! ```text
+//! cargo run --release --example trace_pipeline
+//! ```
+
+use sawl::algos::WearLeveler;
+use sawl::nvm::{NvmConfig, NvmDevice};
+use sawl::tiered::{Nwl, NwlConfig};
+use sawl::timing::{ipc_degradation, CpuModel, IpcModel, MemEvent};
+use sawl::trace::{AddressStream, SpecBenchmark, TraceReader, TraceWriter};
+use bytes::Bytes;
+
+fn device_for(lines: u64) -> NvmDevice {
+    NvmDevice::new(NvmConfig::builder().lines(lines).endurance(u32::MAX).build().unwrap())
+}
+
+fn main() {
+    let space: u64 = 1 << 18;
+    let n_requests: u64 = 2_000_000;
+
+    // 1. Record gcc-like traffic to an in-memory trace (a file works the
+    //    same way: any io::Write/io::Read).
+    let mut generator = SpecBenchmark::Gcc.stream(space, 99);
+    let mut writer = TraceWriter::new(Vec::new(), space).expect("trace header");
+    writer.record(&mut generator, n_requests).expect("record");
+    let (buf, count) = writer.finish().expect("finish");
+    println!("recorded {count} requests ({} MB)", buf.len() >> 20);
+
+    // 2. Replay through NWL-4 and NWL-64 — bit-identical traffic.
+    let mut summaries = Vec::new();
+    for granularity in [4u64, 64] {
+        let mut reader = TraceReader::from_bytes(Bytes::from(buf.clone())).expect("parse");
+        let mut nwl = Nwl::new(NwlConfig {
+            data_lines: space,
+            granularity,
+            cmt_entries: 2048,
+            ..NwlConfig::default()
+        });
+        let mut dev = device_for(nwl.required_physical_lines());
+        let cpu = CpuModel::for_benchmark(SpecBenchmark::Gcc);
+        let mut model = IpcModel::new(cpu);
+        let mut base = IpcModel::new(cpu);
+        for _ in 0..count {
+            let req = reader.next_req();
+            let misses_before = nwl.mapping_stats().misses;
+            let pa = if req.write {
+                nwl.write(req.la, &mut dev)
+            } else {
+                nwl.read(req.la, &mut dev)
+            };
+            let missed = nwl.mapping_stats().misses > misses_before;
+            let translation = if missed { 55.0 } else { 5.0 };
+            model.push(MemEvent {
+                bank: (pa % 32) as u32,
+                write: req.write,
+                translation_ns: translation,
+                wl_writes: 0,
+            });
+            base.push(MemEvent {
+                bank: (req.la % 32) as u32,
+                write: req.write,
+                translation_ns: 0.0,
+                wl_writes: 0,
+            });
+        }
+        let hit = nwl.mapping_stats().hit_rate();
+        let degradation = ipc_degradation(base.estimate(), model.estimate());
+        println!(
+            "NWL-{granularity:<2}  hit rate {:.1}%   IPC degradation {:.1}%",
+            hit * 100.0,
+            degradation * 100.0
+        );
+        summaries.push((granularity, hit, degradation));
+    }
+
+    // Coarser granularity covers more space per cache entry.
+    assert!(summaries[1].1 > summaries[0].1, "NWL-64 should hit more than NWL-4");
+    assert!(summaries[1].2 < summaries[0].2, "and lose less IPC");
+}

@@ -1,0 +1,25 @@
+//! # sawl — facade for the SAWL reproduction suite
+//!
+//! Reproduction of *An Efficient Wear-level Architecture using Self-adaptive
+//! Wear Leveling* (ICPP '20). This crate re-exports the public API of every
+//! workspace crate so that examples and downstream users can depend on a
+//! single name.
+//!
+//! * [`nvm`] — the NVM device model (lines, endurance, spares, failure).
+//! * [`trace`] — memory-request streams (RAA/BPA attacks, SPEC-like models).
+//! * [`algos`] — baseline wear-leveling algorithms (Segment Swapping,
+//!   Start-Gap, Security Refresh, PCM-S, MWSR) behind one trait.
+//! * [`tiered`] — the tiered mapping architecture (IMT/CMT/GTD, NWL).
+//! * [`sawl`] — the paper's contribution: self-adaptive wear leveling.
+//! * [`timing`] — memory-controller timing and IPC estimation.
+//! * [`simctl`] — experiment configs, parallel sweeps, reports.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use sawl_algos as algos;
+pub use sawl_core as sawl;
+pub use sawl_nvm as nvm;
+pub use sawl_simctl as simctl;
+pub use sawl_tiered as tiered;
+pub use sawl_timing as timing;
+pub use sawl_trace as trace;

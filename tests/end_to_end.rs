@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: full experiment pipelines through the
+//! public facade, exactly as the examples and figure binaries use them.
+
+use sawl::simctl::{
+    run_lifetime, run_perf, DeviceSpec, LifetimeExperiment, PerfExperiment, SchemeSpec,
+    WorkloadSpec,
+};
+use sawl::trace::SpecBenchmark;
+
+fn lifetime_result(
+    scheme: SchemeSpec,
+    workload: WorkloadSpec,
+    endurance: u32,
+) -> sawl::simctl::LifetimeResult {
+    run_lifetime(&LifetimeExperiment {
+        id: format!("e2e/{}/{}", scheme.name(), workload.name()),
+        scheme,
+        workload,
+        data_lines: 1 << 12,
+        device: DeviceSpec { endurance, ..Default::default() },
+        max_demand_writes: 0,
+    })
+}
+
+fn lifetime(scheme: SchemeSpec, workload: WorkloadSpec, endurance: u32) -> f64 {
+    lifetime_result(scheme, workload, endurance).normalized_lifetime
+}
+
+#[test]
+fn lifetime_ordering_under_bpa_matches_the_paper() {
+    // All schemes at the same swapping period so the comparison isolates
+    // the mapping machinery (the paper's Fig. 15 axis).
+    let bpa = WorkloadSpec::Bpa { writes_per_target: 1_000 };
+    let period = 16;
+    let baseline = lifetime(SchemeSpec::Baseline, bpa.clone(), 1_000);
+    let tlsr = lifetime(
+        SchemeSpec::Tlsr { region_lines: 16, inner_period: period, outer_period: 32 },
+        bpa.clone(),
+        1_000,
+    );
+    let pcms = lifetime(SchemeSpec::PcmS { region_lines: 4, period }, bpa.clone(), 1_000);
+    let sawl = lifetime(
+        SchemeSpec::Sawl {
+            initial_granularity: 4,
+            max_granularity: 64,
+            cmt_entries: 512,
+            swap_period: period,
+            observation_window: 1 << 22,
+            settling_window: 1 << 22,
+            sample_interval: 100_000,
+        },
+        bpa.clone(),
+        1_000,
+    );
+    let ideal = lifetime(SchemeSpec::Ideal, bpa, 1_000);
+    assert!(baseline < tlsr, "baseline {baseline} !< tlsr {tlsr}");
+    assert!(baseline < pcms, "baseline {baseline} !< pcm-s {pcms}");
+    // SAWL matches fine-grained PCM-S here (same period, same granularity,
+    // and no on-chip table bound).
+    assert!(sawl > pcms * 0.7, "sawl {sawl} far below pcm-s {pcms}");
+    assert!(sawl <= ideal * 1.05, "sawl {sawl} cannot beat ideal {ideal}");
+    assert!(ideal > 0.9, "ideal oracle should approach 1.0, got {ideal}");
+}
+
+#[test]
+fn raa_separates_static_from_randomized_schemes() {
+    // The paper's 2.2 analysis is about where the attacked address can
+    // travel: Segment Swapping never remaps the intra-segment offset, RBSG
+    // never leaves the region, TLSR migrates the line across the device.
+    use sawl::algos::{SegmentSwap, StartGap, Tlsr, WearLeveler};
+    use sawl::nvm::{NvmConfig, NvmDevice};
+    let mut dev = NvmDevice::new(
+        NvmConfig::builder().lines(1 << 13).banks(1).endurance(u32::MAX).build().unwrap(),
+    );
+
+    let mut segment = SegmentSwap::new(1 << 12, 64, 100);
+    for _ in 0..50_000 {
+        segment.write(0, &mut dev);
+        assert_eq!(segment.translate(0) % 64, 0, "segment swapping remapped the offset");
+    }
+
+    let mut rbsg = StartGap::new(16, 255, 16);
+    for _ in 0..50_000 {
+        rbsg.write(0, &mut dev);
+        assert!(rbsg.translate(0) < 256, "start-gap let the line leave its region");
+    }
+
+    // The outer SR level completes one randomizing round per
+    // outer_period * lines writes (32 * 4096 here), so give the attack
+    // enough rounds to demonstrate cross-region migration.
+    let mut tlsr = Tlsr::new(1 << 12, 16, 8, 32, 7);
+    let mut homes = std::collections::HashSet::new();
+    for _ in 0..1_200_000 {
+        tlsr.write(0, &mut dev);
+        homes.insert(tlsr.translate(0));
+    }
+    assert!(homes.len() > 64, "tlsr failed to migrate the attacked line: {} homes", homes.len());
+}
+
+#[test]
+fn perf_pipeline_reports_sane_numbers() {
+    let r = run_perf(&PerfExperiment {
+        id: "e2e/perf".into(),
+        scheme: SchemeSpec::Nwl { granularity: 4, cmt_entries: 256, swap_period: 128 },
+        benchmark: SpecBenchmark::Gcc,
+        data_lines: 1 << 16,
+        device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+        requests: 100_000,
+        warmup_requests: 0,
+    });
+    assert!(r.hit_rate > 0.0 && r.hit_rate <= 1.0);
+    assert!(r.ipc.ipc > 0.0);
+    assert!(r.baseline_ipc.ipc >= r.ipc.ipc);
+    assert!((0.0..1.0).contains(&r.ipc_degradation));
+    assert!(r.ipc.mean_latency_ns >= 50.0);
+}
+
+#[test]
+fn sawl_beats_nwl4_on_ipc_for_scattered_traffic() {
+    let run = |scheme: SchemeSpec| {
+        run_perf(&PerfExperiment {
+            id: format!("e2e/ipc/{}", scheme.name()),
+            scheme,
+            benchmark: SpecBenchmark::Mcf,
+            data_lines: 1 << 20,
+            device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+            requests: 3_000_000,
+            warmup_requests: 1_000_000,
+        })
+    };
+    let cmt_entries = 2048;
+    let nwl = run(SchemeSpec::Nwl { granularity: 4, cmt_entries, swap_period: 128 });
+    let sawl = run(SchemeSpec::Sawl {
+        initial_granularity: 4,
+        max_granularity: 256,
+        cmt_entries,
+        swap_period: 128,
+        observation_window: 1 << 19,
+        settling_window: 1 << 18,
+        sample_interval: 50_000,
+    });
+    assert!(
+        sawl.hit_rate > nwl.hit_rate,
+        "sawl hit {} !> nwl-4 hit {}",
+        sawl.hit_rate,
+        nwl.hit_rate
+    );
+    // IPC: this short debug-mode run measures SAWL mid-ramp (the lazy
+    // merges of the whole mcf footprint land inside the measured window),
+    // so the strict NWL-4 IPC comparison lives in the release-mode fig17
+    // harness, which warms up past the ramp. Here we only sanity-bound the
+    // transient and check the estimates are coherent.
+    assert!(
+        sawl.ipc_degradation < 0.6,
+        "sawl degradation {} implausibly high even mid-ramp",
+        sawl.ipc_degradation
+    );
+    assert!(sawl.ipc.ipc > 0.0 && sawl.ipc.ipc <= sawl.baseline_ipc.ipc);
+}
+
+#[test]
+fn overhead_fractions_track_swap_periods() {
+    let bpa = WorkloadSpec::Bpa { writes_per_target: 512 };
+    let run = |period| {
+        run_lifetime(&LifetimeExperiment {
+            id: format!("e2e/overhead/{period}"),
+            scheme: SchemeSpec::PcmS { region_lines: 8, period },
+            workload: bpa.clone(),
+            data_lines: 1 << 12,
+            device: DeviceSpec { endurance: 5_000, ..Default::default() },
+            max_demand_writes: 0,
+        })
+    };
+    let eager = run(8);
+    let lazy = run(64);
+    assert!((eager.overhead_fraction - 0.25).abs() < 0.05, "{}", eager.overhead_fraction);
+    assert!((lazy.overhead_fraction - 0.031).abs() < 0.02, "{}", lazy.overhead_fraction);
+}
