@@ -1,0 +1,159 @@
+//! Shared PCM-S exchange bookkeeping.
+//!
+//! Every scheme that adopts the PCM-S data-exchange module (§2.1) keeps the
+//! same two pieces of per-region wear-leveling state:
+//!
+//! * a **demand-write counter** per logical region, compared against
+//!   `period × S` (S = lines per region) to decide when the region is due
+//!   for an exchange — the "swapping period" of the paper's Fig. 4;
+//! * an **intra-region XOR key**, re-drawn uniformly from `[0, S)` each
+//!   time the region is (re)placed, which is what shifts line positions
+//!   inside the region.
+//!
+//! [`SwapCounters`] and [`draw_key`] centralize that machinery so
+//! [`PcmS`](crate::PcmS), NWL and the SAWL engine's exchange policy share
+//! one implementation instead of three copies. SAWL's variable-granularity
+//! twist — counters folded on merge and halved on split (§3.2) — lives here
+//! too, as it is pure counter bookkeeping.
+
+use rand::Rng;
+
+/// Per-region demand-write counters driving the swapping-period trigger.
+#[derive(Debug, Clone)]
+pub struct SwapCounters {
+    /// Demand writes to each region since its last triggered exchange.
+    ctr: Vec<u32>,
+    /// Writes-per-line swapping period.
+    period: u64,
+}
+
+impl SwapCounters {
+    /// Counters for `slots` regions with the given writes-per-line period.
+    pub fn new(slots: usize, period: u64) -> Self {
+        assert!(period > 0, "swapping period must be non-zero");
+        Self { ctr: vec![0; slots], period }
+    }
+
+    /// The writes-per-line swapping period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Writes to a region of `region_lines` lines that trigger its exchange.
+    pub fn threshold(&self, region_lines: u64) -> u64 {
+        self.period * region_lines
+    }
+
+    /// Count one demand write to the region at `slot`; `true` when the
+    /// region has reached its exchange threshold.
+    #[inline]
+    pub fn record_write(&mut self, slot: usize, region_lines: u64) -> bool {
+        let c = &mut self.ctr[slot];
+        *c += 1;
+        u64::from(*c) >= self.period * region_lines
+    }
+
+    /// Reset a region's counter after its exchange. Only the *triggering*
+    /// region resets — an exchange partner relocated as a bystander keeps
+    /// its own cadence, which is what pins the steady-state overhead at
+    /// exactly `2/period`.
+    pub fn reset(&mut self, slot: usize) {
+        self.ctr[slot] = 0;
+    }
+
+    /// Current counter value of a region.
+    pub fn get(&self, slot: usize) -> u32 {
+        self.ctr[slot]
+    }
+
+    /// Fold two merging regions' counters into the merged region's slot
+    /// (SAWL region-merge): the merged region has absorbed both halves'
+    /// write pressure.
+    pub fn fold_into(&mut self, a: usize, b: usize, dst: usize) {
+        let merged = self.ctr[a].saturating_add(self.ctr[b]);
+        self.ctr[a] = 0;
+        self.ctr[b] = 0;
+        self.ctr[dst] = merged;
+    }
+
+    /// Halve a splitting region's counter across its two children (SAWL
+    /// region-split): each half keeps its share of the accumulated
+    /// pressure so neither restarts from zero.
+    pub fn halve_into(&mut self, base: usize, half: usize) {
+        let c = self.ctr[base];
+        self.ctr[base] = c / 2;
+        self.ctr[half] = c / 2;
+    }
+}
+
+/// Draw a fresh intra-region XOR key uniform over `[0, region_lines)`.
+/// `region_lines` must be a power of two (region sizes always are).
+#[inline]
+pub fn draw_key<R: Rng + ?Sized>(rng: &mut R, region_lines: u64) -> u64 {
+    debug_assert!(region_lines.is_power_of_two());
+    rng.random::<u64>() & (region_lines - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fires_exactly_at_period_times_region_lines() {
+        let mut c = SwapCounters::new(4, 4);
+        assert_eq!(c.threshold(16), 64);
+        for _ in 0..63 {
+            assert!(!c.record_write(2, 16));
+        }
+        assert!(c.record_write(2, 16));
+        c.reset(2);
+        assert_eq!(c.get(2), 0);
+    }
+
+    #[test]
+    fn other_slots_are_untouched() {
+        let mut c = SwapCounters::new(3, 8);
+        c.record_write(0, 4);
+        c.record_write(0, 4);
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 0);
+        assert_eq!(c.get(2), 0);
+    }
+
+    #[test]
+    fn fold_sums_and_clears_sources() {
+        let mut c = SwapCounters::new(4, 1);
+        for _ in 0..5 {
+            c.record_write(0, 100);
+        }
+        for _ in 0..3 {
+            c.record_write(2, 100);
+        }
+        // Merged region keeps both halves' pressure even when dst == a.
+        c.fold_into(0, 2, 0);
+        assert_eq!(c.get(0), 8);
+        assert_eq!(c.get(2), 0);
+    }
+
+    #[test]
+    fn halve_splits_pressure_across_children() {
+        let mut c = SwapCounters::new(4, 1);
+        for _ in 0..9 {
+            c.record_write(1, 100);
+        }
+        c.halve_into(1, 3);
+        assert_eq!(c.get(1), 4);
+        assert_eq!(c.get(3), 4);
+    }
+
+    #[test]
+    fn draw_key_stays_in_region() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert!(draw_key(&mut rng, 64) < 64);
+        }
+        assert_eq!(draw_key(&mut rng, 1), 0);
+    }
+}

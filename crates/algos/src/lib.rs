@@ -29,6 +29,7 @@
 //! the logical space — verified by [`verify::check_permutation`] and by
 //! property tests in each module.
 
+pub mod exchange;
 pub mod mwsr;
 pub mod nowl;
 pub mod pcms;
@@ -38,6 +39,7 @@ pub mod segment_swap;
 pub mod start_gap;
 pub mod verify;
 
+pub use exchange::SwapCounters;
 pub use mwsr::Mwsr;
 pub use nowl::{Ideal, NoWl};
 pub use pcms::PcmS;

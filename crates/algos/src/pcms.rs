@@ -19,6 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sawl_nvm::{La, NvmDevice, Pa};
 
+use crate::exchange::{draw_key, SwapCounters};
 use crate::region::RegionGeometry;
 use crate::WearLeveler;
 
@@ -32,10 +33,8 @@ pub struct PcmS {
     key: Vec<u32>,
     /// physical region -> logical region (inverse)
     p2l: Vec<u32>,
-    /// demand writes to each logical region since its last exchange
-    ctr: Vec<u32>,
-    /// writes-per-line swapping period (exchange after period * S writes)
-    period: u64,
+    /// swapping-period counters (exchange after period * S writes)
+    swaps: SwapCounters,
     rng: SmallRng,
     exchanges: u64,
 }
@@ -44,21 +43,19 @@ impl PcmS {
     /// PCM-S over `lines` logical lines in regions of `region_lines`, with
     /// the given swapping period (writes per line between exchanges).
     pub fn new(lines: u64, region_lines: u64, period: u64, seed: u64) -> Self {
-        assert!(period > 0, "swapping period must be non-zero");
         let geo = RegionGeometry::new(lines, region_lines);
         let regions = geo.regions() as usize;
         let mut rng = SmallRng::seed_from_u64(seed);
         // Start with identity placement but random keys, as hardware would
         // after a randomized boot.
         let key: Vec<u32> =
-            (0..regions).map(|_| (rng.random::<u64>() & (geo.region_lines() - 1)) as u32).collect();
+            (0..regions).map(|_| draw_key(&mut rng, geo.region_lines()) as u32).collect();
         Self {
             geo,
             prn: (0..regions as u32).collect(),
             key,
             p2l: (0..regions as u32).collect(),
-            ctr: vec![0; regions],
-            period,
+            swaps: SwapCounters::new(regions, period),
             rng,
             exchanges: 0,
         }
@@ -76,7 +73,7 @@ impl PcmS {
 
     /// Writes to a region that trigger its exchange.
     pub fn exchange_threshold(&self) -> u64 {
-        self.period * self.geo.region_lines()
+        self.swaps.threshold(self.geo.region_lines())
     }
 
     /// Exchange logical region `a` with a uniformly random other region,
@@ -86,11 +83,11 @@ impl PcmS {
         if regions == 1 {
             // Degenerate: only re-randomize the key (still shifts lines).
             let s = self.geo.region_lines();
-            self.key[0] = (self.rng.random::<u64>() & (s - 1)) as u32;
+            self.key[0] = draw_key(&mut self.rng, s) as u32;
             for off in 0..s {
                 dev.write_wl(off);
             }
-            self.ctr[0] = 0;
+            self.swaps.reset(0);
             self.exchanges += 1;
             return;
         }
@@ -105,8 +102,8 @@ impl PcmS {
         self.prn[b as usize] = pa;
         self.p2l[pa as usize] = b;
         self.p2l[pb as usize] = a;
-        self.key[a as usize] = (self.rng.random::<u64>() & (s - 1)) as u32;
-        self.key[b as usize] = (self.rng.random::<u64>() & (s - 1)) as u32;
+        self.key[a as usize] = draw_key(&mut self.rng, s) as u32;
+        self.key[b as usize] = draw_key(&mut self.rng, s) as u32;
         // Every line of both physical regions is rewritten at its new home.
         let base_a = u64::from(pa) * s;
         let base_b = u64::from(pb) * s;
@@ -114,10 +111,9 @@ impl PcmS {
             dev.write_wl(base_a + off);
             dev.write_wl(base_b + off);
         }
-        // Only the triggering region's counter resets: the partner was
-        // relocated as a bystander and keeps its own wear-leveling cadence,
-        // so the steady-state overhead stays exactly 2/period.
-        self.ctr[a as usize] = 0;
+        // Only the triggering region's counter resets (see SwapCounters::
+        // reset), keeping the steady-state overhead exactly 2/period.
+        self.swaps.reset(a as usize);
         self.exchanges += 1;
     }
 }
@@ -143,8 +139,7 @@ impl WearLeveler for PcmS {
         let pa = self.translate(la);
         dev.write(pa);
         let lrn = self.geo.region_of(la) as usize;
-        self.ctr[lrn] += 1;
-        if u64::from(self.ctr[lrn]) >= self.exchange_threshold() {
+        if self.swaps.record_write(lrn, self.geo.region_lines()) {
             self.exchange(lrn as u32, dev);
         }
         pa

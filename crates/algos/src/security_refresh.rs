@@ -388,10 +388,7 @@ mod tests {
             wl.write(0, &mut d);
             seen_regions.insert(wl.translate(0) >> 4);
         }
-        assert!(
-            seen_regions.len() > 4,
-            "line never left region {start_region}: {seen_regions:?}"
-        );
+        assert!(seen_regions.len() > 4, "line never left region {start_region}: {seen_regions:?}");
     }
 
     #[test]
@@ -409,10 +406,7 @@ mod tests {
         }
         let measured = d.wear().overhead_writes as f64 / n as f64;
         // Pair-skipping is exactly half on average; allow sampling slack.
-        assert!(
-            (measured - 0.15625).abs() < 0.01,
-            "overhead {measured} vs nominal 0.15625"
-        );
+        assert!((measured - 0.15625).abs() < 0.01, "overhead {measured} vs nominal 0.15625");
     }
 
     #[test]

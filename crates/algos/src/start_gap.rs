@@ -54,13 +54,7 @@ impl StartGap {
         assert!(regions > 0 && region_lines > 0);
         assert!(period > 0, "gap period must be non-zero");
         let init = RegionState { rounds: 0, gap: region_lines, writes: 0 };
-        Self {
-            region_lines,
-            regions,
-            period,
-            state: vec![init; regions as usize],
-            gap_moves: 0,
-        }
+        Self { region_lines, regions, period, state: vec![init; regions as usize], gap_moves: 0 }
     }
 
     /// Physical lines the device must provide.
@@ -214,11 +208,7 @@ mod tests {
             // Check every logical line against the algebra.
             for la in 0..n {
                 let expect = slots.iter().position(|&x| x == la).unwrap() as u64;
-                assert_eq!(
-                    wl.translate(la),
-                    expect,
-                    "step {step}: la {la} expected slot {expect}"
-                );
+                assert_eq!(wl.translate(la), expect, "step {step}: la {la} expected slot {expect}");
             }
         }
     }

@@ -56,14 +56,8 @@ fn schemes() -> Vec<(&'static str, Box<dyn WearLeveler>)> {
         ("tlsr", Box::new(Tlsr::new(LINES, 64, 8, 32, 1))),
         ("pcm-s", Box::new(PcmS::new(LINES, 16, 32, 1))),
         ("mwsr", Box::new(Mwsr::new(LINES, 16, 32, 1))),
-        (
-            "nwl-4",
-            Box::new(Nwl::new(NwlConfig { data_lines: LINES, ..NwlConfig::default() })),
-        ),
-        (
-            "sawl",
-            Box::new(Sawl::new(SawlConfig { data_lines: LINES, ..SawlConfig::default() })),
-        ),
+        ("nwl-4", Box::new(Nwl::new(NwlConfig { data_lines: LINES, ..NwlConfig::default() }))),
+        ("sawl", Box::new(Sawl::new(SawlConfig { data_lines: LINES, ..SawlConfig::default() }))),
     ]
 }
 

@@ -7,9 +7,9 @@
 //! orders of magnitude of dwell, so the figures do not hinge on the
 //! choice.
 
-use sawl_bench::{device, emit, paper_note, ENDURANCE_1E6_CLASS, LIFETIME_LINES};
+use sawl_bench::{device, paper_note, Figure, ENDURANCE_1E6_CLASS, LIFETIME_LINES};
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_lifetime, LifetimeExperiment, SchemeSpec, Table, WorkloadSpec};
+use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
 
 fn main() {
     let endurance = ENDURANCE_1E6_CLASS;
@@ -25,36 +25,36 @@ fn main() {
         ("pcm-s", SchemeSpec::PcmS { region_lines: 16, period: 16 }),
         ("sawl", SchemeSpec::sawl_default(4096)),
     ];
-    let mut experiments = Vec::new();
+    let mut grid = Vec::new();
     for &dwell in &dwells {
         for (name, scheme) in &schemes {
-            experiments.push(LifetimeExperiment {
-                id: format!("ablation-dwell/{dwell}/{name}"),
-                scheme: scheme.clone(),
-                workload: WorkloadSpec::Bpa { writes_per_target: dwell },
-                data_lines: LIFETIME_LINES,
-                device: device(endurance),
-                max_demand_writes: 0,
-            });
+            grid.push(Scenario::lifetime(
+                format!("ablation-dwell/{dwell}/{name}"),
+                scheme.clone(),
+                WorkloadSpec::Bpa { writes_per_target: dwell },
+                LIFETIME_LINES,
+                device(endurance),
+            ));
         }
     }
-    let results = parallel_map(&experiments, run_lifetime);
-    let mut table = Table::new(
+    let results = run_all(&grid);
+    let mut fig = Figure::new(
+        "ablation_bpa_dwell",
         "Ablation: BPA dwell sensitivity (normalized lifetime %, Wmax 1e6-class)",
         &["dwell (x Wmax)", "baseline", "pcm-s", "sawl"],
     );
     for (di, &dwell) in dwells.iter().enumerate() {
-        let base = &results[di * 3];
-        let pcms = &results[di * 3 + 1];
-        let sawl = &results[di * 3 + 2];
-        table.row(vec![
+        let base = results[di * 3].lifetime();
+        let pcms = results[di * 3 + 1].lifetime();
+        let sawl = results[di * 3 + 2].lifetime();
+        fig.row(vec![
             format!("{:.3}", dwell as f64 / f64::from(endurance)),
             pct(base.normalized_lifetime),
             pct(pcms.normalized_lifetime),
             pct(sawl.normalized_lifetime),
         ]);
     }
-    emit(&table, "ablation_bpa_dwell");
+    fig.emit();
     paper_note(
         "Not in the paper — a robustness check of our dwell choice. The ordering \
          baseline < pcm-s < sawl should hold at every dwell.",

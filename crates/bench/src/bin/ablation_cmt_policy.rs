@@ -4,11 +4,13 @@
 //! bench replays the SPEC-like models' region-id streams through both
 //! policies at the Table 1 cache budget and reports the hit-rate gap —
 //! the price of dropping the exact stack (and with it SAWL's split
-//! heuristic's first/second-half counters).
+//! heuristic's first/second-half counters). It exercises the raw cache
+//! structures rather than a wear leveler, so it shards per-benchmark
+//! through `parallel_map` directly instead of building scenarios.
 
-use sawl_bench::{emit, paper_note, CMT_BYTES, PERF_LINES};
+use sawl_bench::{paper_note, Figure, CMT_BYTES, PERF_LINES};
 use sawl_simctl::report::pct;
-use sawl_simctl::Table;
+use sawl_simctl::{parallel_map, stable_seed};
 use sawl_tiered::clock::ClockCache;
 use sawl_tiered::cmt::{Cmt, CmtLookup};
 use sawl_trace::{AddressStream, ALL_BENCHMARKS};
@@ -18,15 +20,11 @@ fn main() {
     let granularity = 4u64;
     let entries = (CMT_BYTES * 8 / 48) as usize;
 
-    let mut table = Table::new(
-        "Ablation: CMT replacement policy (hit rate %, 256KB, granularity 4)",
-        &["benchmark", "LRU", "CLOCK", "gap (pts)"],
-    );
-    let mut worst: f64 = 0.0;
-    for bench in ALL_BENCHMARKS {
+    let rates: Vec<(f64, f64)> = parallel_map(&ALL_BENCHMARKS, |bench| {
         let mut lru: Cmt<u8> = Cmt::new(entries);
         let mut clock: ClockCache<u8> = ClockCache::new(entries);
-        let mut stream = bench.stream(PERF_LINES, 0xC10C);
+        let mut stream =
+            bench.stream(PERF_LINES, stable_seed(&format!("ablation-cmt/{}", bench.name())));
         for _ in 0..requests {
             let lrn = stream.next_req().la / granularity;
             if matches!(lru.lookup(lrn), CmtLookup::Miss) {
@@ -36,16 +34,21 @@ fn main() {
                 clock.insert(lrn, 0);
             }
         }
-        let gap = (lru.hit_rate() - clock.hit_rate()) * 100.0;
+        (lru.hit_rate(), clock.hit_rate())
+    });
+
+    let mut fig = Figure::new(
+        "ablation_cmt_policy",
+        "Ablation: CMT replacement policy (hit rate %, 256KB, granularity 4)",
+        &["benchmark", "LRU", "CLOCK", "gap (pts)"],
+    );
+    let mut worst: f64 = 0.0;
+    for (bench, &(lru_rate, clock_rate)) in ALL_BENCHMARKS.iter().zip(&rates) {
+        let gap = (lru_rate - clock_rate) * 100.0;
         worst = worst.max(gap.abs());
-        table.row(vec![
-            bench.name().into(),
-            pct(lru.hit_rate()),
-            pct(clock.hit_rate()),
-            format!("{gap:+.2}"),
-        ]);
+        fig.row(vec![bench.name().into(), pct(lru_rate), pct(clock_rate), format!("{gap:+.2}")]);
     }
-    emit(&table, "ablation_cmt_policy");
+    fig.emit();
     paper_note(&format!(
         "Not in the paper. CLOCK tracks exact LRU within ~{worst:.1} points on these \
          workloads, but it cannot provide the first/second-half hit counters that \

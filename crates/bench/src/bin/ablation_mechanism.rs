@@ -7,10 +7,10 @@
 //! (a)'s hit rate but with a coarser average region (worse leveling), and
 //! (c) to degenerate to (d).
 
-use sawl_bench::{emit, paper_note, run_sawl_history, PERF_LINES};
+use sawl_bench::{paper_note, Figure, PERF_LINES};
 use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::Table;
+use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
 use sawl_trace::SpecBenchmark;
 
 fn main() {
@@ -21,33 +21,46 @@ fn main() {
         ("split-only", false, true),
         ("neither", false, false),
     ];
-    let mut table = Table::new(
+    let grid: Vec<Scenario> = variants
+        .iter()
+        .map(|&(name, merge, split)| {
+            Scenario::trace(
+                format!("ablation-mechanism/{name}"),
+                SchemeSpec::Sawl(SawlConfig {
+                    cmt_entries: (512 * 1024 * 8 / 48) as usize,
+                    swap_period: 128,
+                    observation_window: 1 << 20,
+                    settling_window: 1 << 20,
+                    sample_interval: 100_000,
+                    max_granularity: 256,
+                    enable_merge: merge,
+                    enable_split: split,
+                    ..SawlConfig::default()
+                }),
+                WorkloadSpec::Spec(SpecBenchmark::Soplex),
+                PERF_LINES,
+                requests,
+            )
+        })
+        .collect();
+    let reports = run_all(&grid);
+
+    let mut fig = Figure::new(
+        "ablation_mechanism",
         "Ablation: SAWL mechanisms under soplex-like traffic",
         &["variant", "avg hit rate (%)", "avg region size", "merges", "splits"],
     );
-    for (name, merge, split) in variants {
-        let cfg = SawlConfig {
-            data_lines: PERF_LINES,
-            cmt_entries: (512 * 1024 * 8 / 48) as usize,
-            swap_period: 128,
-            observation_window: 1 << 20,
-            settling_window: 1 << 20,
-            sample_interval: 100_000,
-            max_granularity: 256,
-            enable_merge: merge,
-            enable_split: split,
-            ..Default::default()
-        };
-        let (history, stats) = run_sawl_history(SpecBenchmark::Soplex, cfg, requests, 0xAB1A);
-        table.row(vec![
-            name.into(),
-            pct(history.average_hit_rate()),
-            format!("{:.1}", history.average_region_size()),
-            stats.merges.to_string(),
-            stats.splits.to_string(),
+    for ((name, _, _), report) in variants.iter().zip(&reports) {
+        let adapt = report.trace().adaptation();
+        fig.row(vec![
+            (*name).into(),
+            pct(adapt.history.average_hit_rate()),
+            format!("{:.1}", adapt.history.average_region_size()),
+            adapt.stats.merges.to_string(),
+            adapt.stats.splits.to_string(),
         ]);
     }
-    emit(&table, "ablation_mechanism");
+    fig.emit();
     paper_note(
         "Not in the paper — an ablation of the two §3.2 mechanisms. Merge drives the \
          hit-rate recovery; split bounds the steady-state granularity.",

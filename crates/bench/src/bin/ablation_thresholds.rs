@@ -2,43 +2,56 @@
 //! (paper: 90% / 95%, chosen from a "turning point" observation in §4.1;
 //! DESIGN.md §9).
 
-use sawl_bench::{emit, paper_note, run_sawl_history, PERF_LINES};
+use sawl_bench::{paper_note, Figure, PERF_LINES};
 use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::Table;
+use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
 use sawl_trace::SpecBenchmark;
 
 fn main() {
     let requests: u64 = 40_000_000;
     let pairs: [(f64, f64); 4] = [(0.80, 0.90), (0.90, 0.95), (0.93, 0.97), (0.95, 0.99)];
-    let mut table = Table::new(
+    let grid: Vec<Scenario> = pairs
+        .iter()
+        .map(|&(merge_t, split_t)| {
+            Scenario::trace(
+                format!("ablation-thresholds/{merge_t:.2}/{split_t:.2}"),
+                SchemeSpec::Sawl(SawlConfig {
+                    cmt_entries: (512 * 1024 * 8 / 48) as usize,
+                    swap_period: 128,
+                    observation_window: 1 << 20,
+                    settling_window: 1 << 20,
+                    sample_interval: 100_000,
+                    max_granularity: 256,
+                    merge_threshold: merge_t,
+                    split_threshold: split_t,
+                    ..SawlConfig::default()
+                }),
+                WorkloadSpec::Spec(SpecBenchmark::Soplex),
+                PERF_LINES,
+                requests,
+            )
+        })
+        .collect();
+    let reports = run_all(&grid);
+
+    let mut fig = Figure::new(
+        "ablation_thresholds",
         "Ablation: merge/split thresholds (soplex-like)",
         &["merge", "split", "avg hit rate (%)", "avg region", "merges", "splits"],
     );
-    for (merge_t, split_t) in pairs {
-        let cfg = SawlConfig {
-            data_lines: PERF_LINES,
-            cmt_entries: (512 * 1024 * 8 / 48) as usize,
-            swap_period: 128,
-            observation_window: 1 << 20,
-            settling_window: 1 << 20,
-            sample_interval: 100_000,
-            max_granularity: 256,
-            merge_threshold: merge_t,
-            split_threshold: split_t,
-            ..Default::default()
-        };
-        let (history, stats) = run_sawl_history(SpecBenchmark::Soplex, cfg, requests, 0xAB1B);
-        table.row(vec![
+    for (&(merge_t, split_t), report) in pairs.iter().zip(&reports) {
+        let adapt = report.trace().adaptation();
+        fig.row(vec![
             pct(merge_t),
             pct(split_t),
-            pct(history.average_hit_rate()),
-            format!("{:.1}", history.average_region_size()),
-            stats.merges.to_string(),
-            stats.splits.to_string(),
+            pct(adapt.history.average_hit_rate()),
+            format!("{:.1}", adapt.history.average_region_size()),
+            adapt.stats.merges.to_string(),
+            adapt.stats.splits.to_string(),
         ]);
     }
-    emit(&table, "ablation_thresholds");
+    fig.emit();
     paper_note(
         "Not in the paper beyond the stated 90/95/99% choices. A lower merge \
          threshold tolerates worse hit rates before coarsening; the paper's \

@@ -7,34 +7,48 @@
 //! regimes (window ≪ phase: noisy; window ≫ phase: oversmoothed, missing
 //! merge/split points — the paper's green circles).
 
-use sawl_bench::{emit, paper_note, run_sawl_history, save_history_csv, PERF_LINES};
+use sawl_bench::{paper_note, save_history_csv, Figure, PERF_LINES};
 use sawl_core::SawlConfig;
-use sawl_simctl::Table;
+use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
 use sawl_trace::SpecBenchmark;
 
 fn main() {
     let requests: u64 = 100_000_000;
     let sows: [u64; 4] = [1 << 18, 1 << 20, 1 << 22, 1 << 24];
 
-    let mut table = Table::new(
+    let grid: Vec<Scenario> = sows
+        .iter()
+        .map(|&sow| {
+            Scenario::trace(
+                format!("fig12/sow/2e{}", sow.trailing_zeros()),
+                SchemeSpec::Sawl(SawlConfig {
+                    cmt_entries: (512 * 1024 * 8 / 48) as usize,
+                    swap_period: 128,
+                    observation_window: sow,
+                    settling_window: 1 << 20,
+                    sample_interval: 100_000,
+                    max_granularity: 256,
+                    ..SawlConfig::default()
+                }),
+                WorkloadSpec::Spec(SpecBenchmark::Soplex),
+                PERF_LINES,
+                requests,
+            )
+        })
+        .collect();
+    let reports = run_all(&grid);
+
+    let mut fig = Figure::new(
+        "fig12_summary",
         "Fig. 12 sampled hit rate vs SOW (soplex-like, 512KB cache)",
         &["SOW", "mean rate", "rate stddev", "min", "max", "adjustments"],
     );
-    for &sow in &sows {
-        let cfg = SawlConfig {
-            data_lines: PERF_LINES,
-            cmt_entries: (512 * 1024 * 8 / 48) as usize,
-            swap_period: 128,
-            observation_window: sow,
-            settling_window: 1 << 20,
-            sample_interval: 100_000,
-            max_granularity: 256,
-            ..Default::default()
-        };
-        let (history, stats) = run_sawl_history(SpecBenchmark::Soplex, cfg, requests, 0xF16_12);
+    for (&sow, report) in sows.iter().zip(&reports) {
+        let adapt = report.trace().adaptation();
         // Statistics of the *windowed* (sampled) hit-rate curve — the
         // quantity plotted in the paper's Fig. 12.
-        let rates: Vec<f64> = history
+        let rates: Vec<f64> = adapt
+            .history
             .samples()
             .iter()
             .skip(8) // let the window fill
@@ -45,17 +59,17 @@ fn main() {
         let var = rates.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / n;
         let min = rates.iter().cloned().fold(1.0f64, f64::min);
         let max = rates.iter().cloned().fold(0.0f64, f64::max);
-        table.row(vec![
+        fig.row(vec![
             format!("2^{}", sow.trailing_zeros()),
             format!("{:.3}", mean),
             format!("{:.4}", var.sqrt()),
             format!("{:.3}", min),
             format!("{:.3}", max),
-            format!("{}", stats.merges + stats.splits),
+            format!("{}", adapt.stats.merges + adapt.stats.splits),
         ]);
-        save_history_csv(&history, &format!("fig12_sow_2e{}", sow.trailing_zeros()));
+        save_history_csv(&adapt.history, &format!("fig12_sow_2e{}", sow.trailing_zeros()));
     }
-    emit(&table, "fig12_summary");
+    fig.emit();
     paper_note(
         "Paper Fig. 12: with SOW = 2^20 the sampled rate fluctuates so much that SAWL \
          adjusts too frequently; very large SOW (2^24, 2^26) smooths away the phase \

@@ -5,36 +5,31 @@
 //! 98.9%, SAWL 94.5%; cactusADM — 63%, 95.2%, 88%; gcc — 58.3%, 98.9%,
 //! 91.3%. SAWL's average region size settles around 16 lines.
 
-use sawl_bench::{emit, paper_note, run_nwl_hit_rate, run_sawl_history, save_history_csv, CMT_BYTES, PERF_LINES};
+use sawl_bench::{paper_note, save_history_csv, Figure, CMT_BYTES, PERF_LINES};
 use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::Table;
+use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
 use sawl_tiered::NwlConfig;
 use sawl_trace::SpecBenchmark;
 
 fn main() {
     let requests: u64 = 50_000_000;
-    let benches =
-        [SpecBenchmark::Bzip2, SpecBenchmark::CactusADM, SpecBenchmark::Gcc];
+    let benches = [SpecBenchmark::Bzip2, SpecBenchmark::CactusADM, SpecBenchmark::Gcc];
 
-    let mut table = Table::new(
-        "Fig. 14 average CMT hit rates (256KB cache)",
-        &["benchmark", "NWL-4 (%)", "NWL-64 (%)", "SAWL (%)", "SAWL avg region"],
-    );
-    for bench in benches {
-        let nwl = |granularity: u64| {
-            let cfg = NwlConfig {
-                data_lines: PERF_LINES,
-                granularity,
-                swap_period: 128,
-                ..NwlConfig::default()
-            }
-            .with_cache_bytes(CMT_BYTES);
-            run_nwl_hit_rate(bench, cfg, requests, 0xF16_14)
-        };
-        let nwl4 = nwl(4);
-        let nwl64 = nwl(64);
-        let sawl_cfg = SawlConfig {
+    // The schemes share the 256KB CMT budget; entry sizes differ by
+    // granularity, so the affordable entry counts do too.
+    let nwl_spec = |granularity: u64| {
+        let cfg = NwlConfig {
+            data_lines: PERF_LINES,
+            granularity,
+            swap_period: 128,
+            ..NwlConfig::default()
+        }
+        .with_cache_bytes(CMT_BYTES);
+        SchemeSpec::Nwl { granularity, cmt_entries: cfg.cmt_entries, swap_period: 128 }
+    };
+    let sawl_spec = SchemeSpec::Sawl(
+        SawlConfig {
             data_lines: PERF_LINES,
             swap_period: 128,
             observation_window: 1 << 20,
@@ -43,19 +38,45 @@ fn main() {
             max_granularity: 256,
             ..Default::default()
         }
-        .with_cache_bytes(CMT_BYTES);
-        let (history, stats) = run_sawl_history(bench, sawl_cfg, requests, 0xF16_14);
-        let sawl_rate = stats.hit_rate();
-        table.row(vec![
-            bench.name().into(),
-            pct(nwl4),
-            pct(nwl64),
-            pct(sawl_rate),
-            format!("{:.1}", history.average_region_size()),
-        ]);
-        save_history_csv(&history, &format!("fig14_sawl_{}", bench.name()));
+        .with_cache_bytes(CMT_BYTES),
+    );
+
+    let mut grid = Vec::new();
+    for bench in benches {
+        for (name, scheme) in
+            [("nwl4", nwl_spec(4)), ("nwl64", nwl_spec(64)), ("sawl", sawl_spec.clone())]
+        {
+            grid.push(Scenario::trace(
+                format!("fig14/{}/{}", bench.name(), name),
+                scheme,
+                WorkloadSpec::Spec(bench),
+                PERF_LINES,
+                requests,
+            ));
+        }
     }
-    emit(&table, "fig14_summary");
+    let reports = run_all(&grid);
+
+    let mut fig = Figure::new(
+        "fig14_summary",
+        "Fig. 14 average CMT hit rates (256KB cache)",
+        &["benchmark", "NWL-4 (%)", "NWL-64 (%)", "SAWL (%)", "SAWL avg region"],
+    );
+    for (bi, bench) in benches.iter().enumerate() {
+        let nwl4 = reports[bi * 3].trace();
+        let nwl64 = reports[bi * 3 + 1].trace();
+        let sawl = reports[bi * 3 + 2].trace();
+        let adapt = sawl.adaptation();
+        fig.row(vec![
+            bench.name().into(),
+            pct(nwl4.hit_rate),
+            pct(nwl64.hit_rate),
+            pct(sawl.hit_rate),
+            format!("{:.1}", adapt.history.average_region_size()),
+        ]);
+        save_history_csv(&adapt.history, &format!("fig14_sawl_{}", bench.name()));
+    }
+    fig.emit();
     paper_note(
         "Paper Fig. 14 (256KB cache): bzip2 86.4/98.9/94.5%, cactusADM 63/95.2/88%, \
          gcc 58.3/98.9/91.3% for NWL-4/NWL-64/SAWL; SAWL's average region size is \

@@ -8,9 +8,12 @@
 //! Table 1-class SRAM budget affords at the scaled geometry (DESIGN.md
 //! §4); SAWL runs its paper configuration (P = 4).
 
-use sawl_bench::{bpa, device, emit, paper_note, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS, LIFETIME_LINES};
+use sawl_bench::{
+    bpa, device, paper_note, Figure, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS, LIFETIME_LINES,
+};
+use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_lifetime, LifetimeExperiment, SchemeSpec, Table};
+use sawl_simctl::{run_all, Scenario, SchemeSpec};
 
 fn main() {
     let periods: [u64; 4] = [8, 16, 32, 64];
@@ -18,30 +21,26 @@ fn main() {
     // fig5_cache_size's affordable-regions mapping at the top budget).
     let hybrid_region_lines = LIFETIME_LINES / 512;
 
-    for (tag, endurance) in
-        [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)]
-    {
-        let mut experiments = Vec::new();
+    for (tag, endurance) in [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)] {
+        let mut grid = Vec::new();
         for &period in &periods {
-            experiments.push(LifetimeExperiment {
-                id: format!("fig15/{tag}/pcms/{period}"),
-                scheme: SchemeSpec::PcmS { region_lines: hybrid_region_lines, period },
-                workload: bpa(endurance),
-                data_lines: LIFETIME_LINES,
-                device: device(endurance),
-                max_demand_writes: 0,
-            });
-            experiments.push(LifetimeExperiment {
-                id: format!("fig15/{tag}/mwsr/{period}"),
-                scheme: SchemeSpec::Mwsr { region_lines: hybrid_region_lines * 2, period },
-                workload: bpa(endurance),
-                data_lines: LIFETIME_LINES,
-                device: device(endurance),
-                max_demand_writes: 0,
-            });
-            experiments.push(LifetimeExperiment {
-                id: format!("fig15/{tag}/sawl/{period}"),
-                scheme: SchemeSpec::Sawl {
+            grid.push(Scenario::lifetime(
+                format!("fig15/{tag}/pcms/{period}"),
+                SchemeSpec::PcmS { region_lines: hybrid_region_lines, period },
+                bpa(endurance),
+                LIFETIME_LINES,
+                device(endurance),
+            ));
+            grid.push(Scenario::lifetime(
+                format!("fig15/{tag}/mwsr/{period}"),
+                SchemeSpec::Mwsr { region_lines: hybrid_region_lines * 2, period },
+                bpa(endurance),
+                LIFETIME_LINES,
+                device(endurance),
+            ));
+            grid.push(Scenario::lifetime(
+                format!("fig15/{tag}/sawl/{period}"),
+                SchemeSpec::Sawl(SawlConfig {
                     initial_granularity: 4,
                     max_granularity: 64,
                     cmt_entries: 4096,
@@ -49,26 +48,27 @@ fn main() {
                     observation_window: 1 << 22,
                     settling_window: 1 << 22,
                     sample_interval: 100_000,
-                },
-                workload: bpa(endurance),
-                data_lines: LIFETIME_LINES,
-                device: device(endurance),
-                max_demand_writes: 0,
-            });
+                    ..SawlConfig::default()
+                }),
+                bpa(endurance),
+                LIFETIME_LINES,
+                device(endurance),
+            ));
         }
-        let results = parallel_map(&experiments, run_lifetime);
-        let mut table = Table::new(
-            format!(
+        let results = run_all(&grid);
+        let mut fig = Figure::new(
+            &format!("fig15_{tag}"),
+            &format!(
                 "Fig. 15({}) lifetime under BPA vs swapping period, Wmax {tag}-class (%)",
                 if tag == "1e6" { "a" } else { "b" }
             ),
             &["period", "pcm-s", "mwsr", "sawl", "sawl overhead (%)"],
         );
         for (pi, &period) in periods.iter().enumerate() {
-            let pcms = &results[pi * 3];
-            let mwsr = &results[pi * 3 + 1];
-            let sawl = &results[pi * 3 + 2];
-            table.row(vec![
+            let pcms = results[pi * 3].lifetime();
+            let mwsr = results[pi * 3 + 1].lifetime();
+            let sawl = results[pi * 3 + 2].lifetime();
+            fig.row(vec![
                 period.to_string(),
                 pct(pcms.normalized_lifetime),
                 pct(mwsr.normalized_lifetime),
@@ -76,7 +76,7 @@ fn main() {
                 pct(sawl.overhead_fraction),
             ]);
         }
-        emit(&table, &format!("fig15_{tag}"));
+        fig.emit();
     }
     paper_note(
         "Paper Fig. 15: SAWL improves the normalized lifetime by 25-51 percentage \

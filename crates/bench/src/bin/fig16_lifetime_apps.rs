@@ -14,9 +14,10 @@
 //! SPEC-like streams contain reads; the lifetime driver plays only their
 //! writes (reads do not wear cells).
 
-use sawl_bench::{device, emit, paper_note};
+use sawl_bench::{device, paper_note, Figure};
+use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_lifetime, LifetimeExperiment, SchemeSpec, Table, WorkloadSpec};
+use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
 use sawl_trace::ALL_BENCHMARKS;
 
 fn harmonic_mean(xs: &[f64]) -> f64 {
@@ -32,21 +33,14 @@ fn main() {
     for (panel, wlg) in [("a", 2048u64), ("b", 8u64)] {
         let schemes: Vec<(&str, SchemeSpec)> = vec![
             ("baseline", SchemeSpec::Baseline),
-            (
-                "rbsg",
-                SchemeSpec::Rbsg {
-                    regions: LIFETIME_LINES / wlg,
-                    region_lines: wlg,
-                    period,
-                },
-            ),
+            ("rbsg", SchemeSpec::Rbsg { regions: LIFETIME_LINES / wlg, region_lines: wlg, period }),
             (
                 "tlsr",
                 SchemeSpec::Tlsr { region_lines: wlg, inner_period: period, outer_period: 32 },
             ),
             (
                 "sawl",
-                SchemeSpec::Sawl {
+                SchemeSpec::Sawl(SawlConfig {
                     initial_granularity: wlg.min(64),
                     max_granularity: (wlg.min(64) * 16).min(2048),
                     cmt_entries: 4096,
@@ -54,49 +48,53 @@ fn main() {
                     observation_window: 1 << 22,
                     settling_window: 1 << 22,
                     sample_interval: 100_000,
-                },
+                    ..SawlConfig::default()
+                }),
             ),
         ];
-        let mut experiments = Vec::new();
+        let mut grid = Vec::new();
         for bench in ALL_BENCHMARKS {
             for (name, scheme) in &schemes {
-                experiments.push(LifetimeExperiment {
-                    id: format!("fig16{panel}/{}/{}", bench.name(), name),
-                    scheme: scheme.clone(),
-                    workload: WorkloadSpec::Spec(bench),
-                    data_lines: LIFETIME_LINES,
-                    device: device(endurance),
+                grid.push(
+                    Scenario::lifetime(
+                        format!("fig16{panel}/{}/{}", bench.name(), name),
+                        scheme.clone(),
+                        WorkloadSpec::Spec(bench),
+                        LIFETIME_LINES,
+                        device(endurance),
+                    )
                     // Cap runs at 1.2x ideal: well-leveled benchmarks would
                     // otherwise run ~forever; 100%+ reads as "reached ideal".
-                    max_demand_writes: (LIFETIME_LINES as f64
-                        * f64::from(endurance)
-                        * 1.2) as u64,
-                });
+                    .with_write_cap((LIFETIME_LINES as f64 * f64::from(endurance) * 1.2) as u64),
+                );
             }
         }
-        let results = parallel_map(&experiments, run_lifetime);
+        let results = run_all(&grid);
         let regions = LIFETIME_LINES / wlg;
-        let mut table = Table::new(
-            format!("Fig. 16({panel}) {regions} regions (granularity {wlg}): normalized lifetime (%)"),
+        let mut fig = Figure::new(
+            &format!("fig16{panel}"),
+            &format!(
+                "Fig. 16({panel}) {regions} regions (granularity {wlg}): normalized lifetime (%)"
+            ),
             &["benchmark", "baseline", "rbsg", "tlsr", "sawl"],
         );
         let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
         for (bi, bench) in ALL_BENCHMARKS.iter().enumerate() {
             let mut row = vec![bench.name().to_string()];
             for si in 0..schemes.len() {
-                let r = &results[bi * schemes.len() + si];
+                let r = results[bi * schemes.len() + si].lifetime();
                 let nl = r.normalized_lifetime.min(1.0);
                 per_scheme[si].push(nl);
                 row.push(pct(nl));
             }
-            table.row(row);
+            fig.row(row);
         }
         let mut hrow = vec!["Hmean".to_string()];
         for vals in &per_scheme {
             hrow.push(pct(harmonic_mean(vals)));
         }
-        table.row(hrow);
-        emit(&table, &format!("fig16{panel}"));
+        fig.row(hrow);
+        fig.emit();
     }
     paper_note(
         "Paper Fig. 16: at 4096 regions the harmonic means are ~15% (RBSG), 43.1% \

@@ -9,9 +9,10 @@
 //! tiered architecture (5/55 ns by CMT hit/miss) at swapping period 128
 //! with the 256 KB CMT.
 
-use sawl_bench::{emit, paper_note, CMT_BYTES};
+use sawl_bench::{paper_note, Figure, CMT_BYTES};
+use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_perf, DeviceSpec, PerfExperiment, SchemeSpec, Table};
+use sawl_simctl::{run_all, Scenario, SchemeSpec};
 use sawl_trace::ALL_BENCHMARKS;
 
 fn main() {
@@ -24,13 +25,10 @@ fn main() {
     let cmt_entries = (CMT_BYTES * 8 / 48) as usize;
     let schemes: Vec<(&str, SchemeSpec)> = vec![
         ("bwl", SchemeSpec::PcmS { region_lines: 4, period: 8 }),
-        (
-            "nwl-4",
-            SchemeSpec::Nwl { granularity: 4, cmt_entries, swap_period: 128 },
-        ),
+        ("nwl-4", SchemeSpec::Nwl { granularity: 4, cmt_entries, swap_period: 128 }),
         (
             "sawl",
-            SchemeSpec::Sawl {
+            SchemeSpec::Sawl(SawlConfig {
                 initial_granularity: 4,
                 max_granularity: 256,
                 cmt_entries,
@@ -38,37 +36,38 @@ fn main() {
                 observation_window: 1 << 20,
                 settling_window: 1 << 20,
                 sample_interval: 100_000,
-            },
+                ..SawlConfig::default()
+            }),
         ),
     ];
 
-    let mut experiments = Vec::new();
+    let mut grid = Vec::new();
     for bench in ALL_BENCHMARKS {
         for (name, scheme) in &schemes {
-            experiments.push(PerfExperiment {
-                id: format!("fig17/{}/{}", bench.name(), name),
-                scheme: scheme.clone(),
-                benchmark: bench,
-                data_lines: PERF_LINES,
-                device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+            grid.push(Scenario::perf(
+                format!("fig17/{}/{}", bench.name(), name),
+                scheme.clone(),
+                bench,
+                PERF_LINES,
                 requests,
-                warmup_requests: warmup,
-            });
+                warmup,
+            ));
         }
     }
-    let results = parallel_map(&experiments, run_perf);
+    let results = run_all(&grid);
 
-    let mut table = Table::new(
+    let mut fig = Figure::new(
+        "fig17_ipc",
         "Fig. 17 IPC degradation vs no-wear-leveling baseline (%)",
         &["benchmark", "bwl", "nwl-4", "sawl", "nwl-4 hit (%)", "sawl hit (%)"],
     );
     let mut sums = [0.0f64; 3];
     for (bi, bench) in ALL_BENCHMARKS.iter().enumerate() {
-        let row_results = &results[bi * 3..bi * 3 + 3];
+        let row_results: Vec<_> = results[bi * 3..bi * 3 + 3].iter().map(|r| r.perf()).collect();
         for (si, r) in row_results.iter().enumerate() {
             sums[si] += r.ipc_degradation;
         }
-        table.row(vec![
+        fig.row(vec![
             bench.name().to_string(),
             pct(row_results[0].ipc_degradation),
             pct(row_results[1].ipc_degradation),
@@ -78,7 +77,7 @@ fn main() {
         ]);
     }
     let n = ALL_BENCHMARKS.len() as f64;
-    table.row(vec![
+    fig.row(vec![
         "Mean".into(),
         pct(sums[0] / n),
         pct(sums[1] / n),
@@ -86,7 +85,7 @@ fn main() {
         "".into(),
         "".into(),
     ]);
-    emit(&table, "fig17_ipc");
+    fig.emit();
     paper_note(
         "Paper Fig. 17: average IPC degradation 23% (BWL), 10% (NWL-4), 5% (SAWL); \
          bzip2 and milc barely degrade (sparse, cache-resident accesses). Expect \

@@ -7,50 +7,49 @@
 //! range of *region sizes* (2^10 down to 2^2 lines) relative to the sweep.
 //! The outer period is fixed at 32 as in the paper.
 
-use sawl_bench::{bpa, device, emit, fmt_regions, paper_note, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS, LIFETIME_LINES};
+use sawl_bench::{
+    bpa, device, fmt_regions, paper_note, Figure, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS,
+    LIFETIME_LINES,
+};
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_lifetime, LifetimeExperiment, SchemeSpec, Table};
+use sawl_simctl::{run_all, Scenario, SchemeSpec};
 
 fn main() {
     let periods: [u64; 4] = [8, 16, 32, 64];
     let region_counts: Vec<u64> = (6..=14).map(|k| 1u64 << k).collect();
 
-    for (tag, endurance) in
-        [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)]
-    {
-        let mut experiments = Vec::new();
+    for (tag, endurance) in [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)] {
+        let mut grid = Vec::new();
         for &period in &periods {
             for &regions in &region_counts {
                 let region_lines = LIFETIME_LINES / regions;
-                experiments.push(LifetimeExperiment {
-                    id: format!("fig3/{tag}/p{period}/r{regions}"),
-                    scheme: SchemeSpec::Tlsr {
-                        region_lines,
-                        inner_period: period,
-                        outer_period: 32,
-                    },
-                    workload: bpa(endurance),
-                    data_lines: LIFETIME_LINES,
-                    device: device(endurance),
-                    max_demand_writes: 0,
-                });
+                grid.push(Scenario::lifetime(
+                    format!("fig3/{tag}/p{period}/r{regions}"),
+                    SchemeSpec::Tlsr { region_lines, inner_period: period, outer_period: 32 },
+                    bpa(endurance),
+                    LIFETIME_LINES,
+                    device(endurance),
+                ));
             }
         }
-        let results = parallel_map(&experiments, run_lifetime);
-        let mut table = Table::new(
-            format!("Fig. 3({}) TLSR under BPA, Wmax {tag}-class: normalized lifetime (%)",
-                if tag == "1e6" { "a" } else { "b" }),
+        let results = run_all(&grid);
+        let mut fig = Figure::new(
+            &format!("fig3_{tag}"),
+            &format!(
+                "Fig. 3({}) TLSR under BPA, Wmax {tag}-class: normalized lifetime (%)",
+                if tag == "1e6" { "a" } else { "b" }
+            ),
             &["regions", "period 8", "period 16", "period 32", "period 64"],
         );
         for (ri, &regions) in region_counts.iter().enumerate() {
             let mut row = vec![fmt_regions(regions)];
             for pi in 0..periods.len() {
-                let r = &results[pi * region_counts.len() + ri];
+                let r = results[pi * region_counts.len() + ri].lifetime();
                 row.push(pct(r.normalized_lifetime));
             }
-            table.row(row);
+            fig.row(row);
         }
-        emit(&table, &format!("fig3_{tag}"));
+        fig.emit();
     }
     paper_note(
         "Paper Fig. 3: lifetime rises then falls with the region count; best ~42% of \

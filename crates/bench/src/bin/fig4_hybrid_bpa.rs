@@ -5,19 +5,20 @@
 //! Paper geometry: 64 GB, regions 16K–64M (region size down to 4 lines).
 //! Scaled: 2^16 lines, regions 2^6–2^14 (region size 1024 down to 4).
 
-use sawl_bench::{bpa, device, emit, fmt_regions, paper_note, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS, LIFETIME_LINES};
+use sawl_bench::{
+    bpa, device, fmt_regions, paper_note, Figure, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS,
+    LIFETIME_LINES,
+};
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_lifetime, LifetimeExperiment, SchemeSpec, Table};
+use sawl_simctl::{run_all, Scenario, SchemeSpec};
 
 fn main() {
     let periods: [u64; 4] = [8, 16, 32, 64];
     let region_counts: Vec<u64> = (6..=14).map(|k| 1u64 << k).collect();
 
-    for (tag, endurance) in
-        [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)]
-    {
+    for (tag, endurance) in [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)] {
         for scheme_name in ["pcm-s", "mwsr"] {
-            let mut experiments = Vec::new();
+            let mut grid = Vec::new();
             for &period in &periods {
                 for &regions in &region_counts {
                     let region_lines = LIFETIME_LINES / regions;
@@ -26,30 +27,32 @@ fn main() {
                     } else {
                         SchemeSpec::Mwsr { region_lines, period }
                     };
-                    experiments.push(LifetimeExperiment {
-                        id: format!("fig4/{tag}/{scheme_name}/p{period}/r{regions}"),
+                    grid.push(Scenario::lifetime(
+                        format!("fig4/{tag}/{scheme_name}/p{period}/r{regions}"),
                         scheme,
-                        workload: bpa(endurance),
-                        data_lines: LIFETIME_LINES,
-                        device: device(endurance),
-                        max_demand_writes: 0,
-                    });
+                        bpa(endurance),
+                        LIFETIME_LINES,
+                        device(endurance),
+                    ));
                 }
             }
-            let results = parallel_map(&experiments, run_lifetime);
-            let mut table = Table::new(
-                format!("Fig. 4 {scheme_name} under BPA, Wmax {tag}-class: normalized lifetime (%)"),
+            let results = run_all(&grid);
+            let mut fig = Figure::new(
+                &format!("fig4_{scheme_name}_{tag}"),
+                &format!(
+                    "Fig. 4 {scheme_name} under BPA, Wmax {tag}-class: normalized lifetime (%)"
+                ),
                 &["regions", "period 8", "period 16", "period 32", "period 64"],
             );
             for (ri, &regions) in region_counts.iter().enumerate() {
                 let mut row = vec![fmt_regions(regions)];
                 for pi in 0..periods.len() {
-                    let r = &results[pi * region_counts.len() + ri];
+                    let r = results[pi * region_counts.len() + ri].lifetime();
                     row.push(pct(r.normalized_lifetime));
                 }
-                table.row(row);
+                fig.row(row);
             }
-            emit(&table, &format!("fig4_{scheme_name}_{tag}"));
+            fig.emit();
         }
     }
     paper_note(

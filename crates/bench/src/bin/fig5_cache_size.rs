@@ -12,9 +12,11 @@
 //! x-axis becomes 16B–1KB; we sweep 64B–4KB and print the paper-equivalent
 //! label.
 
-use sawl_bench::{bpa, device, emit, paper_note, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS, LIFETIME_LINES};
+use sawl_bench::{
+    bpa, device, paper_note, Figure, ENDURANCE_1E5_CLASS, ENDURANCE_1E6_CLASS, LIFETIME_LINES,
+};
 use sawl_simctl::report::pct;
-use sawl_simctl::{parallel_map, run_lifetime, LifetimeExperiment, SchemeSpec, Table};
+use sawl_simctl::{run_all, Scenario, SchemeSpec};
 
 /// Entry bits: PCM-S keeps prn+key (= log2 lines) plus a 20-bit counter;
 /// MWSR keeps two placements plus the counter (§2.2 item 4).
@@ -41,10 +43,8 @@ fn main() {
     let budgets: Vec<u64> = (6..=15).map(|k| 1u64 << k).collect(); // 64B..32KB scaled
     let period = 32;
 
-    for (tag, endurance) in
-        [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)]
-    {
-        let mut experiments = Vec::new();
+    for (tag, endurance) in [("1e6", ENDURANCE_1E6_CLASS), ("1e5", ENDURANCE_1E5_CLASS)] {
+        let mut grid = Vec::new();
         for scheme_name in ["pcm-s", "mwsr"] {
             for &bytes in &budgets {
                 let regions = affordable_regions(bytes, scheme_name, LIFETIME_LINES);
@@ -54,28 +54,35 @@ fn main() {
                 } else {
                     SchemeSpec::Mwsr { region_lines, period }
                 };
-                experiments.push(LifetimeExperiment {
-                    id: format!("fig5/{tag}/{scheme_name}/{bytes}"),
+                grid.push(Scenario::lifetime(
+                    format!("fig5/{tag}/{scheme_name}/{bytes}"),
                     scheme,
-                    workload: bpa(endurance),
-                    data_lines: LIFETIME_LINES,
-                    device: device(endurance),
-                    max_demand_writes: 0,
-                });
+                    bpa(endurance),
+                    LIFETIME_LINES,
+                    device(endurance),
+                ));
             }
         }
-        let results = parallel_map(&experiments, run_lifetime);
-        let mut table = Table::new(
-            format!(
+        let results = run_all(&grid);
+        let mut fig = Figure::new(
+            &format!("fig5_{tag}"),
+            &format!(
                 "Fig. 5({}) lifetime vs on-chip cache budget, Wmax {tag}-class (%)",
                 if tag == "1e6" { "a" } else { "b" }
             ),
-            &["cache (scaled)", "cache (paper-equiv)", "pcm-s regions", "pcm-s", "mwsr regions", "mwsr"],
+            &[
+                "cache (scaled)",
+                "cache (paper-equiv)",
+                "pcm-s regions",
+                "pcm-s",
+                "mwsr regions",
+                "mwsr",
+            ],
         );
         for (bi, &bytes) in budgets.iter().enumerate() {
-            let pcms = &results[bi];
-            let mwsr = &results[budgets.len() + bi];
-            table.row(vec![
+            let pcms = results[bi].lifetime();
+            let mwsr = results[budgets.len() + bi].lifetime();
+            fig.row(vec![
                 format!("{bytes}B"),
                 format!("{}KB", bytes * 4096 / 1024),
                 affordable_regions(bytes, "pcm-s", LIFETIME_LINES).to_string(),
@@ -84,7 +91,7 @@ fn main() {
                 pct(mwsr.normalized_lifetime),
             ]);
         }
-        emit(&table, &format!("fig5_{tag}"));
+        fig.emit();
     }
     paper_note(
         "Paper Fig. 5: lifetime grows with the cache budget; PCM-S tops out at ~72% of \

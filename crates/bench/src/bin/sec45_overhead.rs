@@ -4,11 +4,12 @@
 //! a 64 GB system with 64M regions, GTD size at translation-line
 //! granularity Kt = 32, and the CMT budget options.
 
-use sawl_simctl::Table;
+use sawl_bench::Figure;
 use sawl_tiered::OverheadModel;
 
 fn main() {
-    let mut table = Table::new(
+    let mut fig = Figure::new(
+        "sec45_overhead",
         "Sec. 4.5 hardware overhead (64GB device)",
         &["regions", "IMT (MB)", "IMT share (%)", "translation lines", "GTD (KB)"],
     );
@@ -19,7 +20,7 @@ fn main() {
             line_bytes: 64,
             kt: 32,
         };
-        table.row(vec![
+        fig.row(vec![
             sawl_bench::fmt_regions(1 << regions_log2),
             format!("{:.1}", m.imt_bytes() as f64 / (1 << 20) as f64),
             format!("{:.2}", m.imt_fraction() * 100.0),
@@ -27,16 +28,17 @@ fn main() {
             format!("{:.1}", m.gtd_bytes() as f64 / 1024.0),
         ]);
     }
-    sawl_bench::emit(&table, "sec45_overhead");
+    fig.emit();
 
-    let mut cmt = Table::new(
+    let mut cmt = Figure::new(
+        "sec45_cmt",
         "CMT budget options (paper: 64-512KB all suitable)",
         &["CMT bytes", "entries (48-bit entries)"],
     );
     for kb in [64u64, 128, 256, 512] {
         cmt.row(vec![format!("{kb}KB"), (kb * 1024 * 8 / 48).to_string()]);
     }
-    sawl_bench::emit(&cmt, "sec45_cmt");
+    cmt.emit();
     sawl_bench::paper_note(
         "Paper §4.5: IMT = 224MB for 64M regions (0.3% of the 64GB device); GTD = \
          80KB at Kt = 32; CMT budgets of 64-512KB are all workable. The formula \

@@ -1,23 +1,25 @@
 use std::time::Instant;
-use sawl_simctl::{run_lifetime, DeviceSpec, LifetimeExperiment, SchemeSpec, WorkloadSpec};
+
+use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, WorkloadSpec};
 
 fn main() {
+    // Serial on purpose: each run is timed in isolation.
     for (name, scheme) in [
         ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
         ("tlsr", SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 }),
         ("mwsr", SchemeSpec::Mwsr { region_lines: 16, period: 32 }),
         ("sawl", SchemeSpec::sawl_default(1024)),
     ] {
-        let exp = LifetimeExperiment {
-            id: format!("probe/{name}"),
+        let scenario = Scenario::lifetime(
+            format!("probe/{name}"),
             scheme,
-            workload: WorkloadSpec::Bpa { writes_per_target: 2048 },
-            data_lines: 1 << 16,
-            device: DeviceSpec { endurance: 10_000, ..Default::default() },
-            max_demand_writes: 0,
-        };
+            WorkloadSpec::Bpa { writes_per_target: 2048 },
+            1 << 16,
+            DeviceSpec { endurance: 10_000, ..Default::default() },
+        );
         let t = Instant::now();
-        let r = run_lifetime(&exp);
+        let report = run_scenario(&scenario);
+        let r = report.lifetime();
         let dt = t.elapsed().as_secs_f64();
         println!(
             "{name}: nl={:.3} demand={} overhead={:.3} died={} in {dt:.2}s ({:.1} Mw/s)",

@@ -5,19 +5,17 @@
 //! design choices called out in DESIGN.md §9 and Criterion microbenchmarks
 //! for the hot paths (`benches/hot_paths.rs`).
 //!
-//! Every binary prints the aligned table of the series the paper reports
-//! and writes the same data to `results/<name>.csv`. This module holds the
-//! shared scaled-geometry constants (DESIGN.md §4) and output helpers.
+//! The binaries do not drive wear levelers themselves: each one builds a
+//! grid of [`sawl_simctl::Scenario`]s, runs it through
+//! [`sawl_simctl::run_all`] (which shards across cores), and renders the
+//! reports through [`Figure`]. This module holds the shared
+//! scaled-geometry constants (DESIGN.md §4) and the output helpers.
 
 use std::path::PathBuf;
 
-use sawl_algos::WearLeveler;
-use sawl_core::{History, Sawl, SawlConfig, SawlStats};
-use sawl_nvm::NvmDevice;
+use sawl_core::History;
 use sawl_simctl::report::Table;
 use sawl_simctl::{DeviceSpec, WorkloadSpec};
-use sawl_tiered::{Nwl, NwlConfig};
-use sawl_trace::{AddressStream, SpecBenchmark};
 
 /// Logical data lines for lifetime experiments (scaled device, §4 of
 /// DESIGN.md). 2^16 lines at Wmax 1e4 wears out in a few seconds of
@@ -61,9 +59,43 @@ pub fn results_dir() -> PathBuf {
     }
     // crates/bench -> workspace root
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(|p| p.parent()).map(|p| p.join("results")).unwrap_or_else(|| {
-        PathBuf::from("results")
-    })
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// A figure's output: an aligned table on stdout plus the same data as
+/// `results/<stem>.csv`. Replaces the per-binary print/save boilerplate —
+/// build rows, then [`Figure::emit`] once.
+pub struct Figure {
+    stem: String,
+    table: Table,
+}
+
+impl Figure {
+    /// Start a figure table with the given CSV stem, display title and
+    /// column headers.
+    pub fn new(stem: &str, title: &str, headers: &[&str]) -> Self {
+        Self { stem: stem.to_string(), table: Table::new(title, headers) }
+    }
+
+    /// Append one row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.table.row(cells);
+        self
+    }
+
+    /// Print the aligned table and persist it as `results/<stem>.csv`.
+    pub fn emit(self) {
+        println!("{}", self.table.to_aligned_string());
+        let path = results_dir().join(format!("{}.csv", self.stem));
+        match self.table.write_csv(&path) {
+            Ok(()) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+        }
+    }
 }
 
 /// Print the aligned table and persist it as `results/<stem>.csv`.
@@ -81,64 +113,11 @@ pub fn paper_note(note: &str) {
     println!("\n--- paper reference ---\n{note}\n");
 }
 
-/// Wear-free device sized for a scheme's physical-line requirement
-/// (hit-rate experiments never wear anything out).
-pub fn wearless_device(physical_lines: u64) -> NvmDevice {
-    DeviceSpec { endurance: u32::MAX, ..Default::default() }.build(physical_lines, 1)
-}
-
-/// Drive `requests` of a benchmark stream through a SAWL engine and return
-/// its recorded history plus run statistics. Used by the Figs. 12-14
-/// trajectory binaries.
-pub fn run_sawl_history(
-    bench: SpecBenchmark,
-    cfg: SawlConfig,
-    requests: u64,
-    seed: u64,
-) -> (History, SawlStats) {
-    let mut sawl = Sawl::new(cfg.clone());
-    let mut dev = wearless_device(sawl.required_physical_lines());
-    let mut stream = bench.stream(cfg.data_lines, seed);
-    for _ in 0..requests {
-        let r = stream.next_req();
-        if r.write {
-            sawl.write(r.la, &mut dev);
-        } else {
-            sawl.read(r.la, &mut dev);
-        }
-    }
-    (sawl.history().clone(), sawl.stats())
-}
-
-/// Drive `requests` of a benchmark through an NWL instance and return its
-/// whole-run CMT hit rate.
-pub fn run_nwl_hit_rate(
-    bench: SpecBenchmark,
-    cfg: NwlConfig,
-    requests: u64,
-    seed: u64,
-) -> f64 {
-    let mut nwl = Nwl::new(cfg.clone());
-    let mut dev = wearless_device(nwl.required_physical_lines());
-    let mut stream = bench.stream(cfg.data_lines, seed);
-    for _ in 0..requests {
-        let r = stream.next_req();
-        if r.write {
-            nwl.write(r.la, &mut dev);
-        } else {
-            nwl.read(r.la, &mut dev);
-        }
-    }
-    nwl.mapping_stats().hit_rate()
-}
-
 /// Write a history's samples as a CSV trajectory (requests, windowed hit
 /// rate, instant hit rate, cached region size).
 pub fn save_history_csv(history: &History, stem: &str) {
-    let mut t = Table::new(
-        "",
-        &["requests", "windowed_hit_rate", "instant_hit_rate", "region_size"],
-    );
+    let mut t =
+        Table::new("", &["requests", "windowed_hit_rate", "instant_hit_rate", "region_size"]);
     for s in history.samples() {
         t.row(vec![
             s.requests.to_string(),
@@ -197,5 +176,12 @@ mod tests {
     fn results_dir_is_workspace_relative() {
         let d = results_dir();
         assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn figure_rows_chain() {
+        let mut f = Figure::new("test_fig", "t", &["a", "b"]);
+        f.row(vec!["1".into(), "2".into()]).row(vec!["3".into(), "4".into()]);
+        assert!(f.table.to_csv().contains("3,4"));
     }
 }

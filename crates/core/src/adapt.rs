@@ -1,4 +1,5 @@
-//! Hit-rate monitoring and granularity decisions (§3.2, §4.2).
+//! The adaptation controller: hit-rate monitoring, LRU-stack sampling and
+//! lazy merge/split target decisions (§3.2, §4.2).
 //!
 //! SAWL measures the runtime cache hit rate "by calculating the percentage
 //! of memory access requests that hit the cache out of a certain total
@@ -8,13 +9,28 @@
 //! cache hit rate ... is sufficiently stable" — the **settling window**
 //! (SSW). §4.2 trains both to 2^22 requests.
 //!
-//! The monitor is a pure state machine over `(hit, split-counter)` inputs,
-//! independent of the engine, so its windowing logic is directly unit
-//! tested and reusable by the NWL ablations.
+//! Two layers live here:
+//!
+//! * [`HitRateMonitor`] — a pure state machine over `(hit, split-counter)`
+//!   inputs, independent of the engine, so its windowing logic is directly
+//!   unit tested and reusable by the NWL ablations.
+//! * [`HitRateAdaptation`] — the engine-facing controller. It counts
+//!   requests, samples the CMT's LRU-stack hit counters (first/second
+//!   half) on the monitor's cadence, records the [`History`] time series,
+//!   and turns monitor decisions into movements of the **target
+//!   granularity**. Regions converge to the target *lazily*, on access
+//!   (§3.2's lazy merging and splitting): the controller only answers
+//!   "what should this region do next?" via
+//!   [`AdaptationController::action_for`]; the engine performs the
+//!   operation.
 
 use serde::{Deserialize, Serialize};
 
+use sawl_tiered::cmt::Cmt;
+use sawl_tiered::imt::ImtEntry;
+
 use crate::config::SawlConfig;
+use crate::history::{History, Sample};
 
 /// Granularity decision emitted by the monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,7 +44,7 @@ pub enum Decision {
     Split,
 }
 
-/// Per-sample inputs the engine feeds the monitor.
+/// Per-sample inputs the controller feeds the monitor.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MonitorInputs {
     /// Hits in the first (MRU) half of the CMT since the last sample.
@@ -201,7 +217,7 @@ impl HitRateMonitor {
             || second_ratio >= self.subqueue_split_threshold
     }
 
-    /// Cancel the post-action cooldown. The engine calls this when a
+    /// Cancel the post-action cooldown. The controller calls this when a
     /// decision turned out to be a no-op (e.g. a split requested while
     /// every cached region already sits at the minimum granularity), so a
     /// fruitless decision does not stall real adaptation for a settling
@@ -216,6 +232,182 @@ impl HitRateMonitor {
         // After acting, hold for a settling window so the effect of the
         // adjustment is observed before the next one.
         self.cooldown = self.settle_samples;
+    }
+}
+
+/// Lazy adaptation step the controller wants a touched region to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptAction {
+    /// Merge the region with its buddy (one level up).
+    Merge,
+    /// Split the region in half (one level down).
+    Split,
+}
+
+/// Narrow interface of the adaptation subsystem: what the engine's request
+/// path needs from the controller.
+pub trait AdaptationController {
+    /// Count one request; `true` when a hit-rate sample is now due.
+    fn begin_request(&mut self) -> bool;
+
+    /// Take the due sample from the CMT's LRU-stack counters, record the
+    /// history point, and move the target granularity per the monitor's
+    /// decision. `cached_region_size` / `global_region_size` are the
+    /// mapping-tier observations recorded alongside.
+    fn on_sample(&mut self, cmt: &Cmt<ImtEntry>, cached_region_size: f64, global_region_size: f64);
+
+    /// The lazy step (if any) a touched region of granularity `q_log2`
+    /// should take toward the current target. Honors the merge/split
+    /// enable switches.
+    fn action_for(&self, q_log2: u8) -> Option<AdaptAction>;
+
+    /// The granularity level (log2 lines) the controller currently wants.
+    fn target_q_log2(&self) -> u8;
+}
+
+/// The engine-facing adaptation controller: request counting, LRU-stack
+/// sampling deltas, history recording and target-granularity movement.
+#[derive(Debug, Clone)]
+pub struct HitRateAdaptation {
+    monitor: HitRateMonitor,
+    history: History,
+    /// The granularity level (log2 lines) the monitor currently wants.
+    /// Regions adapt toward it *lazily*, on access (§3.2's lazy merging
+    /// and splitting): a merge decision raises the target, and each region
+    /// is merged/split only when it is next touched, so adaptation cost is
+    /// paid by the regions that actually benefit and no pass ever stalls
+    /// the system.
+    target_q_log2: u8,
+    p_log2: u8,
+    max_q_log2: u8,
+    enable_merge: bool,
+    enable_split: bool,
+    requests: u64,
+    /// Counter snapshot at the last monitor sample.
+    last_first: u64,
+    last_second: u64,
+    last_misses: u64,
+    merge_decisions: u64,
+    split_decisions: u64,
+}
+
+impl HitRateAdaptation {
+    /// Build from a [`SawlConfig`]; the target starts at P.
+    pub fn new(cfg: &SawlConfig) -> Self {
+        Self {
+            monitor: HitRateMonitor::new(cfg),
+            history: History::new(),
+            target_q_log2: cfg.initial_granularity.trailing_zeros() as u8,
+            p_log2: cfg.initial_granularity.trailing_zeros() as u8,
+            max_q_log2: cfg.max_granularity.trailing_zeros() as u8,
+            enable_merge: cfg.enable_merge,
+            enable_split: cfg.enable_split,
+            requests: 0,
+            last_first: 0,
+            last_second: 0,
+            last_misses: 0,
+            merge_decisions: 0,
+            split_decisions: 0,
+        }
+    }
+
+    /// Requests observed so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Recorded time series (one point per monitor sample).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Monitor decisions that triggered a merge / split pass.
+    pub fn decisions(&self) -> (u64, u64) {
+        (self.merge_decisions, self.split_decisions)
+    }
+
+    /// Force the target granularity level (log2 lines). Test and ablation
+    /// support: regions then converge lazily exactly as they would after
+    /// monitor decisions.
+    pub fn set_target_q_log2(&mut self, q_log2: u8) {
+        assert!(
+            (self.p_log2..=self.max_q_log2).contains(&q_log2),
+            "target {q_log2} outside [{}, {}]",
+            self.p_log2,
+            self.max_q_log2
+        );
+        self.target_q_log2 = q_log2;
+    }
+}
+
+impl AdaptationController for HitRateAdaptation {
+    fn begin_request(&mut self) -> bool {
+        self.requests += 1;
+        self.requests.is_multiple_of(self.monitor.sample_interval())
+    }
+
+    fn on_sample(&mut self, cmt: &Cmt<ImtEntry>, cached_region_size: f64, global_region_size: f64) {
+        let first = cmt.hits_first_half();
+        let second = cmt.hits_second_half();
+        let misses = cmt.misses();
+        let inputs = MonitorInputs {
+            hits_first_half: first - self.last_first,
+            hits_second_half: second - self.last_second,
+            misses: misses - self.last_misses,
+        };
+        let interval_total = inputs.hits_first_half + inputs.hits_second_half + inputs.misses;
+        let instant_rate = if interval_total == 0 {
+            0.0
+        } else {
+            (inputs.hits_first_half + inputs.hits_second_half) as f64 / interval_total as f64
+        };
+        self.last_first = first;
+        self.last_second = second;
+        self.last_misses = misses;
+
+        let decision = self.monitor.on_sample(inputs);
+        self.history.push(Sample {
+            requests: self.requests,
+            windowed_hit_rate: self.monitor.windowed_hit_rate().unwrap_or(0.0),
+            instant_hit_rate: instant_rate,
+            cached_region_size,
+            global_region_size,
+        });
+        match decision {
+            Decision::Merge if self.enable_merge => {
+                self.merge_decisions += 1;
+                if self.target_q_log2 < self.max_q_log2 {
+                    self.target_q_log2 += 1;
+                } else {
+                    // Already at the cap: a no-op decision must not stall
+                    // adaptation for a settling window.
+                    self.monitor.cancel_cooldown();
+                }
+            }
+            Decision::Split if self.enable_split => {
+                self.split_decisions += 1;
+                if self.target_q_log2 > self.p_log2 {
+                    self.target_q_log2 -= 1;
+                } else {
+                    self.monitor.cancel_cooldown();
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn action_for(&self, q_log2: u8) -> Option<AdaptAction> {
+        if q_log2 < self.target_q_log2 && self.enable_merge {
+            Some(AdaptAction::Merge)
+        } else if q_log2 > self.target_q_log2 && self.enable_split {
+            Some(AdaptAction::Split)
+        } else {
+            None
+        }
+    }
+
+    fn target_q_log2(&self) -> u8 {
+        self.target_q_log2
     }
 }
 
@@ -362,5 +554,60 @@ mod tests {
         }
         // Old low blocks rotated out entirely.
         assert!(m.windowed_hit_rate().unwrap() > 0.99);
+    }
+
+    // ---- controller-level tests ----------------------------------------
+
+    #[test]
+    fn begin_request_fires_on_the_sample_cadence() {
+        let mut a = HitRateAdaptation::new(&cfg(4, 1));
+        let due: Vec<bool> = (0..2500).map(|_| a.begin_request()).collect();
+        assert_eq!(due.iter().filter(|&&d| d).count(), 2);
+        assert!(due[999] && due[1999]);
+        assert_eq!(a.requests(), 2500);
+    }
+
+    #[test]
+    fn action_for_moves_toward_target_and_honors_switches() {
+        let mut a = HitRateAdaptation::new(&SawlConfig {
+            initial_granularity: 4,
+            max_granularity: 64,
+            ..Default::default()
+        });
+        assert_eq!(a.action_for(2), None, "already at target");
+        a.set_target_q_log2(5);
+        assert_eq!(a.action_for(2), Some(AdaptAction::Merge));
+        assert_eq!(a.action_for(6), Some(AdaptAction::Split));
+        assert_eq!(a.action_for(5), None);
+
+        let mut no_merge = HitRateAdaptation::new(&SawlConfig {
+            initial_granularity: 4,
+            max_granularity: 64,
+            enable_merge: false,
+            ..Default::default()
+        });
+        no_merge.set_target_q_log2(5);
+        assert_eq!(no_merge.action_for(2), None, "merge disabled");
+        assert_eq!(no_merge.action_for(6), Some(AdaptAction::Split));
+    }
+
+    #[test]
+    fn sampling_low_hit_rate_raises_the_target() {
+        use sawl_tiered::cmt::Cmt;
+        // 4-sample SOW, 1-sample SSW: a persistent all-miss stream must
+        // raise the target within a handful of samples.
+        let c = cfg(4, 1);
+        let mut a = HitRateAdaptation::new(&c);
+        let mut cmt: Cmt<ImtEntry> = Cmt::new(4);
+        let before = a.target_q_log2();
+        for i in 0..8u64 {
+            // Each lookup of a fresh key misses; the miss counter advances
+            // between samples.
+            cmt.lookup(1000 + i);
+            a.on_sample(&cmt, 4.0, 4.0);
+        }
+        assert!(a.target_q_log2() > before, "target did not rise");
+        assert!(a.decisions().0 > 0);
+        assert_eq!(a.history().len(), 8);
     }
 }

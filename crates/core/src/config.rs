@@ -77,8 +77,7 @@ impl SawlConfig {
     pub fn validate(&self) {
         assert!(self.data_lines.is_power_of_two(), "data_lines must be a power of two");
         assert!(
-            self.initial_granularity.is_power_of_two()
-                && self.max_granularity.is_power_of_two(),
+            self.initial_granularity.is_power_of_two() && self.max_granularity.is_power_of_two(),
             "granularities must be powers of two"
         );
         assert!(
@@ -100,8 +99,7 @@ impl SawlConfig {
 
     /// Bits per CMT entry (tag + wlg + packed D), for byte-budget sizing.
     pub fn entry_bits(&self) -> u64 {
-        let lrn_bits =
-            64 - (self.data_lines / self.initial_granularity - 1).leading_zeros() as u64;
+        let lrn_bits = 64 - (self.data_lines / self.initial_granularity - 1).leading_zeros() as u64;
         let d_bits = 64 - (self.data_lines - 1).leading_zeros() as u64;
         let wlg_bits = 6;
         lrn_bits + d_bits + wlg_bits

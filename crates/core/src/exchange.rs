@@ -1,0 +1,213 @@
+//! The exchange policy: region-counter bookkeeping, XOR-key rotation and
+//! displaced-region exchange (§2.1's PCM-S machinery at SAWL's variable
+//! granularity).
+//!
+//! SAWL "adopts PCM-S in the data-exchange module": after `swap_period × Q`
+//! demand writes to a region it is relocated to a uniformly random
+//! equal-size block, under a fresh intra-region XOR key, displacing the
+//! block's occupants back into the vacated space (2·Q line writes, the
+//! PCM-S cost). The counter/threshold machinery and key drawing are shared
+//! with the fixed-granularity schemes via
+//! [`sawl_algos::exchange`] — this module adds what is specific to SAWL:
+//! counters indexed by *region base granule* that must be folded on merge
+//! and halved on split, target-block selection that skips blocks owned by
+//! larger regions, and the displacement dance against the
+//! [mapping tier](crate::mapping).
+//!
+//! The policy also owns the engine's RNG: every random draw after
+//! construction (exchange targets, exchange keys, merge keys) comes from
+//! here, keeping the random stream in one place.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use sawl_algos::exchange::{draw_key, SwapCounters};
+use sawl_nvm::NvmDevice;
+
+use crate::mapping::{MappingTier, TieredMapping};
+
+/// Narrow interface of the exchange subsystem: wear-triggered relocation
+/// plus the counter bookkeeping that keeps the swapping period meaningful
+/// across granularity changes.
+pub trait ExchangePolicy {
+    /// Count one demand write to the region at `base` (of `region_lines`
+    /// lines); `true` when the region is due for an exchange.
+    fn record_write(&mut self, base: u64, region_lines: u64) -> bool;
+
+    /// Relocate the region at `base` to a random equal-size block,
+    /// displacing that block's occupants into the vacated space.
+    fn exchange(&mut self, mapping: &mut TieredMapping, base: u64, dev: &mut NvmDevice);
+
+    /// Draw a fresh XOR key for a region of `region_lines` lines (used by
+    /// the engine when a merge re-keys the combined region).
+    fn draw_region_key(&mut self, region_lines: u64) -> u64;
+
+    /// Fold the two merging regions' counters into the merged base.
+    fn on_merge(&mut self, base: u64, buddy: u64, new_base: u64);
+
+    /// Halve the splitting region's counter across its children.
+    fn on_split(&mut self, base: u64, half: u64);
+
+    /// Exchanges performed so far.
+    fn exchanges(&self) -> u64;
+}
+
+/// The concrete PCM-S-style exchange policy over granule-indexed counters.
+#[derive(Debug, Clone)]
+pub struct RegionExchange {
+    /// Demand-write counters indexed by region base granule.
+    swaps: SwapCounters,
+    rng: SmallRng,
+    exchanges: u64,
+}
+
+impl RegionExchange {
+    /// Counters for `granules` slots with the given writes-per-line
+    /// swapping period; `rng` continues the engine's seeded stream.
+    pub fn new(granules: u64, swap_period: u64, rng: SmallRng) -> Self {
+        Self { swaps: SwapCounters::new(granules as usize, swap_period), rng, exchanges: 0 }
+    }
+}
+
+impl ExchangePolicy for RegionExchange {
+    #[inline]
+    fn record_write(&mut self, base: u64, region_lines: u64) -> bool {
+        self.swaps.record_write(base as usize, region_lines)
+    }
+
+    fn exchange(&mut self, m: &mut TieredMapping, base: u64, dev: &mut NvmDevice) {
+        let e = m.entry(base);
+        let nq = m.nq(e);
+        let q_log2 = e.q_log2;
+        let total_blocks = m.granules() / nq;
+        let my_block = e.prn();
+        // Find a target block not owned by a larger region (a handful of
+        // retries suffices; larger regions are rare).
+        let mut target = my_block;
+        for _ in 0..16 {
+            let t = self.rng.random_range(0..total_blocks);
+            if m.occupant_q_log2(t * nq) <= q_log2 {
+                target = t;
+                break;
+            }
+        }
+        let new_key = draw_key(&mut self.rng, e.q());
+        if target == my_block {
+            // Re-key in place: every line of the block is rewritten.
+            m.set_region(base, my_block, new_key, q_log2, dev);
+            m.charge_block(my_block * nq, nq, dev);
+        } else {
+            // Displace the target block's occupants into our old block,
+            // preserving their offsets within the block.
+            m.displace_block(target * nq, nq, my_block * nq, dev);
+            m.set_region(base, target, new_key, q_log2, dev);
+            // Data movement: both blocks fully rewritten.
+            m.charge_block(target * nq, nq, dev);
+            m.charge_block(my_block * nq, nq, dev);
+        }
+        self.swaps.reset(base as usize);
+        self.exchanges += 1;
+    }
+
+    #[inline]
+    fn draw_region_key(&mut self, region_lines: u64) -> u64 {
+        draw_key(&mut self.rng, region_lines)
+    }
+
+    fn on_merge(&mut self, base: u64, buddy: u64, new_base: u64) {
+        self.swaps.fold_into(base as usize, buddy as usize, new_base as usize);
+    }
+
+    fn on_split(&mut self, base: u64, half: u64) {
+        self.swaps.halve_into(base as usize, half as usize);
+    }
+
+    fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sawl_nvm::NvmConfig;
+
+    use crate::config::SawlConfig;
+
+    fn make() -> (TieredMapping, RegionExchange, NvmDevice) {
+        let cfg = SawlConfig {
+            data_lines: 1 << 10,
+            initial_granularity: 4,
+            cmt_entries: 16,
+            swap_period: 4,
+            ..Default::default()
+        };
+        let m = TieredMapping::new(&cfg, 0xBEEF);
+        let x = RegionExchange::new(m.granules(), cfg.swap_period, SmallRng::seed_from_u64(42));
+        let dev = NvmDevice::new(
+            NvmConfig::builder()
+                .lines(m.required_physical_lines())
+                .banks(1)
+                .endurance(u32::MAX)
+                .spare_shift(6)
+                .build()
+                .unwrap(),
+        );
+        (m, x, dev)
+    }
+
+    #[test]
+    fn record_write_fires_at_period_times_q() {
+        let (_, mut x, _) = make();
+        for _ in 0..15 {
+            assert!(!x.record_write(0, 4));
+        }
+        assert!(x.record_write(0, 4), "threshold is swap_period * Q = 16");
+    }
+
+    #[test]
+    fn exchange_relocates_and_keeps_mapping_consistent() {
+        let (mut m, mut x, mut dev) = make();
+        x.exchange(&mut m, 0, &mut dev);
+        assert_eq!(x.exchanges(), 1);
+        let _ = m.check_consistency();
+        // Cost: the region's block plus (usually) the displaced partner's.
+        assert!(dev.wear().overhead_writes >= 4, "exchange must rewrite data lines");
+    }
+
+    #[test]
+    fn counters_survive_merge_and_split_transitions() {
+        let (_, mut x, _) = make();
+        for _ in 0..10 {
+            x.record_write(0, 4);
+        }
+        for _ in 0..6 {
+            x.record_write(1, 4);
+        }
+        x.on_merge(0, 1, 0);
+        // 16 accumulated writes on the merged slot: the very next write at
+        // the doubled granularity (Q=8, threshold 32) keeps counting from
+        // there rather than restarting.
+        for _ in 0..15 {
+            assert!(!x.record_write(0, 8));
+        }
+        assert!(x.record_write(0, 8));
+        // A split shares the 32 accumulated writes between the children:
+        // each inherits 16, so at Q=4 (threshold 16) the next write to
+        // either child fires immediately.
+        x.on_split(0, 1);
+        assert!(x.record_write(0, 4));
+        assert!(x.record_write(1, 4));
+    }
+
+    #[test]
+    fn repeated_exchanges_stay_consistent() {
+        let (mut m, mut x, mut dev) = make();
+        for base in [0u64, 8, 16, 0, 32, 8] {
+            x.exchange(&mut m, base, &mut dev);
+        }
+        assert_eq!(x.exchanges(), 6);
+        let _ = m.check_consistency();
+    }
+}

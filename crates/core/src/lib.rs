@@ -19,16 +19,36 @@
 //! mapping updates through the GTD so translation-line wear is modelled
 //! too.
 //!
-//! Modules: [`config`] (tunables incl. the §4.2-trained SOW/SSW), [`monitor`]
-//! (windowed hit-rate tracking and merge/split decisions), [`engine`] (the
-//! wear leveler itself), [`history`] (time series for Figs. 12–14).
+//! The engine is a thin composition of three unit-tested subsystems, one
+//! per module, each behind a narrow trait:
+//!
+//! * [`mapping`] — the translation state ([`TieredMapping`] behind
+//!   [`MappingTier`]): IMT/CMT/GTD traversal, the owner inverse map, and
+//!   translation-line wear (§3.1, Fig. 11).
+//! * [`adapt`] — the adaptation controller ([`HitRateAdaptation`] behind
+//!   [`AdaptationController`]): windowed hit-rate monitoring, LRU-stack
+//!   sampling and lazy merge/split target decisions (§3.2, §4.2).
+//! * [`exchange`] — the exchange policy ([`RegionExchange`] behind
+//!   [`ExchangePolicy`]): region write counters, XOR-key rotation and
+//!   displaced-region exchange, sharing the PCM-S counter machinery with
+//!   `sawl_algos::exchange` (§2.1).
+//!
+//! [`engine`] composes them into the [`Sawl`] wear leveler; [`config`]
+//! holds the tunables (incl. the §4.2-trained SOW/SSW) and [`history`] the
+//! time series for Figs. 12–14.
 
+pub mod adapt;
 pub mod config;
 pub mod engine;
+pub mod exchange;
 pub mod history;
-pub mod monitor;
+pub mod mapping;
 
+pub use adapt::{
+    AdaptAction, AdaptationController, Decision, HitRateAdaptation, HitRateMonitor, MonitorInputs,
+};
 pub use config::SawlConfig;
 pub use engine::{Sawl, SawlStats};
+pub use exchange::{ExchangePolicy, RegionExchange};
 pub use history::{History, Sample};
-pub use monitor::{Decision, HitRateMonitor, MonitorInputs};
+pub use mapping::{MappingTier, TieredMapping};

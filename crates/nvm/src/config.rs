@@ -182,9 +182,8 @@ impl NvmConfigBuilder {
         if self.endurance == 0 {
             return Err(NvmConfigError::ZeroEndurance);
         }
-        let banks_ok = self.banks != 0
-            && self.banks.is_power_of_two()
-            && u64::from(self.banks) <= self.lines;
+        let banks_ok =
+            self.banks != 0 && self.banks.is_power_of_two() && u64::from(self.banks) <= self.lines;
         if !banks_ok {
             return Err(NvmConfigError::BadBankCount { banks: self.banks, lines: self.lines });
         }

@@ -178,7 +178,7 @@ impl NvmDevice {
         // remaps it to a spare, and that spare wears out after another
         // `limit` writes — hence the modulo: hammering one physical address
         // consumes one spare every `limit` writes.
-        if *wc % limit == 0 {
+        if (*wc).is_multiple_of(limit) {
             self.counters.failed_lines += 1;
             if self.counters.failed_lines > self.cfg.spare_lines() {
                 self.dead = true;

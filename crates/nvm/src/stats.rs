@@ -93,11 +93,8 @@ fn gini_coefficient(counts: &[u32]) -> f64 {
     }
     let mut sorted: Vec<u32> = counts.to_vec();
     sorted.sort_unstable();
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| (i as f64 + 1.0) * f64::from(c))
-        .sum();
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * f64::from(c)).sum();
     (2.0 * weighted / (n * total)) - (n + 1.0) / n
 }
 

@@ -73,18 +73,14 @@ mod tests {
 
     #[test]
     fn gaussian_mean_is_close_to_nominal() {
-        let v = EnduranceModel::Gaussian { cov: 0.1 }
-            .materialize(20_000, 10_000, 42)
-            .unwrap();
+        let v = EnduranceModel::Gaussian { cov: 0.1 }.materialize(20_000, 10_000, 42).unwrap();
         let mean: f64 = v.iter().map(|&e| f64::from(e)).sum::<f64>() / v.len() as f64;
         assert!((mean - 10_000.0).abs() < 100.0, "mean {mean} too far from nominal");
     }
 
     #[test]
     fn gaussian_spread_matches_cov() {
-        let v = EnduranceModel::Gaussian { cov: 0.2 }
-            .materialize(50_000, 10_000, 7)
-            .unwrap();
+        let v = EnduranceModel::Gaussian { cov: 0.2 }.materialize(50_000, 10_000, 7).unwrap();
         let n = v.len() as f64;
         let mean: f64 = v.iter().map(|&e| f64::from(e)).sum::<f64>() / n;
         let var: f64 = v.iter().map(|&e| (f64::from(e) - mean).powi(2)).sum::<f64>() / n;

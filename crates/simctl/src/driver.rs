@@ -1,0 +1,139 @@
+//! The shared request pump.
+//!
+//! Every run in the suite — lifetime, performance, adaptation traces, the
+//! examples — is at its core the same loop: pull requests from an address
+//! stream and route writes/reads through a wear leveler against a device.
+//! This module is that loop, written once. The figure binaries never
+//! hand-roll it; they describe *what* to run ([`crate::scenario`]) and the
+//! driver does the running.
+
+use sawl_algos::WearLeveler;
+use sawl_nvm::NvmDevice;
+use sawl_trace::{AddressStream, MemReq};
+
+/// Drive `requests` requests from `stream` through `wl`.
+pub fn pump<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, requests: u64)
+where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+{
+    for _ in 0..requests {
+        let req = stream.next_req();
+        if req.write {
+            wl.write(req.la, dev);
+        } else {
+            wl.read(req.la, dev);
+        }
+    }
+}
+
+/// Like [`pump`], invoking `observe` after every request with the request,
+/// the physical address it resolved to, and the post-request engine and
+/// device state — the hook the timing models feed from.
+pub fn pump_observed<W, S, F>(
+    wl: &mut W,
+    dev: &mut NvmDevice,
+    stream: &mut S,
+    requests: u64,
+    mut observe: F,
+) where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+    F: FnMut(MemReq, u64, &W, &NvmDevice),
+{
+    for _ in 0..requests {
+        let req = stream.next_req();
+        let pa = if req.write { wl.write(req.la, dev) } else { wl.read(req.la, dev) };
+        observe(req, pa, wl, dev);
+    }
+}
+
+/// The lifetime loop: drive only the stream's writes (reads do not wear
+/// cells) until the device dies or `cap` demand writes have been served.
+pub fn pump_writes<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, cap: u64)
+where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+{
+    while !dev.is_dead() && dev.wear().demand_writes < cap {
+        let req = stream.next_req();
+        if req.write {
+            wl.write(req.la, dev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_algos::{Ideal, NoWl};
+    use sawl_nvm::NvmConfig;
+    use sawl_trace::Uniform;
+
+    fn device(lines: u64, endurance: u32) -> NvmDevice {
+        NvmDevice::new(
+            NvmConfig::builder()
+                .lines(lines)
+                .banks(1)
+                .endurance(endurance)
+                .spare_shift(6)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn pump_serves_exactly_the_requested_count() {
+        let mut wl = NoWl::new(1 << 10);
+        let mut dev = device(1 << 10, u32::MAX);
+        let mut stream = Uniform::new(1 << 10, 0.5, 3);
+        pump(&mut wl, &mut dev, &mut stream, 10_000);
+        let w = dev.wear();
+        assert_eq!(w.demand_writes + w.reads, 10_000);
+    }
+
+    #[test]
+    fn pump_observed_sees_every_request_in_order() {
+        let mut wl = NoWl::new(1 << 8);
+        let mut dev = device(1 << 8, u32::MAX);
+        let mut stream = Uniform::new(1 << 8, 1.0, 3);
+        let mut seen = 0u64;
+        pump_observed(&mut wl, &mut dev, &mut stream, 500, |req, pa, w, d| {
+            assert_eq!(pa, req.la, "identity scheme must not remap");
+            assert_eq!(w.translate(req.la), pa);
+            seen += 1;
+            assert_eq!(d.wear().demand_writes, seen);
+        });
+        assert_eq!(seen, 500);
+    }
+
+    #[test]
+    fn pump_writes_stops_at_death() {
+        let mut wl = Ideal::new(1 << 6);
+        let mut dev = device(1 << 6, 100);
+        let mut stream = Uniform::new(1 << 6, 1.0, 3);
+        pump_writes(&mut wl, &mut dev, &mut stream, u64::MAX);
+        assert!(dev.is_dead());
+    }
+
+    #[test]
+    fn pump_writes_respects_the_cap() {
+        let mut wl = Ideal::new(1 << 6);
+        let mut dev = device(1 << 6, u32::MAX);
+        let mut stream = Uniform::new(1 << 6, 1.0, 3);
+        pump_writes(&mut wl, &mut dev, &mut stream, 1_234);
+        assert_eq!(dev.wear().demand_writes, 1_234);
+    }
+
+    #[test]
+    fn pump_skips_reads_in_lifetime_mode() {
+        let mut wl = NoWl::new(1 << 8);
+        let mut dev = device(1 << 8, u32::MAX);
+        // Write ratio 0.5: roughly half the requests are reads and must
+        // not be issued to the device at all.
+        let mut stream = Uniform::new(1 << 8, 0.5, 9);
+        pump_writes(&mut wl, &mut dev, &mut stream, 1_000);
+        assert_eq!(dev.wear().demand_writes, 1_000);
+        assert_eq!(dev.wear().reads, 0);
+    }
+}

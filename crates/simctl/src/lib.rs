@@ -6,10 +6,16 @@
 //!   devices; a `(SchemeSpec, WorkloadSpec, DeviceSpec)` triple plus a seed
 //!   fully determines a run, so every figure is reproducible from its
 //!   config JSON.
-//! * [`lifetime`] — the lifetime driver: run demand writes through a
+//! * [`scenario`] — a [`Scenario`](scenario::Scenario) names one
+//!   experiment point (scheme × workload × device × probe);
+//!   [`run_all`](scenario::run_all) shards a grid of them across cores.
+//!   This is the layer every figure binary and example talks to.
+//! * [`driver`] — the one shared request pump the scenario probes drive
+//!   requests through; no binary hand-rolls the request loop.
+//! * [`lifetime`] — the lifetime probe: run demand writes through a
 //!   wear leveler until the device exhausts its spare pool and report the
 //!   normalized lifetime (the paper's §4.3 metric).
-//! * [`perf`] — the performance driver: replay a workload through a scheme
+//! * [`perf`] — the performance probe: replay a workload through a scheme
 //!   while feeding the closed-loop timing simulator, reporting CMT hit
 //!   rate, mean memory latency, and IPC degradation versus the
 //!   no-wear-leveling baseline (§4.4).
@@ -19,18 +25,24 @@
 //! * [`report`] — CSV and aligned-table rendering for the figure binaries.
 //! * [`sysconfig`] — the Table 1 system configuration, printable.
 
+pub mod driver;
 pub mod lifetime;
 pub mod perf;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod seed;
 pub mod spec;
 pub mod sysconfig;
 
+pub use driver::{pump, pump_observed, pump_writes};
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
 pub use report::Table;
 pub use runner::parallel_map;
+pub use scenario::{
+    run as run_scenario, run_all, AdaptationTrace, Probe, Report, Scenario, TraceReport,
+};
 pub use seed::stable_seed;
 pub use spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
 pub use sysconfig::SystemConfig;

@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::driver::pump_writes;
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
 
@@ -72,13 +73,9 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
         exp.max_demand_writes
     };
 
-    while !dev.is_dead() && dev.wear().demand_writes < cap {
-        let req = stream.next_req();
-        if req.write {
-            wl.write(req.la, &mut dev);
-        }
-        // Reads skipped: no wear, and lifetime is the only output here.
-    }
+    // Reads are skipped by the lifetime pump: no wear, and lifetime is the
+    // only output here.
+    pump_writes(&mut *wl, &mut dev, &mut *stream, cap);
 
     let wear = *dev.wear();
     let stats = dev.wear_stats();
@@ -139,8 +136,7 @@ mod tests {
     fn pcms_beats_baseline_under_bpa() {
         let bpa = WorkloadSpec::Bpa { writes_per_target: 2048 };
         let base = run_lifetime(&exp(SchemeSpec::Baseline, bpa.clone(), 1000));
-        let pcms =
-            run_lifetime(&exp(SchemeSpec::PcmS { region_lines: 4, period: 16 }, bpa, 1000));
+        let pcms = run_lifetime(&exp(SchemeSpec::PcmS { region_lines: 4, period: 16 }, bpa, 1000));
         assert!(
             pcms.normalized_lifetime > 3.0 * base.normalized_lifetime,
             "pcm-s {} vs baseline {}",

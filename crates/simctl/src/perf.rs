@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use sawl_timing::{ipc_degradation, CpuModel, IpcEstimate, IpcModel, MemEvent};
 use sawl_trace::SpecBenchmark;
 
+use crate::driver::{pump, pump_observed};
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
 
@@ -121,43 +122,32 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
     let mut dev = exp.device.build(phys, seed);
     let workload = WorkloadSpec::Spec(exp.benchmark);
     let mut stream = workload.build(wl.logical_lines(), seed);
-    let mut tracker = TranslationTracker {
-        kind: exp.scheme.translation_kind(),
-        hits: 0,
-        misses: 0,
-    };
+    let mut tracker =
+        TranslationTracker { kind: exp.scheme.translation_kind(), hits: 0, misses: 0 };
     let mut ipc_model = IpcModel::new(cpu);
     // Baseline pass shares the identical request sequence: regenerate the
     // stream with the same seed and replay it with zero-cost translation.
     let mut base_stream = workload.build(exp.data_lines, seed);
     let mut base_model = IpcModel::new(cpu);
 
+    pump(&mut *wl, &mut dev, &mut *stream, exp.warmup_requests);
+    // Keep the baseline stream aligned with the scheme's through warmup.
     for _ in 0..exp.warmup_requests {
-        let req = stream.next_req();
-        if req.write {
-            wl.write(req.la, &mut dev);
-        } else {
-            wl.read(req.la, &mut dev);
-        }
-        // Keep the baseline stream aligned with the scheme's.
         let _ = base_stream.next_req();
     }
 
-    for _ in 0..exp.requests {
-        let req = stream.next_req();
-        let reads_before = dev.wear().reads;
-        let ov_before = dev.wear().overhead_writes;
-        let pa = if req.write {
-            wl.write(req.la, &mut dev)
-        } else {
-            wl.read(req.la, &mut dev)
-        };
-        let translation_ns =
-            tracker.latency_ns(reads_before, dev.wear().reads, !req.write);
-        let wl_writes = (dev.wear().overhead_writes - ov_before).min(u64::from(u32::MAX)) as u32;
-        let bank = (pa % u64::from(banks)) as u32;
+    // The observer diffs the device's read and overhead-write counters
+    // around each request, so it carries the pre-request values forward
+    // from the end of the previous observation.
+    let mut reads_before = dev.wear().reads;
+    let mut ov_before = dev.wear().overhead_writes;
+    pump_observed(&mut *wl, &mut dev, &mut *stream, exp.requests, |req, pa, _, d| {
+        let translation_ns = tracker.latency_ns(reads_before, d.wear().reads, !req.write);
+        let wl_writes = (d.wear().overhead_writes - ov_before).min(u64::from(u32::MAX)) as u32;
+        reads_before = d.wear().reads;
+        ov_before = d.wear().overhead_writes;
         ipc_model.push(MemEvent {
-            bank,
+            bank: (pa % u64::from(banks)) as u32,
             write: req.write,
             translation_ns,
             wl_writes,
@@ -170,7 +160,7 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
             translation_ns: 0.0,
             wl_writes: 0,
         });
-    }
+    });
 
     let ipc = ipc_model.estimate();
     let baseline_ipc = base_model.estimate();
@@ -226,14 +216,10 @@ mod tests {
 
     #[test]
     fn aggressive_swapping_costs_ipc() {
-        let lazy = run_perf(&exp(
-            SchemeSpec::PcmS { region_lines: 4, period: 256 },
-            SpecBenchmark::Lbm,
-        ));
-        let eager = run_perf(&exp(
-            SchemeSpec::PcmS { region_lines: 4, period: 8 },
-            SpecBenchmark::Lbm,
-        ));
+        let lazy =
+            run_perf(&exp(SchemeSpec::PcmS { region_lines: 4, period: 256 }, SpecBenchmark::Lbm));
+        let eager =
+            run_perf(&exp(SchemeSpec::PcmS { region_lines: 4, period: 8 }, SpecBenchmark::Lbm));
         assert!(
             eager.ipc_degradation > lazy.ipc_degradation,
             "eager {} vs lazy {}",

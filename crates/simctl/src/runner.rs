@@ -23,12 +23,10 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len());
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(items.len());
     if threads == 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = channel::bounded::<(usize, R)>(threads * 2);

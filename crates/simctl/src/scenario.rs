@@ -1,0 +1,435 @@
+//! Scenarios: workload × scheme × device → report.
+//!
+//! A [`Scenario`] is one point of an experiment grid — which scheme, which
+//! workload, which device, and which [`Probe`] to take. [`run`] executes
+//! one scenario through the shared [driver](crate::driver);
+//! [`run_all`] shards a whole grid across the machine's cores through
+//! [`parallel_map`](crate::runner::parallel_map), which is how every sweep
+//! binary gets its parallelism — serial hand-rolled sweeps don't exist in
+//! this codebase.
+//!
+//! The three probes mirror the paper's three kinds of numbers:
+//!
+//! * [`Probe::Lifetime`] — §4.3: write until the device dies, report the
+//!   normalized lifetime (delegates to [`crate::lifetime`]).
+//! * [`Probe::Perf`] — §4.4: replay a SPEC-like benchmark through the
+//!   timing model, report IPC degradation (delegates to [`crate::perf`]).
+//! * [`Probe::Trace`] — §4.2, Figs. 12–14: replay a fixed request count on
+//!   a wear-free device and report the CMT hit rate, plus the engine's
+//!   full adaptation history when the scheme is SAWL.
+
+use serde::{Deserialize, Serialize};
+
+use sawl_core::{History, SawlStats};
+use sawl_nvm::NvmDevice;
+
+use crate::driver::pump;
+use crate::lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
+use crate::perf::{run_perf, PerfExperiment, PerfResult};
+use crate::runner::parallel_map;
+use crate::seed::stable_seed;
+use crate::spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
+
+/// What to measure when a scenario runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Probe {
+    /// Write until the device dies (or `max_demand_writes`; 0 = 4× the
+    /// ideal lifetime) and report the normalized lifetime.
+    Lifetime {
+        /// Safety cap on demand writes (0 = 4× the ideal lifetime).
+        max_demand_writes: u64,
+    },
+    /// Replay the workload (which must be a SPEC-like benchmark) through
+    /// the closed-loop timing model and report IPC degradation.
+    Perf {
+        /// Requests to replay while measuring.
+        requests: u64,
+        /// Requests to replay before measurement starts.
+        warmup_requests: u64,
+    },
+    /// Replay a fixed request count and report hit rate and, for SAWL,
+    /// the adaptation history.
+    Trace {
+        /// Requests to replay.
+        requests: u64,
+    },
+}
+
+/// One experiment point: scheme × workload × device, plus the probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable id; seeds the run and labels the report.
+    pub id: String,
+    /// Scheme under test.
+    pub scheme: SchemeSpec,
+    /// Workload driving it.
+    pub workload: WorkloadSpec,
+    /// Logical data lines (power of two).
+    pub data_lines: u64,
+    /// Device parameters.
+    pub device: DeviceSpec,
+    /// What to measure.
+    pub probe: Probe,
+}
+
+impl Scenario {
+    /// A lifetime scenario running until device death.
+    pub fn lifetime(
+        id: impl Into<String>,
+        scheme: SchemeSpec,
+        workload: WorkloadSpec,
+        data_lines: u64,
+        device: DeviceSpec,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            scheme,
+            workload,
+            data_lines,
+            device,
+            probe: Probe::Lifetime { max_demand_writes: 0 },
+        }
+    }
+
+    /// A performance scenario over a SPEC-like benchmark.
+    pub fn perf(
+        id: impl Into<String>,
+        scheme: SchemeSpec,
+        benchmark: sawl_trace::SpecBenchmark,
+        data_lines: u64,
+        requests: u64,
+        warmup_requests: u64,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            scheme,
+            workload: WorkloadSpec::Spec(benchmark),
+            data_lines,
+            device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+            probe: Probe::Perf { requests, warmup_requests },
+        }
+    }
+
+    /// A trace scenario on a wear-free device (hit-rate/adaptation runs
+    /// never wear anything out).
+    pub fn trace(
+        id: impl Into<String>,
+        scheme: SchemeSpec,
+        workload: WorkloadSpec,
+        data_lines: u64,
+        requests: u64,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            scheme,
+            workload,
+            data_lines,
+            device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+            probe: Probe::Trace { requests },
+        }
+    }
+
+    /// Replace the demand-write cap (lifetime probes only).
+    pub fn with_write_cap(mut self, cap: u64) -> Self {
+        match &mut self.probe {
+            Probe::Lifetime { max_demand_writes } => *max_demand_writes = cap,
+            _ => panic!("write caps apply to lifetime scenarios"),
+        }
+        self
+    }
+}
+
+/// The SAWL-specific outcome of a trace scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptationTrace {
+    /// The engine's sampled time series (Figs. 12–14).
+    pub history: History,
+    /// Run totals: merges, splits, exchanges, decisions.
+    pub stats: SawlStats,
+}
+
+/// Outcome of a trace scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceReport {
+    /// Experiment id.
+    pub id: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Whole-run CMT hit rate (1.0 for schemes without a CMT).
+    pub hit_rate: f64,
+    /// Wear-leveling writes per demand write.
+    pub overhead_fraction: f64,
+    /// Demand writes served.
+    pub demand_writes: u64,
+    /// The adaptation time series, when the scheme is SAWL.
+    pub adaptation: Option<AdaptationTrace>,
+}
+
+impl TraceReport {
+    /// The adaptation trace; panics when the scheme was not SAWL.
+    pub fn adaptation(&self) -> &AdaptationTrace {
+        self.adaptation.as_ref().expect("scenario scheme was not SAWL")
+    }
+}
+
+/// Outcome of a scenario, by probe kind.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Report {
+    /// From a [`Probe::Lifetime`] run.
+    Lifetime(LifetimeResult),
+    /// From a [`Probe::Perf`] run.
+    Perf(PerfResult),
+    /// From a [`Probe::Trace`] run.
+    Trace(TraceReport),
+}
+
+impl Report {
+    /// The lifetime result; panics on a non-lifetime report.
+    pub fn lifetime(&self) -> &LifetimeResult {
+        match self {
+            Self::Lifetime(r) => r,
+            _ => panic!("report is not from a lifetime probe"),
+        }
+    }
+
+    /// The performance result; panics on a non-perf report.
+    pub fn perf(&self) -> &PerfResult {
+        match self {
+            Self::Perf(r) => r,
+            _ => panic!("report is not from a perf probe"),
+        }
+    }
+
+    /// The trace result; panics on a non-trace report.
+    pub fn trace(&self) -> &TraceReport {
+        match self {
+            Self::Trace(r) => r,
+            _ => panic!("report is not from a trace probe"),
+        }
+    }
+}
+
+/// Run one scenario to completion.
+pub fn run(s: &Scenario) -> Report {
+    match s.probe {
+        Probe::Lifetime { max_demand_writes } => {
+            Report::Lifetime(run_lifetime(&LifetimeExperiment {
+                id: s.id.clone(),
+                scheme: s.scheme.clone(),
+                workload: s.workload.clone(),
+                data_lines: s.data_lines,
+                device: s.device,
+                max_demand_writes,
+            }))
+        }
+        Probe::Perf { requests, warmup_requests } => {
+            let WorkloadSpec::Spec(benchmark) = s.workload else {
+                panic!("perf scenarios need a SPEC-like benchmark workload, got {:?}", s.workload)
+            };
+            Report::Perf(run_perf(&PerfExperiment {
+                id: s.id.clone(),
+                scheme: s.scheme.clone(),
+                benchmark,
+                data_lines: s.data_lines,
+                device: s.device,
+                requests,
+                warmup_requests,
+            }))
+        }
+        Probe::Trace { requests } => Report::Trace(run_trace(s, requests)),
+    }
+}
+
+/// Run a grid of scenarios, sharded across cores; reports keep the input
+/// order.
+pub fn run_all(scenarios: &[Scenario]) -> Vec<Report> {
+    parallel_map(scenarios, run)
+}
+
+fn run_trace(s: &Scenario, requests: u64) -> TraceReport {
+    let seed = stable_seed(&s.id);
+    let phys = s.scheme.physical_lines(s.data_lines);
+    let mut dev = s.device.build(phys, seed);
+    let mut stream = s.workload.build(s.data_lines, seed);
+
+    let (hit_rate, adaptation) = if let Some(mut sawl) = s.scheme.build_sawl(s.data_lines, seed) {
+        pump(&mut sawl, &mut dev, &mut *stream, requests);
+        let stats = sawl.stats();
+        (stats.hit_rate(), Some(AdaptationTrace { history: sawl.history().clone(), stats }))
+    } else if let Some(mut nwl) = s.scheme.build_nwl(s.data_lines, seed) {
+        pump(&mut nwl, &mut dev, &mut *stream, requests);
+        (nwl.mapping_stats().hit_rate(), None)
+    } else {
+        let mut wl = s.scheme.build(s.data_lines, seed);
+        pump(&mut *wl, &mut dev, &mut *stream, requests);
+        debug_assert_ne!(
+            s.scheme.translation_kind(),
+            TranslationKind::Tiered,
+            "tiered schemes must take the concrete paths above"
+        );
+        (1.0, None)
+    };
+
+    let wear = dev.wear();
+    TraceReport {
+        id: s.id.clone(),
+        scheme: s.scheme.name(),
+        workload: s.workload.name(),
+        hit_rate,
+        overhead_fraction: if wear.demand_writes == 0 {
+            0.0
+        } else {
+            wear.overhead_writes as f64 / wear.demand_writes as f64
+        },
+        demand_writes: wear.demand_writes,
+        adaptation,
+    }
+}
+
+/// Wear-free device sized for a scheme's physical-line requirement.
+pub fn wearless_device(physical_lines: u64) -> NvmDevice {
+    DeviceSpec { endurance: u32::MAX, ..Default::default() }.build(physical_lines, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_core::SawlConfig;
+    use sawl_trace::SpecBenchmark;
+
+    fn sawl_spec() -> SchemeSpec {
+        SchemeSpec::Sawl(SawlConfig {
+            cmt_entries: 64,
+            swap_period: 16,
+            sample_interval: 500,
+            observation_window: 2_000,
+            settling_window: 1_000,
+            ..SawlConfig::default()
+        })
+    }
+
+    #[test]
+    fn lifetime_scenario_matches_direct_experiment() {
+        let s = Scenario::lifetime(
+            "scn/lifetime",
+            SchemeSpec::PcmS { region_lines: 8, period: 16 },
+            WorkloadSpec::Bpa { writes_per_target: 500 },
+            1 << 10,
+            DeviceSpec { endurance: 500, ..Default::default() },
+        );
+        let via_scenario = run(&s).lifetime().clone();
+        let direct = run_lifetime(&LifetimeExperiment {
+            id: "scn/lifetime".into(),
+            scheme: s.scheme.clone(),
+            workload: s.workload.clone(),
+            data_lines: s.data_lines,
+            device: s.device,
+            max_demand_writes: 0,
+        });
+        assert_eq!(via_scenario, direct, "the scenario layer must not change results");
+    }
+
+    #[test]
+    fn perf_scenario_matches_direct_experiment() {
+        let s = Scenario::perf(
+            "scn/perf",
+            SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 64 },
+            SpecBenchmark::Gcc,
+            1 << 12,
+            20_000,
+            0,
+        );
+        let via_scenario = run(&s).perf().clone();
+        let direct = run_perf(&PerfExperiment {
+            id: "scn/perf".into(),
+            scheme: s.scheme.clone(),
+            benchmark: SpecBenchmark::Gcc,
+            data_lines: s.data_lines,
+            device: s.device,
+            requests: 20_000,
+            warmup_requests: 0,
+        });
+        assert_eq!(via_scenario, direct);
+    }
+
+    #[test]
+    fn trace_scenario_reports_sawl_adaptation() {
+        let s = Scenario::trace(
+            "scn/trace/sawl",
+            sawl_spec(),
+            WorkloadSpec::Uniform { write_ratio: 1.0 },
+            1 << 12,
+            20_000,
+        );
+        let r = run(&s);
+        let t = r.trace();
+        assert!(t.hit_rate > 0.0 && t.hit_rate < 1.0, "hit rate {}", t.hit_rate);
+        let adapt = t.adaptation();
+        assert_eq!(adapt.history.len(), 20_000 / 500);
+        assert_eq!(t.demand_writes, 20_000);
+    }
+
+    #[test]
+    fn trace_scenario_reports_nwl_hit_rate_without_adaptation() {
+        let s = Scenario::trace(
+            "scn/trace/nwl",
+            SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 1 << 20 },
+            WorkloadSpec::Uniform { write_ratio: 0.5 },
+            1 << 12,
+            20_000,
+        );
+        let t = run(&s).trace().clone();
+        assert!(t.hit_rate > 0.0 && t.hit_rate < 1.0);
+        assert!(t.adaptation.is_none());
+    }
+
+    #[test]
+    fn trace_scenario_on_onchip_scheme_reports_full_hit_rate() {
+        let s = Scenario::trace(
+            "scn/trace/pcms",
+            SchemeSpec::PcmS { region_lines: 8, period: 64 },
+            WorkloadSpec::Uniform { write_ratio: 1.0 },
+            1 << 10,
+            5_000,
+        );
+        let t = run(&s).trace().clone();
+        assert_eq!(t.hit_rate, 1.0);
+        assert_eq!(t.demand_writes, 5_000);
+    }
+
+    #[test]
+    fn run_all_keeps_grid_order() {
+        let grid: Vec<Scenario> = (0..6)
+            .map(|i| {
+                Scenario::lifetime(
+                    format!("scn/grid/{i}"),
+                    SchemeSpec::PcmS { region_lines: 8, period: 8 + i },
+                    WorkloadSpec::Bpa { writes_per_target: 400 },
+                    1 << 10,
+                    DeviceSpec { endurance: 400, ..Default::default() },
+                )
+            })
+            .collect();
+        let reports = run_all(&grid);
+        assert_eq!(reports.len(), 6);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.lifetime().id, format!("scn/grid/{i}"));
+        }
+    }
+
+    #[test]
+    fn scenarios_serialize_round_trip() {
+        let s = Scenario::trace(
+            "scn/json",
+            sawl_spec(),
+            WorkloadSpec::Spec(SpecBenchmark::Soplex),
+            1 << 12,
+            1_000,
+        );
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -8,7 +8,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use sawl_algos::{Ideal, Mwsr, NoWl, PcmS, SecurityRefresh, SegmentSwap, StartGap, Tlsr, WearLeveler};
+use sawl_algos::{
+    Ideal, Mwsr, NoWl, PcmS, SecurityRefresh, SegmentSwap, StartGap, Tlsr, WearLeveler,
+};
 use sawl_core::{Sawl, SawlConfig};
 use sawl_nvm::{EnduranceModel, NvmConfig, NvmDevice};
 use sawl_tiered::{Nwl, NwlConfig};
@@ -89,23 +91,12 @@ pub enum SchemeSpec {
         /// PCM-S swapping period.
         swap_period: u64,
     },
-    /// Self-adaptive wear leveling (the paper's scheme).
-    Sawl {
-        /// Initial granularity P.
-        initial_granularity: u64,
-        /// Merge cap.
-        max_granularity: u64,
-        /// CMT capacity in entries.
-        cmt_entries: usize,
-        /// PCM-S swapping period.
-        swap_period: u64,
-        /// Observation window (requests).
-        observation_window: u64,
-        /// Settling window (requests).
-        settling_window: u64,
-        /// Hit-rate sample interval (requests).
-        sample_interval: u64,
-    },
+    /// Self-adaptive wear leveling (the paper's scheme). Carries the full
+    /// engine configuration so ablations (thresholds, mechanism switches)
+    /// are expressible as specs; the embedded `data_lines` and `seed` are
+    /// replaced by the experiment's geometry and derived seed at build
+    /// time.
+    Sawl(SawlConfig),
 }
 
 impl SchemeSpec {
@@ -121,7 +112,7 @@ impl SchemeSpec {
             Self::PcmS { period, .. } => format!("pcm-s/{period}"),
             Self::Mwsr { period, .. } => format!("mwsr/{period}"),
             Self::Nwl { granularity, .. } => format!("nwl-{granularity}"),
-            Self::Sawl { .. } => "sawl".into(),
+            Self::Sawl(_) => "sawl".into(),
         }
     }
 
@@ -129,26 +120,24 @@ impl SchemeSpec {
     pub fn translation_kind(&self) -> TranslationKind {
         match self {
             Self::Baseline | Self::Ideal => TranslationKind::None,
-            Self::Nwl { .. } | Self::Sawl { .. } => TranslationKind::Tiered,
+            Self::Nwl { .. } | Self::Sawl(_) => TranslationKind::Tiered,
             _ => TranslationKind::OnChip,
         }
     }
 
     /// SAWL defaults for a given data size and cache, paper parameters.
     pub fn sawl_default(cmt_entries: usize) -> Self {
-        Self::Sawl {
-            initial_granularity: 4,
-            max_granularity: 64,
-            cmt_entries,
-            swap_period: 128,
-            observation_window: 1 << 22,
-            settling_window: 1 << 22,
-            sample_interval: 100_000,
-        }
+        Self::Sawl(SawlConfig { cmt_entries, ..SawlConfig::default() })
     }
 
     /// Instantiate the scheme over `data_lines` logical lines.
     pub fn build(&self, data_lines: u64, seed: u64) -> Box<dyn WearLeveler + Send> {
+        if let Some(nwl) = self.build_nwl(data_lines, seed) {
+            return Box::new(nwl);
+        }
+        if let Some(sawl) = self.build_sawl(data_lines, seed) {
+            return Box::new(sawl);
+        }
         match *self {
             Self::Baseline => Box::new(NoWl::new(data_lines)),
             Self::Ideal => Box::new(Ideal::new(data_lines)),
@@ -179,7 +168,15 @@ impl SchemeSpec {
             Self::Mwsr { region_lines, period } => {
                 Box::new(Mwsr::new(data_lines, region_lines, period, derive(seed, "mwsr")))
             }
-            Self::Nwl { granularity, cmt_entries, swap_period } => Box::new(Nwl::new(NwlConfig {
+            Self::Nwl { .. } | Self::Sawl(_) => unreachable!("handled above"),
+        }
+    }
+
+    /// Instantiate a concrete NWL engine when this spec selects one (the
+    /// tiered drivers need the concrete type for CMT introspection).
+    pub fn build_nwl(&self, data_lines: u64, seed: u64) -> Option<Nwl> {
+        match *self {
+            Self::Nwl { granularity, cmt_entries, swap_period } => Some(Nwl::new(NwlConfig {
                 data_lines,
                 granularity,
                 cmt_entries,
@@ -187,26 +184,20 @@ impl SchemeSpec {
                 gtd_period: 32,
                 seed: derive(seed, "nwl"),
             })),
-            Self::Sawl {
-                initial_granularity,
-                max_granularity,
-                cmt_entries,
-                swap_period,
-                observation_window,
-                settling_window,
-                sample_interval,
-            } => Box::new(Sawl::new(SawlConfig {
+            _ => None,
+        }
+    }
+
+    /// Instantiate a concrete SAWL engine when this spec selects one (the
+    /// tiered drivers need the concrete type for history/stats access).
+    pub fn build_sawl(&self, data_lines: u64, seed: u64) -> Option<Sawl> {
+        match self {
+            Self::Sawl(cfg) => Some(Sawl::new(SawlConfig {
                 data_lines,
-                initial_granularity,
-                max_granularity,
-                cmt_entries,
-                swap_period,
-                observation_window,
-                settling_window,
-                sample_interval,
                 seed: derive(seed, "sawl"),
-                ..SawlConfig::default()
+                ..cfg.clone()
             })),
+            _ => None,
         }
     }
 
@@ -219,8 +210,8 @@ impl SchemeSpec {
             Self::Nwl { granularity, .. } => {
                 sawl_tiered::TieredLayout::new(data_lines, granularity).total_lines()
             }
-            Self::Sawl { initial_granularity, .. } => {
-                sawl_tiered::TieredLayout::new(data_lines, initial_granularity).total_lines()
+            Self::Sawl(ref cfg) => {
+                sawl_tiered::TieredLayout::new(data_lines, cfg.initial_granularity).total_lines()
             }
             _ => data_lines,
         }
@@ -333,7 +324,8 @@ mod tests {
             assert!(phys >= data_lines, "{}", spec.name());
             let mut wl = spec.build(data_lines, 7);
             let mut dev = DeviceSpec::default().build(phys, 7);
-            let mut stream = WorkloadSpec::Uniform { write_ratio: 0.5 }.build(wl.logical_lines(), 7);
+            let mut stream =
+                WorkloadSpec::Uniform { write_ratio: 0.5 }.build(wl.logical_lines(), 7);
             for _ in 0..2_000 {
                 let r = stream.next_req();
                 if r.write {

@@ -217,8 +217,7 @@ impl<V: Copy> Cmt<V> {
         };
         let idx = match self.free.pop() {
             Some(i) => {
-                self.nodes[i as usize] =
-                    Node { key, val, prev: NIL, next: NIL, in_first: false };
+                self.nodes[i as usize] = Node { key, val, prev: NIL, next: NIL, in_first: false };
                 i
             }
             None => {

@@ -82,8 +82,7 @@ impl ImtTable {
         assert!(data_lines.is_power_of_two() && p.is_power_of_two() && p <= data_lines);
         let p_log2 = p.trailing_zeros() as u8;
         let n = data_lines / p;
-        let entries =
-            (0..n).map(|lrn| ImtEntry::pack(lrn, 0, p_log2)).collect();
+        let entries = (0..n).map(|lrn| ImtEntry::pack(lrn, 0, p_log2)).collect();
         Self { entries, p }
     }
 
@@ -159,7 +158,7 @@ mod tests {
     #[test]
     fn translate_applies_xor_within_region() {
         let e = ImtEntry::pack(2, 0b11, 2); // Q=4, key=3, prn=2
-        // lma offsets 0..4 -> pao = off ^ 3, region base = 8.
+                                            // lma offsets 0..4 -> pao = off ^ 3, region base = 8.
         assert_eq!(e.translate(0), 8 + 3);
         assert_eq!(e.translate(1), 8 + 2);
         assert_eq!(e.translate(2), 8 + 1);

@@ -12,6 +12,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use sawl_nvm::{La, NvmDevice, Pa};
 
+use sawl_algos::exchange::{draw_key, SwapCounters};
 use sawl_algos::WearLeveler;
 use serde::{Deserialize, Serialize};
 
@@ -95,8 +96,8 @@ pub struct Nwl {
     imt: ImtTable,
     /// physical region -> logical region (exchange bookkeeping)
     p2l: Vec<u32>,
-    /// demand writes per logical region since its last triggered exchange
-    ctr: Vec<u32>,
+    /// swapping-period counters per logical region
+    swaps: SwapCounters,
     cmt: Cmt<ImtEntry>,
     gtd: Gtd,
     rng: SmallRng,
@@ -107,7 +108,6 @@ impl Nwl {
     /// Build an NWL instance. The device must provide
     /// [`Nwl::required_physical_lines`] lines.
     pub fn new(cfg: NwlConfig) -> Self {
-        assert!(cfg.swap_period > 0);
         let layout = TieredLayout::new(cfg.data_lines, cfg.granularity);
         let imt = ImtTable::identity(cfg.data_lines, cfg.granularity);
         let regions = layout.imt_entries;
@@ -121,7 +121,7 @@ impl Nwl {
         Self {
             cmt: Cmt::new(cfg.cmt_entries),
             p2l: (0..regions as u32).collect(),
-            ctr: vec![0; regions as usize],
+            swaps: SwapCounters::new(regions as usize, cfg.swap_period),
             imt,
             layout,
             gtd,
@@ -185,14 +185,13 @@ impl Nwl {
     fn exchange(&mut self, a: u64, dev: &mut NvmDevice) {
         let regions = self.layout.imt_entries;
         let g = self.cfg.granularity;
-        let key_mask = g - 1;
         let q_log2 = g.trailing_zeros() as u8;
         let (ea, new_a, new_b, b);
         if regions == 1 {
             // Degenerate single region: re-key in place.
             ea = self.imt.entry(0);
             b = 0;
-            new_a = ImtEntry::pack(ea.prn(), self.rng.random::<u64>() & key_mask, q_log2);
+            new_a = ImtEntry::pack(ea.prn(), draw_key(&mut self.rng, g), q_log2);
             new_b = new_a;
         } else {
             let mut partner = a;
@@ -202,8 +201,8 @@ impl Nwl {
             b = partner;
             ea = self.imt.entry(a);
             let eb = self.imt.entry(b);
-            new_a = ImtEntry::pack(eb.prn(), self.rng.random::<u64>() & key_mask, q_log2);
-            new_b = ImtEntry::pack(ea.prn(), self.rng.random::<u64>() & key_mask, q_log2);
+            new_a = ImtEntry::pack(eb.prn(), draw_key(&mut self.rng, g), q_log2);
+            new_b = ImtEntry::pack(ea.prn(), draw_key(&mut self.rng, g), q_log2);
             self.p2l[eb.prn() as usize] = a as u32;
             self.p2l[ea.prn() as usize] = b as u32;
         }
@@ -225,7 +224,7 @@ impl Nwl {
             }
             self.cmt.update_in_place(b, new_b);
         }
-        self.ctr[a as usize] = 0;
+        self.swaps.reset(a as usize);
         self.exchanges += 1;
     }
 }
@@ -249,8 +248,7 @@ impl WearLeveler for Nwl {
         let e = self.resolve_entry(lrn, dev);
         let pa = e.translate(la);
         dev.write(pa);
-        self.ctr[lrn as usize] += 1;
-        if u64::from(self.ctr[lrn as usize]) >= self.cfg.swap_period * self.cfg.granularity {
+        if self.swaps.record_write(lrn as usize, self.cfg.granularity) {
             self.exchange(lrn, dev);
         }
         pa

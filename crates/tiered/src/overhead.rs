@@ -101,8 +101,10 @@ mod tests {
 
     #[test]
     fn imt_scales_linearly_with_regions() {
-        let a = OverheadModel { region_count_log2: 20, region_lines_log2: 10, line_bytes: 64, kt: 32 };
-        let b = OverheadModel { region_count_log2: 21, region_lines_log2: 9, line_bytes: 64, kt: 32 };
+        let a =
+            OverheadModel { region_count_log2: 20, region_lines_log2: 10, line_bytes: 64, kt: 32 };
+        let b =
+            OverheadModel { region_count_log2: 21, region_lines_log2: 9, line_bytes: 64, kt: 32 };
         // Same device size, double the regions -> roughly double the IMT.
         assert_eq!(a.device_lines(), b.device_lines());
         let ratio = b.imt_bits() as f64 / a.imt_bits() as f64;

@@ -53,12 +53,7 @@ impl IpcModel {
         let instructions = requests as f64 * self.cpu.instr_per_request();
         let cycles = elapsed_ns * self.cpu.freq_ghz;
         let ipc = if cycles > 0.0 { instructions / cycles } else { 0.0 };
-        IpcEstimate {
-            ipc,
-            mean_latency_ns: self.sim.mean_latency_ns(),
-            requests,
-            elapsed_ns,
-        }
+        IpcEstimate { ipc, mean_latency_ns: self.sim.mean_latency_ns(), requests, elapsed_ns }
     }
 
     /// The CPU model in use.
@@ -87,8 +82,12 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            let mut e = if x & 7 < 3 { MemEvent::write((x >> 8) as u32) } else { MemEvent::read((x >> 8) as u32) }
-                .with_translation(translation_ns);
+            let mut e = if x & 7 < 3 {
+                MemEvent::write((x >> 8) as u32)
+            } else {
+                MemEvent::read((x >> 8) as u32)
+            }
+            .with_translation(translation_ns);
             if wl_every > 0 && i % wl_every == 0 {
                 e = e.with_wl_writes(wl_writes);
             }

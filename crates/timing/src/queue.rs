@@ -278,9 +278,7 @@ mod tests {
             "contention must fatten the tail"
         );
         // The median is never above the p99.
-        assert!(
-            contended.latency_percentile_ns(0.5) <= contended.latency_percentile_ns(0.99)
-        );
+        assert!(contended.latency_percentile_ns(0.5) <= contended.latency_percentile_ns(0.99));
     }
 
     #[test]

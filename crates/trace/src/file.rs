@@ -104,7 +104,7 @@ impl TraceReader {
         }
         let space = data.get_u64_le();
         let declared = data.get_u64_le();
-        if data.len() % 8 != 0 {
+        if !data.len().is_multiple_of(8) {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated trace record"));
         }
         let actual = (data.len() / 8) as u64;

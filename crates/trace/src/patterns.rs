@@ -161,14 +161,7 @@ impl Hotspot {
         assert!(hot_len > 0 && hot_base + hot_len <= space, "hot window out of range");
         assert!((0.0..=1.0).contains(&hot_prob));
         assert!((0.0..=1.0).contains(&write_ratio));
-        Self {
-            rng: SmallRng::seed_from_u64(seed),
-            space,
-            hot_base,
-            hot_len,
-            hot_prob,
-            write_ratio,
-        }
+        Self { rng: SmallRng::seed_from_u64(seed), space, hot_base, hot_len, hot_prob, write_ratio }
     }
 }
 

@@ -53,11 +53,7 @@ impl AddressStream for Mix {
     fn next_req(&mut self) -> MemReq {
         let u = self.rng.random::<f64>();
         // Linear scan: mixes have a handful of children.
-        let idx = self
-            .cumulative
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(self.children.len() - 1);
+        let idx = self.cumulative.iter().position(|&c| u < c).unwrap_or(self.children.len() - 1);
         self.children[idx].1.next_req()
     }
 

@@ -27,7 +27,7 @@ impl<S: AddressStream> RateMode<S> {
     pub fn new(cores: Vec<S>, space: u64) -> Self {
         assert!(!cores.is_empty(), "rate mode needs at least one core");
         let n = cores.len() as u64;
-        assert!(space % n == 0, "space must divide evenly across cores");
+        assert!(space.is_multiple_of(n), "space must divide evenly across cores");
         let slice_lines = space / n;
         for (i, c) in cores.iter().enumerate() {
             assert_eq!(
@@ -48,7 +48,7 @@ impl<S: AddressStream> RateMode<S> {
         make: impl Fn(u64, u64) -> S, // (slice_lines, core_seed) -> stream
         seed: u64,
     ) -> Self {
-        assert!(cores > 0 && space % cores == 0);
+        assert!(cores > 0 && space.is_multiple_of(cores));
         let slice = space / cores;
         let streams = (0..cores).map(|i| make(slice, seed.wrapping_add(i * 0x9E37))).collect();
         Self::new(streams, space)
@@ -80,8 +80,7 @@ mod tests {
 
     #[test]
     fn interleaves_round_robin_with_slice_offsets() {
-        let cores: Vec<SeqScan> =
-            (0..4).map(|i| SeqScan::new(16, 0, 4, 1.0, i)).collect();
+        let cores: Vec<SeqScan> = (0..4).map(|i| SeqScan::new(16, 0, 4, 1.0, i)).collect();
         let mut rm = RateMode::new(cores, 64);
         let first_round: Vec<u64> = (0..4).map(|_| rm.next_req().la).collect();
         assert_eq!(first_round, vec![0, 16, 32, 48]);

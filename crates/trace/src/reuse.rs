@@ -48,7 +48,7 @@ impl ReuseTracker {
 
     /// Observe one key.
     pub fn observe(&mut self, key: u64) {
-        if self.clock % self.sample_period == 0 {
+        if self.clock.is_multiple_of(self.sample_period) {
             self.sample(key);
         }
         self.last_access.insert(key, self.clock);
@@ -105,11 +105,8 @@ impl ReuseTracker {
         if self.samples == 0 {
             return 0.0;
         }
-        let cap_bucket = if entries == 0 {
-            0
-        } else {
-            (usize::BITS - entries.leading_zeros()) as usize
-        };
+        let cap_bucket =
+            if entries == 0 { 0 } else { (usize::BITS - entries.leading_zeros()) as usize };
         // Never count the overflow/cold bucket as hits.
         let cap_bucket = cap_bucket.min(self.histogram.len() - 1);
         let below: u64 = self.histogram.iter().take(cap_bucket).sum();
@@ -130,10 +127,7 @@ mod tests {
         // Distances land in the bucket holding 7 (bucket 3: 4..8).
         let h = t.histogram();
         let hot: u64 = h[3];
-        assert!(
-            hot > t.samples() / 2,
-            "expected most samples at distance 7: {h:?}"
-        );
+        assert!(hot > t.samples() / 2, "expected most samples at distance 7: {h:?}");
         // And an LRU of 8 entries would hit nearly always, of 4 never.
         assert!(t.estimated_hit_rate(8) > 0.9);
         assert!(t.estimated_hit_rate(4) < 0.1);

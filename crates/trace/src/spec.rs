@@ -333,7 +333,10 @@ impl SpecModel {
     /// Build the model for `bench` over a `space`-line logical address
     /// space. `space` must be a power of two of at least 2^10 lines.
     pub fn new(bench: SpecBenchmark, space: u64, seed: u64) -> Self {
-        assert!(space.is_power_of_two() && space >= 1 << 10, "space must be a power of two >= 1024");
+        assert!(
+            space.is_power_of_two() && space >= 1 << 10,
+            "space must be a power of two >= 1024"
+        );
         let p = bench.params();
         let want = (space as f64 * p.footprint_frac) as u64;
         let footprint = want.next_power_of_two().clamp(p.locality_block * 4, space);
@@ -343,8 +346,10 @@ impl SpecModel {
             .phases
             .iter()
             .map(|&params| {
-                let active_blocks =
-                    ((blocks as f64 * params.active_frac) as u64).max(1).next_power_of_two().min(blocks);
+                let active_blocks = ((blocks as f64 * params.active_frac) as u64)
+                    .max(1)
+                    .next_power_of_two()
+                    .min(blocks);
                 PhaseState { params, zipf: Zipf::new(active_blocks, params.zipf_s), active_blocks }
             })
             .collect::<Vec<_>>();

@@ -10,12 +10,12 @@
 //! cargo run --release --example adaptive_granularity
 //! ```
 
-use sawl::algos::WearLeveler;
-use sawl::nvm::{NvmConfig, NvmDevice};
-use sawl::sawl::{Sawl, SawlConfig};
-use sawl::trace::{AddressStream, Phased, Uniform, Zipf};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use sawl::nvm::{NvmConfig, NvmDevice};
+use sawl::sawl::{Sawl, SawlConfig};
+use sawl::simctl::pump;
+use sawl::trace::{AddressStream, Phased, Uniform, Zipf};
 
 /// A tight zipf-hot stream over a small window (stands in for a cache-
 /// friendly execution phase).
@@ -61,18 +61,12 @@ fn main() {
             .unwrap(),
     );
 
-    let hot = Box::new(HotPhase {
-        zipf: Zipf::new(512, 1.2),
-        rng: SmallRng::seed_from_u64(7),
-        space,
-    });
+    let hot =
+        Box::new(HotPhase { zipf: Zipf::new(512, 1.2), rng: SmallRng::seed_from_u64(7), space });
     let scattered = Box::new(Uniform::new(space, 1.0, 11));
     let mut workload = Phased::new(vec![(3_000_000, hot), (3_000_000, scattered)]);
 
-    for _ in 0..18_000_000u64 {
-        let req = workload.next_req();
-        sawl.write(req.la, &mut device);
-    }
+    pump(&mut sawl, &mut device, &mut workload, 18_000_000);
 
     println!("requests  windowed-hit%  region-size(lines)");
     for s in sawl.history().samples().iter().step_by(15) {

@@ -12,9 +12,8 @@
 //! cargo run --release --example attack_resilience
 //! ```
 
-use sawl::simctl::{
-    parallel_map, run_lifetime, DeviceSpec, LifetimeExperiment, SchemeSpec, Table, WorkloadSpec,
-};
+use sawl::sawl::SawlConfig;
+use sawl::simctl::{run_all, DeviceSpec, Scenario, SchemeSpec, Table, WorkloadSpec};
 
 fn main() {
     let data_lines: u64 = 1 << 14;
@@ -30,7 +29,7 @@ fn main() {
             // Same swapping period as the hybrids so the comparison
             // isolates the mapping architecture, not the exchange rate.
             "sawl",
-            SchemeSpec::Sawl {
+            SchemeSpec::Sawl(SawlConfig {
                 initial_granularity: 4,
                 max_granularity: 64,
                 cmt_entries: 1024,
@@ -38,7 +37,8 @@ fn main() {
                 observation_window: 1 << 22,
                 settling_window: 1 << 22,
                 sample_interval: 100_000,
-            },
+                ..SawlConfig::default()
+            }),
         ),
         ("ideal", SchemeSpec::Ideal),
     ];
@@ -47,28 +47,27 @@ fn main() {
         ("BPA", WorkloadSpec::Bpa { writes_per_target: u64::from(endurance) }),
     ];
 
-    let mut experiments = Vec::new();
+    let mut grid = Vec::new();
     for (sname, scheme) in &schemes {
         for (aname, attack) in &attacks {
-            experiments.push(LifetimeExperiment {
-                id: format!("example/{sname}/{aname}"),
-                scheme: scheme.clone(),
-                workload: attack.clone(),
+            grid.push(Scenario::lifetime(
+                format!("example/{sname}/{aname}"),
+                scheme.clone(),
+                attack.clone(),
                 data_lines,
-                device: DeviceSpec { endurance, ..Default::default() },
-                max_demand_writes: 0,
-            });
+                DeviceSpec { endurance, ..Default::default() },
+            ));
         }
     }
-    let results = parallel_map(&experiments, run_lifetime);
+    let results = run_all(&grid);
 
     let mut table = Table::new(
         "Normalized lifetime under attack (% of ideal)",
         &["scheme", "RAA", "BPA", "BPA write overhead (%)"],
     );
     for (i, (sname, _)) in schemes.iter().enumerate() {
-        let raa = &results[i * 2];
-        let bpa = &results[i * 2 + 1];
+        let raa = results[i * 2].lifetime();
+        let bpa = results[i * 2 + 1].lifetime();
         table.row(vec![
             sname.to_string(),
             format!("{:.1}", raa.normalized_lifetime * 100.0),

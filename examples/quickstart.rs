@@ -9,10 +9,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sawl::algos::WearLeveler;
 use sawl::nvm::{NvmConfig, NvmDevice};
 use sawl::sawl::{Sawl, SawlConfig};
-use sawl::trace::{AddressStream, Hotspot};
+use sawl::simctl::pump;
+use sawl::trace::Hotspot;
 
 fn main() {
     // 1. Configure the engine: a 2^16-line logical space (4 MB at 64 B
@@ -40,16 +40,10 @@ fn main() {
         .expect("valid device configuration");
     let mut device = NvmDevice::new(device_cfg);
 
-    // 3. Drive a 90/10 hotspot workload through it.
+    // 3. Drive a 90/10 hotspot workload through it, using the same request
+    //    pump the experiment suite runs on.
     let mut workload = Hotspot::new(1 << 16, 0, 1 << 10, 0.9, 0.5, 42);
-    for _ in 0..2_000_000u64 {
-        let req = workload.next_req();
-        if req.write {
-            sawl.write(req.la, &mut device);
-        } else {
-            sawl.read(req.la, &mut device);
-        }
-    }
+    pump(&mut sawl, &mut device, &mut workload, 2_000_000);
 
     // 4. See what happened.
     let stats = sawl.stats();

@@ -9,12 +9,12 @@
 //! cargo run --release --example trace_pipeline
 //! ```
 
-use sawl::algos::WearLeveler;
+use bytes::Bytes;
 use sawl::nvm::{NvmConfig, NvmDevice};
+use sawl::simctl::pump_observed;
 use sawl::tiered::{Nwl, NwlConfig};
 use sawl::timing::{ipc_degradation, CpuModel, IpcModel, MemEvent};
-use sawl::trace::{AddressStream, SpecBenchmark, TraceReader, TraceWriter};
-use bytes::Bytes;
+use sawl::trace::{SpecBenchmark, TraceReader, TraceWriter};
 
 fn device_for(lines: u64) -> NvmDevice {
     NvmDevice::new(NvmConfig::builder().lines(lines).endurance(u32::MAX).build().unwrap())
@@ -46,15 +46,12 @@ fn main() {
         let cpu = CpuModel::for_benchmark(SpecBenchmark::Gcc);
         let mut model = IpcModel::new(cpu);
         let mut base = IpcModel::new(cpu);
-        for _ in 0..count {
-            let req = reader.next_req();
-            let misses_before = nwl.mapping_stats().misses;
-            let pa = if req.write {
-                nwl.write(req.la, &mut dev)
-            } else {
-                nwl.read(req.la, &mut dev)
-            };
-            let missed = nwl.mapping_stats().misses > misses_before;
+        // The observer diffs the miss counter around each request, so it
+        // carries the previous count across observations.
+        let mut misses_before = nwl.mapping_stats().misses;
+        pump_observed(&mut nwl, &mut dev, &mut reader, count, |req, pa, w, _| {
+            let missed = w.mapping_stats().misses > misses_before;
+            misses_before = w.mapping_stats().misses;
             let translation = if missed { 55.0 } else { 5.0 };
             model.push(MemEvent {
                 bank: (pa % 32) as u32,
@@ -68,7 +65,7 @@ fn main() {
                 translation_ns: 0.0,
                 wl_writes: 0,
             });
-        }
+        });
         let hit = nwl.mapping_stats().hit_rate();
         let degradation = ipc_degradation(base.estimate(), model.estimate());
         println!(

@@ -1,6 +1,7 @@
 //! Cross-crate integration tests: full experiment pipelines through the
 //! public facade, exactly as the examples and figure binaries use them.
 
+use sawl::sawl::SawlConfig;
 use sawl::simctl::{
     run_lifetime, run_perf, DeviceSpec, LifetimeExperiment, PerfExperiment, SchemeSpec,
     WorkloadSpec,
@@ -40,7 +41,7 @@ fn lifetime_ordering_under_bpa_matches_the_paper() {
     );
     let pcms = lifetime(SchemeSpec::PcmS { region_lines: 4, period }, bpa.clone(), 1_000);
     let sawl = lifetime(
-        SchemeSpec::Sawl {
+        SchemeSpec::Sawl(SawlConfig {
             initial_granularity: 4,
             max_granularity: 64,
             cmt_entries: 512,
@@ -48,7 +49,8 @@ fn lifetime_ordering_under_bpa_matches_the_paper() {
             observation_window: 1 << 22,
             settling_window: 1 << 22,
             sample_interval: 100_000,
-        },
+            ..SawlConfig::default()
+        }),
         bpa.clone(),
         1_000,
     );
@@ -130,7 +132,7 @@ fn sawl_beats_nwl4_on_ipc_for_scattered_traffic() {
     };
     let cmt_entries = 2048;
     let nwl = run(SchemeSpec::Nwl { granularity: 4, cmt_entries, swap_period: 128 });
-    let sawl = run(SchemeSpec::Sawl {
+    let sawl = run(SchemeSpec::Sawl(SawlConfig {
         initial_granularity: 4,
         max_granularity: 256,
         cmt_entries,
@@ -138,7 +140,8 @@ fn sawl_beats_nwl4_on_ipc_for_scattered_traffic() {
         observation_window: 1 << 19,
         settling_window: 1 << 18,
         sample_interval: 50_000,
-    });
+        ..SawlConfig::default()
+    }));
     assert!(
         sawl.hit_rate > nwl.hit_rate,
         "sawl hit {} !> nwl-4 hit {}",

@@ -9,6 +9,7 @@ use sawl::algos::{Mwsr, PcmS, SecurityRefresh, SegmentSwap, StartGap, Tlsr, Wear
 use sawl::nvm::{NvmConfig, NvmDevice};
 use sawl::sawl::{Sawl, SawlConfig};
 use sawl::tiered::{Nwl, NwlConfig};
+use sawl::trace::{AddressStream, Bpa};
 
 const LINES: u64 = 1 << 10;
 
@@ -41,7 +42,7 @@ fn exercise<W: WearLeveler>(mut wl: W, physical_lines: u64, writes: &[u64]) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn segment_swap_is_permutation(writes in prop::collection::vec(any::<u64>(), 1..800),
@@ -149,6 +150,59 @@ proptest! {
                 wl.read(la, &mut dev);
             }
         }
+        wl.check_invariants();
+    }
+
+    #[test]
+    fn sawl_translate_stays_bijective_across_forced_merge_split_merge(
+        seed in any::<u64>(),
+        dwell in 16u64..128,
+        writes_between in 50usize..300,
+    ) {
+        // Force the granularity through a full merge -> split -> merge
+        // cycle via the lazy target (the same path the monitor drives),
+        // with an adversarial BPA trace running between the transitions,
+        // and demand the logical->physical map stays a bijection at every
+        // step.
+        let cfg = SawlConfig {
+            data_lines: LINES,
+            initial_granularity: 4,
+            max_granularity: 64,
+            cmt_entries: 32,
+            swap_period: 4,
+            // Neutralize the monitor: the test drives the target itself.
+            sample_interval: 1 << 30,
+            observation_window: 1 << 30,
+            settling_window: 1 << 30,
+            seed,
+            ..SawlConfig::default()
+        };
+        let mut wl = Sawl::new(cfg);
+        let phys = wl.required_physical_lines();
+        let mut dev = device(phys);
+        let mut attack = Bpa::new(LINES, dwell, seed ^ 0xB1A5);
+        // Merge up two levels, split back down, merge again — regions
+        // converge lazily as the attack touches them.
+        for target in [4u8, 2, 3] {
+            wl.set_target_q_log2(target);
+            for _ in 0..writes_between {
+                let req = attack.next_req();
+                wl.write(req.la, &mut dev);
+            }
+            check_permutation(&wl, phys);
+            wl.check_invariants();
+        }
+        // Sprinkle explicit merges/splits on top of the lazy convergence
+        // and re-verify: the bijection must survive direct operations too.
+        for g in 0..8u64 {
+            let base = wl.region_base(g * 16);
+            if g % 2 == 0 {
+                wl.merge(base, &mut dev);
+            } else {
+                wl.split(base, &mut dev);
+            }
+        }
+        check_permutation(&wl, phys);
         wl.check_invariants();
     }
 }

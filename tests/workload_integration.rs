@@ -79,12 +79,8 @@ fn rate_mode_multiplies_cmt_pressure() {
 #[test]
 fn rate_mode_spreads_wear_across_slices() {
     let space = 1 << 14;
-    let mut rm = RateMode::homogeneous(
-        space,
-        8,
-        |slice, seed| SpecBenchmark::Lbm.stream(slice, seed),
-        4,
-    );
+    let mut rm =
+        RateMode::homogeneous(space, 8, |slice, seed| SpecBenchmark::Lbm.stream(slice, seed), 4);
     let mut wl = sawl::algos::NoWl::new(space);
     let mut dev = wearless(space);
     for _ in 0..200_000 {
@@ -96,7 +92,8 @@ fn rate_mode_spreads_wear_across_slices() {
     // Every slice must have received wear.
     let slice = space / 8;
     for core in 0..8u64 {
-        let writes: u64 = dev.write_counts()[(core * slice) as usize..((core + 1) * slice) as usize]
+        let writes: u64 = dev.write_counts()
+            [(core * slice) as usize..((core + 1) * slice) as usize]
             .iter()
             .map(|&c| u64::from(c))
             .sum();

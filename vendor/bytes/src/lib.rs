@@ -1,0 +1,146 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the trace file format uses: an owning immutable
+//! buffer with a consuming read cursor ([`Bytes`], matching the real
+//! crate's advance-on-read semantics where the buffer *is* the remaining
+//! view) and a growable write buffer ([`BytesMut`]), plus the [`Buf`] /
+//! [`BufMut`] trait names the call sites import.
+
+use std::ops::Deref;
+
+/// Read side: little-endian extraction that consumes the buffer.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Copy `dst.len()` bytes out and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Read a little-endian u64 and advance.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+/// Write side: little-endian appends.
+pub trait BufMut {
+    /// Append a slice.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Append a little-endian u64.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+/// Immutable byte buffer; reads advance, and `Deref`/indexing expose the
+/// *remaining* bytes, exactly like the real `Bytes`.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Remaining length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice past end of buffer");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drop the contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_advance_and_indexing_sees_the_rest() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_slice(b"HDR");
+        b.put_u64_le(0xDEAD_BEEF);
+        b.put_u64_le(7);
+        let mut r = Bytes::from(b.to_vec());
+        let mut hdr = [0u8; 3];
+        r.copy_to_slice(&mut hdr);
+        assert_eq!(&hdr, b"HDR");
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF);
+        // After consuming the header, index 0 is the next record.
+        assert_eq!(r.len(), 8);
+        assert_eq!(u64::from_le_bytes(r[0..8].try_into().unwrap()), 7);
+        assert_eq!(r.get_u64_le(), 7);
+        assert!(r.is_empty());
+    }
+}

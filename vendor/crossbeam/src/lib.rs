@@ -1,0 +1,42 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel::bounded` as a
+//! multi-producer/single-consumer results pipe in `parallel_map`; the
+//! standard library's `mpsc::sync_channel` has identical semantics for
+//! that use (cloneable sender, bounded backpressure, iteration until all
+//! senders drop), so this crate is a thin alias layer over it.
+
+pub mod channel {
+    /// Cloneable bounded sender.
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+    /// Receiving end; iterating yields until every sender is dropped.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// A bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_multiple_senders() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<u32> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

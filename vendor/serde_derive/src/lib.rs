@@ -1,0 +1,317 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with `proc_macro` alone (no syn/quote — those
+//! are also unreachable offline) and emits `serde::Serialize` /
+//! `serde::Deserialize` impls against the vendored serde's `Value` tree.
+//! Supports what this workspace derives on: non-generic structs with named
+//! fields (honouring `#[serde(default)]`), unit structs, and enums with
+//! unit / named-field / one-element tuple variants, in serde's
+//! externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Newtype,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    Struct(Vec<Field>),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Skip attributes (`#[...]`, including doc comments), recording whether a
+/// `#[serde(default)]` was among them; then skip a `pub` / `pub(...)`
+/// visibility. Returns the new position.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize, saw_default: &mut bool) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    let text = g.stream().to_string();
+                    if text.starts_with("serde") && text.contains("default") {
+                        *saw_default = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skip a type (after `field:`) up to the next top-level comma, tracking
+/// `<...>` nesting so generic arguments don't terminate early.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut default = false;
+        i = skip_attrs_and_vis(&toks, i, &mut default);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive stub: expected field name, got {other}"),
+            None => break,
+        };
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_type(&toks, i);
+        i += 1; // ','
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut ignored = false;
+        i = skip_attrs_and_vis(&toks, i, &mut ignored);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive stub: expected variant name, got {other}"),
+            None => break,
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let end = skip_type(&inner, 0);
+                assert!(
+                    end >= inner.len().saturating_sub(1),
+                    "serde derive stub: only 1-element tuple variants supported ({name})"
+                );
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut ignored = false;
+    let mut i = skip_attrs_and_vis(&toks, 0, &mut ignored);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive stub: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic type {name} not supported");
+        }
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Body::Struct(parse_named_fields(g.stream()))
+            } else if kind == "enum" {
+                Body::Enum(parse_variants(g.stream()))
+            } else {
+                panic!("serde derive stub: unsupported item kind {kind}");
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => Body::Unit,
+        other => panic!("serde derive stub: unsupported body for {name}: {other:?}"),
+    };
+    Item { name, body }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{0}\".to_string(), ::serde::Serialize::serialize(&self.{0})));\n",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Obj(__obj)"
+            )
+        }
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{0} => ::serde::Value::Str(\"{0}\".to_string()),\n",
+                        v.name
+                    ),
+                    VariantKind::Newtype => format!(
+                        "{name}::{0}(__x) => ::serde::Value::Obj(vec![(\"{0}\".to_string(), ::serde::Serialize::serialize(__x))]),\n",
+                        v.name
+                    ),
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "__inner.push((\"{0}\".to_string(), ::serde::Serialize::serialize({0})));\n",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\nlet mut __inner: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Obj(vec![(\"{v}\".to_string(), ::serde::Value::Obj(__inner))])\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\nfn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_named_ctor(ty_path: &str, fields: &[Field], src: &str) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            if f.default {
+                format!("{0}: ::serde::__field_or_default({src}, \"{0}\")?,\n", f.name)
+            } else {
+                format!("{0}: ::serde::__field({src}, \"{0}\")?,\n", f.name)
+            }
+        })
+        .collect();
+    format!("{ty_path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => format!("::core::result::Result::Ok({name})"),
+        Body::Struct(fields) => {
+            format!("::core::result::Result::Ok({})", gen_named_ctor(name, fields, "__v"))
+        }
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                        v.name
+                    ),
+                    VariantKind::Newtype => format!(
+                        "\"{0}\" => ::core::result::Result::Ok({name}::{0}(::serde::Deserialize::deserialize(__inner)?)),\n",
+                        v.name
+                    ),
+                    VariantKind::Named(fields) => format!(
+                        "\"{v}\" => ::core::result::Result::Ok({ctor}),\n",
+                        v = v.name,
+                        ctor = gen_named_ctor(&format!("{name}::{}", v.name), fields, "__inner")
+                    ),
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                 ::serde::Value::Obj(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(format!(\"unknown {name} variant `{{__other}}`\"))),\n}}\n}},\n\
+                 __other => ::core::result::Result::Err(::serde::Error::msg(format!(\"bad {name} value: {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\nfn deserialize(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde derive stub: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde derive stub: generated invalid Deserialize impl")
+}
