@@ -53,6 +53,23 @@ impl SwapCounters {
         u64::from(*c) >= self.period * region_lines
     }
 
+    /// Count `k` demand writes to the region at `slot` that are known not
+    /// to reach the exchange threshold — the bulk half of run-length
+    /// batching. Callers bound `k` by [`SwapCounters::until_trigger`];
+    /// equivalent to `k` non-triggering [`SwapCounters::record_write`]s.
+    #[inline]
+    pub fn add(&mut self, slot: usize, k: u64) {
+        self.ctr[slot] += k as u32;
+    }
+
+    /// Writes to the region at `slot` remaining until the one that reaches
+    /// its exchange threshold, inclusive (so `until_trigger - 1` writes
+    /// are guaranteed not to trigger).
+    #[inline]
+    pub fn until_trigger(&self, slot: usize, region_lines: u64) -> u64 {
+        (self.period * region_lines).saturating_sub(u64::from(self.ctr[slot])).max(1)
+    }
+
     /// Reset a region's counter after its exchange. Only the *triggering*
     /// region resets — an exchange partner relocated as a bystander keeps
     /// its own cadence, which is what pins the steady-state overhead at

@@ -78,6 +78,24 @@ pub trait WearLeveler {
         pa
     }
 
+    /// Serve `n` consecutive demand writes to the same logical line.
+    /// Bit-equivalent to calling [`write`](WearLeveler::write) `n` times,
+    /// stopping once the device dies; returns the number of writes served.
+    ///
+    /// Attack workloads dwell on one address for thousands of consecutive
+    /// writes, so schemes whose mapping only changes at periodic
+    /// wear-leveling events override this to run the writes between events
+    /// through [`NvmDevice::write_run`] in O(1). The default is the plain
+    /// scalar loop.
+    fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
+        let mut done = 0;
+        while done < n && !dev.is_dead() {
+            self.write(la, dev);
+            done += 1;
+        }
+        done
+    }
+
     /// Bits of mapping state the scheme must keep **on chip** for correct
     /// operation (tables, keys, pointers, counters). This is the hardware
     /// overhead axis of the paper's Fig. 5 / §4.5.
@@ -104,6 +122,10 @@ impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
 
     fn read(&mut self, la: La, dev: &mut NvmDevice) -> Pa {
         (**self).read(la, dev)
+    }
+
+    fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
+        (**self).write_run(la, n, dev)
     }
 
     fn onchip_bits(&self) -> u64 {

@@ -151,6 +151,31 @@ impl WearLeveler for SecurityRefresh {
         pa
     }
 
+    fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
+        // The SR mapping only moves in `step`, every `period` writes:
+        // scalar-first, then batch the remainder of the period.
+        let mut done = 0;
+        while done < n {
+            self.write(la, dev);
+            done += 1;
+            if dev.is_dead() || done >= n {
+                break;
+            }
+            let gap = (self.period - self.writes).max(1) - 1;
+            let k = (n - done).min(gap);
+            if k == 0 {
+                continue;
+            }
+            let (applied, _) = dev.write_run(self.sr.map(la), k);
+            self.writes += applied;
+            done += applied;
+            if applied < k {
+                break;
+            }
+        }
+        done
+    }
+
     fn onchip_bits(&self) -> u64 {
         // Two keys + refresh pointer + write counter.
         let bits = 64 - (self.sr.size() - 1).leading_zeros() as u64;
@@ -262,6 +287,36 @@ impl WearLeveler for Tlsr {
             }
         }
         pa
+    }
+
+    fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
+        // Both SR levels move only on their periodic steps; between steps
+        // the translation of `la` is frozen. Batch up to the nearer of the
+        // two next step triggers.
+        let mut done = 0;
+        while done < n {
+            self.write(la, dev);
+            done += 1;
+            if dev.is_dead() || done >= n {
+                break;
+            }
+            let region = self.geo.region_of(self.outer.map(la)) as usize;
+            let inner_gap = self.inner_period - u64::from(self.inner_writes[region]);
+            let outer_gap = self.outer_period - self.outer_writes;
+            let gap = inner_gap.min(outer_gap).max(1) - 1;
+            let k = (n - done).min(gap);
+            if k == 0 {
+                continue;
+            }
+            let (applied, _) = dev.write_run(self.translate(la), k);
+            self.inner_writes[region] += applied as u32;
+            self.outer_writes += applied;
+            done += applied;
+            if applied < k {
+                break;
+            }
+        }
+        done
     }
 
     fn onchip_bits(&self) -> u64 {

@@ -9,7 +9,11 @@
 //! * `write_path` — the full demand-write path (translate + wear + WL
 //!   machinery) of every scheme;
 //! * `cmt` — cache hit and miss+insert costs;
-//! * `streams` — request generation (Zipf sampling and SPEC models).
+//! * `streams` — request generation (Zipf sampling and SPEC models);
+//! * `stream_fill` — block request generation via `AddressStream::fill`,
+//!   the path the scenario pumps actually drive (4096-request blocks);
+//! * `lifetime_slice` — an end-to-end 2^16-line SAWL lifetime slice, the
+//!   macro number the per-write benches above decompose.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
@@ -17,9 +21,10 @@ use std::hint::black_box;
 use sawl_algos::{Mwsr, NoWl, PcmS, SegmentSwap, StartGap, Tlsr, WearLeveler};
 use sawl_core::{Sawl, SawlConfig};
 use sawl_nvm::{NvmConfig, NvmDevice};
+use sawl_simctl::{run_lifetime, DeviceSpec, LifetimeExperiment, SchemeSpec, WorkloadSpec};
 use sawl_tiered::cmt::{Cmt, CmtLookup};
 use sawl_tiered::{Nwl, NwlConfig};
-use sawl_trace::{AddressStream, SpecBenchmark, Zipf};
+use sawl_trace::{AddressStream, Bpa, MemReq, Raa, SpecBenchmark, SpecModel, Uniform, Zipf};
 
 const LINES: u64 = 1 << 16;
 
@@ -146,9 +151,89 @@ fn bench_streams(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_stream_fill(c: &mut Criterion) {
+    // One iteration = one 4096-request block, the unit the scenario pumps
+    // request from streams; divide the reported time by 4096 for the
+    // per-request cost.
+    const BLOCK: usize = 4096;
+    let mut g = c.benchmark_group("stream_fill");
+    // `black_box(&buf)` after the fill keeps the buffer stores alive;
+    // black-boxing only the returned count lets LLVM elide the writes
+    // entirely and report sub-nanosecond nonsense.
+    g.bench_function("uniform", |b| {
+        let mut s = Uniform::new(1 << 22, 0.5, 7);
+        let mut buf = [MemReq::read(0); BLOCK];
+        b.iter(|| {
+            let n = s.fill(&mut buf);
+            black_box(&buf);
+            black_box(n)
+        });
+    });
+    g.bench_function("raa", |b| {
+        let mut s = Raa::new(42, 1 << 22);
+        let mut buf = [MemReq::read(0); BLOCK];
+        b.iter(|| {
+            let n = s.fill(&mut buf);
+            black_box(&buf);
+            black_box(n)
+        });
+    });
+    g.bench_function("bpa_2048", |b| {
+        let mut s = Bpa::new(1 << 22, 2048, 7);
+        let mut buf = [MemReq::read(0); BLOCK];
+        b.iter(|| {
+            let n = s.fill(&mut buf);
+            black_box(&buf);
+            black_box(n)
+        });
+    });
+    g.bench_function("zipf_sample_many", |b| {
+        let z = Zipf::new(1 << 20, 1.1);
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(3);
+        let mut out = [0u64; BLOCK];
+        b.iter(|| {
+            z.sample_many(&mut rng, &mut out);
+            black_box(out[BLOCK - 1])
+        });
+    });
+    for bench in [SpecBenchmark::Soplex, SpecBenchmark::Mcf] {
+        g.bench_function(format!("spec_{}", bench.name()), |b| {
+            let mut s = SpecModel::new(bench, 1 << 22, 5);
+            let mut buf = [MemReq::read(0); BLOCK];
+            b.iter(|| {
+                let n = s.fill(&mut buf);
+                black_box(&buf);
+                black_box(n)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lifetime_slice(c: &mut Criterion) {
+    // End-to-end slice of the dominant experiment shape: SAWL over a
+    // 2^16-line device under BPA, capped at 500k demand writes so one
+    // iteration stays in the tens of milliseconds. Endurance is maxed so
+    // the cap — not device death — ends the run, keeping iterations
+    // identical.
+    let mut g = c.benchmark_group("lifetime_slice");
+    g.bench_function("sawl_64k_bpa", |b| {
+        let exp = LifetimeExperiment {
+            id: "bench/sawl-slice".into(),
+            scheme: SchemeSpec::sawl_default(1024),
+            workload: WorkloadSpec::Bpa { writes_per_target: 2048 },
+            data_lines: 1 << 16,
+            device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+            max_demand_writes: 500_000,
+        };
+        b.iter(|| black_box(run_lifetime(&exp)));
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_device_write, bench_translate, bench_write_path, bench_cmt, bench_streams
+    targets = bench_device_write, bench_translate, bench_write_path, bench_cmt, bench_streams, bench_stream_fill, bench_lifetime_slice
 }
 criterion_main!(benches);

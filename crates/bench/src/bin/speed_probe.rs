@@ -1,8 +1,67 @@
+//! Simulator-throughput baseline: time the BPA lifetime probe for the
+//! four fastest-moving schemes and record the results as
+//! `BENCH_speed.json` in the working directory (repo root in CI).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sawl-bench --bin speed_probe            # full geometry
+//! cargo run --release -p sawl-bench --bin speed_probe -- --smoke # tiny, seconds
+//! ```
+//!
+//! The JSON schema is a single object:
+//!
+//! ```json
+//! {
+//!   "probe": "bpa-lifetime",
+//!   "smoke": false,
+//!   "data_lines": 65536,
+//!   "endurance": 10000,
+//!   "schemes": [
+//!     { "name": "pcms", "mw_per_sec": 0.0, "wall_seconds": 0.0,
+//!       "demand_writes": 0, "normalized_lifetime": 0.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! `mw_per_sec` is demand writes per wall-clock second in millions — the
+//! headline simulator-throughput number. Runs are serial on purpose so
+//! each one is timed in isolation.
+
 use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
 
 use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, WorkloadSpec};
 
+/// One scheme's timing row in `BENCH_speed.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct SchemeSpeed {
+    name: String,
+    mw_per_sec: f64,
+    wall_seconds: f64,
+    demand_writes: u64,
+    normalized_lifetime: f64,
+}
+
+/// Top-level `BENCH_speed.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+struct SpeedReport {
+    probe: String,
+    smoke: bool,
+    data_lines: u64,
+    endurance: u32,
+    schemes: Vec<SchemeSpeed>,
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // The smoke geometry exists for CI: it exercises the identical code
+    // path in a couple of seconds and still produces well-formed JSON.
+    let (data_lines, endurance): (u64, u32) =
+        if smoke { (1 << 12, 500) } else { (1 << 16, 10_000) };
+
+    let mut schemes = Vec::new();
     // Serial on purpose: each run is timed in isolation.
     for (name, scheme) in [
         ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
@@ -14,20 +73,30 @@ fn main() {
             format!("probe/{name}"),
             scheme,
             WorkloadSpec::Bpa { writes_per_target: 2048 },
-            1 << 16,
-            DeviceSpec { endurance: 10_000, ..Default::default() },
+            data_lines,
+            DeviceSpec { endurance, ..Default::default() },
         );
         let t = Instant::now();
         let report = run_scenario(&scenario);
         let r = report.lifetime();
         let dt = t.elapsed().as_secs_f64();
+        let mw_per_sec = r.demand_writes as f64 / dt / 1e6;
         println!(
-            "{name}: nl={:.3} demand={} overhead={:.3} died={} in {dt:.2}s ({:.1} Mw/s)",
-            r.normalized_lifetime,
-            r.demand_writes,
-            r.overhead_fraction,
-            r.device_died,
-            r.demand_writes as f64 / dt / 1e6
+            "{name}: nl={:.3} demand={} overhead={:.3} died={} in {dt:.2}s ({mw_per_sec:.1} Mw/s)",
+            r.normalized_lifetime, r.demand_writes, r.overhead_fraction, r.device_died,
         );
+        schemes.push(SchemeSpeed {
+            name: name.into(),
+            mw_per_sec,
+            wall_seconds: dt,
+            demand_writes: r.demand_writes,
+            normalized_lifetime: r.normalized_lifetime,
+        });
     }
+
+    let report =
+        SpeedReport { probe: "bpa-lifetime".into(), smoke, data_lines, endurance, schemes };
+    let json = serde_json::to_string_pretty(&report).expect("serialize speed report");
+    std::fs::write("BENCH_speed.json", json + "\n").expect("write BENCH_speed.json");
+    println!("wrote BENCH_speed.json");
 }

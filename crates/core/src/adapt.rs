@@ -312,6 +312,23 @@ impl HitRateAdaptation {
     }
 
     /// Requests observed so far.
+    /// Requests until the one that triggers the next monitor sample,
+    /// inclusive — so `until_sample() - 1` requests are guaranteed not to
+    /// cross a sample boundary.
+    #[inline]
+    pub fn until_sample(&self) -> u64 {
+        let interval = self.monitor.sample_interval();
+        interval - self.requests % interval
+    }
+
+    /// Count `k` requests known not to reach a sample boundary (run
+    /// batching); equivalent to `k` non-firing
+    /// [`AdaptationController::begin_request`] calls.
+    #[inline]
+    pub fn note_requests(&mut self, k: u64) {
+        self.requests += k;
+    }
+
     pub fn requests(&self) -> u64 {
         self.requests
     }

@@ -386,6 +386,51 @@ impl WearLeveler for Sawl {
         pa
     }
 
+    fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
+        // Scalar-first, then batch the gap to the next event. One `write`
+        // serves the next request exactly (CMT miss/insert, lazy
+        // merge/split, exchange trigger, monitor sample); afterwards, as
+        // long as the touched region is settled at the target granularity
+        // and cached, every write up to — but excluding — the next
+        // exchange trigger or sample boundary repeats the same CMT front
+        // hit and the same physical line, so the whole gap collapses to
+        // counter arithmetic plus one `NvmDevice::write_run`.
+        let g = la >> self.mapping.p_log2();
+        let mut done = 0;
+        while done < n {
+            self.write(la, dev);
+            done += 1;
+            if dev.is_dead() || done >= n {
+                break;
+            }
+            let e = self.mapping.entry(g);
+            if self.adapt.action_for(e.q_log2).is_some() {
+                // Still adapting one level per touch: stay scalar.
+                continue;
+            }
+            let base = self.mapping.base_of(g, e);
+            if self.mapping.cmt().peek(base).is_none() {
+                // A merge/split rebased the region; the next scalar write
+                // must take the CMT miss (GTD read + insert).
+                continue;
+            }
+            let gap = self.xchg.until_trigger(base, e.q()).min(self.adapt.until_sample()) - 1;
+            let k = (n - done).min(gap);
+            if k == 0 {
+                continue;
+            }
+            let (applied, _) = dev.write_run(e.translate(la), k);
+            self.xchg.note_writes(base, applied);
+            self.mapping.record_repeat_hits(base, applied);
+            self.adapt.note_requests(applied);
+            done += applied;
+            if applied < k {
+                break;
+            }
+        }
+        done
+    }
+
     fn onchip_bits(&self) -> u64 {
         self.mapping.onchip_bits(self.cfg.entry_bits())
     }

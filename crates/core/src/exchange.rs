@@ -67,6 +67,20 @@ impl RegionExchange {
     pub fn new(granules: u64, swap_period: u64, rng: SmallRng) -> Self {
         Self { swaps: SwapCounters::new(granules as usize, swap_period), rng, exchanges: 0 }
     }
+
+    /// Writes to the region at `base` until the one that triggers its
+    /// exchange, inclusive (`region_lines` = the region's current size).
+    #[inline]
+    pub fn until_trigger(&self, base: u64, region_lines: u64) -> u64 {
+        self.swaps.until_trigger(base as usize, region_lines)
+    }
+
+    /// Count `k` writes to the region at `base` known not to reach its
+    /// exchange threshold (run batching).
+    #[inline]
+    pub fn note_writes(&mut self, base: u64, k: u64) {
+        self.swaps.add(base as usize, k);
+    }
 }
 
 impl ExchangePolicy for RegionExchange {

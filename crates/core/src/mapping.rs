@@ -114,6 +114,12 @@ impl TieredMapping {
     }
 
     /// The CMT (hit counters, occupancy) for the monitor and tests.
+    /// Record `k` repeated CMT hits to the cached region at `base` — the
+    /// bulk half of run-length batching, equivalent to `k` cache lookups.
+    pub fn record_repeat_hits(&mut self, base: u64, k: u64) {
+        self.cmt.record_hits(base, k);
+    }
+
     pub fn cmt(&self) -> &Cmt<ImtEntry> {
         &self.cmt
     }

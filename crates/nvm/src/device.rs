@@ -2,9 +2,13 @@
 //! device-death rule.
 //!
 //! This is the hottest code in the whole suite — lifetime experiments push
-//! 1e8–1e9 writes through [`NvmDevice::write`] — so the write path is a
-//! bounds-checked array increment plus two compares, with no allocation and
-//! no branching beyond the failure checks.
+//! 1e8–1e9 writes through [`NvmDevice::write`] — so the write path is two
+//! bounds-checked array updates plus a compare-to-zero, with no allocation,
+//! no division, and no branching beyond the failure checks. Instead of
+//! testing `write_count % limit == 0` (a hardware divide per write), each
+//! line carries a countdown of writes remaining until its next failure;
+//! failure is `countdown == 0` after a decrement, and the countdown refills
+//! with the line's limit when the controller remaps to a spare.
 
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +69,11 @@ pub struct NvmDevice {
     cfg: NvmConfig,
     /// Per-line write counts.
     write_counts: Vec<u32>,
+    /// Per-line writes remaining until the next line failure. Starts at the
+    /// line's endurance limit and refills with it on every failure, so the
+    /// hot path never divides: `remaining == 0` after a decrement is exactly
+    /// the old `write_count % limit == 0` rule.
+    remaining: Vec<u32>,
     /// Per-line endurance limits; `None` means every line has `cfg.endurance`.
     limits: Option<Vec<u32>>,
     counters: WearCounters,
@@ -77,8 +86,13 @@ impl NvmDevice {
     /// Create a fresh (unworn) device from a validated configuration.
     pub fn new(cfg: NvmConfig) -> Self {
         let limits = cfg.variation.materialize(cfg.lines, cfg.endurance, cfg.seed);
+        let remaining = match &limits {
+            Some(l) => l.clone(),
+            None => vec![cfg.endurance; cfg.lines as usize],
+        };
         Self {
             write_counts: vec![0; cfg.lines as usize],
+            remaining,
             limits,
             counters: WearCounters::default(),
             demand_writes_at_death: None,
@@ -168,17 +182,18 @@ impl NvmDevice {
         } else {
             self.counters.demand_writes += 1;
         }
-        let wc = &mut self.write_counts[pa as usize];
-        *wc += 1;
-        let limit = match &self.limits {
-            Some(l) => l[pa as usize],
-            None => self.cfg.endurance,
-        };
+        self.write_counts[pa as usize] += 1;
+        let rem = &mut self.remaining[pa as usize];
+        *rem -= 1;
         // A line fails when its count reaches the limit; the controller
         // remaps it to a spare, and that spare wears out after another
-        // `limit` writes — hence the modulo: hammering one physical address
+        // `limit` writes — hence the refill: hammering one physical address
         // consumes one spare every `limit` writes.
-        if (*wc).is_multiple_of(limit) {
+        if *rem == 0 {
+            *rem = match &self.limits {
+                Some(l) => l[pa as usize],
+                None => self.cfg.endurance,
+            };
             self.counters.failed_lines += 1;
             if self.counters.failed_lines > self.cfg.spare_lines() {
                 self.dead = true;
@@ -188,6 +203,58 @@ impl NvmDevice {
             return WriteOutcome::LineFailed;
         }
         WriteOutcome::Ok
+    }
+
+    /// Apply `n` consecutive demand writes to the same line, in closed
+    /// form. Bit-equivalent to `n` calls of [`NvmDevice::write`], stopping
+    /// after the write that kills the device; returns the number of writes
+    /// applied and the outcome of the last applied write.
+    ///
+    /// This is the device half of run-length batching: write-only attack
+    /// workloads (BPA, RAA) hammer one address for thousands of
+    /// consecutive writes, and a whole run costs O(1) here instead of one
+    /// countdown update per write.
+    pub fn write_run(&mut self, pa: Pa, n: u64) -> (u64, WriteOutcome) {
+        if self.dead {
+            return (0, WriteOutcome::DeviceDead);
+        }
+        if n == 0 {
+            return (0, WriteOutcome::Ok);
+        }
+        let limit = self.limit(pa);
+        let rem = u64::from(self.remaining[pa as usize]);
+        if n < rem {
+            // The run ends before the line's next failure.
+            self.remaining[pa as usize] -= n as u32;
+            self.write_counts[pa as usize] += n as u32;
+            self.counters.total_writes += n;
+            self.counters.demand_writes += n;
+            return (n, WriteOutcome::Ok);
+        }
+        // At least one failure. The j-th failure in this run lands on write
+        // `rem + (j-1)*limit`; the device dies on the failure that
+        // overflows the spare pool.
+        let failures_to_death = self.cfg.spare_lines() - self.counters.failed_lines + 1;
+        let writes_to_death = rem + (failures_to_death - 1) * u64::from(limit);
+        if n >= writes_to_death {
+            self.remaining[pa as usize] = limit;
+            self.write_counts[pa as usize] += writes_to_death as u32;
+            self.counters.total_writes += writes_to_death;
+            self.counters.demand_writes += writes_to_death;
+            self.counters.failed_lines += failures_to_death;
+            self.dead = true;
+            self.demand_writes_at_death = Some(self.counters.demand_writes);
+            return (writes_to_death, WriteOutcome::DeviceDead);
+        }
+        let failures = (n - rem) / u64::from(limit) + 1;
+        let past_last_failure = (n - rem) % u64::from(limit);
+        self.remaining[pa as usize] = limit - past_last_failure as u32;
+        self.write_counts[pa as usize] += n as u32;
+        self.counters.total_writes += n;
+        self.counters.demand_writes += n;
+        self.counters.failed_lines += failures;
+        let last = if past_last_failure == 0 { WriteOutcome::LineFailed } else { WriteOutcome::Ok };
+        (n, last)
     }
 
     /// Compute full wear-distribution statistics (O(lines)).
@@ -205,6 +272,10 @@ impl NvmDevice {
     /// reuse allocations between runs of the same geometry.
     pub fn reset(&mut self) {
         self.write_counts.fill(0);
+        match &self.limits {
+            Some(l) => self.remaining.copy_from_slice(l),
+            None => self.remaining.fill(self.cfg.endurance),
+        }
         self.counters = WearCounters::default();
         self.demand_writes_at_death = None;
         self.dead = false;
@@ -328,6 +399,191 @@ mod tests {
         assert!(!dev.is_dead());
         assert_eq!(dev.wear().total_writes, 0);
         assert_eq!(dev.write(0), WriteOutcome::LineFailed); // endurance 1 again
+    }
+
+    /// Reference implementation of the failure rule the countdown replaced:
+    /// a line fails exactly when its cumulative write count is a multiple of
+    /// its endurance limit.
+    fn modulo_outcome(wc: u32, limit: u32, failed_so_far: u64, spares: u64) -> WriteOutcome {
+        if wc.is_multiple_of(limit) {
+            if failed_so_far + 1 > spares {
+                WriteOutcome::DeviceDead
+            } else {
+                WriteOutcome::LineFailed
+            }
+        } else {
+            WriteOutcome::Ok
+        }
+    }
+
+    #[test]
+    fn countdown_matches_modulo_rule_across_failure_boundaries() {
+        // Uniform limits: hammer two lines through several failure cycles
+        // and check every single outcome against the modulo rule.
+        let mut dev = tiny(16, 7, 2); // 4 spares
+        let mut failed = 0u64;
+        'outer: for pa in [3u64, 9] {
+            for _ in 0..7 * 3 {
+                let expect =
+                    modulo_outcome(dev.write_count(pa) + 1, 7, failed, dev.config().spare_lines());
+                let got = dev.write(pa);
+                assert_eq!(got, expect, "pa {pa} wc {}", dev.write_count(pa));
+                if got != WriteOutcome::Ok {
+                    failed += 1;
+                }
+                if got == WriteOutcome::DeviceDead {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(dev.is_dead());
+    }
+
+    #[test]
+    fn countdown_matches_modulo_rule_with_gaussian_limits() {
+        let cfg = NvmConfig::builder()
+            .lines(8)
+            .banks(1)
+            .endurance(50)
+            .spare_shift(1)
+            .variation(EnduranceModel::Gaussian { cov: 0.25 })
+            .seed(17)
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        let limits: Vec<u32> = (0..8).map(|pa| dev.limit(pa)).collect();
+        let mut failed = 0u64;
+        'outer: for pa in 0..8u64 {
+            let limit = limits[pa as usize];
+            for _ in 0..limit * 2 + 1 {
+                let expect = modulo_outcome(
+                    dev.write_count(pa) + 1,
+                    limit,
+                    failed,
+                    dev.config().spare_lines(),
+                );
+                let got = dev.write(pa);
+                assert_eq!(got, expect, "pa {pa} wc {} limit {limit}", dev.write_count(pa));
+                if got != WriteOutcome::Ok {
+                    failed += 1;
+                }
+                if got == WriteOutcome::DeviceDead {
+                    break 'outer;
+                }
+            }
+        }
+        assert!(dev.is_dead());
+    }
+
+    /// Run `n` writes to `pa` scalar-wise, mirroring what `write_run`
+    /// promises: stop after the killing write, report applied count and
+    /// the last outcome.
+    fn scalar_run(dev: &mut NvmDevice, pa: Pa, n: u64) -> (u64, WriteOutcome) {
+        let mut applied = 0;
+        let mut last = WriteOutcome::DeviceDead;
+        for _ in 0..n {
+            if dev.is_dead() {
+                break;
+            }
+            last = dev.write(pa);
+            applied += 1;
+        }
+        (applied, last)
+    }
+
+    #[test]
+    fn write_run_matches_scalar_writes_across_failure_and_death() {
+        // Every interesting run length around the failure cadence, applied
+        // to two devices in lockstep: closed-form must equal scalar state.
+        for n in [1u64, 3, 4, 5, 9, 10, 11, 23, 100] {
+            let mut fast = tiny(4, 5, 1); // limit 5, 2 spares: death at 3rd failure
+            let mut slow = tiny(4, 5, 1);
+            loop {
+                let got = fast.write_run(1, n);
+                let want = scalar_run(&mut slow, 1, n);
+                assert_eq!(got, want, "run of {n}");
+                assert_eq!(fast.wear(), slow.wear(), "counters after run of {n}");
+                assert_eq!(fast.write_count(1), slow.write_count(1));
+                assert_eq!(fast.is_dead(), slow.is_dead());
+                if fast.is_dead() {
+                    break;
+                }
+            }
+            assert_eq!(fast.demand_writes_at_death(), slow.demand_writes_at_death());
+        }
+    }
+
+    #[test]
+    fn write_run_matches_scalar_with_gaussian_limits() {
+        let build = || {
+            NvmDevice::new(
+                NvmConfig::builder()
+                    .lines(8)
+                    .banks(1)
+                    .endurance(40)
+                    .spare_shift(1)
+                    .variation(EnduranceModel::Gaussian { cov: 0.25 })
+                    .seed(23)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let (mut fast, mut slow) = (build(), build());
+        let mut pa = 0u64;
+        for n in [7u64, 41, 1, 39, 40, 80, 200, 500] {
+            pa = (pa + 3) % 8;
+            assert_eq!(fast.write_run(pa, n), scalar_run(&mut slow, pa, n), "run {n} at {pa}");
+            assert_eq!(fast.wear(), slow.wear());
+            assert_eq!(fast.write_count(pa), slow.write_count(pa));
+            if fast.is_dead() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn write_run_of_zero_is_a_no_op() {
+        let mut dev = tiny(4, 5, 1);
+        assert_eq!(dev.write_run(0, 0), (0, WriteOutcome::Ok));
+        assert_eq!(dev.wear().total_writes, 0);
+    }
+
+    #[test]
+    fn reset_restores_countdowns_mid_cycle() {
+        // Leave a line mid-way to its next failure, reset, and confirm the
+        // countdown starts over from a full endurance budget.
+        let mut dev = tiny(16, 5, 2);
+        for _ in 0..3 {
+            assert_eq!(dev.write(2), WriteOutcome::Ok);
+        }
+        dev.reset();
+        for _ in 0..4 {
+            assert_eq!(dev.write(2), WriteOutcome::Ok);
+        }
+        assert_eq!(dev.write(2), WriteOutcome::LineFailed);
+    }
+
+    #[test]
+    fn reset_restores_gaussian_countdowns() {
+        let cfg = NvmConfig::builder()
+            .lines(8)
+            .banks(1)
+            .endurance(100)
+            .spare_shift(1)
+            .variation(EnduranceModel::Gaussian { cov: 0.3 })
+            .seed(9)
+            .build()
+            .unwrap();
+        let mut dev = NvmDevice::new(cfg);
+        let limit0 = dev.limit(0);
+        for _ in 0..limit0 / 2 {
+            assert_eq!(dev.write(0), WriteOutcome::Ok);
+        }
+        dev.reset();
+        for _ in 0..limit0 - 1 {
+            assert_eq!(dev.write(0), WriteOutcome::Ok);
+        }
+        assert_eq!(dev.write(0), WriteOutcome::LineFailed);
     }
 
     #[test]

@@ -6,10 +6,27 @@
 //! This module is that loop, written once. The figure binaries never
 //! hand-roll it; they describe *what* to run ([`crate::scenario`]) and the
 //! driver does the running.
+//!
+//! The loop is **batched**: requests are drained from the stream into a
+//! reusable [`BLOCK`]-request buffer via [`AddressStream::fill`], so the
+//! per-request cost of a `Box<dyn AddressStream>` is one virtual dispatch
+//! (and one RNG state load) per block rather than per request. The request
+//! sequence each pump applies is bit-identical to the scalar
+//! `next_req`-per-request loop it replaced — `fill` guarantees it, and the
+//! driver equivalence tests enforce it end to end.
 
 use sawl_algos::WearLeveler;
 use sawl_nvm::NvmDevice;
 use sawl_trace::{AddressStream, MemReq};
+
+/// Requests drained from the stream per batch. Big enough to amortize the
+/// virtual dispatch and RNG setup, small enough to stay cache-resident
+/// (4096 × 16 B = 64 KiB).
+pub const BLOCK: usize = 4096;
+
+/// Consecutive reads [`pump_writes`] tolerates before declaring the
+/// workload write-free and panicking instead of spinning forever.
+pub const READ_SPIN_LIMIT: u64 = 16 << 20;
 
 /// Drive `requests` requests from `stream` through `wl`.
 pub fn pump<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, requests: u64)
@@ -17,13 +34,20 @@ where
     W: WearLeveler + ?Sized,
     S: AddressStream + ?Sized,
 {
-    for _ in 0..requests {
-        let req = stream.next_req();
-        if req.write {
-            wl.write(req.la, dev);
-        } else {
-            wl.read(req.la, dev);
+    let mut buf = [MemReq::read(0); BLOCK];
+    let mut left = requests;
+    while left > 0 {
+        let n = left.min(BLOCK as u64) as usize;
+        let filled = stream.fill(&mut buf[..n]);
+        for req in &buf[..filled] {
+            if req.write {
+                wl.write(req.la, dev);
+            } else {
+                wl.read(req.la, dev);
+            }
         }
+        left -= filled as u64;
+        assert!(filled == n, "address streams are infinite; fill must not short a block");
     }
 }
 
@@ -41,24 +65,74 @@ pub fn pump_observed<W, S, F>(
     S: AddressStream + ?Sized,
     F: FnMut(MemReq, u64, &W, &NvmDevice),
 {
-    for _ in 0..requests {
-        let req = stream.next_req();
-        let pa = if req.write { wl.write(req.la, dev) } else { wl.read(req.la, dev) };
-        observe(req, pa, wl, dev);
+    let mut buf = [MemReq::read(0); BLOCK];
+    let mut left = requests;
+    while left > 0 {
+        let n = left.min(BLOCK as u64) as usize;
+        let filled = stream.fill(&mut buf[..n]);
+        for &req in &buf[..filled] {
+            let pa = if req.write { wl.write(req.la, dev) } else { wl.read(req.la, dev) };
+            observe(req, pa, wl, dev);
+        }
+        left -= filled as u64;
+        assert!(filled == n, "address streams are infinite; fill must not short a block");
     }
 }
 
 /// The lifetime loop: drive only the stream's writes (reads do not wear
 /// cells) until the device dies or `cap` demand writes have been served.
+/// Stops within one request of either condition, exactly like the scalar
+/// loop: the per-request check happens inside the block walk.
+///
+/// Maximal runs of consecutive writes to the same logical address are
+/// handed to [`WearLeveler::write_run`] as one call, letting schemes with
+/// a batched override (PCM-S, MWSR, security refresh, SAWL) collapse the
+/// run into counter arithmetic. The default `write_run` is a scalar loop,
+/// so the request sequence every scheme observes — and the resulting
+/// device state — is bit-identical to the per-request loop; the scenario
+/// equivalence tests enforce this end to end.
+///
+/// # Panics
+///
+/// Panics after [`READ_SPIN_LIMIT`] consecutive reads: a stream that never
+/// produces writes (write ratio 0, or a phase schedule degenerating to
+/// reads) would otherwise spin forever without advancing `demand_writes`.
 pub fn pump_writes<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, cap: u64)
 where
     W: WearLeveler + ?Sized,
     S: AddressStream + ?Sized,
 {
-    while !dev.is_dead() && dev.wear().demand_writes < cap {
-        let req = stream.next_req();
-        if req.write {
-            wl.write(req.la, dev);
+    let mut buf = [MemReq::read(0); BLOCK];
+    let mut consecutive_reads = 0u64;
+    'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        let filled = stream.fill(&mut buf);
+        let mut i = 0;
+        while i < filled {
+            let req = buf[i];
+            if !req.write {
+                consecutive_reads += 1;
+                assert!(
+                    consecutive_reads < READ_SPIN_LIMIT,
+                    "pump_writes: {READ_SPIN_LIMIT} consecutive reads without a single demand \
+                     write — the workload (stream \"{}\") produces no writes, so a lifetime run \
+                     can never finish; fix the workload's write ratio",
+                    stream.name()
+                );
+                i += 1;
+                continue;
+            }
+            consecutive_reads = 0;
+            let mut j = i + 1;
+            while j < filled && buf[j].write && buf[j].la == req.la {
+                j += 1;
+            }
+            let n = ((j - i) as u64).min(cap - dev.wear().demand_writes);
+            let done = wl.write_run(req.la, n, dev);
+            if dev.is_dead() || dev.wear().demand_writes >= cap {
+                break 'blocks;
+            }
+            debug_assert_eq!(done, n, "write_run must complete unless the device died");
+            i += done as usize;
         }
     }
 }
@@ -135,5 +209,110 @@ mod tests {
         pump_writes(&mut wl, &mut dev, &mut stream, 1_000);
         assert_eq!(dev.wear().demand_writes, 1_000);
         assert_eq!(dev.wear().reads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "produces no writes")]
+    fn pump_writes_bails_on_a_write_free_stream() {
+        // Write ratio 0: the scalar loop would spin forever; the guard must
+        // bail with a clear panic once READ_SPIN_LIMIT reads pass without a
+        // single write.
+        let mut wl = NoWl::new(1 << 8);
+        let mut dev = device(1 << 8, u32::MAX);
+        let mut stream = Uniform::new(1 << 8, 0.0, 9);
+        pump_writes(&mut wl, &mut dev, &mut stream, 1_000);
+    }
+
+    #[test]
+    fn pump_writes_tolerates_long_read_runs_between_writes() {
+        // Writes reset the consecutive-read counter: a tiny write ratio
+        // must not trip the guard.
+        let mut wl = NoWl::new(1 << 8);
+        let mut dev = device(1 << 8, u32::MAX);
+        let mut stream = Uniform::new(1 << 8, 0.001, 9);
+        pump_writes(&mut wl, &mut dev, &mut stream, 50);
+        assert_eq!(dev.wear().demand_writes, 50);
+    }
+
+    /// The scalar reference loops `pump`/`pump_writes` replaced; the block
+    /// pumps must produce identical device state.
+    fn scalar_pump<W: WearLeveler, S: AddressStream>(
+        wl: &mut W,
+        dev: &mut NvmDevice,
+        stream: &mut S,
+        requests: u64,
+    ) {
+        for _ in 0..requests {
+            let req = stream.next_req();
+            if req.write {
+                wl.write(req.la, dev);
+            } else {
+                wl.read(req.la, dev);
+            }
+        }
+    }
+
+    fn scalar_pump_writes<W: WearLeveler, S: AddressStream>(
+        wl: &mut W,
+        dev: &mut NvmDevice,
+        stream: &mut S,
+        cap: u64,
+    ) {
+        while !dev.is_dead() && dev.wear().demand_writes < cap {
+            let req = stream.next_req();
+            if req.write {
+                wl.write(req.la, dev);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pump_matches_scalar_reference() {
+        // Request counts straddle block boundaries on purpose.
+        for requests in [0u64, 1, 100, 4_096, 4_097, 10_000] {
+            let mut wl_a = NoWl::new(1 << 10);
+            let mut dev_a = device(1 << 10, 1_000);
+            let mut s_a = Uniform::new(1 << 10, 0.5, 17);
+            pump(&mut wl_a, &mut dev_a, &mut s_a, requests);
+
+            let mut wl_b = NoWl::new(1 << 10);
+            let mut dev_b = device(1 << 10, 1_000);
+            let mut s_b = Uniform::new(1 << 10, 0.5, 17);
+            scalar_pump(&mut wl_b, &mut dev_b, &mut s_b, requests);
+
+            assert_eq!(dev_a.wear(), dev_b.wear(), "{requests} requests");
+            assert_eq!(dev_a.write_counts(), dev_b.write_counts());
+        }
+    }
+
+    #[test]
+    fn batched_pump_writes_matches_scalar_reference() {
+        let mut wl_a = Ideal::new(1 << 6);
+        let mut dev_a = device(1 << 6, 200);
+        let mut s_a = Uniform::new(1 << 6, 0.7, 23);
+        pump_writes(&mut wl_a, &mut dev_a, &mut s_a, u64::MAX);
+
+        let mut wl_b = Ideal::new(1 << 6);
+        let mut dev_b = device(1 << 6, 200);
+        let mut s_b = Uniform::new(1 << 6, 0.7, 23);
+        scalar_pump_writes(&mut wl_b, &mut dev_b, &mut s_b, u64::MAX);
+
+        assert!(dev_a.is_dead() && dev_b.is_dead());
+        assert_eq!(dev_a.wear(), dev_b.wear());
+        assert_eq!(dev_a.demand_writes_at_death(), dev_b.demand_writes_at_death());
+        assert_eq!(dev_a.write_counts(), dev_b.write_counts());
+    }
+
+    #[test]
+    fn pump_observed_matches_scalar_order_across_blocks() {
+        let mut wl = NoWl::new(1 << 8);
+        let mut dev = device(1 << 8, u32::MAX);
+        let mut stream = Uniform::new(1 << 8, 0.5, 3);
+        let mut observed: Vec<MemReq> = Vec::new();
+        pump_observed(&mut wl, &mut dev, &mut stream, 9_000, |req, _, _, _| observed.push(req));
+
+        let mut reference = Uniform::new(1 << 8, 0.5, 3);
+        let expected: Vec<MemReq> = (0..9_000).map(|_| reference.next_req()).collect();
+        assert_eq!(observed, expected);
     }
 }

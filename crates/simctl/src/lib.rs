@@ -44,5 +44,5 @@ pub use scenario::{
     run as run_scenario, run_all, AdaptationTrace, Probe, Report, Scenario, TraceReport,
 };
 pub use seed::stable_seed;
-pub use spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
+pub use spec::{DeviceSpec, SchemeInstance, SchemeSpec, TranslationKind, WorkloadSpec};
 pub use sysconfig::SystemConfig;

@@ -13,6 +13,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use sawl_algos::WearLeveler;
+
 use crate::driver::pump_writes;
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
@@ -63,7 +65,9 @@ pub struct LifetimeResult {
 pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
     let seed = stable_seed(&exp.id);
     let phys = exp.scheme.physical_lines(exp.data_lines);
-    let mut wl = exp.scheme.build(exp.data_lines, seed);
+    // Concrete enum instance: the pump below monomorphizes against it, so
+    // the per-write scheme call is static-dispatched.
+    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
     let mut dev = exp.device.build(phys, seed);
     let mut stream = exp.workload.build(wl.logical_lines(), seed);
 
@@ -75,7 +79,7 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
 
     // Reads are skipped by the lifetime pump: no wear, and lifetime is the
     // only output here.
-    pump_writes(&mut *wl, &mut dev, &mut *stream, cap);
+    pump_writes(&mut wl, &mut dev, &mut *stream, cap);
 
     let wear = *dev.wear();
     let stats = dev.wear_stats();

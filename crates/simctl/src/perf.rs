@@ -14,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use sawl_algos::WearLeveler;
 use sawl_timing::{ipc_degradation, CpuModel, IpcEstimate, IpcModel, MemEvent};
 use sawl_trace::SpecBenchmark;
 
@@ -116,9 +117,9 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
     let cpu = CpuModel::for_benchmark(exp.benchmark);
     let banks = exp.device.banks;
 
-    // Scheme pass.
+    // Scheme pass, monomorphized over the concrete enum instance.
     let phys = exp.scheme.physical_lines(exp.data_lines);
-    let mut wl = exp.scheme.build(exp.data_lines, seed);
+    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
     let mut dev = exp.device.build(phys, seed);
     let workload = WorkloadSpec::Spec(exp.benchmark);
     let mut stream = workload.build(wl.logical_lines(), seed);
@@ -130,7 +131,7 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
     let mut base_stream = workload.build(exp.data_lines, seed);
     let mut base_model = IpcModel::new(cpu);
 
-    pump(&mut *wl, &mut dev, &mut *stream, exp.warmup_requests);
+    pump(&mut wl, &mut dev, &mut *stream, exp.warmup_requests);
     // Keep the baseline stream aligned with the scheme's through warmup.
     for _ in 0..exp.warmup_requests {
         let _ = base_stream.next_req();
@@ -141,7 +142,7 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
     // from the end of the previous observation.
     let mut reads_before = dev.wear().reads;
     let mut ov_before = dev.wear().overhead_writes;
-    pump_observed(&mut *wl, &mut dev, &mut *stream, exp.requests, |req, pa, _, d| {
+    pump_observed(&mut wl, &mut dev, &mut *stream, exp.requests, |req, pa, _, d| {
         let translation_ns = tracker.latency_ns(reads_before, d.wear().reads, !req.write);
         let wl_writes = (d.wear().overhead_writes - ov_before).min(u64::from(u32::MAX)) as u32;
         reads_before = d.wear().reads;

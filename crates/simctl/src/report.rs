@@ -156,6 +156,6 @@ mod tests {
     #[test]
     fn formatters() {
         assert_eq!(pct(0.4213), "42.1");
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(6.54321, 2), "6.54");
     }
 }

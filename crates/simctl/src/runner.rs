@@ -8,10 +8,24 @@
 //! over a crossbeam channel. Results are reassembled in input order, and
 //! every run derives its own seed from its id, so the sweep's output is
 //! independent of scheduling.
+//!
+//! The fan-out honors a `SAWL_THREADS` environment override (clamped to at
+//! least 1) so CI and shared machines can bound the worker count
+//! deterministically; unset or unparsable values fall back to the
+//! machine's available parallelism.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel;
+
+/// Worker threads to use: the `SAWL_THREADS` override when set (clamped to
+/// ≥ 1), otherwise the machine's available parallelism.
+fn configured_threads() -> usize {
+    match std::env::var("SAWL_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    }
+}
 
 /// Apply `f` to every item on all cores; results keep the input order.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -23,8 +37,7 @@ where
     if items.is_empty() {
         return Vec::new();
     }
-    let threads =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(items.len());
+    let threads = configured_threads().min(items.len());
     if threads == 1 {
         return items.iter().map(&f).collect();
     }
@@ -108,6 +121,35 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x, i as u64);
         }
+    }
+
+    #[test]
+    fn thread_env_override_is_honored() {
+        // One test covers every SAWL_THREADS case so the env mutations
+        // can't race each other across the test harness's threads. The
+        // other tests in this module are thread-count-agnostic, so a
+        // transient override cannot affect their outcomes.
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 3).collect();
+
+        std::env::set_var("SAWL_THREADS", "1");
+        assert_eq!(configured_threads(), 1);
+        assert_eq!(parallel_map(&items, |&x| x * 3), expect);
+
+        std::env::set_var("SAWL_THREADS", "2");
+        assert_eq!(configured_threads(), 2);
+        assert_eq!(parallel_map(&items, |&x| x * 3), expect);
+
+        // Zero clamps up to one worker instead of hanging or panicking.
+        std::env::set_var("SAWL_THREADS", "0");
+        assert_eq!(configured_threads(), 1);
+
+        // Garbage falls back to the machine's parallelism.
+        std::env::set_var("SAWL_THREADS", "lots");
+        assert!(configured_threads() >= 1);
+
+        std::env::remove_var("SAWL_THREADS");
+        assert!(configured_threads() >= 1);
     }
 
     #[test]

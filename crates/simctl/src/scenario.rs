@@ -254,16 +254,16 @@ fn run_trace(s: &Scenario, requests: u64) -> TraceReport {
     let mut dev = s.device.build(phys, seed);
     let mut stream = s.workload.build(s.data_lines, seed);
 
-    let (hit_rate, adaptation) = if let Some(mut sawl) = s.scheme.build_sawl(s.data_lines, seed) {
-        pump(&mut sawl, &mut dev, &mut *stream, requests);
+    // One monomorphic pump over the enum instance; the concrete engines
+    // are recovered afterwards for their post-run introspection.
+    let mut wl = s.scheme.instantiate(s.data_lines, seed);
+    pump(&mut wl, &mut dev, &mut *stream, requests);
+    let (hit_rate, adaptation) = if let Some(sawl) = wl.as_sawl() {
         let stats = sawl.stats();
         (stats.hit_rate(), Some(AdaptationTrace { history: sawl.history().clone(), stats }))
-    } else if let Some(mut nwl) = s.scheme.build_nwl(s.data_lines, seed) {
-        pump(&mut nwl, &mut dev, &mut *stream, requests);
+    } else if let Some(nwl) = wl.as_nwl() {
         (nwl.mapping_stats().hit_rate(), None)
     } else {
-        let mut wl = s.scheme.build(s.data_lines, seed);
-        pump(&mut *wl, &mut dev, &mut *stream, requests);
         debug_assert_ne!(
             s.scheme.translation_kind(),
             TranslationKind::Tiered,

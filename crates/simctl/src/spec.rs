@@ -130,45 +130,64 @@ impl SchemeSpec {
         Self::Sawl(SawlConfig { cmt_entries, ..SawlConfig::default() })
     }
 
-    /// Instantiate the scheme over `data_lines` logical lines.
+    /// Instantiate the scheme over `data_lines` logical lines, boxed. The
+    /// concrete type behind the box is [`SchemeInstance`], so even dynamic
+    /// callers get the enum-dispatched (devirtualized-per-variant) paths.
     pub fn build(&self, data_lines: u64, seed: u64) -> Box<dyn WearLeveler + Send> {
-        if let Some(nwl) = self.build_nwl(data_lines, seed) {
-            return Box::new(nwl);
-        }
-        if let Some(sawl) = self.build_sawl(data_lines, seed) {
-            return Box::new(sawl);
-        }
+        Box::new(self.instantiate(data_lines, seed))
+    }
+
+    /// Instantiate the scheme as a concrete [`SchemeInstance`]. The probe
+    /// loops are generic over `W: WearLeveler` and monomorphize against
+    /// this enum, so the per-request `write`/`read`/`translate` calls are
+    /// a predictable jump instead of a virtual call through a fat pointer.
+    pub fn instantiate(&self, data_lines: u64, seed: u64) -> SchemeInstance {
         match *self {
-            Self::Baseline => Box::new(NoWl::new(data_lines)),
-            Self::Ideal => Box::new(Ideal::new(data_lines)),
-            Self::SegmentSwap { segment_lines, swap_period } => {
-                Box::new(SegmentSwap::new(data_lines, segment_lines, swap_period))
-            }
+            Self::Baseline => SchemeInstance::Baseline(NoWl::new(data_lines)),
+            Self::Ideal => SchemeInstance::Ideal(Ideal::new(data_lines)),
+            Self::SegmentSwap { segment_lines, swap_period } => SchemeInstance::SegmentSwap(
+                SegmentSwap::new(data_lines, segment_lines, swap_period),
+            ),
             Self::Rbsg { regions, region_lines, period } => {
                 assert_eq!(
                     regions * region_lines,
                     data_lines,
                     "RBSG geometry must cover the logical space"
                 );
-                Box::new(StartGap::new(regions, region_lines, period))
+                SchemeInstance::Rbsg(StartGap::new(regions, region_lines, period))
             }
-            Self::SingleSr { period } => {
-                Box::new(SecurityRefresh::new(data_lines, period, derive(seed, "sr")))
+            Self::SingleSr { period } => SchemeInstance::SingleSr(SecurityRefresh::new(
+                data_lines,
+                period,
+                derive(seed, "sr"),
+            )),
+            Self::Tlsr { region_lines, inner_period, outer_period } => {
+                SchemeInstance::Tlsr(Tlsr::new(
+                    data_lines,
+                    region_lines,
+                    inner_period,
+                    outer_period,
+                    derive(seed, "tlsr"),
+                ))
             }
-            Self::Tlsr { region_lines, inner_period, outer_period } => Box::new(Tlsr::new(
+            Self::PcmS { region_lines, period } => SchemeInstance::PcmS(PcmS::new(
                 data_lines,
                 region_lines,
-                inner_period,
-                outer_period,
-                derive(seed, "tlsr"),
+                period,
+                derive(seed, "pcms"),
             )),
-            Self::PcmS { region_lines, period } => {
-                Box::new(PcmS::new(data_lines, region_lines, period, derive(seed, "pcms")))
+            Self::Mwsr { region_lines, period } => SchemeInstance::Mwsr(Mwsr::new(
+                data_lines,
+                region_lines,
+                period,
+                derive(seed, "mwsr"),
+            )),
+            Self::Nwl { .. } => {
+                SchemeInstance::Nwl(self.build_nwl(data_lines, seed).expect("variant is Nwl"))
             }
-            Self::Mwsr { region_lines, period } => {
-                Box::new(Mwsr::new(data_lines, region_lines, period, derive(seed, "mwsr")))
+            Self::Sawl(_) => {
+                SchemeInstance::Sawl(self.build_sawl(data_lines, seed).expect("variant is Sawl"))
             }
-            Self::Nwl { .. } | Self::Sawl(_) => unreachable!("handled above"),
         }
     }
 
@@ -215,6 +234,105 @@ impl SchemeSpec {
             }
             _ => data_lines,
         }
+    }
+}
+
+/// A fully-instantiated wear-leveling scheme, one variant per concrete
+/// engine. Exists so the hot probe loops can be monomorphic: `pump` and
+/// friends take `W: WearLeveler` and are compiled once against this enum,
+/// turning the per-request dispatch into a match the branch predictor
+/// resolves (the variant never changes within a run) instead of an opaque
+/// indirect call. [`SchemeSpec::instantiate`] builds it with exactly the
+/// same constructors and derived seeds as the boxed path, so results are
+/// bit-identical either way.
+#[allow(missing_docs)]
+// One instance exists per running scenario, never in bulk collections, so
+// the size spread between variants (SAWL's engine vs the tiny algebraic
+// schemes) costs nothing; boxing the large variants would reintroduce the
+// indirection this enum exists to remove.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum SchemeInstance {
+    Baseline(NoWl),
+    Ideal(Ideal),
+    SegmentSwap(SegmentSwap),
+    Rbsg(StartGap),
+    SingleSr(SecurityRefresh),
+    Tlsr(Tlsr),
+    PcmS(PcmS),
+    Mwsr(Mwsr),
+    Nwl(Nwl),
+    Sawl(Sawl),
+}
+
+impl SchemeInstance {
+    /// The concrete SAWL engine, when this instance is one (trace probes
+    /// read its adaptation history and stats after the run).
+    pub fn as_sawl(&self) -> Option<&Sawl> {
+        match self {
+            Self::Sawl(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The concrete NWL engine, when this instance is one (trace probes
+    /// read its CMT hit rate after the run).
+    pub fn as_nwl(&self) -> Option<&Nwl> {
+        match self {
+            Self::Nwl(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            SchemeInstance::Baseline($inner) => $body,
+            SchemeInstance::Ideal($inner) => $body,
+            SchemeInstance::SegmentSwap($inner) => $body,
+            SchemeInstance::Rbsg($inner) => $body,
+            SchemeInstance::SingleSr($inner) => $body,
+            SchemeInstance::Tlsr($inner) => $body,
+            SchemeInstance::PcmS($inner) => $body,
+            SchemeInstance::Mwsr($inner) => $body,
+            SchemeInstance::Nwl($inner) => $body,
+            SchemeInstance::Sawl($inner) => $body,
+        }
+    };
+}
+
+impl WearLeveler for SchemeInstance {
+    fn name(&self) -> &'static str {
+        dispatch!(self, w => w.name())
+    }
+
+    fn logical_lines(&self) -> u64 {
+        dispatch!(self, w => w.logical_lines())
+    }
+
+    #[inline]
+    fn translate(&self, la: sawl_nvm::La) -> sawl_nvm::Pa {
+        dispatch!(self, w => w.translate(la))
+    }
+
+    #[inline]
+    fn write(&mut self, la: sawl_nvm::La, dev: &mut NvmDevice) -> sawl_nvm::Pa {
+        dispatch!(self, w => w.write(la, dev))
+    }
+
+    #[inline]
+    fn write_run(&mut self, la: sawl_nvm::La, n: u64, dev: &mut NvmDevice) -> u64 {
+        dispatch!(self, w => w.write_run(la, n, dev))
+    }
+
+    #[inline]
+    fn read(&mut self, la: sawl_nvm::La, dev: &mut NvmDevice) -> sawl_nvm::Pa {
+        dispatch!(self, w => w.read(la, dev))
+    }
+
+    fn onchip_bits(&self) -> u64 {
+        dispatch!(self, w => w.onchip_bits())
     }
 }
 

@@ -1,0 +1,143 @@
+//! Scenario-level bit-equivalence of the batched block pump.
+//!
+//! The driver's block pump pre-generates requests in 4096-request batches
+//! and checks death/cap after every write; these tests pin down that the
+//! resulting `LifetimeResult` is **identical** — every field, including
+//! the wear-distribution statistics — to a scalar `next_req`-driven
+//! reference loop, for every scheme variant under both a mixed
+//! read/write workload (Uniform) and the write-only attack the paper
+//! centers on (BPA).
+
+use sawl_algos::WearLeveler;
+use sawl_simctl::{
+    run_lifetime, stable_seed, DeviceSpec, LifetimeExperiment, LifetimeResult, SchemeSpec,
+    WorkloadSpec,
+};
+use sawl_trace::AddressStream;
+
+/// Scalar reference: `run_lifetime` with the pump replaced by the
+/// one-request-at-a-time loop the driver used before block pumping.
+fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
+    let seed = stable_seed(&exp.id);
+    let phys = exp.scheme.physical_lines(exp.data_lines);
+    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
+    let mut dev = exp.device.build(phys, seed);
+    let mut stream = exp.workload.build(wl.logical_lines(), seed);
+    let cap = if exp.max_demand_writes == 0 {
+        4 * dev.config().ideal_lifetime_writes()
+    } else {
+        exp.max_demand_writes
+    };
+
+    while !dev.is_dead() && dev.wear().demand_writes < cap {
+        let req = stream.next_req();
+        if !req.write {
+            continue;
+        }
+        wl.write(req.la, &mut dev);
+    }
+
+    let wear = *dev.wear();
+    let stats = dev.wear_stats();
+    let ideal = exp.data_lines as f64 * f64::from(exp.device.endurance);
+    LifetimeResult {
+        id: exp.id.clone(),
+        scheme: exp.scheme.name(),
+        workload: exp.workload.name(),
+        normalized_lifetime: wear.demand_writes as f64 / ideal,
+        demand_writes: wear.demand_writes,
+        overhead_writes: wear.overhead_writes,
+        overhead_fraction: if wear.demand_writes == 0 {
+            0.0
+        } else {
+            wear.overhead_writes as f64 / wear.demand_writes as f64
+        },
+        device_died: dev.is_dead(),
+        wear_cov: stats.cov,
+        wear_gini: stats.gini,
+    }
+}
+
+/// Every `SchemeSpec` variant, sized for a 2^9-line device.
+fn all_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::Baseline,
+        SchemeSpec::Ideal,
+        SchemeSpec::SegmentSwap { segment_lines: 64, swap_period: 1 << 10 },
+        SchemeSpec::Rbsg { regions: 4, region_lines: 128, period: 64 },
+        SchemeSpec::SingleSr { period: 32 },
+        SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 },
+        SchemeSpec::PcmS { region_lines: 16, period: 32 },
+        SchemeSpec::Mwsr { region_lines: 16, period: 32 },
+        SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 1 << 10 },
+        SchemeSpec::sawl_default(64),
+    ]
+}
+
+#[test]
+fn batched_lifetime_matches_scalar_reference_for_every_scheme() {
+    for scheme in all_schemes() {
+        for workload in [
+            WorkloadSpec::Uniform { write_ratio: 0.5 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+        ] {
+            let exp = LifetimeExperiment {
+                id: format!("equiv/{}/{}", scheme.name(), workload.name()),
+                scheme: scheme.clone(),
+                workload,
+                data_lines: 1 << 9,
+                device: DeviceSpec { endurance: 200, ..Default::default() },
+                max_demand_writes: 0,
+            };
+            let batched = run_lifetime(&exp);
+            let scalar = scalar_lifetime(&exp);
+            assert_eq!(batched, scalar, "batched pump diverged from scalar for {}", exp.id);
+        }
+    }
+}
+
+#[test]
+fn batched_lifetime_matches_scalar_reference_under_raa_and_variation() {
+    // RAA is the extreme run-batching case — an endless write run to one
+    // address, so every 4096-request block collapses into a single
+    // `write_run` call — and Gaussian endurance variation makes the
+    // device-side countdown math heterogeneous across lines. Together
+    // they pin the batched path's behavior at line-failure and death
+    // boundaries that land mid-run.
+    for scheme in all_schemes() {
+        let exp = LifetimeExperiment {
+            id: format!("equiv-raa/{}", scheme.name()),
+            scheme,
+            workload: WorkloadSpec::Raa,
+            data_lines: 1 << 9,
+            device: DeviceSpec {
+                endurance: 200,
+                variation: sawl_nvm::EnduranceModel::Gaussian { cov: 0.2 },
+                ..Default::default()
+            },
+            max_demand_writes: 0,
+        };
+        let batched = run_lifetime(&exp);
+        let scalar = scalar_lifetime(&exp);
+        assert_eq!(batched, scalar, "batched pump diverged from scalar for {}", exp.id);
+    }
+}
+
+#[test]
+fn batched_lifetime_matches_scalar_reference_at_a_write_cap() {
+    // A cap that lands mid-block: the pump must stop within one request
+    // of it, exactly like the scalar loop.
+    for cap in [1u64, 100, 4_096, 4_097, 10_000] {
+        let exp = LifetimeExperiment {
+            id: format!("equiv-cap/{cap}"),
+            scheme: SchemeSpec::PcmS { region_lines: 16, period: 32 },
+            workload: WorkloadSpec::Uniform { write_ratio: 0.5 },
+            data_lines: 1 << 9,
+            device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
+            max_demand_writes: cap,
+        };
+        let batched = run_lifetime(&exp);
+        assert_eq!(batched.demand_writes, cap, "cap overshoot at {cap}");
+        assert_eq!(batched, scalar_lifetime(&exp), "cap mismatch at {cap}");
+    }
+}

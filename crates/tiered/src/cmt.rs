@@ -167,6 +167,26 @@ impl<V: Copy> Cmt<V> {
         }
     }
 
+    /// Record `k` repeated hits to a cached `key` in one step — equivalent
+    /// to calling [`Cmt::lookup`] `k` times. The first hit is attributed
+    /// to the half the entry currently sits in; the entry then moves to
+    /// the MRU position (first half), where the remaining `k - 1` hits
+    /// land. Panics if `key` is not cached.
+    pub fn record_hits(&mut self, key: u64, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let idx = *self.map.get(&key).expect("record_hits on uncached key");
+        self.hits += k;
+        if self.nodes[idx as usize].in_first {
+            self.hits_first += k;
+        } else {
+            self.hits_second += 1;
+            self.hits_first += k - 1;
+        }
+        self.move_to_front(idx);
+    }
+
     /// Read without affecting LRU order or counters.
     pub fn peek(&self, key: u64) -> Option<V> {
         self.map.get(&key).map(|&idx| self.nodes[idx as usize].val)
@@ -378,6 +398,46 @@ mod tests {
         c.lookup(0);
         assert_eq!(c.hits_first_half(), 1);
         assert_eq!(c.hits_second_half(), 1);
+    }
+
+    #[test]
+    fn record_hits_matches_repeated_lookups() {
+        // record_hits(key, k) must be indistinguishable from k lookups:
+        // same counters (including half attribution) and same LRU order.
+        // Exercise both halves and every small k, from a mixed-history
+        // cache state.
+        for start in 0..6u64 {
+            for k in 0..5u64 {
+                let mut c: Cmt<u32> = Cmt::new(6);
+                for key in 0..6 {
+                    c.insert(key, key as u32);
+                }
+                c.lookup(2);
+                c.lookup(start); // vary which half `start` ends up in
+
+                let mut reference = c.clone();
+                c.record_hits(start, k);
+                for _ in 0..k {
+                    reference.lookup(start);
+                }
+                assert_eq!(c.keys_mru(), reference.keys_mru(), "start {start} k {k}");
+                assert_eq!(c.hits(), reference.hits(), "start {start} k {k}");
+                assert_eq!(c.hits_first_half(), reference.hits_first_half(), "start {start} k {k}");
+                assert_eq!(
+                    c.hits_second_half(),
+                    reference.hits_second_half(),
+                    "start {start} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uncached key")]
+    fn record_hits_rejects_uncached_keys() {
+        let mut c: Cmt<u32> = Cmt::new(2);
+        c.insert(1, 1);
+        c.record_hits(7, 3);
     }
 
     #[test]

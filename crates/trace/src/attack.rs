@@ -39,6 +39,11 @@ impl AddressStream for Raa {
         MemReq::write(self.target)
     }
 
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        buf.fill(MemReq::write(self.target));
+        buf.len()
+    }
+
     fn space_lines(&self) -> u64 {
         self.space
     }
@@ -91,6 +96,25 @@ impl AddressStream for Bpa {
         }
         self.remaining -= 1;
         MemReq::write(self.current)
+    }
+
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        // The dwell structure makes whole runs of identical requests: emit
+        // each run with a slice fill instead of request-at-a-time RNG
+        // bookkeeping. Draw order matches `next_req` exactly (one draw per
+        // target).
+        let mut i = 0;
+        while i < buf.len() {
+            if self.remaining == 0 {
+                self.current = self.rng.random_range(0..self.space);
+                self.remaining = self.writes_per_target;
+            }
+            let run = self.remaining.min((buf.len() - i) as u64) as usize;
+            buf[i..i + run].fill(MemReq::write(self.current));
+            self.remaining -= run as u64;
+            i += run;
+        }
+        buf.len()
     }
 
     fn space_lines(&self) -> u64 {

@@ -71,6 +71,19 @@ pub trait AddressStream {
     /// re-draw as needed.
     fn next_req(&mut self) -> MemReq;
 
+    /// Fill `buf` with the next `buf.len()` requests and return how many
+    /// were produced (always `buf.len()` — streams are infinite). The
+    /// sequence is bit-identical to calling [`next_req`](Self::next_req)
+    /// `buf.len()` times; batching exists so drivers pay one virtual
+    /// dispatch per block instead of one per request. Hot generators
+    /// override this to hoist per-request invariant loads out of the loop.
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        for slot in buf.iter_mut() {
+            *slot = self.next_req();
+        }
+        buf.len()
+    }
+
     /// Size of the logical address space this stream draws from; every
     /// produced `la` is `< space_lines()`.
     fn space_lines(&self) -> u64;
@@ -84,6 +97,10 @@ pub trait AddressStream {
 impl<S: AddressStream + ?Sized> AddressStream for Box<S> {
     fn next_req(&mut self) -> MemReq {
         (**self).next_req()
+    }
+
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        (**self).fill(buf)
     }
 
     fn space_lines(&self) -> u64 {

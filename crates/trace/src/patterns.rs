@@ -33,6 +33,20 @@ impl AddressStream for Uniform {
         MemReq { la, write }
     }
 
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        // Same draws in the same order as `next_req`, with the space and
+        // ratio hoisted into registers for the whole block.
+        let space = self.space;
+        let write_ratio = self.write_ratio;
+        let rng = &mut self.rng;
+        for slot in buf.iter_mut() {
+            let la = rng.random_range(0..space);
+            let write = rng.random::<f64>() < write_ratio;
+            *slot = MemReq { la, write };
+        }
+        buf.len()
+    }
+
     fn space_lines(&self) -> u64 {
         self.space
     }

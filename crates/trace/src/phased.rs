@@ -105,6 +105,24 @@ impl AddressStream for Phased {
         self.children[self.current].1.next_req()
     }
 
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        // Delegate whole in-phase runs to the child's own batched path, so
+        // a phased schedule costs one virtual dispatch per run instead of
+        // one per request.
+        let mut i = 0;
+        while i < buf.len() {
+            if self.remaining == 0 {
+                self.current = (self.current + 1) % self.children.len();
+                self.remaining = self.children[self.current].0;
+            }
+            let run = self.remaining.min((buf.len() - i) as u64) as usize;
+            self.children[self.current].1.fill(&mut buf[i..i + run]);
+            self.remaining -= run as u64;
+            i += run;
+        }
+        buf.len()
+    }
+
     fn space_lines(&self) -> u64 {
         self.space
     }

@@ -97,7 +97,7 @@ mod tests {
             42,
         );
         for i in 0..10_000u64 {
-            let core = (i % 8) as u64;
+            let core = i % 8;
             let r = rm.next_req();
             let slice = (1u64 << 16) / 8;
             assert!(
@@ -118,7 +118,7 @@ mod tests {
             7,
         );
         let a: Vec<u64> = (0..64).map(|_| rm.next_req().la).collect();
-        let core0: Vec<u64> = a.iter().step_by(2).map(|&x| x).collect();
+        let core0: Vec<u64> = a.iter().step_by(2).copied().collect();
         let core1: Vec<u64> = a.iter().skip(1).step_by(2).map(|&x| x % (1 << 13)).collect();
         assert_ne!(core0, core1, "cores replayed identical sequences");
     }

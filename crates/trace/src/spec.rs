@@ -394,8 +394,11 @@ impl SpecModel {
     }
 }
 
-impl AddressStream for SpecModel {
-    fn next_req(&mut self) -> MemReq {
+impl SpecModel {
+    /// Generate one request; shared by the scalar and batched paths so the
+    /// two are bit-identical by construction.
+    #[inline]
+    fn gen_one(&mut self) -> MemReq {
         if self.until_switch == 0 {
             self.cur_phase = (self.cur_phase + 1) % self.phases.len();
             self.until_switch = self.phase_len;
@@ -427,6 +430,21 @@ impl AddressStream for SpecModel {
         };
         let write = self.rng.random::<f64>() < phase.params.write_ratio;
         MemReq { la, write }
+    }
+}
+
+impl AddressStream for SpecModel {
+    #[inline]
+    fn next_req(&mut self) -> MemReq {
+        self.gen_one()
+    }
+
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        // One statically-dispatched loop per block; `gen_one` inlines here.
+        for slot in buf.iter_mut() {
+            *slot = self.gen_one();
+        }
+        buf.len()
     }
 
     fn space_lines(&self) -> u64 {
