@@ -83,6 +83,13 @@ impl SwapCounters {
         self.ctr[slot]
     }
 
+    /// Zero every counter. Crash recovery uses this: the counters live in
+    /// volatile on-chip SRAM and do not survive a power loss, so every
+    /// region restarts its swapping-period cadence from zero.
+    pub fn clear(&mut self) {
+        self.ctr.fill(0);
+    }
+
     /// Fold two merging regions' counters into the merged region's slot
     /// (SAWL region-merge): the merged region has absorbed both halves'
     /// write pressure.

@@ -50,6 +50,25 @@ pub use start_gap::StartGap;
 
 use sawl_nvm::{La, NvmDevice, Pa};
 
+/// Outcome of one [`WearLeveler::recover`] pass after a power-loss event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Recovery {
+    /// Whether recovery fully completed. `false` means another power loss
+    /// fired during replay; the mapping is still recoverable — call
+    /// [`WearLeveler::recover`] again (replay is idempotent).
+    pub complete: bool,
+    /// An interrupted operation was rolled forward (its journaled updates
+    /// replayed).
+    pub replayed: bool,
+    /// An interrupted operation was rolled back (nothing of it had landed).
+    pub rolled_back: bool,
+}
+
+impl Recovery {
+    /// A completed recovery that found nothing to repair.
+    pub const CLEAN: Self = Self { complete: true, replayed: false, rolled_back: false };
+}
+
 /// A wear-leveling scheme: owns the logical→physical line mapping of one
 /// device and decides when to exchange data to spread wear.
 pub trait WearLeveler {
@@ -96,6 +115,20 @@ pub trait WearLeveler {
         done
     }
 
+    /// Bring the scheme back to a consistent state after a power-loss
+    /// event: restore device power, resolve any interrupted wear-leveling
+    /// operation, and rebuild volatile (cache/counter) state.
+    ///
+    /// Default: restore power and report a clean recovery — correct for the
+    /// algebraic and table-based baselines, whose entire mapping lives in
+    /// on-chip registers modeled as durable (cf. the paper's assumption
+    /// that the GTD-class registers survive power loss). Tiered schemes
+    /// with NVM-resident tables override this with journal replay/rollback.
+    fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {
+        dev.restore_power();
+        Recovery::CLEAN
+    }
+
     /// Bits of mapping state the scheme must keep **on chip** for correct
     /// operation (tables, keys, pointers, counters). This is the hardware
     /// overhead axis of the paper's Fig. 5 / §4.5.
@@ -126,6 +159,10 @@ impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
 
     fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
         (**self).write_run(la, n, dev)
+    }
+
+    fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {
+        (**self).recover(dev)
     }
 
     fn onchip_bits(&self) -> u64 {

@@ -225,8 +225,9 @@ fn bench_lifetime_slice(c: &mut Criterion) {
             data_lines: 1 << 16,
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             max_demand_writes: 500_000,
+            fault: None,
         };
-        b.iter(|| black_box(run_lifetime(&exp)));
+        b.iter(|| black_box(run_lifetime(&exp).unwrap()));
     });
     g.finish();
 }

@@ -37,7 +37,7 @@ fn main() {
             ));
         }
     }
-    let results = run_all(&grid);
+    let results = run_all(&grid).expect("scenario sweep failed");
     let mut fig = Figure::new(
         "ablation_bpa_dwell",
         "Ablation: BPA dwell sensitivity (normalized lifetime %, Wmax 1e6-class)",

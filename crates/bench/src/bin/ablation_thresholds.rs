@@ -33,7 +33,7 @@ fn main() {
             )
         })
         .collect();
-    let reports = run_all(&grid);
+    let reports = run_all(&grid).expect("scenario sweep failed");
 
     let mut fig = Figure::new(
         "ablation_thresholds",

@@ -36,7 +36,7 @@ fn main() {
             )
         })
         .collect();
-    let reports = run_all(&grid);
+    let reports = run_all(&grid).expect("scenario sweep failed");
 
     let mut fig = Figure::new(
         "fig12_summary",

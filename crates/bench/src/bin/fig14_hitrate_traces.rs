@@ -55,7 +55,7 @@ fn main() {
             ));
         }
     }
-    let reports = run_all(&grid);
+    let reports = run_all(&grid).expect("scenario sweep failed");
 
     let mut fig = Figure::new(
         "fig14_summary",

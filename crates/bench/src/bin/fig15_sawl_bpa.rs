@@ -55,7 +55,7 @@ fn main() {
                 device(endurance),
             ));
         }
-        let results = run_all(&grid);
+        let results = run_all(&grid).expect("scenario sweep failed");
         let mut fig = Figure::new(
             &format!("fig15_{tag}"),
             &format!(

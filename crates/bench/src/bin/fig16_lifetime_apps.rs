@@ -69,7 +69,7 @@ fn main() {
                 );
             }
         }
-        let results = run_all(&grid);
+        let results = run_all(&grid).expect("scenario sweep failed");
         let regions = LIFETIME_LINES / wlg;
         let mut fig = Figure::new(
             &format!("fig16{panel}"),

@@ -54,7 +54,7 @@ fn main() {
             ));
         }
     }
-    let results = run_all(&grid);
+    let results = run_all(&grid).expect("scenario sweep failed");
 
     let mut fig = Figure::new(
         "fig17_ipc",

@@ -36,7 +36,7 @@ fn main() {
                     ));
                 }
             }
-            let results = run_all(&grid);
+            let results = run_all(&grid).expect("scenario sweep failed");
             let mut fig = Figure::new(
                 &format!("fig4_{scheme_name}_{tag}"),
                 &format!(

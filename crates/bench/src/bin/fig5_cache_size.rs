@@ -63,7 +63,7 @@ fn main() {
                 ));
             }
         }
-        let results = run_all(&grid);
+        let results = run_all(&grid).expect("scenario sweep failed");
         let mut fig = Figure::new(
             &format!("fig5_{tag}"),
             &format!(

@@ -77,7 +77,7 @@ fn main() {
             DeviceSpec { endurance, ..Default::default() },
         );
         let t = Instant::now();
-        let report = run_scenario(&scenario);
+        let report = run_scenario(&scenario).expect("speed probe scenario failed");
         let r = report.lifetime();
         let dt = t.elapsed().as_secs_f64();
         let mw_per_sec = r.demand_writes as f64 / dt / 1e6;

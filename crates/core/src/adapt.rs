@@ -217,6 +217,23 @@ impl HitRateMonitor {
             || second_ratio >= self.subqueue_split_threshold
     }
 
+    /// Crash recovery: the ring buffer, settling streaks and cooldown live
+    /// in volatile SRAM, so the monitor restarts with an empty observation
+    /// window (it holds again until the window half-fills, exactly as at
+    /// boot).
+    pub fn reset_window(&mut self) {
+        self.ring.fill(Block::default());
+        self.ring_pos = 0;
+        self.filled = 0;
+        self.sum_hits = 0;
+        self.sum_total = 0;
+        self.sum_first = 0;
+        self.sum_second = 0;
+        self.below_streak = 0;
+        self.above_streak = 0;
+        self.cooldown = 0;
+    }
+
     /// Cancel the post-action cooldown. The controller calls this when a
     /// decision turned out to be a no-op (e.g. a split requested while
     /// every cached region already sits at the minimum granularity), so a
@@ -341,6 +358,17 @@ impl HitRateAdaptation {
     /// Monitor decisions that triggered a merge / split pass.
     pub fn decisions(&self) -> (u64, u64) {
         (self.merge_decisions, self.split_decisions)
+    }
+
+    /// Crash recovery: drop the monitor's volatile observation window and
+    /// settling state. The request count, history, decision counters,
+    /// target granularity and CMT-counter snapshots are controller-side
+    /// host state (journaled alongside the GTD registers in the modeled
+    /// architecture) and survive — the CMT's cumulative hit/miss counters
+    /// survive its own [`Cmt::clear`] for the same reason, which keeps the
+    /// next sample's deltas well-defined.
+    pub fn reset_after_crash(&mut self) {
+        self.monitor.reset_window();
     }
 
     /// Force the target granularity level (log2 lines). Test and ablation

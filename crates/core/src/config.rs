@@ -6,7 +6,63 @@
 //! settling windows of 2^22 requests (the values trained in §4.2), and a
 //! swapping period of 128 (§4.3/§4.4).
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
+
+/// A structural problem in a [`SawlConfig`], surfaced as a value instead of
+/// a panic so spec-driven runs (JSON scenarios, CLI) can report it and exit
+/// cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `data_lines` is not a power of two.
+    DataLinesNotPowerOfTwo(u64),
+    /// A granularity is not a power of two.
+    GranularityNotPowerOfTwo { initial: u64, max: u64 },
+    /// The `P <= max granularity <= data lines` chain is violated.
+    GranularityOutOfRange { initial: u64, max: u64, data_lines: u64 },
+    /// The CMT cannot hold its two LRU halves.
+    CmtTooSmall(usize),
+    /// A period (swap/GTD/sample) is zero.
+    ZeroPeriod(&'static str),
+    /// The observation window is shorter than one sample.
+    ObservationWindowTooShort { window: u64, sample_interval: u64 },
+    /// Thresholds must satisfy `0 <= merge < split <= 1`.
+    BadThresholds { merge: f64, split: f64 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DataLinesNotPowerOfTwo(n) => {
+                write!(f, "data_lines must be a power of two, got {n}")
+            }
+            Self::GranularityNotPowerOfTwo { initial, max } => {
+                write!(f, "granularities must be powers of two, got P={initial}, max={max}")
+            }
+            Self::GranularityOutOfRange { initial, max, data_lines } => write!(
+                f,
+                "need P <= max granularity <= data lines, got P={initial}, max={max}, \
+                 data_lines={data_lines}"
+            ),
+            Self::CmtTooSmall(n) => write!(f, "CMT needs at least two entries, got {n}"),
+            Self::ZeroPeriod(which) => write!(f, "{which} must be non-zero"),
+            Self::ObservationWindowTooShort { window, sample_interval } => write!(
+                f,
+                "observation window ({window}) must cover at least one sample \
+                 interval ({sample_interval})"
+            ),
+            Self::BadThresholds { merge, split } => write!(
+                f,
+                "thresholds must satisfy 0 <= merge < split <= 1, got merge={merge}, \
+                 split={split}"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// All tunables of a SAWL instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,28 +129,52 @@ impl Default for SawlConfig {
 }
 
 impl SawlConfig {
-    /// Validate internal consistency; panics with a diagnostic otherwise.
-    pub fn validate(&self) {
-        assert!(self.data_lines.is_power_of_two(), "data_lines must be a power of two");
-        assert!(
-            self.initial_granularity.is_power_of_two() && self.max_granularity.is_power_of_two(),
-            "granularities must be powers of two"
-        );
-        assert!(
-            self.initial_granularity <= self.max_granularity
-                && self.max_granularity <= self.data_lines,
-            "need P <= max granularity <= data lines"
-        );
-        assert!(self.cmt_entries >= 2, "CMT needs at least two entries");
-        assert!(self.swap_period > 0 && self.gtd_period > 0);
-        assert!(self.sample_interval > 0);
-        assert!(self.observation_window >= self.sample_interval);
-        assert!(
-            (0.0..=1.0).contains(&self.merge_threshold)
-                && (0.0..=1.0).contains(&self.split_threshold)
-                && self.merge_threshold < self.split_threshold,
-            "thresholds must satisfy 0 <= merge < split <= 1"
-        );
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.data_lines.is_power_of_two() {
+            return Err(ConfigError::DataLinesNotPowerOfTwo(self.data_lines));
+        }
+        if !self.initial_granularity.is_power_of_two() || !self.max_granularity.is_power_of_two() {
+            return Err(ConfigError::GranularityNotPowerOfTwo {
+                initial: self.initial_granularity,
+                max: self.max_granularity,
+            });
+        }
+        if self.initial_granularity > self.max_granularity || self.max_granularity > self.data_lines
+        {
+            return Err(ConfigError::GranularityOutOfRange {
+                initial: self.initial_granularity,
+                max: self.max_granularity,
+                data_lines: self.data_lines,
+            });
+        }
+        if self.cmt_entries < 2 {
+            return Err(ConfigError::CmtTooSmall(self.cmt_entries));
+        }
+        if self.swap_period == 0 {
+            return Err(ConfigError::ZeroPeriod("swap_period"));
+        }
+        if self.gtd_period == 0 {
+            return Err(ConfigError::ZeroPeriod("gtd_period"));
+        }
+        if self.sample_interval == 0 {
+            return Err(ConfigError::ZeroPeriod("sample_interval"));
+        }
+        if self.observation_window < self.sample_interval {
+            return Err(ConfigError::ObservationWindowTooShort {
+                window: self.observation_window,
+                sample_interval: self.sample_interval,
+            });
+        }
+        let merge_ok = (0.0..=1.0).contains(&self.merge_threshold);
+        let split_ok = (0.0..=1.0).contains(&self.split_threshold);
+        if !merge_ok || !split_ok || self.merge_threshold >= self.split_threshold {
+            return Err(ConfigError::BadThresholds {
+                merge: self.merge_threshold,
+                split: self.split_threshold,
+            });
+        }
+        Ok(())
     }
 
     /// Bits per CMT entry (tag + wlg + packed D), for byte-budget sizing.
@@ -118,20 +198,40 @@ mod tests {
 
     #[test]
     fn default_is_valid() {
-        SawlConfig::default().validate();
+        SawlConfig::default().validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "power of two")]
     fn rejects_odd_data_lines() {
-        SawlConfig { data_lines: 1000, ..Default::default() }.validate();
+        let err = SawlConfig { data_lines: 1000, ..Default::default() }.validate().unwrap_err();
+        assert_eq!(err, ConfigError::DataLinesNotPowerOfTwo(1000));
+        assert!(err.to_string().contains("power of two"));
     }
 
     #[test]
-    #[should_panic(expected = "merge < split")]
     fn rejects_inverted_thresholds() {
-        SawlConfig { merge_threshold: 0.99, split_threshold: 0.95, ..Default::default() }
-            .validate();
+        let err = SawlConfig { merge_threshold: 0.99, split_threshold: 0.95, ..Default::default() }
+            .validate()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::BadThresholds { merge: 0.99, split: 0.95 });
+        assert!(err.to_string().contains("merge < split"));
+    }
+
+    #[test]
+    fn reports_each_defect_class() {
+        let cases: Vec<(SawlConfig, &str)> = vec![
+            (SawlConfig { initial_granularity: 3, ..Default::default() }, "powers of two"),
+            (SawlConfig { max_granularity: 2, ..Default::default() }, "P <= max"),
+            (SawlConfig { cmt_entries: 1, ..Default::default() }, "two entries"),
+            (SawlConfig { swap_period: 0, ..Default::default() }, "swap_period"),
+            (SawlConfig { gtd_period: 0, ..Default::default() }, "gtd_period"),
+            (SawlConfig { sample_interval: 0, ..Default::default() }, "sample_interval"),
+            (SawlConfig { observation_window: 10, ..Default::default() }, "observation window"),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().unwrap_err();
+            assert!(err.to_string().contains(needle), "{err} !~ {needle}");
+        }
     }
 
     #[test]

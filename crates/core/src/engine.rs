@@ -32,14 +32,15 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use sawl_algos::WearLeveler;
+use sawl_algos::{Recovery, WearLeveler};
 use sawl_nvm::{La, NvmDevice, Pa};
 use sawl_tiered::cmt::Cmt;
 use sawl_tiered::imt::ImtEntry;
+use sawl_tiered::journal::{Journal, OpKind, RegionUpdate};
 use sawl_tiered::layout::TieredLayout;
 
 use crate::adapt::{AdaptAction, AdaptationController, HitRateAdaptation};
-use crate::config::SawlConfig;
+use crate::config::{ConfigError, SawlConfig};
 use crate::exchange::{ExchangePolicy, RegionExchange};
 use crate::history::History;
 use crate::mapping::{MappingTier, TieredMapping};
@@ -84,6 +85,7 @@ pub struct Sawl {
     mapping: TieredMapping,
     adapt: HitRateAdaptation,
     xchg: RegionExchange,
+    journal: Journal,
     merges: u64,
     splits: u64,
     region_count: u64,
@@ -93,16 +95,24 @@ pub struct Sawl {
 
 impl Sawl {
     /// Build an engine; the device must provide
-    /// [`Sawl::required_physical_lines`] lines.
+    /// [`Sawl::required_physical_lines`] lines. Panics on an invalid
+    /// configuration — use [`Sawl::try_new`] for a typed error.
     pub fn new(cfg: SawlConfig) -> Self {
-        cfg.validate();
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("invalid SAWL config: {e}"))
+    }
+
+    /// Build an engine, surfacing configuration defects as a
+    /// [`ConfigError`] instead of panicking.
+    pub fn try_new(cfg: SawlConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let gtd_seed: u64 = rng.random();
         let mapping = TieredMapping::new(&cfg, gtd_seed);
         let granules = mapping.granules();
-        Self {
+        Ok(Self {
             adapt: HitRateAdaptation::new(&cfg),
             xchg: RegionExchange::new(granules, cfg.swap_period, rng),
+            journal: Journal::new(),
             merges: 0,
             splits: 0,
             region_count: granules,
@@ -110,7 +120,7 @@ impl Sawl {
             debug_events: 0,
             mapping,
             cfg,
-        }
+        })
     }
 
     /// Physical lines the device must provide.
@@ -215,15 +225,30 @@ impl Sawl {
     // ---- wear-leveling operations --------------------------------------
 
     /// PCM-S exchange: relocate the region at `base` to a random
-    /// equal-size block.
+    /// equal-size block. Journaled: the full set of region updates is made
+    /// durable before the first NVM write, so a power loss mid-exchange is
+    /// rolled forward by [`Sawl::recover`].
     pub fn exchange(&mut self, base: u64, dev: &mut NvmDevice) {
-        self.xchg.exchange(&mut self.mapping, base, dev);
+        if dev.power_lost() {
+            return;
+        }
+        let plan = self.xchg.plan(&self.mapping, base);
+        self.journal.begin(OpKind::Exchange, plan.updates.clone());
+        self.xchg.apply(&mut self.mapping, &plan, dev);
+        if dev.power_lost() {
+            // The journal record stays pending; recovery finishes the op.
+            return;
+        }
+        self.journal.commit();
         self.debug_check_invariants();
     }
 
     /// §3.2 region-merge of the region at `base` with its logical buddy.
     /// Returns `false` when the pair is not mergeable (size cap reached).
     pub fn merge(&mut self, base: u64, dev: &mut NvmDevice) -> bool {
+        if dev.power_lost() {
+            return false;
+        }
         let e = self.mapping.entry(base);
         if e.q() >= self.cfg.max_granularity {
             return false;
@@ -260,23 +285,44 @@ impl Sawl {
         let new_base = base & !(2 * nq - 1);
         let new_key = self.xchg.draw_region_key(e.q() * 2);
 
+        // Journal the whole operation — evacuation updates plus the merged
+        // region's descriptor — before its first NVM write.
+        let mut updates = if b_block != other_half {
+            self.mapping.plan_displacement(other_half * nq, nq, b_block * nq)
+        } else {
+            Vec::new()
+        };
+        updates.push(RegionUpdate {
+            base: new_base,
+            prn: target2q,
+            key: new_key,
+            q_log2: new_q_log2,
+        });
+        self.journal.begin(OpKind::Merge, updates.clone());
+        self.merges += 1;
+
         if b_block != other_half {
             // Evacuate the other half of the target into B's old block;
             // the evacuated data lands there: Q line writes.
-            self.mapping.displace_block(other_half * nq, nq, b_block * nq, dev);
+            for u in &updates[..updates.len() - 1] {
+                self.mapping.apply_update(u, dev);
+            }
             self.mapping.charge_block(b_block * nq, nq, dev);
         }
         // Stale CMT entries for the two halves disappear; the merged entry
         // is inserted fresh (merges are triggered for cached regions).
         self.mapping.cache_remove(base);
         self.mapping.cache_remove(buddy);
-        self.mapping.set_region(new_base, target2q, new_key, new_q_log2, dev);
+        self.mapping.apply_update(&updates[updates.len() - 1], dev);
         self.mapping.cache_insert_current(new_base);
         // The merged region's 2Q lines are rewritten under the new key.
         self.mapping.charge_block(target2q * 2 * nq, 2 * nq, dev);
-
+        if dev.power_lost() {
+            // The journal record stays pending; recovery finishes the merge.
+            return false;
+        }
+        self.journal.commit();
         self.xchg.on_merge(base, buddy, new_base);
-        self.merges += 1;
         self.region_count -= 1;
         self.debug_check_invariants();
         true
@@ -286,6 +332,9 @@ impl Sawl {
     /// metadata: zero data-line writes (the tests assert this). Returns
     /// `false` at the minimum granularity.
     pub fn split(&mut self, base: u64, dev: &mut NvmDevice) -> bool {
+        if dev.power_lost() {
+            return false;
+        }
         let e = self.mapping.entry(base);
         if u32::from(e.q_log2) <= self.mapping.p_log2() {
             return false;
@@ -296,19 +345,31 @@ impl Sawl {
         let k_msb = key >> (e.q_log2 - 1);
         let k_low = key & ((e.q() / 2) - 1);
         let child_q = e.q_log2 - 1;
-        self.mapping.cache_remove(base);
-        for h in 0..2u64 {
-            let child_base = base + h * half;
-            // "The new physical address of the sub-regions is obtained by
-            // the region address XORing with the MSB of the offset
-            // parameter" — in D-packing terms the child prn extends the
-            // parent prn by (h ^ key MSB).
-            let child_prn = (e.prn() << 1) | (h ^ k_msb);
-            self.mapping.set_region(child_base, child_prn, k_low, child_q, dev);
-            self.mapping.cache_insert_current(child_base);
-        }
-        self.xchg.on_split(base, base + half);
+        // "The new physical address of the sub-regions is obtained by the
+        // region address XORing with the MSB of the offset parameter" — in
+        // D-packing terms each child prn extends the parent prn by
+        // (h ^ key MSB). Journaled before the first translation-line write.
+        let updates: Vec<RegionUpdate> = (0..2u64)
+            .map(|h| RegionUpdate {
+                base: base + h * half,
+                prn: (e.prn() << 1) | (h ^ k_msb),
+                key: k_low,
+                q_log2: child_q,
+            })
+            .collect();
+        self.journal.begin(OpKind::Split, updates.clone());
         self.splits += 1;
+        self.mapping.cache_remove(base);
+        for u in &updates {
+            self.mapping.apply_update(u, dev);
+            self.mapping.cache_insert_current(u.base);
+        }
+        if dev.power_lost() {
+            // The journal record stays pending; recovery finishes the split.
+            return false;
+        }
+        self.journal.commit();
+        self.xchg.on_split(base, base + half);
         self.region_count += 1;
         self.debug_check_invariants();
         true
@@ -325,6 +386,63 @@ impl Sawl {
             let global = self.global_region_size();
             self.adapt.on_sample(self.mapping.cmt(), cached, global);
         }
+    }
+
+    // ---- crash recovery -------------------------------------------------
+
+    /// Post-power-loss recovery: restore device power, resolve the
+    /// interrupted operation (if the crash hit one mid-flight) and rebuild
+    /// every volatile structure from the durable IMT + journal.
+    ///
+    /// * **Roll forward** when any journaled region update already landed:
+    ///   replay every update (idempotent) and recharge the operation's
+    ///   data movement — the recovered controller cannot know which lines
+    ///   were rewritten before the crash, so it conservatively rewrites the
+    ///   full footprint (splits are pure metadata and recharge nothing).
+    /// * **Roll back** when nothing landed: the old mapping is intact and
+    ///   the record is discarded.
+    ///
+    /// Then the owner map and region count are rebuilt by walking the IMT,
+    /// the CMT is cleared (on-chip SRAM), the exchange counters restart and
+    /// the monitor's observation window empties. Another power loss during
+    /// replay leaves the journal pending and returns
+    /// [`Recovery::complete`]` == false`; calling `recover` again resumes.
+    pub fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {
+        dev.restore_power();
+        let mut rec = Recovery::CLEAN;
+        if let Some(pending) = self.journal.pending() {
+            let kind = pending.kind;
+            let updates = pending.updates.clone();
+            if updates.iter().any(|u| self.mapping.update_landed(u)) {
+                self.journal.note_replay();
+                rec.replayed = true;
+                let p_log2 = self.mapping.p_log2();
+                for u in &updates {
+                    self.mapping.apply_update(u, dev);
+                    if kind != OpKind::Split {
+                        let nq = 1u64 << (u32::from(u.q_log2) - p_log2);
+                        self.mapping.charge_block(u.prn * nq, nq, dev);
+                    }
+                    if dev.power_lost() {
+                        rec.complete = false;
+                        return rec;
+                    }
+                }
+                self.journal.commit();
+            } else {
+                self.journal.rollback();
+                rec.rolled_back = true;
+            }
+        }
+        self.region_count = self.mapping.rebuild_after_crash();
+        self.xchg.reset_after_crash();
+        self.adapt.reset_after_crash();
+        rec
+    }
+
+    /// The mapping-update journal (commit/replay/rollback counters).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Verify internal invariants: region alignment/identical-entry runs,
@@ -400,7 +518,7 @@ impl WearLeveler for Sawl {
         while done < n {
             self.write(la, dev);
             done += 1;
-            if dev.is_dead() || done >= n {
+            if dev.is_dead() || dev.power_lost() || done >= n {
                 break;
             }
             let e = self.mapping.entry(g);
@@ -429,6 +547,10 @@ impl WearLeveler for Sawl {
             }
         }
         done
+    }
+
+    fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {
+        Sawl::recover(self, dev)
     }
 
     fn onchip_bits(&self) -> u64 {

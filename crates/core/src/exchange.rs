@@ -23,8 +23,25 @@ use rand::Rng;
 
 use sawl_algos::exchange::{draw_key, SwapCounters};
 use sawl_nvm::NvmDevice;
+use sawl_tiered::journal::RegionUpdate;
 
 use crate::mapping::{MappingTier, TieredMapping};
+
+/// A fully planned exchange: every region-descriptor update it will apply
+/// (journal-ready) plus the block geometry the data-movement charges need.
+#[derive(Debug, Clone)]
+pub struct ExchangePlan {
+    /// Displacement updates for the target block's occupants (empty for a
+    /// re-key in place), followed by the moved region's own update — apply
+    /// order, and exactly what the engine journals.
+    pub updates: Vec<RegionUpdate>,
+    /// The region's current physical block index.
+    pub my_block: u64,
+    /// Chosen target block index (`== my_block` for a re-key in place).
+    pub target: u64,
+    /// Granules per block at the region's granularity.
+    pub nq: u64,
+}
 
 /// Narrow interface of the exchange subsystem: wear-triggered relocation
 /// plus the counter bookkeeping that keeps the swapping period meaningful
@@ -81,15 +98,12 @@ impl RegionExchange {
     pub fn note_writes(&mut self, base: u64, k: u64) {
         self.swaps.add(base as usize, k);
     }
-}
 
-impl ExchangePolicy for RegionExchange {
-    #[inline]
-    fn record_write(&mut self, base: u64, region_lines: u64) -> bool {
-        self.swaps.record_write(base as usize, region_lines)
-    }
-
-    fn exchange(&mut self, m: &mut TieredMapping, base: u64, dev: &mut NvmDevice) {
+    /// Plan the exchange of the region at `base`: draw the target block and
+    /// the fresh key (consuming the same RNG values, in the same order, as
+    /// the pre-journal implementation) and compute every region update the
+    /// operation will write, without touching the mapping or the device.
+    pub fn plan(&mut self, m: &TieredMapping, base: u64) -> ExchangePlan {
         let e = m.entry(base);
         let nq = m.nq(e);
         let q_log2 = e.q_log2;
@@ -106,21 +120,54 @@ impl ExchangePolicy for RegionExchange {
             }
         }
         let new_key = draw_key(&mut self.rng, e.q());
-        if target == my_block {
-            // Re-key in place: every line of the block is rewritten.
-            m.set_region(base, my_block, new_key, q_log2, dev);
-            m.charge_block(my_block * nq, nq, dev);
+        let mut updates = if target == my_block {
+            Vec::new()
         } else {
             // Displace the target block's occupants into our old block,
             // preserving their offsets within the block.
-            m.displace_block(target * nq, nq, my_block * nq, dev);
-            m.set_region(base, target, new_key, q_log2, dev);
+            m.plan_displacement(target * nq, nq, my_block * nq)
+        };
+        updates.push(RegionUpdate { base, prn: target, key: new_key, q_log2 });
+        ExchangePlan { updates, my_block, target, nq }
+    }
+
+    /// Apply a planned exchange: write the region updates in plan order and
+    /// charge the data movement. Device traffic is identical to the
+    /// pre-journal single-call implementation.
+    pub fn apply(&mut self, m: &mut TieredMapping, plan: &ExchangePlan, dev: &mut NvmDevice) {
+        let base = plan.updates.last().expect("plan has the moved region's update").base;
+        if plan.target == plan.my_block {
+            // Re-key in place: every line of the block is rewritten.
+            m.apply_update(&plan.updates[plan.updates.len() - 1], dev);
+            m.charge_block(plan.my_block * plan.nq, plan.nq, dev);
+        } else {
+            for u in &plan.updates {
+                m.apply_update(u, dev);
+            }
             // Data movement: both blocks fully rewritten.
-            m.charge_block(target * nq, nq, dev);
-            m.charge_block(my_block * nq, nq, dev);
+            m.charge_block(plan.target * plan.nq, plan.nq, dev);
+            m.charge_block(plan.my_block * plan.nq, plan.nq, dev);
         }
         self.swaps.reset(base as usize);
         self.exchanges += 1;
+    }
+
+    /// Crash recovery: the demand-write counters live in volatile SRAM, so
+    /// every region restarts its swapping-period cadence from zero.
+    pub fn reset_after_crash(&mut self) {
+        self.swaps.clear();
+    }
+}
+
+impl ExchangePolicy for RegionExchange {
+    #[inline]
+    fn record_write(&mut self, base: u64, region_lines: u64) -> bool {
+        self.swaps.record_write(base as usize, region_lines)
+    }
+
+    fn exchange(&mut self, m: &mut TieredMapping, base: u64, dev: &mut NvmDevice) {
+        let plan = self.plan(m, base);
+        self.apply(m, &plan, dev);
     }
 
     #[inline]

@@ -47,8 +47,8 @@ pub mod mapping;
 pub use adapt::{
     AdaptAction, AdaptationController, Decision, HitRateAdaptation, HitRateMonitor, MonitorInputs,
 };
-pub use config::SawlConfig;
+pub use config::{ConfigError, SawlConfig};
 pub use engine::{Sawl, SawlStats};
-pub use exchange::{ExchangePolicy, RegionExchange};
+pub use exchange::{ExchangePlan, ExchangePolicy, RegionExchange};
 pub use history::{History, Sample};
 pub use mapping::{MappingTier, TieredMapping};

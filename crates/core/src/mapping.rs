@@ -31,6 +31,7 @@ use sawl_nvm::{La, NvmDevice, Pa};
 use sawl_tiered::cmt::{Cmt, CmtLookup};
 use sawl_tiered::gtd::Gtd;
 use sawl_tiered::imt::{ImtEntry, ImtTable};
+use sawl_tiered::journal::RegionUpdate;
 use sawl_tiered::layout::TieredLayout;
 
 use crate::config::SawlConfig;
@@ -67,9 +68,6 @@ pub struct TieredMapping {
     owner: Vec<u32>,
     cmt: Cmt<ImtEntry>,
     gtd: Gtd,
-    /// Scratch buffer for collecting displaced regions (avoids allocating
-    /// in the relocation paths).
-    scratch_regions: Vec<(u64, ImtEntry)>,
 }
 
 impl TieredMapping {
@@ -88,7 +86,6 @@ impl TieredMapping {
             owner: (0..granules as u32).collect(),
             cmt: Cmt::new(cfg.cmt_entries),
             gtd,
-            scratch_regions: Vec::with_capacity(16),
             layout,
         }
     }
@@ -164,28 +161,79 @@ impl TieredMapping {
         }
     }
 
+    /// Compute the region updates that relocate every region currently
+    /// occupying the `count` physical granules starting at `from` into the
+    /// equal-size block starting at `to`, preserving each region's offset
+    /// within the block. Pure planning — nothing is applied — so the
+    /// engine can journal the updates before the first NVM write.
+    pub fn plan_displacement(&self, from: u64, count: u64, to: u64) -> Vec<RegionUpdate> {
+        let mut updates = Vec::new();
+        let mut g = from;
+        while g < from + count {
+            let o = u64::from(self.owner[g as usize]);
+            let e = self.imt.entry(o);
+            let dshift = u32::from(e.q_log2) - self.p_log2;
+            let dphys = e.prn() << dshift;
+            let new_prn = (to + (dphys - from)) >> dshift;
+            updates.push(RegionUpdate {
+                base: self.base_of(o, e),
+                prn: new_prn,
+                key: e.key(),
+                q_log2: e.q_log2,
+            });
+            g += self.nq(e);
+        }
+        updates
+    }
+
+    /// Apply one journaled region update (idempotent: re-applying after a
+    /// partial first attempt converges to the same state).
+    pub fn apply_update(&mut self, u: &RegionUpdate, dev: &mut NvmDevice) {
+        self.set_region(u.base, u.prn, u.key, u.q_log2, dev);
+    }
+
+    /// Whether any granule of `u`'s region already carries the update's
+    /// target entry — the recovery layer's redo-vs-rollback test. (A
+    /// no-op update reports `true` against the pre-update state too; both
+    /// answers are safe there because applying is idempotent.)
+    pub fn update_landed(&self, u: &RegionUpdate) -> bool {
+        let e = ImtEntry::pack(u.prn, u.key, u.q_log2);
+        let nq = 1u64 << (u32::from(u.q_log2) - self.p_log2);
+        (0..nq).any(|j| self.imt.entry(u.base + j) == e)
+    }
+
     /// Relocate every region currently occupying the `count` physical
     /// granules starting at `from` into the equal-size block starting at
     /// `to`, preserving each region's offset within the block. Rewrites
     /// mapping state only; callers charge the data movement.
     pub fn displace_block(&mut self, from: u64, count: u64, to: u64, dev: &mut NvmDevice) {
-        self.scratch_regions.clear();
-        let mut g = from;
-        while g < from + count {
-            let o = u64::from(self.owner[g as usize]);
-            let e = self.imt.entry(o);
-            self.scratch_regions.push((self.base_of(o, e), e));
-            g += self.nq(e);
+        let updates = self.plan_displacement(from, count, to);
+        for u in &updates {
+            self.apply_update(u, dev);
         }
-        let displaced = std::mem::take(&mut self.scratch_regions);
-        for &(dbase, dentry) in &displaced {
-            let dshift = u32::from(dentry.q_log2) - self.p_log2;
-            let dphys = dentry.prn() << dshift;
-            let offset = dphys - from;
-            let new_prn = (to + offset) >> dshift;
-            self.set_region(dbase, new_prn, dentry.key(), dentry.q_log2, dev);
+    }
+
+    /// Rebuild the volatile state after a crash, once the journal has been
+    /// replayed or rolled back and the IMT is consistent again: recompute
+    /// the owner inverse map from the IMT and restart the CMT cold (it is
+    /// on-chip SRAM and did not survive the power loss). Returns the
+    /// region count so the engine can restore its cached tally.
+    pub fn rebuild_after_crash(&mut self) -> u64 {
+        let mut g = 0;
+        let mut region_count = 0u64;
+        while g < self.granules {
+            let e = self.imt.entry(g);
+            let nq = self.nq(e);
+            let key_g = e.key() >> self.p_log2;
+            let phys_base = e.prn() << (u32::from(e.q_log2) - self.p_log2);
+            for j in 0..nq {
+                self.owner[(phys_base + (j ^ key_g)) as usize] = (g + j) as u32;
+            }
+            region_count += 1;
+            g += nq;
         }
-        self.scratch_regions = displaced;
+        self.cmt.clear();
+        region_count
     }
 
     /// Mean region size in lines over currently cached entries (what the
@@ -290,15 +338,31 @@ impl MappingTier for TieredMapping {
         let e = ImtEntry::pack(prn, key, q_log2);
         let nq = self.nq(e);
         debug_assert_eq!(base & (nq - 1), 0, "unaligned region base");
-        let first_tl = self.imt.set_entry(base, e);
-        let mut last_tl = first_tl;
-        self.gtd.write_line(first_tl, dev);
-        for j in 1..nq {
-            let tl = self.imt.set_entry(base + j, e);
+        // Each distinct translation line is written through the GTD before
+        // the entries it holds are considered durable: if a power-loss
+        // event fires on (or before) a line's write, that line's entries —
+        // and everything after — keep their old contents, modeling a torn
+        // multi-line update. The device-write sequence is identical to the
+        // fault-free path, which issues one GTD write per distinct line.
+        let mut last_tl = u64::MAX;
+        let mut landed = 0u64;
+        for j in 0..nq {
+            let tl = self.imt.translation_line_of(base + j);
             if tl != last_tl {
                 self.gtd.write_line(tl, dev);
+                if dev.power_lost() {
+                    break;
+                }
                 last_tl = tl;
             }
+            self.imt.set_entry(base + j, e);
+            landed += 1;
+        }
+        if landed < nq {
+            // Torn: leave the owner map and CMT image alone. They are
+            // stale now, but recovery replays this update and rebuilds
+            // both before the engine serves another request.
+            return;
         }
         // Owner map: logical granule base+j sits at physical granule
         // phys_base + (j ^ key_granule_bits).

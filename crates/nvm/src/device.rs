@@ -13,7 +13,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::NvmConfig;
-use crate::stats::WearStats;
+use crate::fault::{FaultPlan, FaultPlanError, FaultState};
+use crate::stats::{FaultCounters, WearStats};
 use crate::Pa;
 
 /// Result of a single line write.
@@ -30,6 +31,11 @@ pub enum WriteOutcome {
     /// is dead. Once dead, a device reports `DeviceDead` for every further
     /// write and stops mutating its counters.
     DeviceDead,
+    /// A scheduled power-loss event has fired (see
+    /// [`FaultPlan::power_loss_at_writes`]): the write was dropped and no
+    /// state changed. The device keeps reporting `PowerLost` until the
+    /// recovery layer calls [`NvmDevice::restore_power`].
+    PowerLost,
 }
 
 /// Aggregate wear counters maintained incrementally by the device.
@@ -80,6 +86,12 @@ pub struct NvmDevice {
     /// Demand writes recorded at the moment the device died.
     demand_writes_at_death: Option<u64>,
     dead: bool,
+    /// `false` after a scheduled power-loss event until
+    /// [`NvmDevice::restore_power`]; writes are dropped while unpowered.
+    powered: bool,
+    /// Fault-injection state; `None` for fault-free devices (and devices
+    /// installed with a zero-fault plan), keeping the hot path unchanged.
+    fault: Option<Box<FaultState>>,
 }
 
 impl NvmDevice {
@@ -97,8 +109,64 @@ impl NvmDevice {
             counters: WearCounters::default(),
             demand_writes_at_death: None,
             dead: false,
+            powered: true,
+            fault: None,
             cfg,
         }
+    }
+
+    /// Install a fault-injection plan. Stuck-at lines are detected and
+    /// remapped immediately: each consumes one spare and leaves a fresh
+    /// replacement behind the same physical address (WoLFRaM-style
+    /// decoder-level remapping), so enough stuck lines can kill the device
+    /// outright. A [zero plan](FaultPlan::is_zero) installs nothing and the
+    /// device stays byte-identical to a fault-free one.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), FaultPlanError> {
+        plan.validate(self.cfg.lines)?;
+        if plan.is_zero() {
+            self.fault = None;
+            return Ok(());
+        }
+        let mut state = FaultState::new(plan.clone());
+        for &pa in &plan.stuck_lines {
+            state.counters.stuck_lines_remapped += 1;
+            self.remaining[pa as usize] = self.limit(pa);
+            self.counters.failed_lines += 1;
+            if self.counters.failed_lines > self.cfg.spare_lines() {
+                self.dead = true;
+                self.demand_writes_at_death = Some(self.counters.demand_writes);
+            }
+        }
+        self.fault = Some(Box::new(state));
+        Ok(())
+    }
+
+    /// Whether a power-loss event has fired and not yet been recovered.
+    #[inline]
+    pub fn power_lost(&self) -> bool {
+        !self.powered
+    }
+
+    /// Bring the device back up after a power-loss event. Idempotent; the
+    /// recovery layer calls this before replaying or rolling back the
+    /// journal.
+    pub fn restore_power(&mut self) {
+        if !self.powered {
+            self.powered = true;
+            if let Some(f) = self.fault.as_deref_mut() {
+                f.counters.power_restores += 1;
+            }
+        }
+    }
+
+    /// Fault-injection counters; all-zero when no fault plan is installed.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.fault.as_deref().map(|f| f.counters).unwrap_or_default()
+    }
+
+    /// Spares left in the pool before the device dies.
+    pub fn spares_remaining(&self) -> u64 {
+        self.cfg.spare_lines().saturating_sub(self.counters.failed_lines)
     }
 
     /// The configuration this device was built from.
@@ -176,6 +244,51 @@ impl NvmDevice {
         if self.dead {
             return WriteOutcome::DeviceDead;
         }
+        if !self.powered {
+            return WriteOutcome::PowerLost;
+        }
+        if self.fault.is_some() {
+            return self.write_impl_faulted(pa, overhead);
+        }
+        self.wear_write(pa, overhead)
+    }
+
+    /// The faulted scalar write path, kept out of line so the fault-free
+    /// `write_impl` stays small enough to inline into every scheme's hot
+    /// loop (outlining this recovered a double-digit-percent throughput
+    /// loss on the scalar-heavy schemes).
+    #[cold]
+    fn write_impl_faulted(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
+        let total = self.counters.total_writes;
+        let f = self.fault.as_deref_mut().unwrap();
+        if let Some(w) = f.next_power_loss() {
+            if total >= w {
+                f.next_power_event += 1;
+                f.counters.power_losses += 1;
+                self.powered = false;
+                return WriteOutcome::PowerLost;
+            }
+        }
+        if f.until_transient == 0 {
+            // Transient fault: the attempt wears the cell without
+            // latching; the controller's verify-and-retry issues the
+            // real write immediately after (within the same request,
+            // so no power-loss check between attempt and retry).
+            f.counters.transient_write_faults += 1;
+            f.counters.retry_writes += 1;
+            f.redraw_transient();
+            if self.wear_write(pa, true) == WriteOutcome::DeviceDead {
+                return WriteOutcome::DeviceDead;
+            }
+        } else {
+            f.until_transient -= 1;
+        }
+        self.wear_write(pa, overhead)
+    }
+
+    /// Apply one physical write's wear accounting, below the fault layer.
+    #[inline]
+    fn wear_write(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
         self.counters.total_writes += 1;
         if overhead {
             self.counters.overhead_writes += 1;
@@ -215,6 +328,71 @@ impl NvmDevice {
     /// consecutive writes, and a whole run costs O(1) here instead of one
     /// countdown update per write.
     pub fn write_run(&mut self, pa: Pa, n: u64) -> (u64, WriteOutcome) {
+        if self.dead {
+            return (0, WriteOutcome::DeviceDead);
+        }
+        if !self.powered {
+            return (0, WriteOutcome::PowerLost);
+        }
+        if n == 0 {
+            return (0, WriteOutcome::Ok);
+        }
+        if self.fault.is_none() {
+            return self.write_run_raw(pa, n);
+        }
+        self.write_run_faulted(pa, n)
+    }
+
+    /// Faulted run path, out of line (see [`Self::write_impl_faulted`]):
+    /// chunk the run at the next fault boundary (power loss or transient)
+    /// and run each fault-free chunk through the closed form, so the
+    /// result stays bit-identical to `n` scalar `write` calls under the
+    /// same plan.
+    #[cold]
+    fn write_run_faulted(&mut self, pa: Pa, n: u64) -> (u64, WriteOutcome) {
+        let mut applied = 0u64;
+        let mut last = WriteOutcome::Ok;
+        while applied < n {
+            let total = self.counters.total_writes;
+            let f = self.fault.as_deref_mut().unwrap();
+            let until_pl = match f.next_power_loss() {
+                Some(w) => w.saturating_sub(total),
+                None => u64::MAX,
+            };
+            if until_pl == 0 {
+                f.next_power_event += 1;
+                f.counters.power_losses += 1;
+                self.powered = false;
+                return (applied, WriteOutcome::PowerLost);
+            }
+            if f.until_transient == 0 {
+                f.counters.transient_write_faults += 1;
+                f.counters.retry_writes += 1;
+                f.redraw_transient();
+                if self.wear_write(pa, true) == WriteOutcome::DeviceDead {
+                    return (applied, WriteOutcome::DeviceDead);
+                }
+                last = self.wear_write(pa, false);
+                applied += 1;
+                if last == WriteOutcome::DeviceDead {
+                    return (applied, last);
+                }
+                continue;
+            }
+            let safe = (n - applied).min(until_pl).min(f.until_transient);
+            let (k, out) = self.write_run_raw(pa, safe);
+            self.fault.as_deref_mut().unwrap().until_transient -= k;
+            applied += k;
+            last = out;
+            if out == WriteOutcome::DeviceDead {
+                return (applied, out);
+            }
+        }
+        (applied, last)
+    }
+
+    /// The closed-form run below the fault layer.
+    fn write_run_raw(&mut self, pa: Pa, n: u64) -> (u64, WriteOutcome) {
         if self.dead {
             return (0, WriteOutcome::DeviceDead);
         }
@@ -279,6 +457,14 @@ impl NvmDevice {
         self.counters = WearCounters::default();
         self.demand_writes_at_death = None;
         self.dead = false;
+        self.powered = true;
+        if let Some(f) = self.fault.take() {
+            // Reinstall the plan from scratch: stuck lines are re-applied
+            // and the transient-gap RNG restarts from its seed, so a reset
+            // device replays the exact same fault sequence.
+            let plan = f.plan().clone();
+            self.install_fault_plan(&plan).expect("previously installed plan must revalidate");
+        }
     }
 }
 
@@ -486,6 +672,10 @@ mod tests {
                 break;
             }
             last = dev.write(pa);
+            if last == WriteOutcome::PowerLost {
+                // The write was dropped, not applied.
+                return (applied, last);
+            }
             applied += 1;
         }
         (applied, last)
@@ -594,5 +784,191 @@ mod tests {
         }
         dev.write_wl(2);
         assert!((dev.wear().overhead_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    #[test]
+    fn zero_fault_plan_installs_nothing() {
+        let mut faulted = tiny(16, 100, 2);
+        faulted.install_fault_plan(&FaultPlan::default()).unwrap();
+        let mut clean = tiny(16, 100, 2);
+        for pa in [3u64, 3, 7, 3] {
+            assert_eq!(faulted.write(pa), clean.write(pa));
+        }
+        assert_eq!(faulted.wear(), clean.wear());
+        assert_eq!(faulted.fault_counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn install_rejects_invalid_plans() {
+        let mut dev = tiny(16, 100, 2);
+        assert!(dev
+            .install_fault_plan(&FaultPlan { transient_rate: 1.5, ..Default::default() })
+            .is_err());
+        assert!(dev
+            .install_fault_plan(&FaultPlan { stuck_lines: vec![16], ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn stuck_lines_consume_spares_up_front() {
+        // 16 lines, shift 2 -> 4 spares.
+        let mut dev = tiny(16, 100, 2);
+        dev.install_fault_plan(&FaultPlan { stuck_lines: vec![1, 5, 9], ..Default::default() })
+            .unwrap();
+        assert!(!dev.is_dead());
+        assert_eq!(dev.wear().failed_lines, 3);
+        assert_eq!(dev.spares_remaining(), 1);
+        assert_eq!(dev.fault_counters().stuck_lines_remapped, 3);
+        // The remapped addresses keep working against fresh spares.
+        assert_eq!(dev.write(1), WriteOutcome::Ok);
+    }
+
+    #[test]
+    fn enough_stuck_lines_kill_the_device() {
+        let mut dev = tiny(16, 100, 2);
+        dev.install_fault_plan(&FaultPlan {
+            stuck_lines: vec![0, 1, 2, 3, 4],
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(dev.is_dead());
+        assert_eq!(dev.write(7), WriteOutcome::DeviceDead);
+    }
+
+    #[test]
+    fn power_loss_fires_at_the_scheduled_write_index() {
+        let mut dev = tiny(16, 100, 2);
+        dev.install_fault_plan(&FaultPlan { power_loss_at_writes: vec![3], ..Default::default() })
+            .unwrap();
+        assert_eq!(dev.write(0), WriteOutcome::Ok);
+        assert_eq!(dev.write_wl(1), WriteOutcome::Ok);
+        assert_eq!(dev.write(2), WriteOutcome::Ok);
+        // Three writes applied: the fourth attempt finds the power gone.
+        assert_eq!(dev.write(3), WriteOutcome::PowerLost);
+        assert!(dev.power_lost());
+        assert_eq!(dev.fault_counters().power_losses, 1);
+        // Everything is dropped until power returns; no counters move.
+        let before = *dev.wear();
+        assert_eq!(dev.write(0), WriteOutcome::PowerLost);
+        assert_eq!(dev.write_run(0, 10), (0, WriteOutcome::PowerLost));
+        assert_eq!(*dev.wear(), before);
+        dev.restore_power();
+        assert!(!dev.power_lost());
+        assert_eq!(dev.fault_counters().power_restores, 1);
+        assert_eq!(dev.write(3), WriteOutcome::Ok);
+        assert_eq!(dev.wear().total_writes, 4);
+    }
+
+    #[test]
+    fn restore_power_is_idempotent() {
+        let mut dev = tiny(16, 100, 2);
+        dev.install_fault_plan(&FaultPlan { power_loss_at_writes: vec![1], ..Default::default() })
+            .unwrap();
+        dev.write(0);
+        assert_eq!(dev.write(0), WriteOutcome::PowerLost);
+        dev.restore_power();
+        dev.restore_power();
+        assert_eq!(dev.fault_counters().power_restores, 1);
+    }
+
+    #[test]
+    fn write_run_stops_at_a_power_loss_mid_run() {
+        let mut dev = tiny(16, 1000, 2);
+        dev.install_fault_plan(&FaultPlan { power_loss_at_writes: vec![7], ..Default::default() })
+            .unwrap();
+        let (applied, out) = dev.write_run(2, 20);
+        assert_eq!((applied, out), (7, WriteOutcome::PowerLost));
+        assert_eq!(dev.wear().total_writes, 7);
+        dev.restore_power();
+        let (applied, out) = dev.write_run(2, 13);
+        assert_eq!((applied, out), (13, WriteOutcome::Ok));
+    }
+
+    #[test]
+    fn transient_faults_wear_without_serving_and_retry() {
+        // Force a fault on (statistically) many writes and check the
+        // accounting identity total = demand + overhead still holds and
+        // every fault produced exactly one retry.
+        let mut dev = tiny(16, 1_000_000, 2);
+        dev.install_fault_plan(&FaultPlan { transient_rate: 0.2, seed: 11, ..Default::default() })
+            .unwrap();
+        for i in 0..1_000u64 {
+            let out = dev.write(i % 16);
+            assert!(matches!(out, WriteOutcome::Ok | WriteOutcome::LineFailed));
+        }
+        let fc = dev.fault_counters();
+        assert!(fc.transient_write_faults > 100, "faults {}", fc.transient_write_faults);
+        assert_eq!(fc.retry_writes, fc.transient_write_faults);
+        let w = dev.wear();
+        assert_eq!(w.demand_writes, 1_000);
+        assert_eq!(w.overhead_writes, fc.transient_write_faults);
+        assert_eq!(w.total_writes, w.demand_writes + w.overhead_writes);
+    }
+
+    /// The key equivalence: under an identical fault plan, `write_run` must
+    /// be bit-identical to scalar `write` calls — same wear, same fault
+    /// counters, same power-loss points.
+    #[test]
+    fn faulted_write_run_matches_faulted_scalar_writes() {
+        let plan = FaultPlan {
+            stuck_lines: vec![3],
+            transient_rate: 0.05,
+            power_loss_at_writes: vec![40, 90, 400],
+            seed: 99,
+        };
+        let mut fast = tiny(16, 20, 4); // limit 20, 1 spare... shift 4 -> 1 spare
+        let mut slow = tiny(16, 20, 4);
+        fast.install_fault_plan(&plan).unwrap();
+        slow.install_fault_plan(&plan).unwrap();
+        let mut pa = 0u64;
+        for n in [1u64, 7, 30, 4, 55, 2, 100, 300] {
+            pa = (pa + 5) % 16;
+            let got = fast.write_run(pa, n);
+            let want = scalar_run(&mut slow, pa, n);
+            assert_eq!(got, want, "run {n} at {pa}");
+            assert_eq!(fast.wear(), slow.wear(), "counters after run {n}");
+            assert_eq!(fast.fault_counters(), slow.fault_counters());
+            assert_eq!(fast.power_lost(), slow.power_lost());
+            if fast.power_lost() {
+                fast.restore_power();
+                slow.restore_power();
+            }
+            if fast.is_dead() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_same_fault_sequence() {
+        let plan = FaultPlan {
+            stuck_lines: vec![2],
+            transient_rate: 0.1,
+            power_loss_at_writes: vec![25],
+            seed: 5,
+        };
+        let mut dev = tiny(16, 1000, 2);
+        dev.install_fault_plan(&plan).unwrap();
+        let run = |d: &mut NvmDevice| {
+            let mut outs = Vec::new();
+            for i in 0..40u64 {
+                outs.push(d.write(i % 16));
+                if d.power_lost() {
+                    d.restore_power();
+                }
+            }
+            (outs, *d.wear(), d.fault_counters())
+        };
+        let first = run(&mut dev);
+        dev.reset();
+        // After reset the stuck line is re-remapped and the gap RNG
+        // restarts, except power_restores which reset to zero too.
+        assert_eq!(dev.wear().failed_lines, 1);
+        let second = run(&mut dev);
+        assert_eq!(first, second);
     }
 }

@@ -1,0 +1,254 @@
+//! Deterministic fault injection: stuck-at lines, transient write faults,
+//! and scheduled power-loss events.
+//!
+//! The paper's device model (§2.2) already carries per-line endurance and a
+//! spare pool; this module adds the fault vocabulary needed to exercise the
+//! recovery machinery above the device. All injection is a deterministic
+//! function of the plan (including its seed), so faulted runs are exactly
+//! reproducible and the batched [`NvmDevice::write_run`] path can be held
+//! bit-identical to the scalar one.
+//!
+//! Three fault classes, mirroring the NVM failure literature (WoLFRaM's
+//! remapping targets the first two; crash consistency work the third):
+//!
+//! * **Stuck-at lines** — cells that fail permanently at install time. The
+//!   controller detects them on the first access and transparently remaps
+//!   each to a fresh spare, consuming spare-pool capacity up front.
+//! * **Transient write faults** — a write that does not latch (resistance
+//!   drift, incomplete RESET). The controller's verify-and-retry loop
+//!   catches it; the failed attempt still wears the cell, and the retry is
+//!   issued immediately. Faults arrive at a configurable per-write rate,
+//!   scheduled by drawing geometric gaps from the plan's RNG so scalar and
+//!   batched write paths agree on exactly which write faults.
+//! * **Power-loss events** — scheduled by *total device write index*: when
+//!   the device has applied `w` writes, power fails before the next write
+//!   is issued. Every subsequent write is dropped (reported as
+//!   [`WriteOutcome::PowerLost`]) until [`NvmDevice::restore_power`], which
+//!   is the recovery layer's job to call.
+//!
+//! [`NvmDevice::write_run`]: crate::NvmDevice::write_run
+//! [`NvmDevice::restore_power`]: crate::NvmDevice::restore_power
+//! [`WriteOutcome::PowerLost`]: crate::WriteOutcome::PowerLost
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::FaultCounters;
+use crate::Pa;
+
+/// A deterministic fault-injection plan for one device.
+///
+/// The all-default plan injects nothing: [`FaultPlan::is_zero`] returns
+/// `true` and installing it leaves the device's behavior byte-identical to
+/// a fault-free device (pinned by the scenario-equivalence tests).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Physical lines stuck at install time; each consumes one spare.
+    #[serde(default)]
+    pub stuck_lines: Vec<Pa>,
+    /// Probability that any given write suffers a transient fault (worn
+    /// cell + immediate retry). Must be in `[0, 1)`.
+    #[serde(default)]
+    pub transient_rate: f64,
+    /// Total-write indices at which power fails: after the device has
+    /// applied exactly `w` writes, the next write attempt finds the power
+    /// gone. Must be strictly increasing.
+    #[serde(default)]
+    pub power_loss_at_writes: Vec<u64>,
+    /// Seed for the transient-fault gap draws.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// Errors produced by [`FaultPlan::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlanError {
+    /// `transient_rate` outside `[0, 1)`.
+    RateOutOfRange(f64),
+    /// `power_loss_at_writes` not strictly increasing.
+    PowerEventsNotSorted,
+    /// A stuck line address is outside the device (`pa >= lines`).
+    StuckLineOutOfRange { pa: Pa, lines: u64 },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RateOutOfRange(r) => {
+                write!(f, "transient_rate must be in [0, 1), got {r}")
+            }
+            Self::PowerEventsNotSorted => {
+                write!(f, "power_loss_at_writes must be strictly increasing")
+            }
+            Self::StuckLineOutOfRange { pa, lines } => {
+                write!(f, "stuck line {pa} is outside the device ({lines} lines)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+impl FaultPlan {
+    /// Whether this plan injects nothing at all.
+    pub fn is_zero(&self) -> bool {
+        self.stuck_lines.is_empty()
+            && self.transient_rate == 0.0
+            && self.power_loss_at_writes.is_empty()
+    }
+
+    /// Validate the plan against a device of `lines` lines.
+    pub fn validate(&self, lines: u64) -> Result<(), FaultPlanError> {
+        if !(0.0..1.0).contains(&self.transient_rate) {
+            return Err(FaultPlanError::RateOutOfRange(self.transient_rate));
+        }
+        if self.power_loss_at_writes.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(FaultPlanError::PowerEventsNotSorted);
+        }
+        if let Some(&pa) = self.stuck_lines.iter().find(|&&pa| pa >= lines) {
+            return Err(FaultPlanError::StuckLineOutOfRange { pa, lines });
+        }
+        Ok(())
+    }
+}
+
+/// Live injection state derived from a [`FaultPlan`]; owned by the device.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: SmallRng,
+    /// Writes that complete normally before the next transient-faulting
+    /// one; `u64::MAX` when the rate is zero.
+    pub(crate) until_transient: u64,
+    /// Index into `plan.power_loss_at_writes` of the next pending event.
+    pub(crate) next_power_event: usize,
+    pub(crate) counters: FaultCounters,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let mut rng = SmallRng::seed_from_u64(plan.seed);
+        let until_transient = draw_gap(&mut rng, plan.transient_rate);
+        Self { plan, rng, until_transient, next_power_event: 0, counters: FaultCounters::default() }
+    }
+
+    /// The plan this state was derived from (used by `reset`).
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total-write index of the next pending power-loss event, if any.
+    #[inline]
+    pub(crate) fn next_power_loss(&self) -> Option<u64> {
+        self.plan.power_loss_at_writes.get(self.next_power_event).copied()
+    }
+
+    /// Redraw the gap to the next transient fault (called after each one).
+    pub(crate) fn redraw_transient(&mut self) {
+        self.until_transient = draw_gap(&mut self.rng, self.plan.transient_rate);
+    }
+}
+
+/// Draw a geometric gap: the number of writes that succeed before the next
+/// faulting one, with per-write fault probability `rate`.
+fn draw_gap(rng: &mut SmallRng, rate: f64) -> u64 {
+    if rate <= 0.0 {
+        return u64::MAX;
+    }
+    let u: f64 = rng.random();
+    // P(gap = g) = (1-rate)^g * rate  =>  gap = floor(ln(1-u) / ln(1-rate)).
+    let gap = ((1.0 - u).ln() / (1.0 - rate).ln()).floor();
+    if gap >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        gap as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_zero() {
+        assert!(FaultPlan::default().is_zero());
+        assert!(FaultPlan::default().validate(64).is_ok());
+    }
+
+    #[test]
+    fn non_trivial_plans_are_not_zero() {
+        assert!(!FaultPlan { stuck_lines: vec![1], ..Default::default() }.is_zero());
+        assert!(!FaultPlan { transient_rate: 0.1, ..Default::default() }.is_zero());
+        assert!(!FaultPlan { power_loss_at_writes: vec![10], ..Default::default() }.is_zero());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rate() {
+        for rate in [-0.1, 1.0, 1.5, f64::NAN] {
+            let plan = FaultPlan { transient_rate: rate, ..Default::default() };
+            assert!(plan.validate(64).is_err(), "rate {rate} accepted");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_power_events() {
+        let plan = FaultPlan { power_loss_at_writes: vec![10, 10], ..Default::default() };
+        assert_eq!(plan.validate(64), Err(FaultPlanError::PowerEventsNotSorted));
+        let plan = FaultPlan { power_loss_at_writes: vec![20, 10], ..Default::default() };
+        assert_eq!(plan.validate(64), Err(FaultPlanError::PowerEventsNotSorted));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_stuck_line() {
+        let plan = FaultPlan { stuck_lines: vec![64], ..Default::default() };
+        assert_eq!(
+            plan.validate(64),
+            Err(FaultPlanError::StuckLineOutOfRange { pa: 64, lines: 64 })
+        );
+    }
+
+    #[test]
+    fn zero_rate_never_schedules_a_transient() {
+        let st = FaultState::new(FaultPlan::default());
+        assert_eq!(st.until_transient, u64::MAX);
+    }
+
+    #[test]
+    fn gap_draws_are_deterministic_per_seed() {
+        let plan = FaultPlan { transient_rate: 0.01, seed: 42, ..Default::default() };
+        let (mut a, mut b) = (FaultState::new(plan.clone()), FaultState::new(plan));
+        for _ in 0..100 {
+            assert_eq!(a.until_transient, b.until_transient);
+            a.redraw_transient();
+            b.redraw_transient();
+        }
+    }
+
+    #[test]
+    fn gap_draws_track_the_rate() {
+        // Mean of the geometric gap is (1-rate)/rate; with rate 0.1 the
+        // average over many draws should land near 9.
+        let mut st =
+            FaultState::new(FaultPlan { transient_rate: 0.1, seed: 7, ..Default::default() });
+        let mut total = 0u64;
+        const DRAWS: u64 = 10_000;
+        for _ in 0..DRAWS {
+            total += st.until_transient;
+            st.redraw_transient();
+        }
+        let mean = total as f64 / DRAWS as f64;
+        assert!((mean - 9.0).abs() < 1.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn power_events_pop_in_order() {
+        let plan = FaultPlan { power_loss_at_writes: vec![5, 17], ..Default::default() };
+        let mut st = FaultState::new(plan);
+        assert_eq!(st.next_power_loss(), Some(5));
+        st.next_power_event += 1;
+        assert_eq!(st.next_power_loss(), Some(17));
+        st.next_power_event += 1;
+        assert_eq!(st.next_power_loss(), None);
+    }
+}

@@ -37,6 +37,7 @@ pub mod bank;
 pub mod config;
 pub mod device;
 pub mod energy;
+pub mod fault;
 pub mod latency;
 pub mod stats;
 pub mod variation;
@@ -45,8 +46,9 @@ pub use bank::BankGeometry;
 pub use config::{NvmConfig, NvmConfigBuilder, NvmConfigError};
 pub use device::{NvmDevice, WearCounters, WriteOutcome};
 pub use energy::EnergyModel as AccessEnergyModel;
+pub use fault::{FaultPlan, FaultPlanError};
 pub use latency::{LatencyConfig, MemTech};
-pub use stats::WearStats;
+pub use stats::{FaultCounters, WearStats};
 pub use variation::EnduranceModel;
 
 /// A physical line address (index of a memory line within the device).

@@ -7,6 +7,28 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Counters for injected faults and the controller's graceful-degradation
+/// responses, maintained by the device when a fault plan is installed.
+///
+/// All-zero on devices without a fault plan (and on devices with a
+/// zero-fault plan), so fault-free reports stay byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Stuck-at lines detected at install time and remapped into the spare
+    /// pool (each consumed one spare).
+    pub stuck_lines_remapped: u64,
+    /// Transient write faults injected (each wore a cell without latching
+    /// the data).
+    pub transient_write_faults: u64,
+    /// Retry writes issued by the controller's verify-and-retry loop; one
+    /// per survived transient fault.
+    pub retry_writes: u64,
+    /// Power-loss events triggered.
+    pub power_losses: u64,
+    /// Power restorations performed (by the recovery layer).
+    pub power_restores: u64,
+}
+
 /// Summary statistics over per-line write counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WearStats {

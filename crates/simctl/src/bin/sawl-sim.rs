@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 use sawl_simctl::{
-    run_lifetime, run_perf, DeviceSpec, LifetimeExperiment, PerfExperiment, SchemeSpec,
+    run_lifetime, run_perf, DeviceSpec, FaultPlan, LifetimeExperiment, PerfExperiment, SchemeSpec,
     WorkloadSpec,
 };
 use sawl_trace::SpecBenchmark;
@@ -33,6 +33,7 @@ fn template_lifetime() -> LifetimeExperiment {
         data_lines: 1 << 16,
         device: DeviceSpec::default(),
         max_demand_writes: 0,
+        fault: Some(FaultPlan::default()),
     }
 }
 
@@ -71,20 +72,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            // Both failure classes — an unparsable spec and a structurally
+            // invalid run (bad config, bad geometry, bad fault plan,
+            // write-free workload) — exit nonzero with a one-line reason.
             let out = if mode == "lifetime" {
                 serde_json::from_str::<LifetimeExperiment>(&raw)
-                    .map(|exp| serde_json::to_string_pretty(&run_lifetime(&exp)).unwrap())
+                    .map_err(|e| format!("invalid {mode} spec {path}: {e}"))
+                    .and_then(|exp| {
+                        run_lifetime(&exp).map_err(|e| format!("{mode} run failed: {e}"))
+                    })
+                    .map(|r| serde_json::to_string_pretty(&r).unwrap())
             } else {
                 serde_json::from_str::<PerfExperiment>(&raw)
-                    .map(|exp| serde_json::to_string_pretty(&run_perf(&exp)).unwrap())
+                    .map_err(|e| format!("invalid {mode} spec {path}: {e}"))
+                    .and_then(|exp| run_perf(&exp).map_err(|e| format!("{mode} run failed: {e}")))
+                    .map(|r| serde_json::to_string_pretty(&r).unwrap())
             };
             match out {
                 Ok(json) => {
                     println!("{json}");
                     ExitCode::SUCCESS
                 }
-                Err(e) => {
-                    eprintln!("invalid {mode} spec {path}: {e}");
+                Err(msg) => {
+                    eprintln!("{msg}");
                     ExitCode::FAILURE
                 }
             }

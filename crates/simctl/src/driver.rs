@@ -15,8 +15,12 @@
 //! `next_req`-per-request loop it replaced — `fill` guarantees it, and the
 //! driver equivalence tests enforce it end to end.
 
+use std::error::Error;
+use std::fmt;
+
 use sawl_algos::WearLeveler;
-use sawl_nvm::NvmDevice;
+use sawl_core::ConfigError;
+use sawl_nvm::{FaultPlanError, NvmDevice};
 use sawl_trace::{AddressStream, MemReq};
 
 /// Requests drained from the stream per batch. Big enough to amortize the
@@ -25,8 +29,76 @@ use sawl_trace::{AddressStream, MemReq};
 pub const BLOCK: usize = 4096;
 
 /// Consecutive reads [`pump_writes`] tolerates before declaring the
-/// workload write-free and panicking instead of spinning forever.
+/// workload write-free and bailing out instead of spinning forever.
 pub const READ_SPIN_LIMIT: u64 = 16 << 20;
+
+/// A defect in a run's specification or workload, surfaced as a value so
+/// spec-driven entry points (`sawl-sim`, JSON scenarios) can report it and
+/// exit nonzero instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriverError {
+    /// The workload produced [`READ_SPIN_LIMIT`] consecutive reads without
+    /// a single demand write; a lifetime run over it can never finish.
+    WriteFreeStream {
+        /// The offending stream's display name.
+        stream: String,
+    },
+    /// The scheme's configuration is structurally invalid.
+    Config(ConfigError),
+    /// The fault plan is invalid for the target device.
+    FaultPlan(FaultPlanError),
+    /// A scheme/device/probe geometry defect in the spec.
+    Spec(String),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WriteFreeStream { stream } => write!(
+                f,
+                "{READ_SPIN_LIMIT} consecutive reads without a single demand write — the \
+                 workload (stream \"{stream}\") produces no writes, so a lifetime run can \
+                 never finish; fix the workload's write ratio"
+            ),
+            Self::Config(e) => write!(f, "invalid scheme config: {e}"),
+            Self::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
+            Self::Spec(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl Error for DriverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::FaultPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for DriverError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<FaultPlanError> for DriverError {
+    fn from(e: FaultPlanError) -> Self {
+        Self::FaultPlan(e)
+    }
+}
+
+/// Recovery bookkeeping accumulated by one [`pump_writes`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PumpStats {
+    /// Power-loss events the pump recovered from.
+    pub recoveries: u64,
+    /// Recovery passes that replayed a journaled in-flight operation.
+    pub journal_replays: u64,
+    /// Recovery passes that rolled a journaled operation back.
+    pub journal_rollbacks: u64,
+}
 
 /// Drive `requests` requests from `stream` through `wl`.
 pub fn pump<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, requests: u64)
@@ -92,18 +164,28 @@ pub fn pump_observed<W, S, F>(
 /// device state — is bit-identical to the per-request loop; the scenario
 /// equivalence tests enforce this end to end.
 ///
-/// # Panics
-///
-/// Panics after [`READ_SPIN_LIMIT`] consecutive reads: a stream that never
-/// produces writes (write ratio 0, or a phase schedule degenerating to
-/// reads) would otherwise spin forever without advancing `demand_writes`.
-pub fn pump_writes<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, cap: u64)
+/// When the device carries a fault plan, a scheduled power loss surfaces
+/// here as a short `write_run`: the pump drives [`WearLeveler::recover`]
+/// until a pass completes (replay is idempotent, so repeated losses during
+/// recovery are fine), counts the recovery, and re-serves whatever the
+/// interrupted run did not complete. Returns the recovery bookkeeping, or
+/// a [`DriverError::WriteFreeStream`] after [`READ_SPIN_LIMIT`]
+/// consecutive reads — a stream that never produces writes (write ratio 0,
+/// or a phase schedule degenerating to reads) would otherwise spin forever
+/// without advancing `demand_writes`.
+pub fn pump_writes<W, S>(
+    wl: &mut W,
+    dev: &mut NvmDevice,
+    stream: &mut S,
+    cap: u64,
+) -> Result<PumpStats, DriverError>
 where
     W: WearLeveler + ?Sized,
     S: AddressStream + ?Sized,
 {
     let mut buf = [MemReq::read(0); BLOCK];
     let mut consecutive_reads = 0u64;
+    let mut stats = PumpStats::default();
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
         let filled = stream.fill(&mut buf);
         let mut i = 0;
@@ -111,13 +193,9 @@ where
             let req = buf[i];
             if !req.write {
                 consecutive_reads += 1;
-                assert!(
-                    consecutive_reads < READ_SPIN_LIMIT,
-                    "pump_writes: {READ_SPIN_LIMIT} consecutive reads without a single demand \
-                     write — the workload (stream \"{}\") produces no writes, so a lifetime run \
-                     can never finish; fix the workload's write ratio",
-                    stream.name()
-                );
+                if consecutive_reads >= READ_SPIN_LIMIT {
+                    return Err(DriverError::WriteFreeStream { stream: stream.name().to_string() });
+                }
                 i += 1;
                 continue;
             }
@@ -131,10 +209,33 @@ where
             if dev.is_dead() || dev.wear().demand_writes >= cap {
                 break 'blocks;
             }
+            if dev.power_lost() {
+                // Replay is idempotent; keep recovering until a pass runs
+                // to completion without another scheduled power loss.
+                loop {
+                    let r = wl.recover(dev);
+                    stats.journal_replays += u64::from(r.replayed);
+                    stats.journal_rollbacks += u64::from(r.rolled_back);
+                    if r.complete {
+                        break;
+                    }
+                }
+                stats.recoveries += 1;
+                // Replayed data movement wears cells too and can finish
+                // off a nearly-dead device.
+                if dev.is_dead() {
+                    break 'blocks;
+                }
+                // Whatever the interrupted run did not serve is retried by
+                // the next inner-loop iteration.
+                i += done as usize;
+                continue;
+            }
             debug_assert_eq!(done, n, "write_run must complete unless the device died");
             i += done as usize;
         }
     }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -186,7 +287,7 @@ mod tests {
         let mut wl = Ideal::new(1 << 6);
         let mut dev = device(1 << 6, 100);
         let mut stream = Uniform::new(1 << 6, 1.0, 3);
-        pump_writes(&mut wl, &mut dev, &mut stream, u64::MAX);
+        pump_writes(&mut wl, &mut dev, &mut stream, u64::MAX).unwrap();
         assert!(dev.is_dead());
     }
 
@@ -195,7 +296,7 @@ mod tests {
         let mut wl = Ideal::new(1 << 6);
         let mut dev = device(1 << 6, u32::MAX);
         let mut stream = Uniform::new(1 << 6, 1.0, 3);
-        pump_writes(&mut wl, &mut dev, &mut stream, 1_234);
+        pump_writes(&mut wl, &mut dev, &mut stream, 1_234).unwrap();
         assert_eq!(dev.wear().demand_writes, 1_234);
     }
 
@@ -206,21 +307,22 @@ mod tests {
         // Write ratio 0.5: roughly half the requests are reads and must
         // not be issued to the device at all.
         let mut stream = Uniform::new(1 << 8, 0.5, 9);
-        pump_writes(&mut wl, &mut dev, &mut stream, 1_000);
+        pump_writes(&mut wl, &mut dev, &mut stream, 1_000).unwrap();
         assert_eq!(dev.wear().demand_writes, 1_000);
         assert_eq!(dev.wear().reads, 0);
     }
 
     #[test]
-    #[should_panic(expected = "produces no writes")]
     fn pump_writes_bails_on_a_write_free_stream() {
         // Write ratio 0: the scalar loop would spin forever; the guard must
-        // bail with a clear panic once READ_SPIN_LIMIT reads pass without a
+        // bail with a typed error once READ_SPIN_LIMIT reads pass without a
         // single write.
         let mut wl = NoWl::new(1 << 8);
         let mut dev = device(1 << 8, u32::MAX);
         let mut stream = Uniform::new(1 << 8, 0.0, 9);
-        pump_writes(&mut wl, &mut dev, &mut stream, 1_000);
+        let err = pump_writes(&mut wl, &mut dev, &mut stream, 1_000).unwrap_err();
+        assert_eq!(err, DriverError::WriteFreeStream { stream: "uniform".into() });
+        assert!(err.to_string().contains("produces no writes"), "{err}");
     }
 
     #[test]
@@ -230,8 +332,28 @@ mod tests {
         let mut wl = NoWl::new(1 << 8);
         let mut dev = device(1 << 8, u32::MAX);
         let mut stream = Uniform::new(1 << 8, 0.001, 9);
-        pump_writes(&mut wl, &mut dev, &mut stream, 50);
+        pump_writes(&mut wl, &mut dev, &mut stream, 50).unwrap();
         assert_eq!(dev.wear().demand_writes, 50);
+    }
+
+    #[test]
+    fn pump_writes_recovers_from_scheduled_power_losses() {
+        let mut wl = Ideal::new(1 << 6);
+        let mut dev = device(1 << 6, u32::MAX);
+        dev.install_fault_plan(&sawl_nvm::FaultPlan {
+            power_loss_at_writes: vec![10, 25, 400],
+            ..Default::default()
+        })
+        .unwrap();
+        let mut stream = Uniform::new(1 << 6, 1.0, 3);
+        let stats = pump_writes(&mut wl, &mut dev, &mut stream, 1_000).unwrap();
+        assert_eq!(stats.recoveries, 3);
+        assert_eq!(dev.fault_counters().power_losses, 3);
+        assert_eq!(dev.fault_counters().power_restores, 3);
+        // Every dropped request is retried after recovery: the cap is
+        // still reached exactly.
+        assert_eq!(dev.wear().demand_writes, 1_000);
+        assert!(!dev.power_lost());
     }
 
     /// The scalar reference loops `pump`/`pump_writes` replaced; the block
@@ -290,7 +412,7 @@ mod tests {
         let mut wl_a = Ideal::new(1 << 6);
         let mut dev_a = device(1 << 6, 200);
         let mut s_a = Uniform::new(1 << 6, 0.7, 23);
-        pump_writes(&mut wl_a, &mut dev_a, &mut s_a, u64::MAX);
+        pump_writes(&mut wl_a, &mut dev_a, &mut s_a, u64::MAX).unwrap();
 
         let mut wl_b = Ideal::new(1 << 6);
         let mut dev_b = device(1 << 6, 200);

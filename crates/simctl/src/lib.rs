@@ -35,7 +35,7 @@ pub mod seed;
 pub mod spec;
 pub mod sysconfig;
 
-pub use driver::{pump, pump_observed, pump_writes};
+pub use driver::{pump, pump_observed, pump_writes, DriverError, PumpStats};
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
 pub use report::Table;
@@ -46,3 +46,7 @@ pub use scenario::{
 pub use seed::stable_seed;
 pub use spec::{DeviceSpec, SchemeInstance, SchemeSpec, TranslationKind, WorkloadSpec};
 pub use sysconfig::SystemConfig;
+
+// Fault vocabulary, re-exported so spec authors don't need a direct
+// `sawl-nvm` dependency to describe a faulted run.
+pub use sawl_nvm::{FaultCounters, FaultPlan, FaultPlanError};

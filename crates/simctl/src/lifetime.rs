@@ -14,8 +14,9 @@
 use serde::{Deserialize, Serialize};
 
 use sawl_algos::WearLeveler;
+use sawl_nvm::FaultPlan;
 
-use crate::driver::pump_writes;
+use crate::driver::{pump_writes, DriverError};
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
 
@@ -34,6 +35,11 @@ pub struct LifetimeExperiment {
     pub device: DeviceSpec,
     /// Safety cap on demand writes (0 = 4× the ideal lifetime).
     pub max_demand_writes: u64,
+    /// Deterministic fault plan installed on the device before the run
+    /// (`None` — or a zero plan — leaves the run byte-identical to the
+    /// fault-free path).
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
 }
 
 /// Outcome of a lifetime run.
@@ -59,16 +65,41 @@ pub struct LifetimeResult {
     pub wear_cov: f64,
     /// Gini coefficient of final per-line wear.
     pub wear_gini: f64,
+    /// Stuck-at lines remapped into the spare pool at plan-install time.
+    #[serde(default)]
+    pub stuck_lines_remapped: u64,
+    /// Transient write faults injected and survived via verify-and-retry.
+    #[serde(default)]
+    pub transient_faults: u64,
+    /// Power-loss events triggered during the run.
+    #[serde(default)]
+    pub power_losses: u64,
+    /// Power losses the driver recovered from via [`WearLeveler::recover`].
+    #[serde(default)]
+    pub recoveries: u64,
+    /// Recoveries that replayed a journaled in-flight operation.
+    #[serde(default)]
+    pub journal_replays: u64,
+    /// Recoveries that rolled a journaled operation back.
+    #[serde(default)]
+    pub journal_rollbacks: u64,
+    /// Spare lines left when the run ended (consumed by worn-out lines and
+    /// stuck-at remaps alike).
+    #[serde(default)]
+    pub spares_remaining: u64,
 }
 
 /// Run one lifetime experiment to completion.
-pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
+pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverError> {
     let seed = stable_seed(&exp.id);
     let phys = exp.scheme.physical_lines(exp.data_lines);
     // Concrete enum instance: the pump below monomorphizes against it, so
     // the per-write scheme call is static-dispatched.
-    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
-    let mut dev = exp.device.build(phys, seed);
+    let mut wl = exp.scheme.try_instantiate(exp.data_lines, seed)?;
+    let mut dev = exp.device.try_build(phys, seed)?;
+    if let Some(plan) = &exp.fault {
+        dev.install_fault_plan(plan)?;
+    }
     let mut stream = exp.workload.build(wl.logical_lines(), seed);
 
     let cap = if exp.max_demand_writes == 0 {
@@ -79,15 +110,16 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
 
     // Reads are skipped by the lifetime pump: no wear, and lifetime is the
     // only output here.
-    pump_writes(&mut wl, &mut dev, &mut *stream, cap);
+    let pump = pump_writes(&mut wl, &mut dev, &mut *stream, cap)?;
 
     let wear = *dev.wear();
     let stats = dev.wear_stats();
+    let faults = dev.fault_counters();
     // Normalize against the *logical* capacity so schemes with different
     // reserved space (gap slots, translation region) compare on the same
     // denominator — the paper's ideal lifetime of the user-visible device.
     let ideal = exp.data_lines as f64 * f64::from(exp.device.endurance);
-    LifetimeResult {
+    Ok(LifetimeResult {
         id: exp.id.clone(),
         scheme: exp.scheme.name(),
         workload: exp.workload.name(),
@@ -102,7 +134,14 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
         device_died: dev.is_dead(),
         wear_cov: stats.cov,
         wear_gini: stats.gini,
-    }
+        stuck_lines_remapped: faults.stuck_lines_remapped,
+        transient_faults: faults.transient_write_faults,
+        power_losses: faults.power_losses,
+        recoveries: pump.recoveries,
+        journal_replays: pump.journal_replays,
+        journal_rollbacks: pump.journal_rollbacks,
+        spares_remaining: dev.spares_remaining(),
+    })
 }
 
 #[cfg(test)]
@@ -117,12 +156,13 @@ mod tests {
             data_lines: 1 << 10,
             device: DeviceSpec { endurance, ..Default::default() },
             max_demand_writes: 0,
+            fault: None,
         }
     }
 
     #[test]
     fn ideal_reaches_near_full_lifetime() {
-        let r = run_lifetime(&exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 500));
+        let r = run_lifetime(&exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 500)).unwrap();
         assert!(r.device_died);
         assert!(r.normalized_lifetime > 0.9, "{}", r.normalized_lifetime);
         assert!(r.wear_cov < 0.1);
@@ -130,7 +170,7 @@ mod tests {
 
     #[test]
     fn baseline_dies_early_under_raa() {
-        let r = run_lifetime(&exp(SchemeSpec::Baseline, WorkloadSpec::Raa, 500));
+        let r = run_lifetime(&exp(SchemeSpec::Baseline, WorkloadSpec::Raa, 500)).unwrap();
         assert!(r.device_died);
         assert!(r.normalized_lifetime < 0.05, "{}", r.normalized_lifetime);
         assert!(r.wear_gini > 0.9);
@@ -139,8 +179,9 @@ mod tests {
     #[test]
     fn pcms_beats_baseline_under_bpa() {
         let bpa = WorkloadSpec::Bpa { writes_per_target: 2048 };
-        let base = run_lifetime(&exp(SchemeSpec::Baseline, bpa.clone(), 1000));
-        let pcms = run_lifetime(&exp(SchemeSpec::PcmS { region_lines: 4, period: 16 }, bpa, 1000));
+        let base = run_lifetime(&exp(SchemeSpec::Baseline, bpa.clone(), 1000)).unwrap();
+        let pcms = run_lifetime(&exp(SchemeSpec::PcmS { region_lines: 4, period: 16 }, bpa, 1000))
+            .unwrap();
         assert!(
             pcms.normalized_lifetime > 3.0 * base.normalized_lifetime,
             "pcm-s {} vs baseline {}",
@@ -157,8 +198,8 @@ mod tests {
             WorkloadSpec::Bpa { writes_per_target: 1024 },
             1000,
         );
-        let a = run_lifetime(&e);
-        let b = run_lifetime(&e);
+        let a = run_lifetime(&e).unwrap();
+        let b = run_lifetime(&e).unwrap();
         assert_eq!(a, b);
     }
 
@@ -166,8 +207,41 @@ mod tests {
     fn write_cap_prevents_infinite_runs() {
         let mut e = exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 1_000_000);
         e.max_demand_writes = 10_000;
-        let r = run_lifetime(&e);
+        let r = run_lifetime(&e).unwrap();
         assert!(!r.device_died);
         assert_eq!(r.demand_writes, 10_000);
+    }
+
+    #[test]
+    fn faulted_run_reports_fault_and_recovery_counters() {
+        let mut e = exp(
+            SchemeSpec::PcmS { region_lines: 4, period: 16 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+            1_000_000,
+        );
+        e.max_demand_writes = 50_000;
+        e.fault = Some(FaultPlan {
+            stuck_lines: vec![3, 17],
+            transient_rate: 0.001,
+            power_loss_at_writes: vec![10_000, 30_000],
+            seed: 11,
+        });
+        let r = run_lifetime(&e).unwrap();
+        assert_eq!(r.stuck_lines_remapped, 2);
+        assert!(r.transient_faults > 0, "{r:?}");
+        assert_eq!(r.power_losses, 2);
+        assert_eq!(r.recoveries, 2);
+        assert_eq!(r.demand_writes, 50_000);
+        assert!(r.spares_remaining < 1 << 4, "spares not consumed: {r:?}");
+        // Faulted runs are exactly reproducible too.
+        assert_eq!(r, run_lifetime(&e).unwrap());
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_a_typed_error() {
+        let mut e = exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 500);
+        e.fault = Some(FaultPlan { transient_rate: 1.5, ..Default::default() });
+        let err = run_lifetime(&e).unwrap_err();
+        assert!(matches!(err, DriverError::FaultPlan(_)), "{err:?}");
     }
 }

@@ -18,7 +18,7 @@ use sawl_algos::WearLeveler;
 use sawl_timing::{ipc_degradation, CpuModel, IpcEstimate, IpcModel, MemEvent};
 use sawl_trace::SpecBenchmark;
 
-use crate::driver::{pump, pump_observed};
+use crate::driver::{pump, pump_observed, DriverError};
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
 
@@ -112,15 +112,15 @@ impl TranslationTracker {
 }
 
 /// Run one performance experiment.
-pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
+pub fn run_perf(exp: &PerfExperiment) -> Result<PerfResult, DriverError> {
     let seed = stable_seed(&exp.id);
     let cpu = CpuModel::for_benchmark(exp.benchmark);
     let banks = exp.device.banks;
 
     // Scheme pass, monomorphized over the concrete enum instance.
     let phys = exp.scheme.physical_lines(exp.data_lines);
-    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
-    let mut dev = exp.device.build(phys, seed);
+    let mut wl = exp.scheme.try_instantiate(exp.data_lines, seed)?;
+    let mut dev = exp.device.try_build(phys, seed)?;
     let workload = WorkloadSpec::Spec(exp.benchmark);
     let mut stream = workload.build(wl.logical_lines(), seed);
     let mut tracker =
@@ -166,7 +166,7 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
     let ipc = ipc_model.estimate();
     let baseline_ipc = base_model.estimate();
     let wear = dev.wear();
-    PerfResult {
+    Ok(PerfResult {
         id: exp.id.clone(),
         scheme: exp.scheme.name(),
         benchmark: exp.benchmark.name().into(),
@@ -179,7 +179,7 @@ pub fn run_perf(exp: &PerfExperiment) -> PerfResult {
         } else {
             wear.overhead_writes as f64 / wear.demand_writes as f64
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn baseline_has_zero_degradation() {
-        let r = run_perf(&exp(SchemeSpec::Baseline, SpecBenchmark::Gcc));
+        let r = run_perf(&exp(SchemeSpec::Baseline, SpecBenchmark::Gcc)).unwrap();
         assert!(r.ipc_degradation.abs() < 1e-9, "{}", r.ipc_degradation);
         assert_eq!(r.hit_rate, 1.0);
     }
@@ -210,7 +210,8 @@ mod tests {
         let r = run_perf(&exp(
             SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 1 << 20 },
             SpecBenchmark::Mcf,
-        ));
+        ))
+        .unwrap();
         assert!(r.hit_rate > 0.0 && r.hit_rate < 1.0, "hit rate {}", r.hit_rate);
         assert!(r.ipc_degradation > 0.0);
     }
@@ -218,9 +219,11 @@ mod tests {
     #[test]
     fn aggressive_swapping_costs_ipc() {
         let lazy =
-            run_perf(&exp(SchemeSpec::PcmS { region_lines: 4, period: 256 }, SpecBenchmark::Lbm));
+            run_perf(&exp(SchemeSpec::PcmS { region_lines: 4, period: 256 }, SpecBenchmark::Lbm))
+                .unwrap();
         let eager =
-            run_perf(&exp(SchemeSpec::PcmS { region_lines: 4, period: 8 }, SpecBenchmark::Lbm));
+            run_perf(&exp(SchemeSpec::PcmS { region_lines: 4, period: 8 }, SpecBenchmark::Lbm))
+                .unwrap();
         assert!(
             eager.ipc_degradation > lazy.ipc_degradation,
             "eager {} vs lazy {}",
@@ -235,6 +238,6 @@ mod tests {
     #[test]
     fn results_reproducible() {
         let e = exp(SchemeSpec::sawl_default(256), SpecBenchmark::Bzip2);
-        assert_eq!(run_perf(&e), run_perf(&e));
+        assert_eq!(run_perf(&e).unwrap(), run_perf(&e).unwrap());
     }
 }

@@ -18,11 +18,30 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel;
 
+/// Parse a raw `SAWL_THREADS` value into a worker count (clamped to ≥ 1).
+/// `None` means fall back to the machine's parallelism — silently when the
+/// variable is unset, with a one-line stderr warning when it is set but
+/// unparsable, so a typo'd override doesn't silently change the sweep's
+/// resource footprint.
+fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
+    let raw = raw?;
+    match raw.trim().parse::<usize>() {
+        Ok(n) => Some(n.max(1)),
+        Err(_) => {
+            eprintln!(
+                "warning: SAWL_THREADS={raw:?} is not a thread count; \
+                 falling back to available parallelism"
+            );
+            None
+        }
+    }
+}
+
 /// Worker threads to use: the `SAWL_THREADS` override when set (clamped to
 /// ≥ 1), otherwise the machine's available parallelism.
 fn configured_threads() -> usize {
-    match std::env::var("SAWL_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
-        Some(n) => n.max(1),
+    match parse_thread_override(std::env::var("SAWL_THREADS").ok().as_deref()) {
+        Some(n) => n,
         None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
     }
 }
@@ -150,6 +169,20 @@ mod tests {
 
         std::env::remove_var("SAWL_THREADS");
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_override_parses_numbers_and_warns_on_garbage() {
+        // Pure-function cases, no env mutation: unset is a silent
+        // fallback, numbers parse (with whitespace, clamped to >= 1), and
+        // garbage falls back with a warning (visible with --nocapture).
+        assert_eq!(parse_thread_override(None), None);
+        assert_eq!(parse_thread_override(Some("3")), Some(3));
+        assert_eq!(parse_thread_override(Some(" 8 ")), Some(8));
+        assert_eq!(parse_thread_override(Some("0")), Some(1));
+        assert_eq!(parse_thread_override(Some("lots")), None);
+        assert_eq!(parse_thread_override(Some("")), None);
+        assert_eq!(parse_thread_override(Some("-2")), None);
     }
 
     #[test]

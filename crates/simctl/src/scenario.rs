@@ -21,9 +21,9 @@
 use serde::{Deserialize, Serialize};
 
 use sawl_core::{History, SawlStats};
-use sawl_nvm::NvmDevice;
+use sawl_nvm::{FaultPlan, NvmDevice};
 
-use crate::driver::pump;
+use crate::driver::{pump, DriverError};
 use crate::lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 use crate::perf::{run_perf, PerfExperiment, PerfResult};
 use crate::runner::parallel_map;
@@ -70,6 +70,10 @@ pub struct Scenario {
     pub device: DeviceSpec,
     /// What to measure.
     pub probe: Probe,
+    /// Deterministic fault plan for the run (lifetime probes only; `None`
+    /// — or a zero plan — leaves the run byte-identical to fault-free).
+    #[serde(default)]
+    pub fault: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -88,6 +92,7 @@ impl Scenario {
             data_lines,
             device,
             probe: Probe::Lifetime { max_demand_writes: 0 },
+            fault: None,
         }
     }
 
@@ -107,6 +112,7 @@ impl Scenario {
             data_lines,
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             probe: Probe::Perf { requests, warmup_requests },
+            fault: None,
         }
     }
 
@@ -126,6 +132,7 @@ impl Scenario {
             data_lines,
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             probe: Probe::Trace { requests },
+            fault: None,
         }
     }
 
@@ -135,6 +142,13 @@ impl Scenario {
             Probe::Lifetime { max_demand_writes } => *max_demand_writes = cap,
             _ => panic!("write caps apply to lifetime scenarios"),
         }
+        self
+    }
+
+    /// Attach a fault plan (lifetime probes only; [`run`] rejects other
+    /// probes carrying one).
+    pub fn with_fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 }
@@ -212,23 +226,33 @@ impl Report {
 }
 
 /// Run one scenario to completion.
-pub fn run(s: &Scenario) -> Report {
+pub fn run(s: &Scenario) -> Result<Report, DriverError> {
+    if s.fault.is_some() && !matches!(s.probe, Probe::Lifetime { .. }) {
+        return Err(DriverError::Spec(format!(
+            "fault plans apply to lifetime scenarios, but \"{}\" carries a {:?} probe",
+            s.id, s.probe
+        )));
+    }
     match s.probe {
         Probe::Lifetime { max_demand_writes } => {
-            Report::Lifetime(run_lifetime(&LifetimeExperiment {
+            Ok(Report::Lifetime(run_lifetime(&LifetimeExperiment {
                 id: s.id.clone(),
                 scheme: s.scheme.clone(),
                 workload: s.workload.clone(),
                 data_lines: s.data_lines,
                 device: s.device,
                 max_demand_writes,
-            }))
+                fault: s.fault.clone(),
+            })?))
         }
         Probe::Perf { requests, warmup_requests } => {
             let WorkloadSpec::Spec(benchmark) = s.workload else {
-                panic!("perf scenarios need a SPEC-like benchmark workload, got {:?}", s.workload)
+                return Err(DriverError::Spec(format!(
+                    "perf scenarios need a SPEC-like benchmark workload, got {:?}",
+                    s.workload
+                )));
             };
-            Report::Perf(run_perf(&PerfExperiment {
+            Ok(Report::Perf(run_perf(&PerfExperiment {
                 id: s.id.clone(),
                 scheme: s.scheme.clone(),
                 benchmark,
@@ -236,27 +260,27 @@ pub fn run(s: &Scenario) -> Report {
                 device: s.device,
                 requests,
                 warmup_requests,
-            }))
+            })?))
         }
-        Probe::Trace { requests } => Report::Trace(run_trace(s, requests)),
+        Probe::Trace { requests } => Ok(Report::Trace(run_trace(s, requests)?)),
     }
 }
 
 /// Run a grid of scenarios, sharded across cores; reports keep the input
-/// order.
-pub fn run_all(scenarios: &[Scenario]) -> Vec<Report> {
-    parallel_map(scenarios, run)
+/// order. The first defective scenario's error is returned.
+pub fn run_all(scenarios: &[Scenario]) -> Result<Vec<Report>, DriverError> {
+    parallel_map(scenarios, run).into_iter().collect()
 }
 
-fn run_trace(s: &Scenario, requests: u64) -> TraceReport {
+fn run_trace(s: &Scenario, requests: u64) -> Result<TraceReport, DriverError> {
     let seed = stable_seed(&s.id);
     let phys = s.scheme.physical_lines(s.data_lines);
-    let mut dev = s.device.build(phys, seed);
+    let mut dev = s.device.try_build(phys, seed)?;
     let mut stream = s.workload.build(s.data_lines, seed);
 
     // One monomorphic pump over the enum instance; the concrete engines
     // are recovered afterwards for their post-run introspection.
-    let mut wl = s.scheme.instantiate(s.data_lines, seed);
+    let mut wl = s.scheme.try_instantiate(s.data_lines, seed)?;
     pump(&mut wl, &mut dev, &mut *stream, requests);
     let (hit_rate, adaptation) = if let Some(sawl) = wl.as_sawl() {
         let stats = sawl.stats();
@@ -273,7 +297,7 @@ fn run_trace(s: &Scenario, requests: u64) -> TraceReport {
     };
 
     let wear = dev.wear();
-    TraceReport {
+    Ok(TraceReport {
         id: s.id.clone(),
         scheme: s.scheme.name(),
         workload: s.workload.name(),
@@ -285,7 +309,7 @@ fn run_trace(s: &Scenario, requests: u64) -> TraceReport {
         },
         demand_writes: wear.demand_writes,
         adaptation,
-    }
+    })
 }
 
 /// Wear-free device sized for a scheme's physical-line requirement.
@@ -319,7 +343,7 @@ mod tests {
             1 << 10,
             DeviceSpec { endurance: 500, ..Default::default() },
         );
-        let via_scenario = run(&s).lifetime().clone();
+        let via_scenario = run(&s).unwrap().lifetime().clone();
         let direct = run_lifetime(&LifetimeExperiment {
             id: "scn/lifetime".into(),
             scheme: s.scheme.clone(),
@@ -327,7 +351,9 @@ mod tests {
             data_lines: s.data_lines,
             device: s.device,
             max_demand_writes: 0,
-        });
+            fault: None,
+        })
+        .unwrap();
         assert_eq!(via_scenario, direct, "the scenario layer must not change results");
     }
 
@@ -341,7 +367,7 @@ mod tests {
             20_000,
             0,
         );
-        let via_scenario = run(&s).perf().clone();
+        let via_scenario = run(&s).unwrap().perf().clone();
         let direct = run_perf(&PerfExperiment {
             id: "scn/perf".into(),
             scheme: s.scheme.clone(),
@@ -350,7 +376,8 @@ mod tests {
             device: s.device,
             requests: 20_000,
             warmup_requests: 0,
-        });
+        })
+        .unwrap();
         assert_eq!(via_scenario, direct);
     }
 
@@ -363,7 +390,7 @@ mod tests {
             1 << 12,
             20_000,
         );
-        let r = run(&s);
+        let r = run(&s).unwrap();
         let t = r.trace();
         assert!(t.hit_rate > 0.0 && t.hit_rate < 1.0, "hit rate {}", t.hit_rate);
         let adapt = t.adaptation();
@@ -380,7 +407,7 @@ mod tests {
             1 << 12,
             20_000,
         );
-        let t = run(&s).trace().clone();
+        let t = run(&s).unwrap().trace().clone();
         assert!(t.hit_rate > 0.0 && t.hit_rate < 1.0);
         assert!(t.adaptation.is_none());
     }
@@ -394,7 +421,7 @@ mod tests {
             1 << 10,
             5_000,
         );
-        let t = run(&s).trace().clone();
+        let t = run(&s).unwrap().trace().clone();
         assert_eq!(t.hit_rate, 1.0);
         assert_eq!(t.demand_writes, 5_000);
     }
@@ -412,7 +439,7 @@ mod tests {
                 )
             })
             .collect();
-        let reports = run_all(&grid);
+        let reports = run_all(&grid).unwrap();
         assert_eq!(reports.len(), 6);
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.lifetime().id, format!("scn/grid/{i}"));

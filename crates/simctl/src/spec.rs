@@ -16,6 +16,7 @@ use sawl_nvm::{EnduranceModel, NvmConfig, NvmDevice};
 use sawl_tiered::{Nwl, NwlConfig};
 use sawl_trace::{AddressStream, Bpa, Raa, SpecBenchmark, Uniform};
 
+use crate::driver::DriverError;
 use crate::seed::derive;
 
 /// How a scheme translates addresses — determines the per-request
@@ -141,19 +142,34 @@ impl SchemeSpec {
     /// loops are generic over `W: WearLeveler` and monomorphize against
     /// this enum, so the per-request `write`/`read`/`translate` calls are
     /// a predictable jump instead of a virtual call through a fat pointer.
+    ///
+    /// Panics on an invalid spec; spec-driven entry points use
+    /// [`SchemeSpec::try_instantiate`] to surface the defect instead.
     pub fn instantiate(&self, data_lines: u64, seed: u64) -> SchemeInstance {
-        match *self {
+        self.try_instantiate(data_lines, seed)
+            .unwrap_or_else(|e| panic!("invalid scheme spec: {e}"))
+    }
+
+    /// Fallible [`SchemeSpec::instantiate`]: geometry and configuration
+    /// defects come back as a [`DriverError`] instead of a panic.
+    pub fn try_instantiate(
+        &self,
+        data_lines: u64,
+        seed: u64,
+    ) -> Result<SchemeInstance, DriverError> {
+        Ok(match *self {
             Self::Baseline => SchemeInstance::Baseline(NoWl::new(data_lines)),
             Self::Ideal => SchemeInstance::Ideal(Ideal::new(data_lines)),
             Self::SegmentSwap { segment_lines, swap_period } => SchemeInstance::SegmentSwap(
                 SegmentSwap::new(data_lines, segment_lines, swap_period),
             ),
             Self::Rbsg { regions, region_lines, period } => {
-                assert_eq!(
-                    regions * region_lines,
-                    data_lines,
-                    "RBSG geometry must cover the logical space"
-                );
+                if regions * region_lines != data_lines {
+                    return Err(DriverError::Spec(format!(
+                        "RBSG geometry must cover the logical space: {regions} regions × \
+                         {region_lines} lines != {data_lines} data lines"
+                    )));
+                }
                 SchemeInstance::Rbsg(StartGap::new(regions, region_lines, period))
             }
             Self::SingleSr { period } => SchemeInstance::SingleSr(SecurityRefresh::new(
@@ -185,10 +201,11 @@ impl SchemeSpec {
             Self::Nwl { .. } => {
                 SchemeInstance::Nwl(self.build_nwl(data_lines, seed).expect("variant is Nwl"))
             }
-            Self::Sawl(_) => {
-                SchemeInstance::Sawl(self.build_sawl(data_lines, seed).expect("variant is Sawl"))
-            }
-        }
+            Self::Sawl(ref cfg) => SchemeInstance::Sawl(
+                Sawl::try_new(SawlConfig { data_lines, seed: derive(seed, "sawl"), ..cfg.clone() })
+                    .map_err(DriverError::Config)?,
+            ),
+        })
     }
 
     /// Instantiate a concrete NWL engine when this spec selects one (the
@@ -331,6 +348,10 @@ impl WearLeveler for SchemeInstance {
         dispatch!(self, w => w.read(la, dev))
     }
 
+    fn recover(&mut self, dev: &mut NvmDevice) -> sawl_algos::Recovery {
+        dispatch!(self, w => w.recover(dev))
+    }
+
     fn onchip_bits(&self) -> u64 {
         dispatch!(self, w => w.onchip_bits())
     }
@@ -401,20 +422,26 @@ impl Default for DeviceSpec {
 }
 
 impl DeviceSpec {
-    /// Build a device with `physical_lines` lines.
+    /// Build a device with `physical_lines` lines. Panics on an invalid
+    /// spec; spec-driven entry points use [`DeviceSpec::try_build`].
     pub fn build(&self, physical_lines: u64, seed: u64) -> NvmDevice {
+        self.try_build(physical_lines, seed).unwrap_or_else(|e| panic!("invalid device spec: {e}"))
+    }
+
+    /// Fallible [`DeviceSpec::build`]: geometry defects come back as a
+    /// [`DriverError`] instead of a panic.
+    pub fn try_build(&self, physical_lines: u64, seed: u64) -> Result<NvmDevice, DriverError> {
         let banks = if u64::from(self.banks) > physical_lines { 1 } else { self.banks };
-        NvmDevice::new(
-            NvmConfig::builder()
-                .lines(physical_lines)
-                .endurance(self.endurance)
-                .spare_shift(self.spare_shift)
-                .variation(self.variation)
-                .banks(banks)
-                .seed(derive(seed, "device"))
-                .build()
-                .expect("invalid device spec"),
-        )
+        NvmConfig::builder()
+            .lines(physical_lines)
+            .endurance(self.endurance)
+            .spare_shift(self.spare_shift)
+            .variation(self.variation)
+            .banks(banks)
+            .seed(derive(seed, "device"))
+            .build()
+            .map(NvmDevice::new)
+            .map_err(|e| DriverError::Spec(format!("invalid device spec: {e}")))
     }
 }
 
@@ -475,6 +502,20 @@ mod tests {
             TranslationKind::OnChip
         );
         assert_eq!(SchemeSpec::sawl_default(64).translation_kind(), TranslationKind::Tiered);
+    }
+
+    #[test]
+    fn bad_specs_surface_typed_errors() {
+        let err = SchemeSpec::Rbsg { regions: 3, region_lines: 100, period: 8 }
+            .try_instantiate(1 << 10, 1)
+            .unwrap_err();
+        assert!(matches!(err, DriverError::Spec(_)), "{err:?}");
+        assert!(err.to_string().contains("RBSG geometry"), "{err}");
+
+        let bad = SchemeSpec::Sawl(SawlConfig { initial_granularity: 3, ..SawlConfig::default() });
+        let err = bad.try_instantiate(1 << 10, 1).unwrap_err();
+        assert!(matches!(err, DriverError::Config(_)), "{err:?}");
+        assert!(err.to_string().contains("powers of two"), "{err}");
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use sawl_algos::WearLeveler;
 use sawl_simctl::{
-    run_lifetime, stable_seed, DeviceSpec, LifetimeExperiment, LifetimeResult, SchemeSpec,
-    WorkloadSpec,
+    run_lifetime, stable_seed, DeviceSpec, FaultPlan, LifetimeExperiment, LifetimeResult,
+    SchemeSpec, WorkloadSpec,
 };
 use sawl_trace::AddressStream;
 
@@ -22,6 +22,12 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
     let phys = exp.scheme.physical_lines(exp.data_lines);
     let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
     let mut dev = exp.device.build(phys, seed);
+    if let Some(plan) = &exp.fault {
+        // The scalar reference only supports plans without power losses
+        // (it has no recovery loop); the zero-fault guard below needs
+        // exactly that.
+        dev.install_fault_plan(plan).unwrap();
+    }
     let mut stream = exp.workload.build(wl.logical_lines(), seed);
     let cap = if exp.max_demand_writes == 0 {
         4 * dev.config().ideal_lifetime_writes()
@@ -39,6 +45,7 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
 
     let wear = *dev.wear();
     let stats = dev.wear_stats();
+    let faults = dev.fault_counters();
     let ideal = exp.data_lines as f64 * f64::from(exp.device.endurance);
     LifetimeResult {
         id: exp.id.clone(),
@@ -55,6 +62,13 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
         device_died: dev.is_dead(),
         wear_cov: stats.cov,
         wear_gini: stats.gini,
+        stuck_lines_remapped: faults.stuck_lines_remapped,
+        transient_faults: faults.transient_write_faults,
+        power_losses: faults.power_losses,
+        recoveries: 0,
+        journal_replays: 0,
+        journal_rollbacks: 0,
+        spares_remaining: dev.spares_remaining(),
     }
 }
 
@@ -88,8 +102,9 @@ fn batched_lifetime_matches_scalar_reference_for_every_scheme() {
                 data_lines: 1 << 9,
                 device: DeviceSpec { endurance: 200, ..Default::default() },
                 max_demand_writes: 0,
+                fault: None,
             };
-            let batched = run_lifetime(&exp);
+            let batched = run_lifetime(&exp).unwrap();
             let scalar = scalar_lifetime(&exp);
             assert_eq!(batched, scalar, "batched pump diverged from scalar for {}", exp.id);
         }
@@ -116,8 +131,9 @@ fn batched_lifetime_matches_scalar_reference_under_raa_and_variation() {
                 ..Default::default()
             },
             max_demand_writes: 0,
+            fault: None,
         };
-        let batched = run_lifetime(&exp);
+        let batched = run_lifetime(&exp).unwrap();
         let scalar = scalar_lifetime(&exp);
         assert_eq!(batched, scalar, "batched pump diverged from scalar for {}", exp.id);
     }
@@ -135,9 +151,41 @@ fn batched_lifetime_matches_scalar_reference_at_a_write_cap() {
             data_lines: 1 << 9,
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             max_demand_writes: cap,
+            fault: None,
         };
-        let batched = run_lifetime(&exp);
+        let batched = run_lifetime(&exp).unwrap();
         assert_eq!(batched.demand_writes, cap, "cap overshoot at {cap}");
         assert_eq!(batched, scalar_lifetime(&exp), "cap mismatch at {cap}");
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_byte_identical_to_the_fault_free_path() {
+    // Installing an all-default fault plan must not perturb anything: not
+    // the device's RNG draws, not the write paths, not the result — for
+    // every scheme, batched *and* scalar. This is the guard that lets the
+    // fault layer ride in the hot path without an equivalence tax.
+    for scheme in all_schemes() {
+        for workload in [
+            WorkloadSpec::Uniform { write_ratio: 0.5 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+        ] {
+            let plain = LifetimeExperiment {
+                id: format!("equiv-zf/{}/{}", scheme.name(), workload.name()),
+                scheme: scheme.clone(),
+                workload,
+                data_lines: 1 << 9,
+                device: DeviceSpec { endurance: 200, ..Default::default() },
+                max_demand_writes: 0,
+                fault: None,
+            };
+            let zero_plan =
+                LifetimeExperiment { fault: Some(FaultPlan::default()), ..plain.clone() };
+            let fault_free = run_lifetime(&plain).unwrap();
+            let zero_batched = run_lifetime(&zero_plan).unwrap();
+            let zero_scalar = scalar_lifetime(&zero_plan);
+            assert_eq!(zero_batched, fault_free, "zero-fault drift (batched) for {}", plain.id);
+            assert_eq!(zero_scalar, fault_free, "zero-fault drift (scalar) for {}", plain.id);
+        }
     }
 }

@@ -139,6 +139,20 @@ impl<V: Copy> Cmt<V> {
         self.hits_second = 0;
     }
 
+    /// Drop every cached entry, keeping capacity and the cumulative
+    /// hit/miss counters. This models a power loss: the CMT is on-chip
+    /// SRAM, so crash recovery restarts it cold while the adaptation
+    /// layer's counter snapshots (journaled host state) stay monotonic.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.map.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.boundary = NIL;
+        self.first_count = 0;
+    }
+
     /// Target size of the first half for the current occupancy.
     #[inline]
     fn first_target(&self) -> usize {
@@ -579,5 +593,26 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn rejects_capacity_one() {
         let _: Cmt<u32> = Cmt::new(1);
+    }
+
+    #[test]
+    fn clear_empties_contents_but_keeps_counters() {
+        let mut c: Cmt<u32> = Cmt::new(4);
+        for k in 0..4 {
+            c.insert(k, k as u32);
+        }
+        c.lookup(0);
+        c.lookup(9);
+        let (hits, misses) = (c.hits(), c.misses());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 4);
+        assert_eq!(c.hits(), hits);
+        assert_eq!(c.misses(), misses);
+        assert_eq!(c.lookup(0), CmtLookup::Miss);
+        // The cache works normally after a clear.
+        c.insert(7, 70);
+        assert_eq!(c.lookup(7), CmtLookup::Hit(70));
+        assert_eq!(c.keys_mru(), vec![7]);
     }
 }

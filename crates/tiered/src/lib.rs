@@ -28,6 +28,7 @@ pub mod clock;
 pub mod cmt;
 pub mod gtd;
 pub mod imt;
+pub mod journal;
 pub mod layout;
 pub mod nwl;
 pub mod overhead;
@@ -36,6 +37,7 @@ pub use clock::ClockCache;
 pub use cmt::{Cmt, CmtLookup};
 pub use gtd::Gtd;
 pub use imt::{ImtEntry, ImtTable, ENTRIES_PER_TRANSLATION_LINE};
+pub use journal::{Journal, OpKind, OpRecord, RegionUpdate};
 pub use layout::TieredLayout;
 pub use nwl::{Nwl, NwlConfig};
 pub use overhead::OverheadModel;

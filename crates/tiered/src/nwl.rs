@@ -13,12 +13,13 @@ use rand::{Rng, SeedableRng};
 use sawl_nvm::{La, NvmDevice, Pa};
 
 use sawl_algos::exchange::{draw_key, SwapCounters};
-use sawl_algos::WearLeveler;
+use sawl_algos::{Recovery, WearLeveler};
 use serde::{Deserialize, Serialize};
 
 use crate::cmt::{Cmt, CmtLookup};
 use crate::gtd::Gtd;
 use crate::imt::{ImtEntry, ImtTable};
+use crate::journal::{Journal, OpKind, RegionUpdate};
 use crate::layout::TieredLayout;
 
 /// Configuration of an NWL instance.
@@ -101,6 +102,7 @@ pub struct Nwl {
     cmt: Cmt<ImtEntry>,
     gtd: Gtd,
     rng: SmallRng,
+    journal: Journal,
     exchanges: u64,
 }
 
@@ -126,6 +128,7 @@ impl Nwl {
             layout,
             gtd,
             rng,
+            journal: Journal::new(),
             exchanges: 0,
             cfg,
         }
@@ -181,51 +184,105 @@ impl Nwl {
 
     /// PCM-S region exchange: swap `a` with a random partner, re-key both,
     /// rewrite both regions, and push the two updated entries through the
-    /// GTD into their translation lines.
+    /// GTD into their translation lines. Journaled: both new region
+    /// descriptors are made durable before the first NVM write, so a power
+    /// loss mid-exchange is rolled forward by recovery.
     fn exchange(&mut self, a: u64, dev: &mut NvmDevice) {
+        if dev.power_lost() {
+            return;
+        }
         let regions = self.layout.imt_entries;
         let g = self.cfg.granularity;
         let q_log2 = g.trailing_zeros() as u8;
-        let (ea, new_a, new_b, b);
-        if regions == 1 {
+        let updates = if regions == 1 {
             // Degenerate single region: re-key in place.
-            ea = self.imt.entry(0);
-            b = 0;
-            new_a = ImtEntry::pack(ea.prn(), draw_key(&mut self.rng, g), q_log2);
-            new_b = new_a;
+            let ea = self.imt.entry(0);
+            vec![RegionUpdate { base: 0, prn: ea.prn(), key: draw_key(&mut self.rng, g), q_log2 }]
         } else {
             let mut partner = a;
             while partner == a {
                 partner = self.rng.random_range(0..regions);
             }
-            b = partner;
-            ea = self.imt.entry(a);
+            let b = partner;
+            let ea = self.imt.entry(a);
             let eb = self.imt.entry(b);
-            new_a = ImtEntry::pack(eb.prn(), draw_key(&mut self.rng, g), q_log2);
-            new_b = ImtEntry::pack(ea.prn(), draw_key(&mut self.rng, g), q_log2);
-            self.p2l[eb.prn() as usize] = a as u32;
-            self.p2l[ea.prn() as usize] = b as u32;
+            vec![
+                RegionUpdate { base: a, prn: eb.prn(), key: draw_key(&mut self.rng, g), q_log2 },
+                RegionUpdate { base: b, prn: ea.prn(), key: draw_key(&mut self.rng, g), q_log2 },
+            ]
+        };
+        self.journal.begin(OpKind::Exchange, updates.clone());
+        self.swaps.reset(a as usize);
+        self.exchanges += 1;
+        self.apply_exchange(&updates, dev);
+        if dev.power_lost() {
+            // The journal record stays pending; recovery finishes the swap.
+            return;
+        }
+        self.journal.commit();
+    }
+
+    /// Apply a (journaled) exchange: the data rewrites and the IMT/GTD/CMT
+    /// updates, in the same device-write order as before journaling.
+    fn apply_exchange(&mut self, updates: &[RegionUpdate], dev: &mut NvmDevice) {
+        let g = self.cfg.granularity;
+        let q_log2 = g.trailing_zeros() as u8;
+        let new_a = ImtEntry::pack(updates[0].prn, updates[0].key, updates[0].q_log2);
+        let new_b = updates.get(1).map(|u| ImtEntry::pack(u.prn, u.key, u.q_log2));
+        // The inverse map is volatile host state, rebuilt at recovery.
+        self.p2l[new_a.prn() as usize] = updates[0].base as u32;
+        if let Some(eb) = new_b {
+            self.p2l[eb.prn() as usize] = updates[1].base as u32;
         }
         // Rewrite every line of both physical regions at their new homes.
         for off in 0..g {
             dev.write_wl((new_a.prn() << q_log2) | off);
-            if regions > 1 {
-                dev.write_wl((new_b.prn() << q_log2) | off);
+            if let Some(eb) = new_b {
+                dev.write_wl((eb.prn() << q_log2) | off);
             }
         }
         // Update IMT (through the GTD: translation lines wear) and CMT.
-        let tl_a = self.imt.set_entry(a, new_a);
+        // The translation-line write precedes the entry mutation so a
+        // power loss mid-update leaves the old descriptor in place.
+        let tl_a = self.imt.translation_line_of(updates[0].base);
         self.gtd.write_line(tl_a, dev);
-        self.cmt.update_in_place(a, new_a);
-        if regions > 1 {
-            let tl_b = self.imt.set_entry(b, new_b);
+        if dev.power_lost() {
+            return;
+        }
+        self.imt.set_entry(updates[0].base, new_a);
+        self.cmt.update_in_place(updates[0].base, new_a);
+        if let Some(eb) = new_b {
+            let tl_b = self.imt.translation_line_of(updates[1].base);
             if tl_b != tl_a {
                 self.gtd.write_line(tl_b, dev);
+                if dev.power_lost() {
+                    return;
+                }
             }
-            self.cmt.update_in_place(b, new_b);
+            self.imt.set_entry(updates[1].base, eb);
+            self.cmt.update_in_place(updates[1].base, eb);
         }
-        self.swaps.reset(a as usize);
-        self.exchanges += 1;
+    }
+
+    /// Whether a journaled update is already the authoritative entry.
+    fn update_landed(&self, u: &RegionUpdate) -> bool {
+        self.imt.entry(u.base) == ImtEntry::pack(u.prn, u.key, u.q_log2)
+    }
+
+    /// Rebuild every volatile structure from the durable IMT: the inverse
+    /// map, the (cleared) CMT and the swapping-period counters.
+    fn rebuild_after_crash(&mut self) {
+        for lrn in 0..self.layout.imt_entries {
+            let e = self.imt.entry(lrn);
+            self.p2l[e.prn() as usize] = lrn as u32;
+        }
+        self.cmt.clear();
+        self.swaps.clear();
+    }
+
+    /// The mapping-update journal (commit/replay/rollback counters).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 }
 
@@ -260,6 +317,48 @@ impl WearLeveler for Nwl {
         let pa = e.translate(la);
         dev.read(pa);
         pa
+    }
+
+    /// Post-power-loss recovery: roll the interrupted exchange forward when
+    /// any of its descriptors landed (replaying the data rewrites), roll it
+    /// back otherwise, then rebuild the volatile inverse map and caches
+    /// from the durable IMT.
+    fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {
+        dev.restore_power();
+        let mut rec = Recovery::CLEAN;
+        if let Some(pending) = self.journal.pending() {
+            let updates = pending.updates.clone();
+            if updates.iter().any(|u| self.update_landed(u)) {
+                self.journal.note_replay();
+                rec.replayed = true;
+                let g = self.cfg.granularity;
+                for u in &updates {
+                    let tl = self.imt.translation_line_of(u.base);
+                    self.gtd.write_line(tl, dev);
+                    if dev.power_lost() {
+                        rec.complete = false;
+                        return rec;
+                    }
+                    self.imt.set_entry(u.base, ImtEntry::pack(u.prn, u.key, u.q_log2));
+                    // The recovered controller cannot know which lines were
+                    // rewritten before the crash: conservatively rewrite the
+                    // region's full footprint.
+                    for off in 0..g {
+                        dev.write_wl((u.prn << u.q_log2) | off);
+                    }
+                    if dev.power_lost() {
+                        rec.complete = false;
+                        return rec;
+                    }
+                }
+                self.journal.commit();
+            } else {
+                self.journal.rollback();
+                rec.rolled_back = true;
+            }
+        }
+        self.rebuild_after_crash();
+        rec
     }
 
     fn onchip_bits(&self) -> u64 {

@@ -1,0 +1,126 @@
+//! Crash-point scheduling relative to request indices.
+//!
+//! Fault plans schedule power losses by *device write index* (the event
+//! fires on the first write attempt once the device has applied that many
+//! writes), but experiments are naturally described by *request index*:
+//! "crash during the 40_000th request of this trace". The two disagree
+//! because streams interleave reads (which never advance the write clock)
+//! with writes, and because the exchange/journal traffic a wear leveler
+//! adds on top of the demand stream also advances it.
+//!
+//! This module bridges the request-indexed view to the write-indexed one
+//! by replaying a stream and counting its demand writes. The resulting
+//! schedule is exact for the demand traffic; wear-leveling overhead
+//! writes can only move the actual power failure *earlier* (at or before
+//! the requested request index), never later, which is the conservative
+//! direction for a crash test.
+
+use crate::AddressStream;
+
+/// Number of demand writes a stream produces strictly before request
+/// `request_index` (0-based). Scheduling a power loss at this value makes
+/// the device lose power on the first write at or after that request.
+///
+/// Consumes `request_index` requests from the stream; pass a freshly
+/// seeded stream, not the one the experiment will run.
+pub fn demand_writes_before(stream: &mut dyn AddressStream, request_index: u64) -> u64 {
+    let mut writes = 0u64;
+    for _ in 0..request_index {
+        if stream.next_req().write {
+            writes += 1;
+        }
+    }
+    writes
+}
+
+/// Map request-index crash points to a `power_loss_at_writes` schedule:
+/// replays the stream once, records the demand-write count in front of
+/// each requested index, and returns the counts strictly increasing (as
+/// [`FaultPlan::validate`] requires). Crash points with no intervening
+/// write collapse into a single event, and the input order of
+/// `request_indices` does not matter.
+///
+/// [`FaultPlan::validate`]: https://docs.rs/sawl-nvm
+pub fn power_loss_schedule(stream: &mut dyn AddressStream, request_indices: &[u64]) -> Vec<u64> {
+    let mut sorted = request_indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+
+    let mut schedule = Vec::with_capacity(sorted.len());
+    let mut replayed = 0u64;
+    let mut writes = 0u64;
+    for idx in sorted {
+        while replayed < idx {
+            if stream.next_req().write {
+                writes += 1;
+            }
+            replayed += 1;
+        }
+        if schedule.last() != Some(&writes) {
+            schedule.push(writes);
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemReq, Raa, Uniform};
+
+    /// A fixed request pattern, cycled forever.
+    struct Scripted {
+        reqs: Vec<MemReq>,
+        at: usize,
+    }
+
+    impl AddressStream for Scripted {
+        fn next_req(&mut self) -> MemReq {
+            let r = self.reqs[self.at % self.reqs.len()];
+            self.at += 1;
+            r
+        }
+
+        fn space_lines(&self) -> u64 {
+            64
+        }
+    }
+
+    #[test]
+    fn write_only_streams_count_one_write_per_request() {
+        let mut s = Raa::new(3, 64);
+        assert_eq!(demand_writes_before(&mut s, 0), 0);
+        let mut s = Raa::new(3, 64);
+        assert_eq!(demand_writes_before(&mut s, 1_000), 1_000);
+    }
+
+    #[test]
+    fn reads_do_not_advance_the_write_clock() {
+        // write, read, read, write — repeated.
+        let pattern = vec![MemReq::write(1), MemReq::read(2), MemReq::read(3), MemReq::write(4)];
+        let mut s = Scripted { reqs: pattern, at: 0 };
+        assert_eq!(demand_writes_before(&mut s, 3), 1);
+        let mut s2 = Scripted { reqs: s.reqs.clone(), at: 0 };
+        assert_eq!(demand_writes_before(&mut s2, 8), 4);
+    }
+
+    #[test]
+    fn schedule_matches_per_index_counts() {
+        let count_at = |idx: u64| {
+            let mut s = Uniform::new(1 << 10, 0.5, 9);
+            demand_writes_before(&mut s, idx)
+        };
+        let mut s = Uniform::new(1 << 10, 0.5, 9);
+        let schedule = power_loss_schedule(&mut s, &[50, 10, 200]);
+        assert_eq!(schedule, vec![count_at(10), count_at(50), count_at(200)]);
+        assert!(schedule.windows(2).all(|w| w[0] < w[1]), "{schedule:?}");
+    }
+
+    #[test]
+    fn writeless_gaps_collapse_into_one_event() {
+        // All reads: every crash point sees zero preceding writes, and the
+        // schedule must stay strictly increasing — one event, not three.
+        let mut s = Scripted { reqs: vec![MemReq::read(1)], at: 0 };
+        assert_eq!(power_loss_schedule(&mut s, &[5, 9, 2]), vec![0]);
+    }
+}

@@ -22,6 +22,7 @@
 //! pair always produces the same request sequence.
 
 pub mod attack;
+pub mod crash;
 pub mod file;
 pub mod patterns;
 pub mod phased;
@@ -32,6 +33,7 @@ pub mod stats;
 pub mod zipf;
 
 pub use attack::{Bpa, Raa};
+pub use crash::{demand_writes_before, power_loss_schedule};
 pub use file::{TraceReader, TraceWriter};
 pub use patterns::{Hotspot, SeqScan, Stride, Uniform};
 pub use phased::{Mix, Phased};

@@ -59,7 +59,7 @@ fn main() {
             ));
         }
     }
-    let results = run_all(&grid);
+    let results = run_all(&grid).expect("scenario sweep failed");
 
     let mut table = Table::new(
         "Normalized lifetime under attack (% of ideal)",

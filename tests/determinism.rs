@@ -32,6 +32,7 @@ fn lifetime_experiments_reproduce_bit_identically() {
         data_lines: 1 << 11,
         device: DeviceSpec { endurance: 500, ..Default::default() },
         max_demand_writes: 0,
+        fault: None,
     };
     assert_eq!(run_lifetime(&exp), run_lifetime(&exp));
 }
@@ -59,9 +60,10 @@ fn different_experiment_ids_draw_different_randomness() {
         data_lines: 1 << 11,
         device: DeviceSpec { endurance: 400, ..Default::default() },
         max_demand_writes: 0,
+        fault: None,
     };
-    let a = run_lifetime(&mk("id-a"));
-    let b = run_lifetime(&mk("id-b"));
+    let a = run_lifetime(&mk("id-a")).unwrap();
+    let b = run_lifetime(&mk("id-b")).unwrap();
     // Same distribution, different draws: demand-write counts differ.
     assert_ne!(a.demand_writes, b.demand_writes);
 }

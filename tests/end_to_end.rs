@@ -20,7 +20,9 @@ fn lifetime_result(
         data_lines: 1 << 12,
         device: DeviceSpec { endurance, ..Default::default() },
         max_demand_writes: 0,
+        fault: None,
     })
+    .unwrap()
 }
 
 fn lifetime(scheme: SchemeSpec, workload: WorkloadSpec, endurance: u32) -> f64 {
@@ -109,7 +111,8 @@ fn perf_pipeline_reports_sane_numbers() {
         device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
         requests: 100_000,
         warmup_requests: 0,
-    });
+    })
+    .unwrap();
     assert!(r.hit_rate > 0.0 && r.hit_rate <= 1.0);
     assert!(r.ipc.ipc > 0.0);
     assert!(r.baseline_ipc.ipc >= r.ipc.ipc);
@@ -129,6 +132,7 @@ fn sawl_beats_nwl4_on_ipc_for_scattered_traffic() {
             requests: 3_000_000,
             warmup_requests: 1_000_000,
         })
+        .unwrap()
     };
     let cmt_entries = 2048;
     let nwl = run(SchemeSpec::Nwl { granularity: 4, cmt_entries, swap_period: 128 });
@@ -172,7 +176,9 @@ fn overhead_fractions_track_swap_periods() {
             data_lines: 1 << 12,
             device: DeviceSpec { endurance: 5_000, ..Default::default() },
             max_demand_writes: 0,
+            fault: None,
         })
+        .unwrap()
     };
     let eager = run(8);
     let lazy = run(64);
