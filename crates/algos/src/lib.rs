@@ -133,6 +133,24 @@ pub trait WearLeveler {
     /// operation (tables, keys, pointers, counters). This is the hardware
     /// overhead axis of the paper's Fig. 5 / §4.5.
     fn onchip_bits(&self) -> u64;
+
+    /// Fill `out` with whatever telemetry signals the scheme tracks (CMT
+    /// counters, adaptation state, journal ops). Pure observation: must
+    /// not change scheme state. The default reports nothing — correct for
+    /// schemes without caches or journals.
+    fn telemetry_sample(&self, _out: &mut sawl_telemetry::SchemeSample) {}
+
+    /// Start buffering discrete adaptation events (merge/split/exchange/
+    /// threshold crossings) in a bounded ring of `capacity` entries.
+    /// Default: no-op for schemes that emit no events.
+    fn telemetry_events_enable(&mut self, _capacity: usize) {}
+
+    /// Drain the event ring as `(events_oldest_first, dropped_count)`, and
+    /// stop buffering. `None` when no ring was enabled (or the scheme
+    /// never buffers events).
+    fn telemetry_events_take(&mut self) -> Option<(Vec<sawl_telemetry::Event>, u64)> {
+        None
+    }
 }
 
 /// Blanket impl so drivers can hold `Box<dyn WearLeveler>`.
@@ -167,6 +185,18 @@ impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
 
     fn onchip_bits(&self) -> u64 {
         (**self).onchip_bits()
+    }
+
+    fn telemetry_sample(&self, out: &mut sawl_telemetry::SchemeSample) {
+        (**self).telemetry_sample(out)
+    }
+
+    fn telemetry_events_enable(&mut self, capacity: usize) {
+        (**self).telemetry_events_enable(capacity)
+    }
+
+    fn telemetry_events_take(&mut self) -> Option<(Vec<sawl_telemetry::Event>, u64)> {
+        (**self).telemetry_events_take()
     }
 }
 

@@ -226,6 +226,7 @@ fn bench_lifetime_slice(c: &mut Criterion) {
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             max_demand_writes: 500_000,
             fault: None,
+            telemetry: None,
         };
         b.iter(|| black_box(run_lifetime(&exp).unwrap()));
     });

@@ -4,16 +4,21 @@
 //! The paper's annotations (256 KB CMT): bzip2 — NWL-4 86.4%, NWL-64
 //! 98.9%, SAWL 94.5%; cactusADM — 63%, 95.2%, 88%; gcc — 58.3%, 98.9%,
 //! 91.3%. SAWL's average region size settles around 16 lines.
+//!
+//! The SAWL trajectories are sampled through the telemetry recorder (one
+//! sample per engine `sample_interval`, so the series reproduces the
+//! engine's own adaptation history — `sawl-simctl` pins the two equal).
 
-use sawl_bench::{paper_note, save_history_csv, Figure, CMT_BYTES, PERF_LINES};
+use sawl_bench::{paper_note, save_series_csv, Figure, CMT_BYTES, PERF_LINES};
 use sawl_core::SawlConfig;
 use sawl_simctl::report::pct;
-use sawl_simctl::{run_all, Scenario, SchemeSpec, WorkloadSpec};
+use sawl_simctl::{run_all, Channel, Scenario, SchemeSpec, TelemetrySpec, WorkloadSpec};
 use sawl_tiered::NwlConfig;
 use sawl_trace::SpecBenchmark;
 
 fn main() {
     let requests: u64 = 50_000_000;
+    let sample_interval: u64 = 100_000;
     let benches = [SpecBenchmark::Bzip2, SpecBenchmark::CactusADM, SpecBenchmark::Gcc];
 
     // The schemes share the 256KB CMT budget; entry sizes differ by
@@ -34,7 +39,7 @@ fn main() {
             swap_period: 128,
             observation_window: 1 << 20,
             settling_window: 1 << 20,
-            sample_interval: 100_000,
+            sample_interval,
             max_granularity: 256,
             ..Default::default()
         }
@@ -46,13 +51,19 @@ fn main() {
         for (name, scheme) in
             [("nwl4", nwl_spec(4)), ("nwl64", nwl_spec(64)), ("sawl", sawl_spec.clone())]
         {
-            grid.push(Scenario::trace(
+            let mut s = Scenario::trace(
                 format!("fig14/{}/{}", bench.name(), name),
                 scheme,
                 WorkloadSpec::Spec(bench),
                 PERF_LINES,
                 requests,
-            ));
+            );
+            if name == "sawl" {
+                // Sample on the engine's own adaptation interval: the
+                // recorder then observes exactly the history's points.
+                s = s.with_telemetry(TelemetrySpec::with_stride(sample_interval));
+            }
+            grid.push(s);
         }
     }
     let reports = run_all(&grid).expect("scenario sweep failed");
@@ -66,15 +77,21 @@ fn main() {
         let nwl4 = reports[bi * 3].trace();
         let nwl64 = reports[bi * 3 + 1].trace();
         let sawl = reports[bi * 3 + 2].trace();
-        let adapt = sawl.adaptation();
+        let series = sawl.telemetry.as_ref().expect("sawl scenarios record telemetry");
+        let region_sizes = series.gauge_series(Channel::RegionSizeCached);
+        let avg_region = if region_sizes.is_empty() {
+            0.0
+        } else {
+            region_sizes.iter().map(|(_, v)| v).sum::<f64>() / region_sizes.len() as f64
+        };
         fig.row(vec![
             bench.name().into(),
             pct(nwl4.hit_rate),
             pct(nwl64.hit_rate),
             pct(sawl.hit_rate),
-            format!("{:.1}", adapt.history.average_region_size()),
+            format!("{avg_region:.1}"),
         ]);
-        save_history_csv(&adapt.history, &format!("fig14_sawl_{}", bench.name()));
+        save_series_csv(series, &format!("fig14_sawl_{}", bench.name()));
     }
     fig.emit();
     paper_note(

@@ -5,8 +5,10 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p sawl-bench --bin speed_probe            # full geometry
-//! cargo run --release -p sawl-bench --bin speed_probe -- --smoke # tiny, seconds
+//! cargo run --release -p sawl-bench --bin speed_probe              # full geometry
+//! cargo run --release -p sawl-bench --bin speed_probe -- --smoke  # tiny, seconds
+//! cargo run --release -p sawl-bench --bin speed_probe -- --telemetry
+//!                        # also time recorder-on runs, write BENCH_speed_telemetry.json
 //! ```
 //!
 //! The JSON schema is a single object:
@@ -27,12 +29,19 @@
 //! `mw_per_sec` is demand writes per wall-clock second in millions — the
 //! headline simulator-throughput number. Runs are serial on purpose so
 //! each one is timed in isolation.
+//!
+//! `--telemetry` measures the recorder's overhead: every scheme is timed
+//! a second time with a default-stride telemetry spec attached (wear
+//! probe + event ring + stride-clamped batching), and the per-scheme
+//! slowdown lands in `BENCH_speed_telemetry.json`. The baseline pass and
+//! `BENCH_speed.json` stay untouched either way, so committed-throughput
+//! comparisons always see the telemetry-off numbers.
 
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, WorkloadSpec};
+use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, TelemetrySpec, WorkloadSpec};
 
 /// One scheme's timing row in `BENCH_speed.json`.
 #[derive(Debug, Serialize, Deserialize)]
@@ -54,14 +63,38 @@ struct SpeedReport {
     schemes: Vec<SchemeSpeed>,
 }
 
+/// One scheme's recorder-overhead row in `BENCH_speed_telemetry.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct TelemetrySpeed {
+    name: String,
+    baseline_mw_per_sec: f64,
+    telemetry_mw_per_sec: f64,
+    /// Slowdown of the telemetry-on run in percent (positive = slower).
+    overhead_pct: f64,
+    samples: u64,
+}
+
+/// Top-level `BENCH_speed_telemetry.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+struct TelemetryReport {
+    probe: String,
+    smoke: bool,
+    stride: u64,
+    schemes: Vec<TelemetrySpeed>,
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let with_telemetry = args.iter().any(|a| a == "--telemetry");
     // The smoke geometry exists for CI: it exercises the identical code
     // path in a couple of seconds and still produces well-formed JSON.
     let (data_lines, endurance): (u64, u32) =
         if smoke { (1 << 12, 500) } else { (1 << 16, 10_000) };
+    let stride = TelemetrySpec::default().stride;
 
     let mut schemes = Vec::new();
+    let mut telemetry_rows = Vec::new();
     // Serial on purpose: each run is timed in isolation.
     for (name, scheme) in [
         ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
@@ -92,6 +125,28 @@ fn main() {
             demand_writes: r.demand_writes,
             normalized_lifetime: r.normalized_lifetime,
         });
+
+        if with_telemetry {
+            let instrumented = scenario.with_telemetry(TelemetrySpec::with_stride(stride));
+            let t = Instant::now();
+            let report = run_scenario(&instrumented).expect("telemetry speed scenario failed");
+            let r = report.lifetime();
+            let dt = t.elapsed().as_secs_f64();
+            let telemetry_mw_per_sec = r.demand_writes as f64 / dt / 1e6;
+            let overhead_pct = (mw_per_sec / telemetry_mw_per_sec - 1.0) * 100.0;
+            let samples = r.telemetry.as_ref().map(|s| s.samples.len() as u64).unwrap_or_default();
+            println!(
+                "{name}+telemetry: {samples} samples in {dt:.2}s ({telemetry_mw_per_sec:.1} \
+                 Mw/s, {overhead_pct:+.1}% overhead)"
+            );
+            telemetry_rows.push(TelemetrySpeed {
+                name: name.into(),
+                baseline_mw_per_sec: mw_per_sec,
+                telemetry_mw_per_sec,
+                overhead_pct,
+                samples,
+            });
+        }
     }
 
     let report =
@@ -99,4 +154,17 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("serialize speed report");
     std::fs::write("BENCH_speed.json", json + "\n").expect("write BENCH_speed.json");
     println!("wrote BENCH_speed.json");
+
+    if with_telemetry {
+        let report = TelemetryReport {
+            probe: "bpa-lifetime".into(),
+            smoke,
+            stride,
+            schemes: telemetry_rows,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("serialize telemetry report");
+        std::fs::write("BENCH_speed_telemetry.json", json + "\n")
+            .expect("write BENCH_speed_telemetry.json");
+        println!("wrote BENCH_speed_telemetry.json");
+    }
 }

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 use sawl_core::History;
 use sawl_simctl::report::Table;
-use sawl_simctl::{DeviceSpec, WorkloadSpec};
+use sawl_simctl::{Channel, DeviceSpec, Series, WorkloadSpec};
 
 /// Logical data lines for lifetime experiments (scaled device, §4 of
 /// DESIGN.md). 2^16 lines at Wmax 1e4 wears out in a few seconds of
@@ -124,6 +124,29 @@ pub fn save_history_csv(history: &History, stem: &str) {
             format!("{:.4}", s.windowed_hit_rate),
             format!("{:.4}", s.instant_hit_rate),
             format!("{:.2}", s.cached_region_size),
+        ]);
+    }
+    let path = results_dir().join(format!("{stem}.csv"));
+    match t.write_csv(&path) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("[could not save {}: {e}]", path.display()),
+    }
+}
+
+/// Write a telemetry series as the same CSV trajectory
+/// [`save_history_csv`] produces — the recorder's `CmtWindowedHitRate`,
+/// `CmtHitRate` and `RegionSizeCached` gauges are the engine history's
+/// columns, sampled on the shared request clock. Gauges a scheme does not
+/// report render as 0, matching the engine's own pre-window fallback.
+pub fn save_series_csv(series: &Series, stem: &str) {
+    let mut t =
+        Table::new("", &["requests", "windowed_hit_rate", "instant_hit_rate", "region_size"]);
+    for p in &series.samples {
+        t.row(vec![
+            p.requests.to_string(),
+            format!("{:.4}", p.gauge(Channel::CmtWindowedHitRate).unwrap_or(0.0)),
+            format!("{:.4}", p.gauge(Channel::CmtHitRate).unwrap_or(0.0)),
+            format!("{:.2}", p.gauge(Channel::RegionSizeCached).unwrap_or(0.0)),
         ]);
     }
     let path = results_dir().join(format!("{stem}.csv"));

@@ -350,6 +350,12 @@ impl HitRateAdaptation {
         self.requests
     }
 
+    /// The monitor's current windowed hit rate, `None` until a full
+    /// observation window has accumulated (telemetry support).
+    pub fn windowed_hit_rate(&self) -> Option<f64> {
+        self.monitor.windowed_hit_rate()
+    }
+
     /// Recorded time series (one point per monitor sample).
     pub fn history(&self) -> &History {
         &self.history

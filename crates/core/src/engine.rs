@@ -34,6 +34,7 @@ use serde::{Deserialize, Serialize};
 
 use sawl_algos::{Recovery, WearLeveler};
 use sawl_nvm::{La, NvmDevice, Pa};
+use sawl_telemetry::{Event, EventKind, EventRing, SchemeSample};
 use sawl_tiered::cmt::Cmt;
 use sawl_tiered::imt::ImtEntry;
 use sawl_tiered::journal::{Journal, OpKind, RegionUpdate};
@@ -89,6 +90,9 @@ pub struct Sawl {
     merges: u64,
     splits: u64,
     region_count: u64,
+    /// Telemetry event ring; `None` (one predictable branch per event)
+    /// unless enabled through [`WearLeveler::telemetry_events_enable`].
+    events: Option<Box<EventRing>>,
     #[cfg(debug_assertions)]
     debug_events: u64,
 }
@@ -116,6 +120,7 @@ impl Sawl {
             merges: 0,
             splits: 0,
             region_count: granules,
+            events: None,
             #[cfg(debug_assertions)]
             debug_events: 0,
             mapping,
@@ -240,6 +245,7 @@ impl Sawl {
             return;
         }
         self.journal.commit();
+        self.push_event(EventKind::Exchange { base });
         self.debug_check_invariants();
     }
 
@@ -324,6 +330,7 @@ impl Sawl {
         self.journal.commit();
         self.xchg.on_merge(base, buddy, new_base);
         self.region_count -= 1;
+        self.push_event(EventKind::Merge { base: new_base });
         self.debug_check_invariants();
         true
     }
@@ -371,6 +378,7 @@ impl Sawl {
         self.journal.commit();
         self.xchg.on_split(base, base + half);
         self.region_count += 1;
+        self.push_event(EventKind::Split { base });
         self.debug_check_invariants();
         true
     }
@@ -384,7 +392,25 @@ impl Sawl {
         if self.adapt.begin_request() {
             let cached = self.mapping.cached_region_size();
             let global = self.global_region_size();
+            let before = self.adapt.target_q_log2();
             self.adapt.on_sample(self.mapping.cmt(), cached, global);
+            if self.events.is_some() {
+                let after = self.adapt.target_q_log2();
+                if after > before {
+                    self.push_event(EventKind::TargetUp { q_log2: after });
+                } else if after < before {
+                    self.push_event(EventKind::TargetDown { q_log2: after });
+                }
+            }
+        }
+    }
+
+    /// Append to the telemetry event ring (no-op unless enabled), stamped
+    /// with the adaptation request clock.
+    #[inline]
+    fn push_event(&mut self, kind: EventKind) {
+        if let Some(ring) = self.events.as_deref_mut() {
+            ring.push(Event { requests: self.adapt.requests(), kind });
         }
     }
 
@@ -555,5 +581,33 @@ impl WearLeveler for Sawl {
 
     fn onchip_bits(&self) -> u64 {
         self.mapping.onchip_bits(self.cfg.entry_bits())
+    }
+
+    fn telemetry_sample(&self, out: &mut SchemeSample) {
+        let cmt = self.mapping.cmt();
+        out.cmt_hits = Some(cmt.hits());
+        out.cmt_misses = Some(cmt.misses());
+        out.cmt_hits_first_half = Some(cmt.hits_first_half());
+        out.cmt_hits_second_half = Some(cmt.hits_second_half());
+        // Same fallback the engine's own History uses before a full
+        // observation window accumulates.
+        out.windowed_hit_rate = Some(self.adapt.windowed_hit_rate().unwrap_or(0.0));
+        out.merges = Some(self.merges);
+        out.splits = Some(self.splits);
+        out.exchanges = Some(self.xchg.exchanges());
+        out.journal_begins = Some(self.journal.begins());
+        out.journal_commits = Some(self.journal.commits());
+        out.journal_rollbacks = Some(self.journal.rollbacks());
+        out.region_count = Some(self.region_count);
+        out.region_size_cached = Some(self.mapping.cached_region_size());
+        out.region_size_global = Some(self.global_region_size());
+    }
+
+    fn telemetry_events_enable(&mut self, capacity: usize) {
+        self.events = Some(Box::new(EventRing::new(capacity)));
+    }
+
+    fn telemetry_events_take(&mut self) -> Option<(Vec<Event>, u64)> {
+        self.events.take().map(|ring| ring.into_parts())
     }
 }

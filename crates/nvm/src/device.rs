@@ -92,6 +92,45 @@ pub struct NvmDevice {
     /// Fault-injection state; `None` for fault-free devices (and devices
     /// installed with a zero-fault plan), keeping the hot path unchanged.
     fault: Option<Box<FaultState>>,
+    /// Incremental wear-distribution probe; `None` (one predictable branch
+    /// per write) unless telemetry enables it.
+    probe: Option<Box<WearProbe>>,
+}
+
+/// Running moments of the per-line write-count distribution, maintained
+/// incrementally so telemetry can sample mean/CoV/max in O(1) instead of
+/// rescanning all lines per sample.
+///
+/// Only the sum of squares and the max need tracking: the plain sum always
+/// equals [`WearCounters::total_writes`] (every write increments both).
+#[derive(Debug, Clone, Copy, Default)]
+struct WearProbe {
+    sumsq: u128,
+    max: u32,
+}
+
+/// `c * c` widened so a running sum of squares cannot overflow.
+fn square(c: u32) -> u128 {
+    let c = u128::from(c);
+    c * c
+}
+
+/// An O(1) point-in-time summary of the wear distribution, from the
+/// incremental probe. Matches [`WearStats`](crate::WearStats) semantics:
+/// population stddev, `cov = stddev / mean` (0 when nothing is written) —
+/// up to floating-point association order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearSnapshot {
+    /// Lines summarized.
+    pub lines: u64,
+    /// Total writes across all lines.
+    pub total: u64,
+    /// Mean per-line write count.
+    pub mean: f64,
+    /// Coefficient of variation of per-line write counts.
+    pub cov: f64,
+    /// Maximum per-line write count.
+    pub max: u32,
 }
 
 impl NvmDevice {
@@ -111,8 +150,48 @@ impl NvmDevice {
             dead: false,
             powered: true,
             fault: None,
+            probe: None,
             cfg,
         }
+    }
+
+    /// Turn on the incremental wear probe (O(lines) once, O(1) per
+    /// sample afterwards). Pure observation: never changes wear outcomes.
+    pub fn enable_wear_probe(&mut self) {
+        let mut p = WearProbe::default();
+        for &c in &self.write_counts {
+            p.sumsq += square(c);
+            p.max = p.max.max(c);
+        }
+        self.probe = Some(Box::new(p));
+    }
+
+    /// Whether the incremental wear probe is on.
+    pub fn wear_probe_enabled(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// O(1) wear-distribution summary from the incremental probe; `None`
+    /// until [`NvmDevice::enable_wear_probe`] is called.
+    pub fn wear_snapshot(&self) -> Option<WearSnapshot> {
+        let p = self.probe.as_deref()?;
+        let n = self.write_counts.len() as f64;
+        let total = self.counters.total_writes;
+        let mean = total as f64 / n;
+        let var = (p.sumsq as f64 / n) - mean * mean;
+        let stddev = var.max(0.0).sqrt();
+        let cov = if mean > 0.0 { stddev / mean } else { 0.0 };
+        Some(WearSnapshot { lines: self.write_counts.len() as u64, total, mean, cov, max: p.max })
+    }
+
+    /// Fold one line's count change (`prev` -> its current value) into the
+    /// probe. Callers check `self.probe.is_some()` first so the fast path
+    /// pays only that branch.
+    fn probe_note(&mut self, pa: Pa, prev: u32) {
+        let Some(p) = self.probe.as_deref_mut() else { return };
+        let new = self.write_counts[pa as usize];
+        p.sumsq += square(new) - square(prev);
+        p.max = p.max.max(new);
     }
 
     /// Install a fault-injection plan. Stuck-at lines are detected and
@@ -247,10 +326,24 @@ impl NvmDevice {
         if !self.powered {
             return WriteOutcome::PowerLost;
         }
+        // One fused test for both optional layers: the fault-free,
+        // probe-free fast path keeps the exact branch count it had before
+        // either layer existed.
+        if self.fault.is_some() || self.probe.is_some() {
+            return self.write_impl_slow(pa, overhead);
+        }
+        self.wear_write_body(pa, overhead)
+    }
+
+    /// The scalar write path with at least one optional layer (fault
+    /// injection and/or wear probe) active, out of line (see
+    /// `write_impl_faulted` for why).
+    #[cold]
+    fn write_impl_slow(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
         if self.fault.is_some() {
             return self.write_impl_faulted(pa, overhead);
         }
-        self.wear_write(pa, overhead)
+        self.wear_write_probed(pa, overhead)
     }
 
     /// The faulted scalar write path, kept out of line so the fault-free
@@ -287,8 +380,32 @@ impl NvmDevice {
     }
 
     /// Apply one physical write's wear accounting, below the fault layer.
+    /// The probe branch delegates to an outlined twin, mirroring the fault
+    /// layer's structure: the probe-off body must stay small enough to
+    /// inline into every scheme's hot loop (see `write_impl_faulted`).
     #[inline]
     fn wear_write(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
+        if self.probe.is_some() {
+            return self.wear_write_probed(pa, overhead);
+        }
+        self.wear_write_body(pa, overhead)
+    }
+
+    /// The probed twin: identical accounting plus the O(1) probe update,
+    /// out of line so enabling telemetry cannot perturb the probe-off
+    /// codegen.
+    #[cold]
+    #[inline(never)]
+    fn wear_write_probed(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
+        let prev = self.write_counts[pa as usize];
+        let out = self.wear_write_body(pa, overhead);
+        self.probe_note(pa, prev);
+        out
+    }
+
+    /// The shared accounting body (count, countdown, failure, spares).
+    #[inline]
+    fn wear_write_body(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
         self.counters.total_writes += 1;
         if overhead {
             self.counters.overhead_writes += 1;
@@ -403,10 +520,14 @@ impl NvmDevice {
         let rem = u64::from(self.remaining[pa as usize]);
         if n < rem {
             // The run ends before the line's next failure.
+            let prev = self.write_counts[pa as usize];
             self.remaining[pa as usize] -= n as u32;
-            self.write_counts[pa as usize] += n as u32;
+            self.write_counts[pa as usize] = prev + n as u32;
             self.counters.total_writes += n;
             self.counters.demand_writes += n;
+            if self.probe.is_some() {
+                self.probe_note(pa, prev);
+            }
             return (n, WriteOutcome::Ok);
         }
         // At least one failure. The j-th failure in this run lands on write
@@ -415,8 +536,12 @@ impl NvmDevice {
         let failures_to_death = self.cfg.spare_lines() - self.counters.failed_lines + 1;
         let writes_to_death = rem + (failures_to_death - 1) * u64::from(limit);
         if n >= writes_to_death {
+            let prev = self.write_counts[pa as usize];
             self.remaining[pa as usize] = limit;
-            self.write_counts[pa as usize] += writes_to_death as u32;
+            self.write_counts[pa as usize] = prev + writes_to_death as u32;
+            if self.probe.is_some() {
+                self.probe_note(pa, prev);
+            }
             self.counters.total_writes += writes_to_death;
             self.counters.demand_writes += writes_to_death;
             self.counters.failed_lines += failures_to_death;
@@ -426,8 +551,12 @@ impl NvmDevice {
         }
         let failures = (n - rem) / u64::from(limit) + 1;
         let past_last_failure = (n - rem) % u64::from(limit);
+        let prev = self.write_counts[pa as usize];
         self.remaining[pa as usize] = limit - past_last_failure as u32;
-        self.write_counts[pa as usize] += n as u32;
+        self.write_counts[pa as usize] = prev + n as u32;
+        if self.probe.is_some() {
+            self.probe_note(pa, prev);
+        }
         self.counters.total_writes += n;
         self.counters.demand_writes += n;
         self.counters.failed_lines += failures;
@@ -450,6 +579,9 @@ impl NvmDevice {
     /// reuse allocations between runs of the same geometry.
     pub fn reset(&mut self) {
         self.write_counts.fill(0);
+        if self.probe.is_some() {
+            self.probe = Some(Box::default());
+        }
         match &self.limits {
             Some(l) => self.remaining.copy_from_slice(l),
             None => self.remaining.fill(self.cfg.endurance),
@@ -497,6 +629,81 @@ mod tests {
         assert_eq!(w.reads, 1);
         assert_eq!(dev.write_count(3), 2);
         assert_eq!(dev.write_count(0), 0);
+    }
+
+    /// The probe's O(1) snapshot must agree with the O(lines) recompute.
+    fn assert_probe_matches_full_stats(dev: &NvmDevice) {
+        let snap = dev.wear_snapshot().expect("probe enabled");
+        let full = dev.wear_stats();
+        assert_eq!(snap.lines, full.lines);
+        assert_eq!(snap.total, full.total);
+        assert_eq!(snap.max, full.max);
+        assert!((snap.mean - full.mean).abs() < 1e-9, "{} vs {}", snap.mean, full.mean);
+        assert!((snap.cov - full.cov).abs() < 1e-9, "{} vs {}", snap.cov, full.cov);
+    }
+
+    #[test]
+    fn wear_probe_tracks_scalar_and_run_writes() {
+        let mut dev = tiny(16, 50, 2);
+        assert!(dev.wear_snapshot().is_none());
+        dev.enable_wear_probe();
+        assert_probe_matches_full_stats(&dev);
+        for i in 0..8 {
+            for _ in 0..=i {
+                dev.write(i);
+            }
+        }
+        dev.write_wl(3);
+        assert_probe_matches_full_stats(&dev);
+        // Runs through every write_run_raw branch: short of failure,
+        // across failures, and through device death.
+        dev.write_run(5, 30);
+        assert_probe_matches_full_stats(&dev);
+        dev.write_run(5, 120);
+        assert_probe_matches_full_stats(&dev);
+        let mut hammer = tiny(16, 3, 2);
+        hammer.enable_wear_probe();
+        hammer.write_run(0, 1 << 20);
+        assert!(hammer.is_dead());
+        assert_probe_matches_full_stats(&hammer);
+    }
+
+    #[test]
+    fn wear_probe_enabled_mid_run_and_reset() {
+        let mut dev = tiny(8, 100, 2);
+        for i in 0..8 {
+            dev.write_run(i, u64::from(i) * 7 + 1);
+        }
+        dev.enable_wear_probe();
+        assert_probe_matches_full_stats(&dev);
+        dev.write_run(2, 13);
+        assert_probe_matches_full_stats(&dev);
+        dev.reset();
+        assert!(dev.wear_probe_enabled());
+        let snap = dev.wear_snapshot().unwrap();
+        assert_eq!((snap.total, snap.max, snap.cov), (0, 0, 0.0));
+        dev.write(1);
+        assert_probe_matches_full_stats(&dev);
+    }
+
+    #[test]
+    fn wear_probe_does_not_change_outcomes() {
+        let run = |probe: bool| {
+            let mut dev = tiny(16, 5, 2);
+            if probe {
+                dev.enable_wear_probe();
+            }
+            let mut outs = Vec::new();
+            for i in 0..200u64 {
+                outs.push(dev.write(i % 16));
+                if dev.is_dead() {
+                    break;
+                }
+            }
+            outs.push(dev.write_run(3, 40).1);
+            (outs, *dev.wear(), dev.write_counts().to_vec())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

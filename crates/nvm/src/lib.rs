@@ -44,7 +44,7 @@ pub mod variation;
 
 pub use bank::BankGeometry;
 pub use config::{NvmConfig, NvmConfigBuilder, NvmConfigError};
-pub use device::{NvmDevice, WearCounters, WriteOutcome};
+pub use device::{NvmDevice, WearCounters, WearSnapshot, WriteOutcome};
 pub use energy::EnergyModel as AccessEnergyModel;
 pub use fault::{FaultPlan, FaultPlanError};
 pub use latency::{LatencyConfig, MemTech};

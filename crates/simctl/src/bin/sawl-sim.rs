@@ -1,28 +1,83 @@
 //! `sawl-sim` — run a custom experiment from a JSON spec.
 //!
 //! ```text
-//! sawl-sim lifetime <spec.json>   run a lifetime experiment
-//! sawl-sim perf     <spec.json>   run a performance experiment
-//! sawl-sim example  lifetime|perf print a template spec
+//! sawl-sim lifetime <spec.json> [--telemetry out.json] [--progress]
+//! sawl-sim perf     <spec.json>
+//! sawl-sim example  lifetime|perf   print a template spec
 //! ```
 //!
 //! Specs are the serde form of [`sawl_simctl::LifetimeExperiment`] /
 //! [`sawl_simctl::PerfExperiment`]; results are printed as pretty JSON so
 //! the tool composes with jq-style pipelines.
+//!
+//! `--telemetry out.json` samples the run's time series (the spec's own
+//! `telemetry` block if present, otherwise a default 100k-write stride)
+//! and writes it to `out.json` as JSON lines — one `meta` line, one line
+//! per sample/event, one `end` line — instead of embedding it in the
+//! stdout result. `--progress` adds a throttled stderr ticker.
+//!
+//! Exit codes: `0` success, `1` runtime failure (I/O, write-free
+//! workload), `2` bad usage or an invalid spec.
 
 use std::process::ExitCode;
 
 use sawl_simctl::{
-    run_lifetime, run_perf, DeviceSpec, FaultPlan, LifetimeExperiment, PerfExperiment, SchemeSpec,
-    WorkloadSpec,
+    run_lifetime, run_perf, DeviceSpec, DriverError, FaultPlan, LifetimeExperiment, PerfExperiment,
+    SchemeSpec, TelemetrySpec, WorkloadSpec,
 };
 use sawl_trace::SpecBenchmark;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  sawl-sim lifetime <spec.json>\n  sawl-sim perf <spec.json>\n  sawl-sim example lifetime|perf"
-    );
-    ExitCode::from(2)
+const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--progress]\n  sawl-sim perf <spec.json>\n  sawl-sim example lifetime|perf";
+
+/// Spec problems exit 2 (the input is wrong, rerunning won't help);
+/// runtime failures exit 1.
+fn driver_exit_code(e: &DriverError) -> u8 {
+    match e {
+        DriverError::Spec(_) | DriverError::Config(_) | DriverError::FaultPlan(_) => 2,
+        DriverError::WriteFreeStream { .. } => 1,
+    }
+}
+
+/// Parsed command line for the run modes.
+#[derive(Debug, PartialEq)]
+struct RunArgs {
+    spec_path: String,
+    telemetry_out: Option<String>,
+    progress: bool,
+}
+
+/// Parse `<spec.json> [--telemetry out.json] [--progress]`.
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut spec_path = None;
+    let mut telemetry_out = None;
+    let mut progress = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--telemetry" => match it.next() {
+                Some(path) => telemetry_out = Some(path.clone()),
+                None => return Err("--telemetry needs an output path".into()),
+            },
+            "--progress" => progress = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+    }
+    let Some(spec_path) = spec_path else { return Err("missing <spec.json>".into()) };
+    Ok(RunArgs { spec_path, telemetry_out, progress })
+}
+
+/// Fold the CLI telemetry flags into the experiment's own `telemetry`
+/// block: `--telemetry` supplies a default spec when the JSON has none,
+/// `--progress` turns the ticker on either way.
+fn apply_telemetry_flags(spec: &mut Option<TelemetrySpec>, args: &RunArgs) {
+    if spec.is_none() && (args.telemetry_out.is_some() || args.progress) {
+        *spec = Some(TelemetrySpec::default());
+    }
+    if let (Some(spec), true) = (spec.as_mut(), args.progress) {
+        spec.progress = true;
+    }
 }
 
 fn template_lifetime() -> LifetimeExperiment {
@@ -34,6 +89,7 @@ fn template_lifetime() -> LifetimeExperiment {
         device: DeviceSpec::default(),
         max_demand_writes: 0,
         fault: Some(FaultPlan::default()),
+        telemetry: Some(TelemetrySpec::default()),
     }
 }
 
@@ -49,6 +105,34 @@ fn template_perf() -> PerfExperiment {
     }
 }
 
+/// Run a lifetime spec end to end; returns the stdout JSON or
+/// `(message, exit code)`. When `telemetry_out` is set, the series is
+/// split out of the result and written there as JSON lines.
+fn run_lifetime_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
+    let mut exp = serde_json::from_str::<LifetimeExperiment>(raw)
+        .map_err(|e| (format!("invalid lifetime spec {}: {e}", args.spec_path), 2))?;
+    apply_telemetry_flags(&mut exp.telemetry, args);
+    let mut result = run_lifetime(&exp)
+        .map_err(|e| (format!("lifetime run failed: {e}"), driver_exit_code(&e)))?;
+    if let Some(out_path) = &args.telemetry_out {
+        let series = result.telemetry.take().expect("telemetry was requested");
+        std::fs::write(out_path, series.to_json_lines())
+            .map_err(|e| (format!("cannot write {out_path}: {e}"), 1))?;
+    }
+    Ok(serde_json::to_string_pretty(&result).unwrap())
+}
+
+fn run_perf_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
+    if args.telemetry_out.is_some() || args.progress {
+        return Err(("perf runs do not support --telemetry/--progress".into(), 2));
+    }
+    let exp = serde_json::from_str::<PerfExperiment>(raw)
+        .map_err(|e| (format!("invalid perf spec {}: {e}", args.spec_path), 2))?;
+    let result =
+        run_perf(&exp).map_err(|e| (format!("perf run failed: {e}"), driver_exit_code(&e)))?;
+    Ok(serde_json::to_string_pretty(&result).unwrap())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
@@ -61,44 +145,193 @@ fn main() -> ExitCode {
                 println!("{}", serde_json::to_string_pretty(&template_perf()).unwrap());
                 ExitCode::SUCCESS
             }
-            _ => usage(),
+            _ => {
+                eprintln!("{USAGE}");
+                ExitCode::from(2)
+            }
         },
         Some(mode @ ("lifetime" | "perf")) => {
-            let Some(path) = args.get(2) else { return usage() };
-            let raw = match std::fs::read_to_string(path) {
+            let run_args = match parse_run_args(&args[2..]) {
+                Ok(a) => a,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            let raw = match std::fs::read_to_string(&run_args.spec_path) {
                 Ok(s) => s,
                 Err(e) => {
-                    eprintln!("cannot read {path}: {e}");
+                    eprintln!("cannot read {}: {e}", run_args.spec_path);
                     return ExitCode::FAILURE;
                 }
             };
-            // Both failure classes — an unparsable spec and a structurally
-            // invalid run (bad config, bad geometry, bad fault plan,
-            // write-free workload) — exit nonzero with a one-line reason.
             let out = if mode == "lifetime" {
-                serde_json::from_str::<LifetimeExperiment>(&raw)
-                    .map_err(|e| format!("invalid {mode} spec {path}: {e}"))
-                    .and_then(|exp| {
-                        run_lifetime(&exp).map_err(|e| format!("{mode} run failed: {e}"))
-                    })
-                    .map(|r| serde_json::to_string_pretty(&r).unwrap())
+                run_lifetime_cli(&raw, &run_args)
             } else {
-                serde_json::from_str::<PerfExperiment>(&raw)
-                    .map_err(|e| format!("invalid {mode} spec {path}: {e}"))
-                    .and_then(|exp| run_perf(&exp).map_err(|e| format!("{mode} run failed: {e}")))
-                    .map(|r| serde_json::to_string_pretty(&r).unwrap())
+                run_perf_cli(&raw, &run_args)
             };
             match out {
                 Ok(json) => {
                     println!("{json}");
                     ExitCode::SUCCESS
                 }
-                Err(msg) => {
+                Err((msg, code)) => {
                     eprintln!("{msg}");
-                    ExitCode::FAILURE
+                    ExitCode::from(code)
                 }
             }
         }
-        _ => usage(),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_core::ConfigError;
+    use sawl_simctl::FaultPlanError;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn driver_errors_display_a_one_line_reason() {
+        let cases: Vec<(DriverError, &str)> = vec![
+            (
+                DriverError::WriteFreeStream { stream: "raa".into() },
+                "consecutive reads without a single demand write",
+            ),
+            (
+                DriverError::Config(ConfigError::CmtTooSmall(1)),
+                "invalid scheme config: CMT needs at least two entries, got 1",
+            ),
+            (
+                DriverError::FaultPlan(FaultPlanError::RateOutOfRange(1.5)),
+                "invalid fault plan: transient_rate must be in [0, 1), got 1.5",
+            ),
+            (
+                DriverError::Spec("telemetry stride must be >= 1".into()),
+                "invalid spec: telemetry stride must be >= 1",
+            ),
+        ];
+        for (err, expect) in cases {
+            let shown = err.to_string();
+            assert!(shown.contains(expect), "{shown:?} missing {expect:?}");
+            assert!(!shown.contains('\n'), "multi-line error: {shown:?}");
+        }
+    }
+
+    #[test]
+    fn spec_class_errors_exit_2_runtime_errors_exit_1() {
+        assert_eq!(driver_exit_code(&DriverError::Spec("x".into())), 2);
+        assert_eq!(driver_exit_code(&DriverError::Config(ConfigError::CmtTooSmall(1))), 2);
+        assert_eq!(
+            driver_exit_code(&DriverError::FaultPlan(FaultPlanError::PowerEventsNotSorted)),
+            2
+        );
+        assert_eq!(driver_exit_code(&DriverError::WriteFreeStream { stream: "raa".into() }), 1);
+    }
+
+    #[test]
+    fn run_args_parse_flags_in_any_order() {
+        assert_eq!(
+            parse_run_args(&strs(&["spec.json"])).unwrap(),
+            RunArgs { spec_path: "spec.json".into(), telemetry_out: None, progress: false }
+        );
+        assert_eq!(
+            parse_run_args(&strs(&["--progress", "spec.json", "--telemetry", "t.json"])).unwrap(),
+            RunArgs {
+                spec_path: "spec.json".into(),
+                telemetry_out: Some("t.json".into()),
+                progress: true
+            }
+        );
+        assert!(parse_run_args(&strs(&[])).is_err());
+        assert!(parse_run_args(&strs(&["spec.json", "--telemetry"])).is_err());
+        assert!(parse_run_args(&strs(&["spec.json", "--bogus"])).is_err());
+        assert!(parse_run_args(&strs(&["a.json", "b.json"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_fold_into_the_spec() {
+        let args = |telemetry_out: Option<&str>, progress| RunArgs {
+            spec_path: "s.json".into(),
+            telemetry_out: telemetry_out.map(String::from),
+            progress,
+        };
+        // No flags, no spec: stays off.
+        let mut spec = None;
+        apply_telemetry_flags(&mut spec, &args(None, false));
+        assert_eq!(spec, None);
+        // --telemetry with no spec block: default stride.
+        apply_telemetry_flags(&mut spec, &args(Some("t.json"), false));
+        assert_eq!(spec, Some(TelemetrySpec::default()));
+        // --progress flips the ticker on an explicit block, keeping it.
+        let mut spec = Some(TelemetrySpec::with_stride(7));
+        apply_telemetry_flags(&mut spec, &args(None, true));
+        let spec = spec.unwrap();
+        assert!(spec.progress);
+        assert_eq!(spec.stride, 7);
+    }
+
+    #[test]
+    fn lifetime_cli_splits_telemetry_to_json_lines() {
+        let exp = LifetimeExperiment {
+            id: "cli/test".into(),
+            scheme: SchemeSpec::PcmS { region_lines: 4, period: 16 },
+            workload: WorkloadSpec::Bpa { writes_per_target: 512 },
+            data_lines: 1 << 10,
+            device: DeviceSpec { endurance: 500, ..Default::default() },
+            max_demand_writes: 30_000,
+            fault: None,
+            telemetry: Some(TelemetrySpec::with_stride(10_000)),
+        };
+        let raw = serde_json::to_string(&exp).unwrap();
+        let dir = std::env::temp_dir().join("sawl-sim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("telemetry.json");
+        let args = RunArgs {
+            spec_path: "spec.json".into(),
+            telemetry_out: Some(out.to_str().unwrap().to_string()),
+            progress: false,
+        };
+        let stdout = run_lifetime_cli(&raw, &args).unwrap();
+        // The series went to the file, not the stdout result.
+        assert!(!stdout.contains("\"samples\""), "{stdout}");
+        let lines = std::fs::read_to_string(&out).unwrap();
+        assert!(lines.starts_with("{\"line\":\"meta\""), "{lines}");
+        assert_eq!(lines.matches("{\"line\":\"sample\"").count(), 3);
+        assert!(lines.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lifetime_cli_maps_bad_specs_to_exit_2() {
+        let args = RunArgs { spec_path: "spec.json".into(), telemetry_out: None, progress: false };
+        let (_, code) = run_lifetime_cli("{not json", &args).unwrap_err();
+        assert_eq!(code, 2);
+        let mut exp = template_lifetime();
+        exp.data_lines = 1 << 10;
+        exp.fault = Some(FaultPlan { transient_rate: 1.5, ..Default::default() });
+        let raw = serde_json::to_string(&exp).unwrap();
+        let (msg, code) = run_lifetime_cli(&raw, &args).unwrap_err();
+        assert_eq!(code, 2, "{msg}");
+        assert!(msg.contains("invalid fault plan"), "{msg}");
+    }
+
+    #[test]
+    fn perf_cli_rejects_telemetry_flags() {
+        let args = RunArgs {
+            spec_path: "spec.json".into(),
+            telemetry_out: Some("t.json".into()),
+            progress: false,
+        };
+        let (msg, code) = run_perf_cli("{}", &args).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(msg.contains("perf runs do not support"), "{msg}");
     }
 }

@@ -23,6 +23,8 @@ use sawl_core::ConfigError;
 use sawl_nvm::{FaultPlanError, NvmDevice};
 use sawl_trace::{AddressStream, MemReq};
 
+use crate::telemetry::TelemetryRun;
+
 /// Requests drained from the stream per batch. Big enough to amortize the
 /// virtual dispatch and RNG setup, small enough to stay cache-resident
 /// (4096 × 16 B = 64 KiB).
@@ -123,6 +125,43 @@ where
     }
 }
 
+/// [`pump`] with an optional telemetry recorder. Every request — read or
+/// write — advances the sampling clock by one, so a sample lands after
+/// the request with 1-based index `k * stride` regardless of batching.
+///
+/// `None` delegates to the plain [`pump`] loop, so a disabled recorder
+/// costs the hot path nothing at all — not even a per-request branch.
+pub fn pump_telemetry<W, S>(
+    wl: &mut W,
+    dev: &mut NvmDevice,
+    stream: &mut S,
+    requests: u64,
+    telemetry: Option<&mut TelemetryRun>,
+) where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+{
+    let Some(t) = telemetry else {
+        return pump(wl, dev, stream, requests);
+    };
+    let mut buf = [MemReq::read(0); BLOCK];
+    let mut left = requests;
+    while left > 0 {
+        let n = left.min(BLOCK as u64) as usize;
+        let filled = stream.fill(&mut buf[..n]);
+        for req in &buf[..filled] {
+            if req.write {
+                wl.write(req.la, dev);
+            } else {
+                wl.read(req.la, dev);
+            }
+            t.note_served(1, wl, dev);
+        }
+        left -= filled as u64;
+        assert!(filled == n, "address streams are infinite; fill must not short a block");
+    }
+}
+
 /// Like [`pump`], invoking `observe` after every request with the request,
 /// the physical address it resolved to, and the post-request engine and
 /// device state — the hook the timing models feed from.
@@ -206,6 +245,88 @@ where
             }
             let n = ((j - i) as u64).min(cap - dev.wear().demand_writes);
             let done = wl.write_run(req.la, n, dev);
+            if dev.is_dead() || dev.wear().demand_writes >= cap {
+                break 'blocks;
+            }
+            if dev.power_lost() {
+                // Replay is idempotent; keep recovering until a pass runs
+                // to completion without another scheduled power loss.
+                loop {
+                    let r = wl.recover(dev);
+                    stats.journal_replays += u64::from(r.replayed);
+                    stats.journal_rollbacks += u64::from(r.rolled_back);
+                    if r.complete {
+                        break;
+                    }
+                }
+                stats.recoveries += 1;
+                // Replayed data movement wears cells too and can finish
+                // off a nearly-dead device.
+                if dev.is_dead() {
+                    break 'blocks;
+                }
+                // Whatever the interrupted run did not serve is retried by
+                // the next inner-loop iteration.
+                i += done as usize;
+                continue;
+            }
+            debug_assert_eq!(done, n, "write_run must complete unless the device died");
+            i += done as usize;
+        }
+    }
+    Ok(stats)
+}
+
+/// [`pump_writes`] with an optional telemetry recorder.
+///
+/// The sampling clock counts *served demand writes* (the lifetime-probe
+/// request index). Each batched `write_run` is clamped at the recorder's
+/// [`until_sample`](TelemetryRun::until_sample) boundary, so samples land
+/// after the request with 1-based index `k * stride` — exactly where the
+/// scalar per-request loop would take them (`telemetry_alignment.rs` pins
+/// this). A sample on the killing or cap-reaching write is still taken;
+/// writes dropped by a power loss are not counted as served.
+///
+/// `None` delegates to the plain [`pump_writes`] loop, so a disabled
+/// recorder costs the hot path nothing at all — not even a per-run branch.
+pub fn pump_writes_telemetry<W, S>(
+    wl: &mut W,
+    dev: &mut NvmDevice,
+    stream: &mut S,
+    cap: u64,
+    telemetry: Option<&mut TelemetryRun>,
+) -> Result<PumpStats, DriverError>
+where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+{
+    let Some(t) = telemetry else {
+        return pump_writes(wl, dev, stream, cap);
+    };
+    let mut buf = [MemReq::read(0); BLOCK];
+    let mut consecutive_reads = 0u64;
+    let mut stats = PumpStats::default();
+    'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        let filled = stream.fill(&mut buf);
+        let mut i = 0;
+        while i < filled {
+            let req = buf[i];
+            if !req.write {
+                consecutive_reads += 1;
+                if consecutive_reads >= READ_SPIN_LIMIT {
+                    return Err(DriverError::WriteFreeStream { stream: stream.name().to_string() });
+                }
+                i += 1;
+                continue;
+            }
+            consecutive_reads = 0;
+            let mut j = i + 1;
+            while j < filled && buf[j].write && buf[j].la == req.la {
+                j += 1;
+            }
+            let n = ((j - i) as u64).min(cap - dev.wear().demand_writes).min(t.until_sample());
+            let done = wl.write_run(req.la, n, dev);
+            t.note_served(done, wl, dev);
             if dev.is_dead() || dev.wear().demand_writes >= cap {
                 break 'blocks;
             }

@@ -34,8 +34,11 @@ pub mod scenario;
 pub mod seed;
 pub mod spec;
 pub mod sysconfig;
+pub mod telemetry;
 
-pub use driver::{pump, pump_observed, pump_writes, DriverError, PumpStats};
+pub use driver::{
+    pump, pump_observed, pump_telemetry, pump_writes, pump_writes_telemetry, DriverError, PumpStats,
+};
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
 pub use report::Table;
@@ -47,6 +50,11 @@ pub use seed::stable_seed;
 pub use spec::{DeviceSpec, SchemeInstance, SchemeSpec, TranslationKind, WorkloadSpec};
 pub use sysconfig::SystemConfig;
 
+pub use telemetry::{device_sample, TelemetryRun};
+
 // Fault vocabulary, re-exported so spec authors don't need a direct
 // `sawl-nvm` dependency to describe a faulted run.
 pub use sawl_nvm::{FaultCounters, FaultPlan, FaultPlanError};
+
+// Telemetry vocabulary, likewise re-exported for spec authors.
+pub use sawl_telemetry::{Channel, Event, EventKind, Series, TelemetrySpec};

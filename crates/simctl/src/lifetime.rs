@@ -15,10 +15,12 @@ use serde::{Deserialize, Serialize};
 
 use sawl_algos::WearLeveler;
 use sawl_nvm::FaultPlan;
+use sawl_telemetry::{Series, TelemetrySpec};
 
-use crate::driver::{pump_writes, DriverError};
+use crate::driver::{pump_writes_telemetry, DriverError};
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
+use crate::telemetry::TelemetryRun;
 
 /// A lifetime run specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -40,6 +42,11 @@ pub struct LifetimeExperiment {
     /// fault-free path).
     #[serde(default)]
     pub fault: Option<FaultPlan>,
+    /// Optional time-series telemetry: sample the listed channels every
+    /// `stride` demand writes. `None` keeps the run bit-identical to an
+    /// uninstrumented one (the recorder only observes).
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 /// Outcome of a lifetime run.
@@ -87,6 +94,9 @@ pub struct LifetimeResult {
     /// stuck-at remaps alike).
     #[serde(default)]
     pub spares_remaining: u64,
+    /// Sampled time series, present when the experiment asked for one.
+    #[serde(default)]
+    pub telemetry: Option<Series>,
 }
 
 /// Run one lifetime experiment to completion.
@@ -100,6 +110,17 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
     if let Some(plan) = &exp.fault {
         dev.install_fault_plan(plan)?;
     }
+    let mut telemetry = match &exp.telemetry {
+        Some(spec) if spec.stride == 0 => {
+            return Err(DriverError::Spec("telemetry stride must be >= 1".into()));
+        }
+        Some(spec) => {
+            let run = TelemetryRun::new(&exp.id, spec);
+            run.attach(&mut wl, &mut dev);
+            Some(run)
+        }
+        None => None,
+    };
     let mut stream = exp.workload.build(wl.logical_lines(), seed);
 
     let cap = if exp.max_demand_writes == 0 {
@@ -110,7 +131,8 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
 
     // Reads are skipped by the lifetime pump: no wear, and lifetime is the
     // only output here.
-    let pump = pump_writes(&mut wl, &mut dev, &mut *stream, cap)?;
+    let pump = pump_writes_telemetry(&mut wl, &mut dev, &mut *stream, cap, telemetry.as_mut())?;
+    let series = telemetry.map(|t| t.finish(&mut wl));
 
     let wear = *dev.wear();
     let stats = dev.wear_stats();
@@ -141,6 +163,7 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
         journal_replays: pump.journal_replays,
         journal_rollbacks: pump.journal_rollbacks,
         spares_remaining: dev.spares_remaining(),
+        telemetry: series,
     })
 }
 
@@ -157,6 +180,7 @@ mod tests {
             device: DeviceSpec { endurance, ..Default::default() },
             max_demand_writes: 0,
             fault: None,
+            telemetry: None,
         }
     }
 
@@ -235,6 +259,37 @@ mod tests {
         assert!(r.spares_remaining < 1 << 4, "spares not consumed: {r:?}");
         // Faulted runs are exactly reproducible too.
         assert_eq!(r, run_lifetime(&e).unwrap());
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_the_outcome() {
+        let mut e = exp(
+            SchemeSpec::PcmS { region_lines: 4, period: 16 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+            500,
+        );
+        e.max_demand_writes = 40_000;
+        let plain = run_lifetime(&e).unwrap();
+        e.telemetry = Some(TelemetrySpec::with_stride(10_000));
+        let mut teled = run_lifetime(&e).unwrap();
+        let series = teled.telemetry.take().unwrap();
+        // Stripping the series leaves a result identical to the
+        // uninstrumented run: the recorder only observes.
+        assert_eq!(teled, plain);
+        assert_eq!(series.samples.len(), 4);
+        assert_eq!(series.samples[0].requests, 10_000);
+        assert_eq!(
+            series.samples[3].counter(sawl_telemetry::Channel::DemandWrites),
+            Some(plain.demand_writes)
+        );
+    }
+
+    #[test]
+    fn zero_telemetry_stride_is_a_spec_error() {
+        let mut e = exp(SchemeSpec::Ideal, WorkloadSpec::Raa, 500);
+        e.telemetry = Some(TelemetrySpec { stride: 0, ..Default::default() });
+        let err = run_lifetime(&e).unwrap_err();
+        assert!(matches!(err, DriverError::Spec(_)), "{err:?}");
     }
 
     #[test]

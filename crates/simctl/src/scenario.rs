@@ -22,13 +22,15 @@ use serde::{Deserialize, Serialize};
 
 use sawl_core::{History, SawlStats};
 use sawl_nvm::{FaultPlan, NvmDevice};
+use sawl_telemetry::{Series, TelemetrySpec};
 
-use crate::driver::{pump, DriverError};
+use crate::driver::{pump_telemetry, DriverError};
 use crate::lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 use crate::perf::{run_perf, PerfExperiment, PerfResult};
 use crate::runner::parallel_map;
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
+use crate::telemetry::TelemetryRun;
 
 /// What to measure when a scenario runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -74,6 +76,11 @@ pub struct Scenario {
     /// — or a zero plan — leaves the run byte-identical to fault-free).
     #[serde(default)]
     pub fault: Option<FaultPlan>,
+    /// Optional time-series telemetry (lifetime and trace probes; [`run`]
+    /// rejects perf probes carrying one — the timing loop replays requests
+    /// outside the telemetry clock).
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl Scenario {
@@ -93,6 +100,7 @@ impl Scenario {
             device,
             probe: Probe::Lifetime { max_demand_writes: 0 },
             fault: None,
+            telemetry: None,
         }
     }
 
@@ -113,6 +121,7 @@ impl Scenario {
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             probe: Probe::Perf { requests, warmup_requests },
             fault: None,
+            telemetry: None,
         }
     }
 
@@ -133,6 +142,7 @@ impl Scenario {
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             probe: Probe::Trace { requests },
             fault: None,
+            telemetry: None,
         }
     }
 
@@ -149,6 +159,13 @@ impl Scenario {
     /// probes carrying one).
     pub fn with_fault(mut self, plan: FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Attach a telemetry spec (lifetime and trace probes; [`run`] rejects
+    /// perf probes carrying one).
+    pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
+        self.telemetry = Some(spec);
         self
     }
 }
@@ -179,6 +196,9 @@ pub struct TraceReport {
     pub demand_writes: u64,
     /// The adaptation time series, when the scheme is SAWL.
     pub adaptation: Option<AdaptationTrace>,
+    /// Sampled time series, present when the scenario asked for one.
+    #[serde(default)]
+    pub telemetry: Option<Series>,
 }
 
 impl TraceReport {
@@ -233,6 +253,12 @@ pub fn run(s: &Scenario) -> Result<Report, DriverError> {
             s.id, s.probe
         )));
     }
+    if s.telemetry.is_some() && matches!(s.probe, Probe::Perf { .. }) {
+        return Err(DriverError::Spec(format!(
+            "telemetry applies to lifetime and trace scenarios, but \"{}\" carries a perf probe",
+            s.id
+        )));
+    }
     match s.probe {
         Probe::Lifetime { max_demand_writes } => {
             Ok(Report::Lifetime(run_lifetime(&LifetimeExperiment {
@@ -243,6 +269,7 @@ pub fn run(s: &Scenario) -> Result<Report, DriverError> {
                 device: s.device,
                 max_demand_writes,
                 fault: s.fault.clone(),
+                telemetry: s.telemetry.clone(),
             })?))
         }
         Probe::Perf { requests, warmup_requests } => {
@@ -281,7 +308,19 @@ fn run_trace(s: &Scenario, requests: u64) -> Result<TraceReport, DriverError> {
     // One monomorphic pump over the enum instance; the concrete engines
     // are recovered afterwards for their post-run introspection.
     let mut wl = s.scheme.try_instantiate(s.data_lines, seed)?;
-    pump(&mut wl, &mut dev, &mut *stream, requests);
+    let mut telemetry = match &s.telemetry {
+        Some(spec) if spec.stride == 0 => {
+            return Err(DriverError::Spec("telemetry stride must be >= 1".into()));
+        }
+        Some(spec) => {
+            let run = TelemetryRun::new(&s.id, spec);
+            run.attach(&mut wl, &mut dev);
+            Some(run)
+        }
+        None => None,
+    };
+    pump_telemetry(&mut wl, &mut dev, &mut *stream, requests, telemetry.as_mut());
+    let series = telemetry.map(|t| t.finish(&mut wl));
     let (hit_rate, adaptation) = if let Some(sawl) = wl.as_sawl() {
         let stats = sawl.stats();
         (stats.hit_rate(), Some(AdaptationTrace { history: sawl.history().clone(), stats }))
@@ -309,6 +348,7 @@ fn run_trace(s: &Scenario, requests: u64) -> Result<TraceReport, DriverError> {
         },
         demand_writes: wear.demand_writes,
         adaptation,
+        telemetry: series,
     })
 }
 
@@ -352,6 +392,7 @@ mod tests {
             device: s.device,
             max_demand_writes: 0,
             fault: None,
+            telemetry: None,
         })
         .unwrap();
         assert_eq!(via_scenario, direct, "the scenario layer must not change results");
@@ -444,6 +485,60 @@ mod tests {
         for (i, r) in reports.iter().enumerate() {
             assert_eq!(r.lifetime().id, format!("scn/grid/{i}"));
         }
+    }
+
+    #[test]
+    fn trace_telemetry_tracks_the_engine_history() {
+        let base = Scenario::trace(
+            "scn/trace/telemetry",
+            sawl_spec(),
+            WorkloadSpec::Uniform { write_ratio: 1.0 },
+            1 << 12,
+            20_000,
+        );
+        let plain = run(&base).unwrap().trace().clone();
+        // Sample at the engine's own interval: one telemetry sample per
+        // History row, observing identical post-tick state.
+        let s = base.with_telemetry(TelemetrySpec::with_stride(500));
+        let t = run(&s).unwrap().trace().clone();
+        let series = t.telemetry.clone().unwrap();
+        let history = &t.adaptation().history;
+        assert_eq!(series.samples.len(), history.len());
+        for (point, row) in series.samples.iter().zip(history.samples()) {
+            assert_eq!(point.requests, row.requests);
+            assert_eq!(
+                point.gauge(sawl_telemetry::Channel::CmtHitRate),
+                Some(row.instant_hit_rate)
+            );
+            assert_eq!(
+                point.gauge(sawl_telemetry::Channel::CmtWindowedHitRate),
+                Some(row.windowed_hit_rate)
+            );
+            assert_eq!(
+                point.gauge(sawl_telemetry::Channel::RegionSizeCached),
+                Some(row.cached_region_size)
+            );
+        }
+        // The recorder is observation-only: everything else matches the
+        // uninstrumented run.
+        assert_eq!(t.hit_rate, plain.hit_rate);
+        assert_eq!(t.demand_writes, plain.demand_writes);
+        assert_eq!(t.adaptation().history.samples(), plain.adaptation().history.samples());
+    }
+
+    #[test]
+    fn perf_scenarios_reject_telemetry() {
+        let s = Scenario::perf(
+            "scn/perf/telemetry",
+            SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 64 },
+            SpecBenchmark::Gcc,
+            1 << 12,
+            1_000,
+            0,
+        )
+        .with_telemetry(TelemetrySpec::default());
+        let err = run(&s).unwrap_err();
+        assert!(matches!(err, DriverError::Spec(_)), "{err:?}");
     }
 
     #[test]

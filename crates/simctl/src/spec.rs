@@ -355,6 +355,18 @@ impl WearLeveler for SchemeInstance {
     fn onchip_bits(&self) -> u64 {
         dispatch!(self, w => w.onchip_bits())
     }
+
+    fn telemetry_sample(&self, out: &mut sawl_telemetry::SchemeSample) {
+        dispatch!(self, w => w.telemetry_sample(out))
+    }
+
+    fn telemetry_events_enable(&mut self, capacity: usize) {
+        dispatch!(self, w => w.telemetry_events_enable(capacity))
+    }
+
+    fn telemetry_events_take(&mut self) -> Option<(Vec<sawl_telemetry::Event>, u64)> {
+        dispatch!(self, w => w.telemetry_events_take())
+    }
 }
 
 /// Workload selector.

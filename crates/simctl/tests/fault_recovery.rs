@@ -56,6 +56,7 @@ fn sawl_lifetime_survives_dense_power_losses_and_faults() {
             power_loss_at_writes: vec![5_000, 20_000, 45_000, 70_000, 90_000],
             seed: 13,
         }),
+        telemetry: None,
     };
     let r = run_lifetime(&exp).unwrap();
     assert_eq!(r.demand_writes, 80_000, "run must complete despite the crashes");
@@ -102,6 +103,48 @@ fn power_loss_mid_merge_replays_and_passes_invariants() {
     sawl.check_invariants();
     let after: Vec<u64> = (0..sawl.logical_lines()).map(|la| sawl.translate(la)).collect();
     assert_eq!(before, after);
+}
+
+#[test]
+fn power_loss_exactly_on_the_journal_land_boundary() {
+    use sawl_algos::WearLeveler;
+
+    // Count the merge's device writes on a fault-free twin: W writes
+    // from journal record to final data recharge, then the commit.
+    let mut reference = sawl_small();
+    let mut ref_dev = device_for(&reference);
+    let before = ref_dev.wear().total_writes;
+    assert!(reference.merge(0, &mut ref_dev));
+    let w = ref_dev.wear().total_writes - before;
+    assert!(w > 2, "a merge must pay translation + recharge writes, saw {w}");
+
+    // Crash on the merge's final write (1-based index W): every earlier
+    // journaled update has landed, so recovery rolls the record forward.
+    let mut sawl = sawl_small();
+    let mut dev = device_for(&sawl);
+    crash_in(&mut dev, w - 1);
+    assert!(!sawl.merge(0, &mut dev), "the crash interrupts the last write");
+    assert!(sawl.journal().has_pending());
+    let rec = sawl.recover(&mut dev);
+    assert!(rec.complete && rec.replayed && !rec.rolled_back, "{rec:?}");
+    sawl.check_invariants();
+    let replayed: Vec<u64> = (0..sawl.logical_lines()).map(|la| sawl.translate(la)).collect();
+    let committed: Vec<u64> =
+        (0..reference.logical_lines()).map(|la| reference.translate(la)).collect();
+    assert_eq!(replayed, committed, "replay must converge on the committed merge");
+
+    // One write later the merge lands in full and commits before the
+    // lights go out: recovery finds a clean journal and moves nothing.
+    let mut sawl = sawl_small();
+    let mut dev = device_for(&sawl);
+    crash_in(&mut dev, w);
+    assert!(sawl.merge(0, &mut dev), "the power loss lands after the commit");
+    assert!(!sawl.journal().has_pending());
+    dev.write(0); // a raw device write fires the scheduled loss
+    assert!(dev.power_lost());
+    let rec = sawl.recover(&mut dev);
+    assert!(rec.complete && !rec.replayed && !rec.rolled_back, "{rec:?}");
+    sawl.check_invariants();
 }
 
 #[test]

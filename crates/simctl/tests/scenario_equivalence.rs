@@ -69,6 +69,7 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
         journal_replays: 0,
         journal_rollbacks: 0,
         spares_remaining: dev.spares_remaining(),
+        telemetry: None,
     }
 }
 
@@ -103,6 +104,7 @@ fn batched_lifetime_matches_scalar_reference_for_every_scheme() {
                 device: DeviceSpec { endurance: 200, ..Default::default() },
                 max_demand_writes: 0,
                 fault: None,
+                telemetry: None,
             };
             let batched = run_lifetime(&exp).unwrap();
             let scalar = scalar_lifetime(&exp);
@@ -132,6 +134,7 @@ fn batched_lifetime_matches_scalar_reference_under_raa_and_variation() {
             },
             max_demand_writes: 0,
             fault: None,
+            telemetry: None,
         };
         let batched = run_lifetime(&exp).unwrap();
         let scalar = scalar_lifetime(&exp);
@@ -152,10 +155,51 @@ fn batched_lifetime_matches_scalar_reference_at_a_write_cap() {
             device: DeviceSpec { endurance: u32::MAX, ..Default::default() },
             max_demand_writes: cap,
             fault: None,
+            telemetry: None,
         };
         let batched = run_lifetime(&exp).unwrap();
         assert_eq!(batched.demand_writes, cap, "cap overshoot at {cap}");
         assert_eq!(batched, scalar_lifetime(&exp), "cap mismatch at {cap}");
+    }
+}
+
+#[test]
+fn telemetry_is_observation_only_for_every_scheme() {
+    // Attaching a recorder (wear probe + event ring + stride-clamped
+    // batching) must not change a single result field — for every scheme
+    // variant, under both a mixed workload and BPA. This is the guard
+    // that lets telemetry ride along without an equivalence tax.
+    for scheme in all_schemes() {
+        for workload in [
+            WorkloadSpec::Uniform { write_ratio: 0.5 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+        ] {
+            let plain = LifetimeExperiment {
+                id: format!("equiv-tel/{}/{}", scheme.name(), workload.name()),
+                scheme: scheme.clone(),
+                workload,
+                data_lines: 1 << 9,
+                device: DeviceSpec { endurance: 200, ..Default::default() },
+                max_demand_writes: 0,
+                fault: None,
+                telemetry: None,
+            };
+            // An awkward stride, so sample boundaries land mid-block.
+            let instrumented = LifetimeExperiment {
+                telemetry: Some(sawl_simctl::TelemetrySpec::with_stride(777)),
+                ..plain.clone()
+            };
+            let bare = run_lifetime(&plain).unwrap();
+            let mut observed = run_lifetime(&instrumented).unwrap();
+            let series = observed.telemetry.take().expect("series requested");
+            assert_eq!(observed, bare, "telemetry perturbed the run for {}", plain.id);
+            assert_eq!(
+                series.samples.len() as u64,
+                bare.demand_writes / 777,
+                "sample count off for {}",
+                plain.id
+            );
+        }
     }
 }
 
@@ -178,6 +222,7 @@ fn zero_fault_plan_is_byte_identical_to_the_fault_free_path() {
                 device: DeviceSpec { endurance: 200, ..Default::default() },
                 max_demand_writes: 0,
                 fault: None,
+                telemetry: None,
             };
             let zero_plan =
                 LifetimeExperiment { fault: Some(FaultPlan::default()), ..plain.clone() };

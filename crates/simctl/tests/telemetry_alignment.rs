@@ -1,0 +1,101 @@
+//! Batched-vs-scalar telemetry sample alignment.
+//!
+//! Telemetry sampling is defined at **request-index granularity**: a
+//! sample lands after the request with 1-based index `k * stride`,
+//! regardless of how the driver batches requests into blocks or collapses
+//! them into `write_run` calls. These tests pin that contract by running
+//! the batched lifetime pump against a scalar one-request-at-a-time
+//! reference and requiring the two `Series` to be **identical** — every
+//! sample point, every counter, every gauge bit — across schemes,
+//! workloads, and strides that deliberately straddle block boundaries.
+
+use sawl_algos::WearLeveler;
+use sawl_simctl::{
+    run_lifetime, stable_seed, DeviceSpec, LifetimeExperiment, SchemeSpec, Series, TelemetryRun,
+    TelemetrySpec, WorkloadSpec,
+};
+use sawl_trace::AddressStream;
+
+/// Scalar reference: one request at a time, `note_served(1)` after every
+/// demand write — the definitionally correct sampling clock.
+fn scalar_series(exp: &LifetimeExperiment) -> Series {
+    let seed = stable_seed(&exp.id);
+    let phys = exp.scheme.physical_lines(exp.data_lines);
+    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
+    let mut dev = exp.device.build(phys, seed);
+    let spec = exp.telemetry.clone().expect("alignment reference needs a telemetry spec");
+    let mut run = TelemetryRun::new(&exp.id, &spec);
+    run.attach(&mut wl, &mut dev);
+    let mut stream = exp.workload.build(wl.logical_lines(), seed);
+    let cap = if exp.max_demand_writes == 0 {
+        4 * dev.config().ideal_lifetime_writes()
+    } else {
+        exp.max_demand_writes
+    };
+
+    while !dev.is_dead() && dev.wear().demand_writes < cap {
+        let req = stream.next_req();
+        if !req.write {
+            continue;
+        }
+        wl.write(req.la, &mut dev);
+        run.note_served(1, &wl, &dev);
+    }
+    run.finish(&mut wl)
+}
+
+fn exp(scheme: SchemeSpec, workload: WorkloadSpec, stride: u64) -> LifetimeExperiment {
+    LifetimeExperiment {
+        id: format!("align/{}/{}/{stride}", scheme.name(), workload.name()),
+        scheme,
+        workload,
+        data_lines: 1 << 9,
+        device: DeviceSpec { endurance: 200, ..Default::default() },
+        max_demand_writes: 0,
+        fault: None,
+        telemetry: Some(TelemetrySpec::with_stride(stride)),
+    }
+}
+
+#[test]
+fn batched_samples_align_with_the_scalar_clock() {
+    let schemes = [
+        SchemeSpec::PcmS { region_lines: 16, period: 32 },
+        SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 1 << 10 },
+        SchemeSpec::sawl_default(64),
+    ];
+    for scheme in schemes {
+        for workload in [
+            WorkloadSpec::Uniform { write_ratio: 0.5 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+        ] {
+            // 777 never divides the 4096-request block, 4096 always
+            // coincides with it, 1 samples on every single write.
+            for stride in [777u64, 4_096, 1] {
+                let e = exp(scheme.clone(), workload.clone(), stride);
+                let batched = run_lifetime(&e).unwrap().telemetry.expect("series requested");
+                let scalar = scalar_series(&e);
+                assert_eq!(batched, scalar, "sample misalignment in {}", e.id);
+                assert!(
+                    batched
+                        .samples
+                        .iter()
+                        .enumerate()
+                        .all(|(i, p)| p.requests == (i as u64 + 1) * stride),
+                    "boundary drift in {}",
+                    e.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn run_collapsing_workload_samples_mid_run() {
+    // RAA collapses whole blocks into single `write_run` calls; the
+    // stride clamp must still split those runs at every boundary.
+    let e = exp(SchemeSpec::PcmS { region_lines: 16, period: 32 }, WorkloadSpec::Raa, 100);
+    let batched = run_lifetime(&e).unwrap().telemetry.expect("series requested");
+    assert_eq!(batched, scalar_series(&e), "RAA run batching broke sample alignment");
+    assert!(batched.samples.len() > 10, "expected many samples, got {}", batched.samples.len());
+}

@@ -1,0 +1,87 @@
+//! Golden-run telemetry regression suite.
+//!
+//! One SAWL and one PCM-S lifetime run under BPA, fixed seed, 2^12 lines:
+//! the full JSON-lines serialization of each run's telemetry series is
+//! committed under `tests/golden/` and must stay **byte-identical** run
+//! over run. Any change to the sampling clock, the recorder's delta
+//! formulas, the wear probe, the event ring, or the serialization shows
+//! up here as a diff.
+//!
+//! When a change is intentional, regenerate the references with
+//!
+//! ```text
+//! SAWL_BLESS=1 cargo test -p sawl-simctl --test telemetry_golden
+//! ```
+//!
+//! and commit the updated `tests/golden/*.jsonl` files with the change
+//! that caused them.
+
+use std::fs;
+use std::path::PathBuf;
+
+use sawl_simctl::{
+    run_lifetime, DeviceSpec, LifetimeExperiment, SchemeSpec, TelemetrySpec, WorkloadSpec,
+};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Fixed-seed golden scenario: 2^12 lines under BPA, capped at 200k
+/// demand writes, stride 10k → up to 20 samples.
+fn experiment(id: &str, scheme: SchemeSpec) -> LifetimeExperiment {
+    LifetimeExperiment {
+        id: id.into(),
+        scheme,
+        workload: WorkloadSpec::Bpa { writes_per_target: 2_048 },
+        data_lines: 1 << 12,
+        device: DeviceSpec { endurance: 500, ..Default::default() },
+        max_demand_writes: 200_000,
+        fault: None,
+        telemetry: Some(TelemetrySpec::with_stride(10_000)),
+    }
+}
+
+fn check_golden(name: &str, exp: &LifetimeExperiment) {
+    let result = run_lifetime(exp).unwrap();
+    let got = result.telemetry.expect("golden runs record telemetry").to_json_lines();
+    let path = golden_path(name);
+    if std::env::var("SAWL_BLESS").as_deref() == Ok("1") {
+        fs::write(&path, &got).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {}: {e}\nregenerate with: SAWL_BLESS=1 cargo test -p \
+             sawl-simctl --test telemetry_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "telemetry series drifted from {name}; if the change is intentional, regenerate \
+         with SAWL_BLESS=1 and commit the new golden"
+    );
+}
+
+#[test]
+fn sawl_bpa_series_matches_the_committed_golden() {
+    check_golden("sawl_bpa.jsonl", &experiment("golden/sawl/bpa", SchemeSpec::sawl_default(1024)));
+}
+
+#[test]
+fn pcms_bpa_series_matches_the_committed_golden() {
+    check_golden(
+        "pcms_bpa.jsonl",
+        &experiment("golden/pcm-s/bpa", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
+    );
+}
+
+#[test]
+fn golden_runs_are_deterministic_across_consecutive_runs() {
+    let exp = experiment("golden/sawl/bpa", SchemeSpec::sawl_default(1024));
+    let a = run_lifetime(&exp).unwrap().telemetry.unwrap().to_json_lines();
+    let b = run_lifetime(&exp).unwrap().telemetry.unwrap().to_json_lines();
+    assert_eq!(a, b, "two consecutive runs of the same spec must serialize identically");
+}

@@ -1,0 +1,276 @@
+//! Fixed-stride sampling over the typed channel registry.
+
+use crate::{
+    Channel, ChannelKind, DeviceSample, Event, SamplePoint, SchemeSample, Series, TelemetrySpec,
+};
+
+/// Samples the channel registry every `stride` served requests.
+///
+/// Driver protocol:
+///
+/// 1. Ask [`Recorder::until_sample`] for the number of requests that may
+///    still be served before the next boundary, and never serve past it in
+///    one batch.
+/// 2. After serving `k <= until_sample()` requests, call
+///    [`Recorder::note_served`]. When it returns `true` the clock sits
+///    exactly on a boundary: gather a [`DeviceSample`]/[`SchemeSample`]
+///    pair and call [`Recorder::record`].
+/// 3. When the run ends, [`Recorder::into_series`] (optionally with the
+///    drained event ring) yields the [`Series`].
+///
+/// Samples land *after* the request with 1-based index `k * stride`, which
+/// is the same instant the engine's own adaptation sampling fires — so a
+/// recorder sample at a boundary observes post-sample adaptation state.
+/// No sample is taken at request 0 or at a non-boundary end of run.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    spec: TelemetrySpec,
+    served: u64,
+    next: u64,
+    samples: Vec<SamplePoint>,
+    // Snapshots backing the delta gauges (instant hit rate, hot-half
+    // share). Cumulative producer counters survive crashes, so these do
+    // not need resetting on recovery.
+    last_hits: u64,
+    last_misses: u64,
+    last_first: u64,
+    last_second: u64,
+}
+
+impl Recorder {
+    /// A recorder for `spec`. Stride must be >= 1.
+    pub fn new(spec: TelemetrySpec) -> Self {
+        assert!(spec.stride >= 1, "telemetry stride must be >= 1");
+        let next = spec.stride;
+        Self {
+            spec,
+            served: 0,
+            next,
+            samples: Vec::new(),
+            last_hits: 0,
+            last_misses: 0,
+            last_first: 0,
+            last_second: 0,
+        }
+    }
+
+    /// The spec this recorder was built from.
+    pub fn spec(&self) -> &TelemetrySpec {
+        &self.spec
+    }
+
+    /// Requests served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// How many requests may still be served before the next sample
+    /// boundary (always >= 1 between samples).
+    pub fn until_sample(&self) -> u64 {
+        self.next - self.served
+    }
+
+    /// Advance the request clock by `k` served requests; returns `true`
+    /// when the clock now sits on a sample boundary (call
+    /// [`Recorder::record`]).
+    pub fn note_served(&mut self, k: u64) -> bool {
+        debug_assert!(k <= self.until_sample(), "batch served past a sample boundary");
+        self.served += k;
+        self.served >= self.next
+    }
+
+    /// Take a sample at the current clock position and schedule the next
+    /// boundary.
+    pub fn record(&mut self, dev: &DeviceSample, scheme: &SchemeSample) {
+        let mut counters: Vec<(Channel, u64)> = Vec::new();
+        let mut gauges: Vec<(Channel, f64)> = Vec::new();
+
+        // Delta gauges over the last stride. Snapshots update whenever the
+        // producer reports the underlying counters, independent of channel
+        // selection, so a narrow selection sees the same values a full one
+        // would.
+        let lookup_rate = match (scheme.cmt_hits, scheme.cmt_misses) {
+            (Some(h), Some(m)) => {
+                let dh = h - self.last_hits;
+                let dm = m - self.last_misses;
+                self.last_hits = h;
+                self.last_misses = m;
+                let total = dh + dm;
+                Some(if total == 0 { 0.0 } else { dh as f64 / total as f64 })
+            }
+            _ => None,
+        };
+        let hot_share = match (scheme.cmt_hits_first_half, scheme.cmt_hits_second_half) {
+            (Some(f), Some(s)) => {
+                let df = f - self.last_first;
+                let ds = s - self.last_second;
+                self.last_first = f;
+                self.last_second = s;
+                let total = df + ds;
+                Some(if total == 0 { 0.0 } else { df as f64 / total as f64 })
+            }
+            _ => None,
+        };
+
+        for channel in Channel::ALL {
+            if !self.spec.records(channel) {
+                continue;
+            }
+            let counter = match channel {
+                Channel::DemandWrites => Some(dev.demand_writes),
+                Channel::OverheadWrites => Some(dev.overhead_writes),
+                Channel::WearMax => dev.wear_max,
+                Channel::CmtHits => scheme.cmt_hits,
+                Channel::CmtMisses => scheme.cmt_misses,
+                Channel::Merges => scheme.merges,
+                Channel::Splits => scheme.splits,
+                Channel::Exchanges => scheme.exchanges,
+                Channel::JournalBegins => scheme.journal_begins,
+                Channel::JournalCommits => scheme.journal_commits,
+                Channel::JournalRollbacks => scheme.journal_rollbacks,
+                Channel::PowerLosses => Some(dev.power_losses),
+                Channel::TransientFaults => Some(dev.transient_faults),
+                _ => None,
+            };
+            if let Some(v) = counter {
+                debug_assert_eq!(channel.kind(), ChannelKind::Counter);
+                counters.push((channel, v));
+                continue;
+            }
+            let gauge = match channel {
+                Channel::WearMean => dev.wear_mean,
+                Channel::WearCov => dev.wear_cov,
+                Channel::SpareLevel => Some(dev.spares_remaining as f64),
+                Channel::CmtHitRate => lookup_rate,
+                Channel::CmtWindowedHitRate => scheme.windowed_hit_rate,
+                Channel::CmtHotHalfShare => hot_share,
+                Channel::RegionCount => scheme.region_count.map(|n| n as f64),
+                Channel::RegionSizeCached => scheme.region_size_cached,
+                Channel::RegionSizeGlobal => scheme.region_size_global,
+                _ => None,
+            };
+            if let Some(v) = gauge {
+                debug_assert_eq!(channel.kind(), ChannelKind::Gauge);
+                gauges.push((channel, v));
+            }
+        }
+
+        self.samples.push(SamplePoint { requests: self.served, counters, gauges });
+        self.next = self.served + self.spec.stride;
+    }
+
+    /// Finish the run, attaching the drained event ring.
+    pub fn into_series(self, events: Vec<Event>, events_dropped: u64) -> Series {
+        let channels = if self.spec.channels.is_empty() {
+            Channel::ALL.to_vec()
+        } else {
+            self.spec.channels.clone()
+        };
+        Series { stride: self.spec.stride, channels, samples: self.samples, events, events_dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(demand: u64) -> DeviceSample {
+        DeviceSample {
+            demand_writes: demand,
+            overhead_writes: demand / 10,
+            wear_mean: Some(demand as f64 / 64.0),
+            wear_cov: Some(0.1),
+            wear_max: Some(demand / 8),
+            spares_remaining: 32,
+            power_losses: 0,
+            transient_faults: 0,
+        }
+    }
+
+    #[test]
+    fn boundaries_land_every_stride() {
+        let mut r = Recorder::new(TelemetrySpec::with_stride(10));
+        let mut sampled = Vec::new();
+        for i in 1..=35u64 {
+            assert!(r.until_sample() >= 1);
+            if r.note_served(1) {
+                r.record(&dev(i), &SchemeSample::default());
+                sampled.push(i);
+            }
+        }
+        assert_eq!(sampled, vec![10, 20, 30]);
+        let series = r.into_series(Vec::new(), 0);
+        assert_eq!(
+            series.counter_series(Channel::DemandWrites),
+            vec![(10, 10), (20, 20), (30, 30)]
+        );
+    }
+
+    #[test]
+    fn batched_advance_respects_until_sample() {
+        let mut r = Recorder::new(TelemetrySpec::with_stride(100));
+        assert_eq!(r.until_sample(), 100);
+        assert!(!r.note_served(60));
+        assert_eq!(r.until_sample(), 40);
+        assert!(r.note_served(40));
+        r.record(&dev(100), &SchemeSample::default());
+        assert_eq!(r.until_sample(), 100);
+    }
+
+    #[test]
+    fn delta_gauges_use_per_stride_windows() {
+        let mut r = Recorder::new(TelemetrySpec::with_stride(5));
+        let scheme = |hits, misses, first, second| SchemeSample {
+            cmt_hits: Some(hits),
+            cmt_misses: Some(misses),
+            cmt_hits_first_half: Some(first),
+            cmt_hits_second_half: Some(second),
+            ..SchemeSample::default()
+        };
+        assert!(r.note_served(5));
+        r.record(&dev(5), &scheme(4, 1, 3, 1));
+        assert!(r.note_served(5));
+        r.record(&dev(10), &scheme(5, 5, 3, 2));
+        let series = r.into_series(Vec::new(), 0);
+        let rates = series.gauge_series(Channel::CmtHitRate);
+        assert_eq!(rates[0], (5, 0.8)); // 4 of 5
+        assert_eq!(rates[1], (10, 0.2)); // 1 of 5
+        let hot = series.gauge_series(Channel::CmtHotHalfShare);
+        assert_eq!(hot[0], (5, 0.75)); // 3 of 4
+        assert_eq!(hot[1], (10, 0.0)); // 0 of 1
+    }
+
+    #[test]
+    fn missing_scheme_signals_are_skipped_not_zeroed() {
+        let mut r = Recorder::new(TelemetrySpec::with_stride(1));
+        assert!(r.note_served(1));
+        r.record(&dev(1), &SchemeSample::default());
+        let series = r.into_series(Vec::new(), 0);
+        let p = &series.samples[0];
+        assert_eq!(p.counter(Channel::CmtHits), None);
+        assert_eq!(p.gauge(Channel::CmtHitRate), None);
+        assert_eq!(p.counter(Channel::DemandWrites), Some(1));
+        assert_eq!(p.gauge(Channel::SpareLevel), Some(32.0));
+    }
+
+    #[test]
+    fn channel_selection_filters_output() {
+        let spec = TelemetrySpec {
+            channels: vec![Channel::DemandWrites, Channel::WearCov],
+            ..TelemetrySpec::with_stride(1)
+        };
+        let mut r = Recorder::new(spec);
+        assert!(r.note_served(1));
+        r.record(&dev(1), &SchemeSample::default());
+        let series = r.into_series(Vec::new(), 0);
+        assert_eq!(series.channels, vec![Channel::DemandWrites, Channel::WearCov]);
+        assert_eq!(series.samples[0].counters.len(), 1);
+        assert_eq!(series.samples[0].gauges.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_is_rejected() {
+        let _ = Recorder::new(TelemetrySpec::with_stride(0));
+    }
+}

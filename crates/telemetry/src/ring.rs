@@ -1,0 +1,132 @@
+//! Bounded, order-preserving event ring for discrete adaptation events.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete event with its position on the request clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Requests served when the event fired (the producer's own clock —
+    /// for SAWL, `HitRateAdaptation::requests`).
+    pub requests: u64,
+    pub kind: EventKind,
+}
+
+/// What happened. Bases are region base lines in logical space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Two buddy regions merged (the surviving base).
+    Merge { base: u64 },
+    /// A region split in half.
+    Split { base: u64 },
+    /// A region exchange (remap) completed.
+    Exchange { base: u64 },
+    /// The adaptation raised its target granularity (toward merging).
+    TargetUp { q_log2: u8 },
+    /// The adaptation lowered its target granularity (toward splitting).
+    TargetDown { q_log2: u8 },
+}
+
+/// Fixed-capacity FIFO of [`Event`]s. When full, pushing drops the
+/// *oldest* event and counts it, so the ring always holds the most recent
+/// `capacity` events in arrival order.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (clamped to >= 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), capacity, dropped: 0 }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// How many events have been evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drain into `(events_oldest_first, dropped_count)`.
+    pub fn into_parts(self) -> (Vec<Event>, u64) {
+        (self.buf.into_iter().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ev(i: u64) -> Event {
+        Event { requests: i, kind: EventKind::Exchange { base: i } }
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        let (events, dropped) = r.into_parts();
+        assert_eq!(events, vec![ev(2)]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn fifo_order_without_overflow() {
+        let mut r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 5);
+        let (events, dropped) = r.into_parts();
+        assert_eq!(events, (0..5).map(ev).collect::<Vec<_>>());
+        assert_eq!(dropped, 0);
+    }
+
+    proptest! {
+        /// The ring always keeps the most recent `capacity` events, in
+        /// order, and the drop counter accounts for exactly the rest.
+        #[test]
+        fn keeps_newest_in_order(capacity in 1usize..16, n in 0u64..200) {
+            let mut r = EventRing::new(capacity);
+            for i in 0..n {
+                r.push(ev(i));
+            }
+            let expect_dropped = n.saturating_sub(capacity as u64);
+            assert_eq!(r.dropped(), expect_dropped);
+            let (events, dropped) = r.into_parts();
+            assert_eq!(dropped, expect_dropped);
+            let expect: Vec<Event> = (expect_dropped..n).map(ev).collect();
+            assert_eq!(events, expect);
+        }
+    }
+}

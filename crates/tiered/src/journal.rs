@@ -61,6 +61,7 @@ pub struct OpRecord {
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
     pending: Option<OpRecord>,
+    begins: u64,
     commits: u64,
     replays: u64,
     rollbacks: u64,
@@ -78,6 +79,7 @@ impl Journal {
     pub fn begin(&mut self, kind: OpKind, updates: Vec<RegionUpdate>) {
         assert!(self.pending.is_none(), "journal already holds an in-flight operation");
         self.pending = Some(OpRecord { kind, updates });
+        self.begins += 1;
     }
 
     /// Mark the in-flight operation complete; its record is discarded.
@@ -111,6 +113,11 @@ impl Journal {
         assert!(self.pending.is_some(), "rollback without a pending operation");
         self.pending = None;
         self.rollbacks += 1;
+    }
+
+    /// Operations opened (`begin`) since construction.
+    pub fn begins(&self) -> u64 {
+        self.begins
     }
 
     /// Operations committed since construction.
@@ -147,6 +154,7 @@ mod tests {
         assert_eq!(j.pending().unwrap().updates.len(), 2);
         j.commit();
         assert!(!j.has_pending());
+        assert_eq!(j.begins(), 1);
         assert_eq!(j.commits(), 1);
     }
 

@@ -364,6 +364,21 @@ impl WearLeveler for Nwl {
     fn onchip_bits(&self) -> u64 {
         self.cmt.capacity() as u64 * self.cfg.entry_bits() + self.gtd.onchip_bits()
     }
+
+    fn telemetry_sample(&self, out: &mut sawl_telemetry::SchemeSample) {
+        out.cmt_hits = Some(self.cmt.hits());
+        out.cmt_misses = Some(self.cmt.misses());
+        out.cmt_hits_first_half = Some(self.cmt.hits_first_half());
+        out.cmt_hits_second_half = Some(self.cmt.hits_second_half());
+        out.exchanges = Some(self.exchanges);
+        out.journal_begins = Some(self.journal.begins());
+        out.journal_commits = Some(self.journal.commits());
+        out.journal_rollbacks = Some(self.journal.rollbacks());
+        // Fixed granularity: every region is one granule.
+        out.region_count = Some(self.cfg.data_lines / self.cfg.granularity);
+        out.region_size_cached = Some(self.cfg.granularity as f64);
+        out.region_size_global = Some(self.cfg.granularity as f64);
+    }
 }
 
 #[cfg(test)]

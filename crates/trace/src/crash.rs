@@ -63,6 +63,32 @@ pub fn power_loss_schedule(stream: &mut dyn AddressStream, request_indices: &[u6
     schedule
 }
 
+/// Request indices of the first `n` telemetry sample boundaries at
+/// `stride`. The telemetry recorder samples after the request with
+/// 1-based index `k * stride`, so the request *after* boundary `k` has
+/// 0-based index `k * stride` — crashing there means "the sample at
+/// boundary `k` was taken; the power failed before the next one".
+///
+/// Panics when `stride` is zero (there are no boundaries to enumerate).
+pub fn sample_boundaries(stride: u64, n: u64) -> Vec<u64> {
+    assert!(stride > 0, "telemetry stride must be >= 1");
+    (1..=n).map(|k| k * stride).collect()
+}
+
+/// Map the first `n` telemetry sample boundaries at `stride` onto a
+/// write-indexed `power_loss_at_writes` schedule for `stream`: the
+/// device loses power on the first demand write after each boundary
+/// sample, so a crash test can align failures with the recorder's clock.
+/// Writeless boundary gaps collapse exactly like
+/// [`power_loss_schedule`]'s.
+pub fn power_loss_at_sample_boundaries(
+    stream: &mut dyn AddressStream,
+    stride: u64,
+    n: u64,
+) -> Vec<u64> {
+    power_loss_schedule(stream, &sample_boundaries(stride, n))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +140,37 @@ mod tests {
         let schedule = power_loss_schedule(&mut s, &[50, 10, 200]);
         assert_eq!(schedule, vec![count_at(10), count_at(50), count_at(200)]);
         assert!(schedule.windows(2).all(|w| w[0] < w[1]), "{schedule:?}");
+    }
+
+    #[test]
+    fn sample_boundaries_are_stride_multiples() {
+        assert_eq!(sample_boundaries(500, 3), vec![500, 1_000, 1_500]);
+        assert_eq!(sample_boundaries(1, 2), vec![1, 2]);
+        assert!(sample_boundaries(7, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be >= 1")]
+    fn zero_stride_has_no_boundaries() {
+        sample_boundaries(0, 1);
+    }
+
+    #[test]
+    fn boundary_schedule_counts_writes_in_front_of_each_sample() {
+        // Write-only stream: request clock == write clock, so boundary k
+        // maps to exactly k*stride writes.
+        let mut s = Raa::new(3, 64);
+        assert_eq!(power_loss_at_sample_boundaries(&mut s, 100, 3), vec![100, 200, 300]);
+
+        // Mixed stream: each boundary maps to the demand-write count in
+        // front of that request index.
+        let per_index = |idx: u64| {
+            let mut s = Uniform::new(1 << 10, 0.5, 21);
+            demand_writes_before(&mut s, idx)
+        };
+        let mut s = Uniform::new(1 << 10, 0.5, 21);
+        let schedule = power_loss_at_sample_boundaries(&mut s, 64, 4);
+        assert_eq!(schedule, vec![per_index(64), per_index(128), per_index(192), per_index(256)]);
     }
 
     #[test]

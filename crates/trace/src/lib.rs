@@ -33,7 +33,9 @@ pub mod stats;
 pub mod zipf;
 
 pub use attack::{Bpa, Raa};
-pub use crash::{demand_writes_before, power_loss_schedule};
+pub use crash::{
+    demand_writes_before, power_loss_at_sample_boundaries, power_loss_schedule, sample_boundaries,
+};
 pub use file::{TraceReader, TraceWriter};
 pub use patterns::{Hotspot, SeqScan, Stride, Uniform};
 pub use phased::{Mix, Phased};

@@ -34,6 +34,7 @@ fn main() {
             power_loss_at_writes: vec![1 << 20, 1 << 22, 1 << 23, 3 << 22],
             seed: 7,
         }),
+        telemetry: None,
     };
 
     let r = run_lifetime(&exp).expect("valid experiment");

@@ -33,6 +33,7 @@ fn lifetime_experiments_reproduce_bit_identically() {
         device: DeviceSpec { endurance: 500, ..Default::default() },
         max_demand_writes: 0,
         fault: None,
+        telemetry: None,
     };
     assert_eq!(run_lifetime(&exp), run_lifetime(&exp));
 }
@@ -61,6 +62,7 @@ fn different_experiment_ids_draw_different_randomness() {
         device: DeviceSpec { endurance: 400, ..Default::default() },
         max_demand_writes: 0,
         fault: None,
+        telemetry: None,
     };
     let a = run_lifetime(&mk("id-a")).unwrap();
     let b = run_lifetime(&mk("id-b")).unwrap();

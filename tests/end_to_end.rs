@@ -21,6 +21,7 @@ fn lifetime_result(
         device: DeviceSpec { endurance, ..Default::default() },
         max_demand_writes: 0,
         fault: None,
+        telemetry: None,
     })
     .unwrap()
 }
@@ -177,6 +178,7 @@ fn overhead_fractions_track_swap_periods() {
             device: DeviceSpec { endurance: 5_000, ..Default::default() },
             max_demand_writes: 0,
             fault: None,
+            telemetry: None,
         })
         .unwrap()
     };
