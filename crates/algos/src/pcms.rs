@@ -84,9 +84,7 @@ impl PcmS {
             // Degenerate: only re-randomize the key (still shifts lines).
             let s = self.geo.region_lines();
             self.key[0] = draw_key(&mut self.rng, s) as u32;
-            for off in 0..s {
-                dev.write_wl(off);
-            }
+            dev.write_wl_range(0, s);
             self.swaps.reset(0);
             self.exchanges += 1;
             return;
@@ -104,13 +102,10 @@ impl PcmS {
         self.p2l[pb as usize] = a;
         self.key[a as usize] = draw_key(&mut self.rng, s) as u32;
         self.key[b as usize] = draw_key(&mut self.rng, s) as u32;
-        // Every line of both physical regions is rewritten at its new home.
-        let base_a = u64::from(pa) * s;
-        let base_b = u64::from(pb) * s;
-        for off in 0..s {
-            dev.write_wl(base_a + off);
-            dev.write_wl(base_b + off);
-        }
+        // Every line of both physical regions is rewritten at its new home;
+        // each is one contiguous burst on the device's range path.
+        dev.write_wl_range(u64::from(pa) * s, s);
+        dev.write_wl_range(u64::from(pb) * s, s);
         // Only the triggering region's counter resets (see SwapCounters::
         // reset), keeping the steady-state overhead exactly 2/period.
         self.swaps.reset(a as usize);

@@ -152,24 +152,28 @@ impl WearLeveler for SecurityRefresh {
     }
 
     fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
-        // The SR mapping only moves in `step`, every `period` writes:
-        // scalar-first, then batch the remainder of the period.
+        // The SR mapping only moves in `step`, every `period` writes: the
+        // whole window up to (and including) the step trigger shares one
+        // translation, so it collapses into a single device run.
         let mut done = 0;
         while done < n {
-            self.write(la, dev);
-            done += 1;
-            if dev.is_dead() || done >= n {
-                break;
-            }
-            let gap = (self.period - self.writes).max(1) - 1;
-            let k = (n - done).min(gap);
-            if k == 0 {
-                continue;
-            }
-            let (applied, _) = dev.write_run(self.sr.map(la), k);
+            let pa = self.sr.map(la);
+            let window = (n - done).min(self.period - self.writes);
+            let (applied, _) = dev.write_run(pa, window);
             self.writes += applied;
             done += applied;
-            if applied < k {
+            if applied < window {
+                break;
+            }
+            if self.writes >= self.period {
+                self.writes = 0;
+                self.refresh_steps += 1;
+                if let Some((s1, s2)) = self.sr.step(&mut self.rng) {
+                    dev.write_wl(s1);
+                    dev.write_wl(s2);
+                }
+            }
+            if dev.is_dead() {
                 break;
             }
         }
@@ -291,28 +295,41 @@ impl WearLeveler for Tlsr {
 
     fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
         // Both SR levels move only on their periodic steps; between steps
-        // the translation of `la` is frozen. Batch up to the nearer of the
-        // two next step triggers.
+        // the translation of `la` is frozen. The whole window up to (and
+        // including) the nearer of the two step triggers shares one
+        // translation — one map plus one device run per window, instead of
+        // a scalar write (two full translations) at the head of each.
         let mut done = 0;
         while done < n {
-            self.write(la, dev);
-            done += 1;
-            if dev.is_dead() || done >= n {
-                break;
-            }
-            let region = self.geo.region_of(self.outer.map(la)) as usize;
+            let intermediate = self.outer.map(la);
+            let region = self.geo.region_of(intermediate) as usize;
+            let off = self.geo.offset_of(intermediate);
+            let pa = self.geo.combine(region as u64, self.inner[region].map(off));
             let inner_gap = self.inner_period - u64::from(self.inner_writes[region]);
             let outer_gap = self.outer_period - self.outer_writes;
-            let gap = inner_gap.min(outer_gap).max(1) - 1;
-            let k = (n - done).min(gap);
-            if k == 0 {
-                continue;
-            }
-            let (applied, _) = dev.write_run(self.translate(la), k);
+            let window = (n - done).min(inner_gap.min(outer_gap));
+            let (applied, _) = dev.write_run(pa, window);
             self.inner_writes[region] += applied as u32;
             self.outer_writes += applied;
             done += applied;
-            if applied < k {
+            if applied < window {
+                break;
+            }
+            if u64::from(self.inner_writes[region]) >= self.inner_period {
+                self.inner_writes[region] = 0;
+                if let Some((o1, o2)) = self.inner[region].step(&mut self.rng) {
+                    dev.write_wl(self.geo.combine(region as u64, o1));
+                    dev.write_wl(self.geo.combine(region as u64, o2));
+                }
+            }
+            if self.outer_writes >= self.outer_period {
+                self.outer_writes = 0;
+                if let Some((i1, i2)) = self.outer.step(&mut self.rng) {
+                    dev.write_wl(self.inner_map(i1));
+                    dev.write_wl(self.inner_map(i2));
+                }
+            }
+            if dev.is_dead() {
                 break;
             }
         }

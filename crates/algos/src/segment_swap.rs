@@ -66,11 +66,10 @@ impl SegmentSwap {
     fn swap_segments(&mut self, pa_seg: u32, pb_seg: u32, dev: &mut NvmDevice) {
         let s = self.geo.region_lines();
         // Writing both segments' contents to their new homes costs 2*S line
-        // writes (the transfer buffers live in the controller).
-        for off in 0..s {
-            dev.write_wl(u64::from(pa_seg) * s + off);
-            dev.write_wl(u64::from(pb_seg) * s + off);
-        }
+        // writes (the transfer buffers live in the controller), one
+        // contiguous burst per segment on the device's range path.
+        dev.write_wl_range(u64::from(pa_seg) * s, s);
+        dev.write_wl_range(u64::from(pb_seg) * s, s);
         let la_seg = self.p2l[pa_seg as usize];
         let lb_seg = self.p2l[pb_seg as usize];
         self.l2p[la_seg as usize] = pb_seg;

@@ -9,6 +9,8 @@
 //! cargo run --release -p sawl-bench --bin speed_probe -- --smoke  # tiny, seconds
 //! cargo run --release -p sawl-bench --bin speed_probe -- --telemetry
 //!                        # also time recorder-on runs, write BENCH_speed_telemetry.json
+//! cargo run --release -p sawl-bench --bin speed_probe -- --lines 16777216
+//!                        # one capped scaling point at the given device size
 //! ```
 //!
 //! The JSON schema is a single object:
@@ -36,12 +38,23 @@
 //! slowdown lands in `BENCH_speed_telemetry.json`. The baseline pass and
 //! `BENCH_speed.json` stay untouched either way, so committed-throughput
 //! comparisons always see the telemetry-off numbers.
+//!
+//! The report also carries a `scaling` series: capped BPA runs at
+//! increasing device sizes (2^16 / 2^20 / 2^24 lines by default, or the
+//! single `--lines` value), each with the process peak RSS and the wear
+//! state's measured bytes-per-line. `--lines` runs only its scaling point
+//! — the per-scheme probe is skipped — so huge-device construction checks
+//! stay cheap.
 
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, TelemetrySpec, WorkloadSpec};
+use sawl_algos::WearLeveler;
+use sawl_simctl::{
+    pump_writes, run_scenario, stable_seed, DeviceSpec, Scenario, SchemeSpec, TelemetrySpec,
+    WorkloadSpec,
+};
 
 /// One scheme's timing row in `BENCH_speed.json`.
 #[derive(Debug, Serialize, Deserialize)]
@@ -53,6 +66,26 @@ struct SchemeSpeed {
     normalized_lifetime: f64,
 }
 
+/// One capped run of the device-size scaling series.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalePoint {
+    data_lines: u64,
+    scheme: String,
+    demand_writes: u64,
+    wall_seconds: f64,
+    mw_per_sec: f64,
+    /// Exact heap bytes of the device's wear state (countdowns + quantized
+    /// limit table + failure overlay).
+    wear_state_bytes: u64,
+    wear_bytes_per_line: f64,
+    /// Wear-state layout tag, e.g. `"u16+uniform"`.
+    wear_layout: String,
+    /// Process peak RSS (`VmHWM`) after the run, in bytes. Points run in
+    /// ascending size order, so each reading is dominated by its own
+    /// device.
+    peak_rss_bytes: u64,
+}
+
 /// Top-level `BENCH_speed.json` document.
 #[derive(Debug, Serialize, Deserialize)]
 struct SpeedReport {
@@ -61,6 +94,7 @@ struct SpeedReport {
     data_lines: u64,
     endurance: u32,
     schemes: Vec<SchemeSpeed>,
+    scaling: Vec<ScalePoint>,
 }
 
 /// One scheme's recorder-overhead row in `BENCH_speed_telemetry.json`.
@@ -83,10 +117,64 @@ struct TelemetryReport {
     schemes: Vec<TelemetrySpeed>,
 }
 
+/// Current `VmHWM` (peak resident set) of this process, in bytes.
+fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches(" kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One capped BPA run at `data_lines` lines: construct the device, pump
+/// `cap` demand writes, and report throughput plus the memory footprint.
+fn scaling_point(data_lines: u64, cap: u64) -> ScalePoint {
+    // Region size 1024 keeps the scheme's own tables negligible next to
+    // the wear state at every series size.
+    let scheme = SchemeSpec::PcmS { region_lines: 1024, period: 2048 };
+    let seed = stable_seed(&format!("speed-probe/scaling/{data_lines}"));
+    let mut wl = scheme.instantiate(data_lines, seed);
+    let mut dev = DeviceSpec { endurance: 10_000, ..Default::default() }
+        .build(scheme.physical_lines(data_lines), seed);
+    let mut stream = WorkloadSpec::Bpa { writes_per_target: 2048 }.build(wl.logical_lines(), seed);
+    let t = Instant::now();
+    pump_writes(&mut wl, &mut dev, &mut stream, cap).expect("scaling point pump failed");
+    let dt = t.elapsed().as_secs_f64();
+    let demand = dev.wear().demand_writes;
+    let wear_bytes = dev.wear_state_bytes();
+    let point = ScalePoint {
+        data_lines,
+        scheme: "pcms-1024".into(),
+        demand_writes: demand,
+        wall_seconds: dt,
+        mw_per_sec: demand as f64 / dt / 1e6,
+        wear_state_bytes: wear_bytes,
+        wear_bytes_per_line: wear_bytes as f64 / dev.lines() as f64,
+        wear_layout: dev.wear_state_layout(),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    println!(
+        "scaling 2^{:.0} lines: {:.1} Mw/s, wear {} ({:.2} B/line), peak RSS {:.1} MiB",
+        (data_lines as f64).log2(),
+        point.mw_per_sec,
+        point.wear_layout,
+        point.wear_bytes_per_line,
+        point.peak_rss_bytes as f64 / (1 << 20) as f64,
+    );
+    point
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let with_telemetry = args.iter().any(|a| a == "--telemetry");
+    let lines_override: Option<u64> = args
+        .iter()
+        .position(|a| a == "--lines")
+        .map(|i| args.get(i + 1).and_then(|v| v.parse().ok()).expect("--lines needs a line count"));
     // The smoke geometry exists for CI: it exercises the identical code
     // path in a couple of seconds and still produces well-formed JSON.
     let (data_lines, endurance): (u64, u32) =
@@ -95,13 +183,19 @@ fn main() {
 
     let mut schemes = Vec::new();
     let mut telemetry_rows = Vec::new();
-    // Serial on purpose: each run is timed in isolation.
-    for (name, scheme) in [
-        ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
-        ("tlsr", SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 }),
-        ("mwsr", SchemeSpec::Mwsr { region_lines: 16, period: 32 }),
-        ("sawl", SchemeSpec::sawl_default(1024)),
-    ] {
+    // Serial on purpose: each run is timed in isolation. A `--lines`
+    // override runs only its scaling point.
+    let probe_schemes: Vec<(&str, SchemeSpec)> = if lines_override.is_some() {
+        Vec::new()
+    } else {
+        vec![
+            ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
+            ("tlsr", SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 }),
+            ("mwsr", SchemeSpec::Mwsr { region_lines: 16, period: 32 }),
+            ("sawl", SchemeSpec::sawl_default(1024)),
+        ]
+    };
+    for (name, scheme) in probe_schemes {
         let scenario = Scenario::lifetime(
             format!("probe/{name}"),
             scheme,
@@ -149,8 +243,26 @@ fn main() {
         }
     }
 
-    let report =
-        SpeedReport { probe: "bpa-lifetime".into(), smoke, data_lines, endurance, schemes };
+    // The scaling series: capped runs in ascending size order so each
+    // point's `VmHWM` reading is dominated by its own footprint. The cap
+    // bounds the wall time, not the geometry — the full 2^24 point costs a
+    // couple of seconds.
+    let cap = if smoke { 1 << 22 } else { 1 << 26 };
+    let series: Vec<u64> = match lines_override {
+        Some(n) => vec![n],
+        None if smoke => vec![1 << 16],
+        None => vec![1 << 16, 1 << 20, 1 << 24],
+    };
+    let scaling: Vec<ScalePoint> = series.into_iter().map(|n| scaling_point(n, cap)).collect();
+
+    let report = SpeedReport {
+        probe: "bpa-lifetime".into(),
+        smoke,
+        data_lines,
+        endurance,
+        schemes,
+        scaling,
+    };
     let json = serde_json::to_string_pretty(&report).expect("serialize speed report");
     std::fs::write("BENCH_speed.json", json + "\n").expect("write BENCH_speed.json");
     println!("wrote BENCH_speed.json");

@@ -155,10 +155,7 @@ impl TieredMapping {
     /// physical granule `start`.
     pub fn charge_block(&self, start: u64, count: u64, dev: &mut NvmDevice) {
         let p = 1u64 << self.p_log2;
-        let first = start * p;
-        for line in first..first + count * p {
-            dev.write_wl(line);
-        }
+        dev.write_wl_range(start * p, count * p);
     }
 
     /// Compute the region updates that relocate every region currently

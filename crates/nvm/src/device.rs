@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::NvmConfig;
 use crate::fault::{FaultPlan, FaultPlanError, FaultState};
 use crate::stats::{FaultCounters, WearStats};
+use crate::wear::WearState;
 use crate::Pa;
 
 /// Result of a single line write.
@@ -73,15 +74,13 @@ impl WearCounters {
 #[derive(Debug, Clone)]
 pub struct NvmDevice {
     cfg: NvmConfig,
-    /// Per-line write counts.
-    write_counts: Vec<u32>,
-    /// Per-line writes remaining until the next line failure. Starts at the
-    /// line's endurance limit and refills with it on every failure, so the
-    /// hot path never divides: `remaining == 0` after a decrement is exactly
-    /// the old `write_count % limit == 0` rule.
-    remaining: Vec<u32>,
-    /// Per-line endurance limits; `None` means every line has `cfg.endurance`.
-    limits: Option<Vec<u32>>,
+    /// Structure-of-arrays per-line wear state: packed countdowns until the
+    /// next line failure (refilled with the line's limit on every failure,
+    /// so the hot path never divides — `remaining == 0` after a decrement
+    /// is exactly the old `write_count % limit == 0` rule), quantized
+    /// endurance limits, and a sparse failed-line overlay from which
+    /// per-line write counts are derived on demand.
+    wear: WearState,
     counters: WearCounters,
     /// Demand writes recorded at the moment the device died.
     demand_writes_at_death: Option<u64>,
@@ -137,14 +136,8 @@ impl NvmDevice {
     /// Create a fresh (unworn) device from a validated configuration.
     pub fn new(cfg: NvmConfig) -> Self {
         let limits = cfg.variation.materialize(cfg.lines, cfg.endurance, cfg.seed);
-        let remaining = match &limits {
-            Some(l) => l.clone(),
-            None => vec![cfg.endurance; cfg.lines as usize],
-        };
         Self {
-            write_counts: vec![0; cfg.lines as usize],
-            remaining,
-            limits,
+            wear: WearState::new(cfg.lines, cfg.endurance, limits),
             counters: WearCounters::default(),
             demand_writes_at_death: None,
             dead: false,
@@ -159,10 +152,12 @@ impl NvmDevice {
     /// sample afterwards). Pure observation: never changes wear outcomes.
     pub fn enable_wear_probe(&mut self) {
         let mut p = WearProbe::default();
-        for &c in &self.write_counts {
-            p.sumsq += square(c);
-            p.max = p.max.max(c);
-        }
+        self.wear.fold_counts(|chunk| {
+            for &c in chunk {
+                p.sumsq += square(c);
+                p.max = p.max.max(c);
+            }
+        });
         self.probe = Some(Box::new(p));
     }
 
@@ -175,13 +170,13 @@ impl NvmDevice {
     /// until [`NvmDevice::enable_wear_probe`] is called.
     pub fn wear_snapshot(&self) -> Option<WearSnapshot> {
         let p = self.probe.as_deref()?;
-        let n = self.write_counts.len() as f64;
+        let n = self.wear.lines() as f64;
         let total = self.counters.total_writes;
         let mean = total as f64 / n;
         let var = (p.sumsq as f64 / n) - mean * mean;
         let stddev = var.max(0.0).sqrt();
         let cov = if mean > 0.0 { stddev / mean } else { 0.0 };
-        Some(WearSnapshot { lines: self.write_counts.len() as u64, total, mean, cov, max: p.max })
+        Some(WearSnapshot { lines: self.wear.lines(), total, mean, cov, max: p.max })
     }
 
     /// Fold one line's count change (`prev` -> its current value) into the
@@ -189,7 +184,7 @@ impl NvmDevice {
     /// pays only that branch.
     fn probe_note(&mut self, pa: Pa, prev: u32) {
         let Some(p) = self.probe.as_deref_mut() else { return };
-        let new = self.write_counts[pa as usize];
+        let new = self.wear.write_count(pa);
         p.sumsq += square(new) - square(prev);
         p.max = p.max.max(new);
     }
@@ -209,7 +204,7 @@ impl NvmDevice {
         let mut state = FaultState::new(plan.clone());
         for &pa in &plan.stuck_lines {
             state.counters.stuck_lines_remapped += 1;
-            self.remaining[pa as usize] = self.limit(pa);
+            self.wear.note_stuck(pa);
             self.counters.failed_lines += 1;
             if self.counters.failed_lines > self.cfg.spare_lines() {
                 self.dead = true;
@@ -274,16 +269,24 @@ impl NvmDevice {
     /// Endurance limit of one line.
     #[inline]
     pub fn limit(&self, pa: Pa) -> u32 {
-        match &self.limits {
-            Some(l) => l[pa as usize],
-            None => self.cfg.endurance,
-        }
+        self.wear.limit(pa)
     }
 
-    /// Current write count of one line.
+    /// Current write count of one line (derived from the SoA state).
     #[inline]
     pub fn write_count(&self, pa: Pa) -> u32 {
-        self.write_counts[pa as usize]
+        self.wear.write_count(pa)
+    }
+
+    /// Exact heap bytes held by the per-line wear state (countdowns +
+    /// quantized limit table + failed-line overlay).
+    pub fn wear_state_bytes(&self) -> u64 {
+        self.wear.heap_bytes()
+    }
+
+    /// Layout tag of the wear state, e.g. `"u16+uniform"`.
+    pub fn wear_state_layout(&self) -> String {
+        self.wear.layout()
     }
 
     /// Demand writes served before the device died, if it has died.
@@ -397,13 +400,13 @@ impl NvmDevice {
     #[cold]
     #[inline(never)]
     fn wear_write_probed(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
-        let prev = self.write_counts[pa as usize];
+        let prev = self.wear.write_count(pa);
         let out = self.wear_write_body(pa, overhead);
         self.probe_note(pa, prev);
         out
     }
 
-    /// The shared accounting body (count, countdown, failure, spares).
+    /// The shared accounting body (countdown, failure, spares).
     #[inline]
     fn wear_write_body(&mut self, pa: Pa, overhead: bool) -> WriteOutcome {
         self.counters.total_writes += 1;
@@ -412,18 +415,12 @@ impl NvmDevice {
         } else {
             self.counters.demand_writes += 1;
         }
-        self.write_counts[pa as usize] += 1;
-        let rem = &mut self.remaining[pa as usize];
-        *rem -= 1;
         // A line fails when its count reaches the limit; the controller
         // remaps it to a spare, and that spare wears out after another
-        // `limit` writes — hence the refill: hammering one physical address
-        // consumes one spare every `limit` writes.
-        if *rem == 0 {
-            *rem = match &self.limits {
-                Some(l) => l[pa as usize],
-                None => self.cfg.endurance,
-            };
+        // `limit` writes — hence the countdown refill inside
+        // [`WearState::countdown`]: hammering one physical address consumes
+        // one spare every `limit` writes.
+        if self.wear.countdown(pa) {
             self.counters.failed_lines += 1;
             if self.counters.failed_lines > self.cfg.spare_lines() {
                 self.dead = true;
@@ -433,6 +430,79 @@ impl NvmDevice {
             return WriteOutcome::LineFailed;
         }
         WriteOutcome::Ok
+    }
+
+    /// Apply one wear-leveling overhead write to every line in
+    /// `[start, start + n)`, ascending — bit-equivalent to `n` calls of
+    /// [`NvmDevice::write_wl`], stopping after a write that kills the
+    /// device (or at a power loss, whose write is dropped). Returns the
+    /// number of writes applied and the outcome of the last applied write.
+    ///
+    /// Data-movement bursts (segment swaps, region exchanges, SAWL block
+    /// charges) write long contiguous physical ranges; chunks whose every
+    /// countdown clears the failure check take one vectorized decrement
+    /// sweep instead of per-line accounting.
+    pub fn write_wl_range(&mut self, start: Pa, n: u64) -> (u64, WriteOutcome) {
+        if self.dead {
+            return (0, WriteOutcome::DeviceDead);
+        }
+        if !self.powered {
+            return (0, WriteOutcome::PowerLost);
+        }
+        if n == 0 {
+            return (0, WriteOutcome::Ok);
+        }
+        if self.fault.is_some() || self.probe.is_some() {
+            return self.write_wl_range_slow(start, n);
+        }
+        let mut applied = 0u64;
+        let mut last = WriteOutcome::Ok;
+        while applied < n {
+            let chunk = 64.min(n - applied);
+            let base = start + applied;
+            if self.wear.range_clear_of_failures(base, chunk) {
+                self.wear.countdown_range_unchecked(base, chunk);
+                self.counters.total_writes += chunk;
+                self.counters.overhead_writes += chunk;
+                applied += chunk;
+                last = WriteOutcome::Ok;
+            } else {
+                // At least one line in this chunk fails: fall back to the
+                // scalar body for exact failure/death accounting.
+                for _ in 0..chunk {
+                    last = self.wear_write_body(start + applied, true);
+                    applied += 1;
+                    if last == WriteOutcome::DeviceDead {
+                        return (applied, last);
+                    }
+                }
+            }
+        }
+        (applied, last)
+    }
+
+    /// Range path with fault injection or the wear probe active: scalar
+    /// `write_wl` per line, preserving every fault boundary.
+    #[cold]
+    fn write_wl_range_slow(&mut self, start: Pa, n: u64) -> (u64, WriteOutcome) {
+        let mut applied = 0u64;
+        let mut last = WriteOutcome::Ok;
+        while applied < n {
+            let was_dead = self.dead;
+            let out = self.write_wl(start + applied);
+            match out {
+                WriteOutcome::PowerLost => return (applied, out),
+                WriteOutcome::DeviceDead => {
+                    // Applied iff this very write killed the device.
+                    return (applied + u64::from(!was_dead), out);
+                }
+                _ => {
+                    applied += 1;
+                    last = out;
+                }
+            }
+        }
+        (applied, last)
     }
 
     /// Apply `n` consecutive demand writes to the same line, in closed
@@ -516,16 +586,17 @@ impl NvmDevice {
         if n == 0 {
             return (0, WriteOutcome::Ok);
         }
-        let limit = self.limit(pa);
-        let rem = u64::from(self.remaining[pa as usize]);
+        // Deriving a write count costs a bitset probe, so only snapshot the
+        // pre-run value when the probe actually needs it.
+        let prev = if self.probe.is_some() { Some(self.wear.write_count(pa)) } else { None };
+        let limit = self.wear.limit(pa);
+        let rem = self.wear.remaining(pa);
         if n < rem {
             // The run ends before the line's next failure.
-            let prev = self.write_counts[pa as usize];
-            self.remaining[pa as usize] -= n as u32;
-            self.write_counts[pa as usize] = prev + n as u32;
+            self.wear.sub_remaining(pa, n);
             self.counters.total_writes += n;
             self.counters.demand_writes += n;
-            if self.probe.is_some() {
+            if let Some(prev) = prev {
                 self.probe_note(pa, prev);
             }
             return (n, WriteOutcome::Ok);
@@ -536,10 +607,8 @@ impl NvmDevice {
         let failures_to_death = self.cfg.spare_lines() - self.counters.failed_lines + 1;
         let writes_to_death = rem + (failures_to_death - 1) * u64::from(limit);
         if n >= writes_to_death {
-            let prev = self.write_counts[pa as usize];
-            self.remaining[pa as usize] = limit;
-            self.write_counts[pa as usize] = prev + writes_to_death as u32;
-            if self.probe.is_some() {
+            self.wear.refill_after_failures(pa, failures_to_death, 0);
+            if let Some(prev) = prev {
                 self.probe_note(pa, prev);
             }
             self.counters.total_writes += writes_to_death;
@@ -551,10 +620,8 @@ impl NvmDevice {
         }
         let failures = (n - rem) / u64::from(limit) + 1;
         let past_last_failure = (n - rem) % u64::from(limit);
-        let prev = self.write_counts[pa as usize];
-        self.remaining[pa as usize] = limit - past_last_failure as u32;
-        self.write_counts[pa as usize] = prev + n as u32;
-        if self.probe.is_some() {
+        self.wear.refill_after_failures(pa, failures, past_last_failure);
+        if let Some(prev) = prev {
             self.probe_note(pa, prev);
         }
         self.counters.total_writes += n;
@@ -564,28 +631,27 @@ impl NvmDevice {
         (n, last)
     }
 
-    /// Compute full wear-distribution statistics (O(lines)).
+    /// Compute full wear-distribution statistics (O(lines) time, and
+    /// materializes a 4 B/line count vector — avoid on billion-line
+    /// devices).
     pub fn wear_stats(&self) -> WearStats {
-        WearStats::from_counts(&self.write_counts)
+        WearStats::from_counts(&self.wear.counts())
     }
 
-    /// Raw per-line write counts (for tests and detailed reports).
-    pub fn write_counts(&self) -> &[u32] {
-        &self.write_counts
+    /// Per-line write counts, materialized from the SoA state (for tests
+    /// and detailed reports; costs 4 B/line).
+    pub fn write_counts(&self) -> Vec<u32> {
+        self.wear.counts()
     }
 
     /// Reset all wear state, keeping the configuration (and, for the
     /// Gaussian model, the same per-line limits). Used by sweep drivers to
     /// reuse allocations between runs of the same geometry.
     pub fn reset(&mut self) {
-        self.write_counts.fill(0);
         if self.probe.is_some() {
             self.probe = Some(Box::default());
         }
-        match &self.limits {
-            Some(l) => self.remaining.copy_from_slice(l),
-            None => self.remaining.fill(self.cfg.endurance),
-        }
+        self.wear.reset();
         self.counters = WearCounters::default();
         self.demand_writes_at_death = None;
         self.dead = false;
@@ -936,6 +1002,83 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// Mirror of `write_wl_range`'s contract via scalar `write_wl` calls.
+    fn scalar_wl_range(dev: &mut NvmDevice, start: Pa, n: u64) -> (u64, WriteOutcome) {
+        let mut applied = 0;
+        let mut last = WriteOutcome::Ok;
+        while applied < n {
+            let was_dead = dev.is_dead();
+            let out = dev.write_wl(start + applied);
+            match out {
+                WriteOutcome::PowerLost => return (applied, out),
+                WriteOutcome::DeviceDead => return (applied + u64::from(!was_dead), out),
+                _ => {
+                    applied += 1;
+                    last = out;
+                }
+            }
+        }
+        (applied, last)
+    }
+
+    #[test]
+    fn write_wl_range_matches_scalar_writes_through_failures_and_death() {
+        // Endurance 3, shift 2 -> 16 spares on 64 lines: repeated range
+        // sweeps walk every chunk from clean through failing to death.
+        let mut fast = tiny(64, 3, 2);
+        let mut slow = tiny(64, 3, 2);
+        loop {
+            let got = fast.write_wl_range(0, 64);
+            let want = scalar_wl_range(&mut slow, 0, 64);
+            assert_eq!(got, want);
+            assert_eq!(fast.wear(), slow.wear());
+            assert_eq!(fast.write_counts(), slow.write_counts());
+            if fast.is_dead() {
+                break;
+            }
+        }
+        // Misaligned sub-ranges on a fresh device.
+        let mut fast = tiny(256, 5, 2);
+        let mut slow = tiny(256, 5, 2);
+        for (start, n) in [(3u64, 100u64), (0, 1), (250, 6), (17, 129), (0, 256)] {
+            assert_eq!(fast.write_wl_range(start, n), scalar_wl_range(&mut slow, start, n));
+            assert_eq!(fast.wear(), slow.wear());
+        }
+        assert_eq!(fast.write_counts(), slow.write_counts());
+    }
+
+    #[test]
+    fn write_wl_range_with_probe_and_faults_matches_scalar() {
+        let plan = FaultPlan {
+            stuck_lines: vec![5],
+            transient_rate: 0.1,
+            power_loss_at_writes: vec![70],
+            seed: 3,
+        };
+        let mut fast = tiny(32, 4, 2);
+        let mut slow = tiny(32, 4, 2);
+        fast.install_fault_plan(&plan).unwrap();
+        slow.install_fault_plan(&plan).unwrap();
+        fast.enable_wear_probe();
+        slow.enable_wear_probe();
+        for _ in 0..6 {
+            let got = fast.write_wl_range(0, 32);
+            let want = scalar_wl_range(&mut slow, 0, 32);
+            assert_eq!(got, want);
+            assert_eq!(fast.wear(), slow.wear());
+            assert_eq!(fast.fault_counters(), slow.fault_counters());
+            assert_eq!(fast.wear_snapshot(), slow.wear_snapshot());
+            if fast.power_lost() {
+                fast.restore_power();
+                slow.restore_power();
+            }
+            if fast.is_dead() {
+                break;
+            }
+        }
+        assert_probe_matches_full_stats(&fast);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod fault;
 pub mod latency;
 pub mod stats;
 pub mod variation;
+pub mod wear;
 
 pub use bank::BankGeometry;
 pub use config::{NvmConfig, NvmConfigBuilder, NvmConfigError};
@@ -50,6 +51,7 @@ pub use fault::{FaultPlan, FaultPlanError};
 pub use latency::{LatencyConfig, MemTech};
 pub use stats::{FaultCounters, WearStats};
 pub use variation::EnduranceModel;
+pub use wear::WearState;
 
 /// A physical line address (index of a memory line within the device).
 pub type Pa = u64;

@@ -1,0 +1,194 @@
+//! Property tests of the structure-of-arrays wear state against a dense
+//! reference model.
+//!
+//! The reference is the representation `WearState` replaced: one `u64`
+//! countdown, one `u32` limit, and one wrapping `u32` write counter per
+//! line, with no quantization anywhere. Random limit distributions
+//! (uniform, Gaussian-like spreads, and pathological wide spreads) drive
+//! both models through random scalar writes, closed-form runs, and
+//! stuck-at remaps; every observable — limits, countdowns, derived
+//! counts, failure events, and the death point — must match exactly.
+
+use proptest::prelude::*;
+
+use sawl_nvm::WearState;
+
+/// The dense, unquantized model the SoA layout must be bit-equivalent to.
+struct RefModel {
+    limits: Vec<u32>,
+    remaining: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl RefModel {
+    fn new(limits: &[u32]) -> Self {
+        Self {
+            limits: limits.to_vec(),
+            remaining: limits.iter().map(|&l| u64::from(l)).collect(),
+            counts: vec![0; limits.len()],
+        }
+    }
+
+    /// One write; returns `true` on a failure (countdown refilled).
+    fn countdown(&mut self, pa: usize) -> bool {
+        self.remaining[pa] -= 1;
+        self.counts[pa] = self.counts[pa].wrapping_add(1);
+        if self.remaining[pa] == 0 {
+            self.remaining[pa] = u64::from(self.limits[pa]);
+            return true;
+        }
+        false
+    }
+
+    fn note_stuck(&mut self, pa: usize) {
+        self.remaining[pa] = u64::from(self.limits[pa]);
+    }
+}
+
+fn assert_lockstep(w: &WearState, r: &RefModel) {
+    for pa in 0..r.limits.len() {
+        assert_eq!(w.limit(pa as u64), r.limits[pa], "limit at {pa}");
+        assert_eq!(w.remaining(pa as u64), r.remaining[pa], "remaining at {pa}");
+        assert_eq!(w.write_count(pa as u64), r.counts[pa], "count at {pa}");
+    }
+}
+
+/// A Gaussian-like limit table: a shared base with a bounded two-sided
+/// spread, the shape `EnduranceModel::Gaussian` materializes. `offsets`
+/// are raw draws in `0..2*half`, recentered to `base - half + offset`.
+fn spread_limits(base: u32, half: u32, offsets: &[u32]) -> Vec<u32> {
+    offsets.iter().map(|&o| (base - half + o % (2 * half)).max(1)).collect()
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips_any_table(
+        limits in prop::collection::vec(1u32..200_000, 1..64),
+    ) {
+        let w = WearState::new(limits.len() as u64, 0, Some(limits.clone()));
+        for (pa, &l) in limits.iter().enumerate() {
+            assert_eq!(w.limit(pa as u64), l, "layout {}", w.layout());
+            assert_eq!(w.remaining(pa as u64), u64::from(l));
+            assert_eq!(w.write_count(pa as u64), 0);
+        }
+    }
+
+    #[test]
+    fn gaussian_spreads_round_trip_and_stay_narrow(
+        base in 2_000u32..60_000,
+        half in 1u32..1_500,
+        offsets in prop::collection::vec(any::<u32>(), 8..48),
+    ) {
+        let limits = spread_limits(base, half, &offsets);
+        let w = WearState::new(limits.len() as u64, 0, Some(limits.clone()));
+        for (pa, &l) in limits.iter().enumerate() {
+            assert_eq!(w.limit(pa as u64), l);
+        }
+        // A ±1500 spread around a sub-u16 base must quantize: never the
+        // full u32-per-line fallback.
+        assert!(!w.layout().contains("full"), "layout {}", w.layout());
+    }
+
+    #[test]
+    fn scalar_countdowns_failures_and_stuck_remaps_match_the_dense_model(
+        base in 3u32..40,
+        half in 1u32..15,
+        offsets in prop::collection::vec(any::<u32>(), 4..24),
+        ops in prop::collection::vec((any::<u64>(), 0u32..40), 1..400),
+    ) {
+        let limits = spread_limits(base.max(32), half, &offsets);
+        let lines = limits.len();
+        let mut w = WearState::new(lines as u64, 0, Some(limits.clone()));
+        let mut r = RefModel::new(&limits);
+        for &(pa, kind) in &ops {
+            let pa = (pa % lines as u64) as usize;
+            if kind == 0 {
+                w.note_stuck(pa as u64);
+                r.note_stuck(pa);
+                // The remap must not disturb the derived count.
+                assert_eq!(w.write_count(pa as u64), r.counts[pa]);
+            } else {
+                for _ in 0..kind {
+                    let failed = w.countdown(pa as u64);
+                    assert_eq!(failed, r.countdown(pa), "failure event at {pa}");
+                }
+            }
+        }
+        assert_lockstep(&w, &r);
+        let counts = w.counts();
+        assert_eq!(counts, r.counts, "materialized counts diverged");
+    }
+
+    #[test]
+    fn closed_form_runs_hit_the_same_death_point_as_the_dense_model(
+        base in 3u32..25,
+        offsets in prop::collection::vec(any::<u32>(), 4..16),
+        runs in prop::collection::vec((any::<u64>(), 1u64..200), 1..64),
+        spares in 0u64..12,
+    ) {
+        let limits = spread_limits(base.max(4), 2, &offsets);
+        let lines = limits.len();
+        let mut w = WearState::new(lines as u64, 0, Some(limits.clone()));
+        let mut r = RefModel::new(&limits);
+        // Both sides track the spare pool the device layer would: the
+        // failure that overflows it is the death point.
+        let mut w_failed = 0u64;
+        let mut r_failed = 0u64;
+        let mut w_writes = 0u64;
+        let mut r_writes = 0u64;
+        let mut w_dead = false;
+        let mut r_dead = false;
+        for &(pa, n) in &runs {
+            let pa = (pa % lines as u64) as usize;
+            // Reference: n scalar countdowns, stopping at death.
+            if !r_dead {
+                for _ in 0..n {
+                    r_writes += 1;
+                    if r.countdown(pa) {
+                        r_failed += 1;
+                        if r_failed > spares {
+                            r_dead = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // SoA side: the device's closed-form run arithmetic.
+            if !w_dead {
+                let limit = u64::from(w.limit(pa as u64));
+                let rem = w.remaining(pa as u64);
+                if n < rem {
+                    w.sub_remaining(pa as u64, n);
+                    w_writes += n;
+                } else {
+                    let failures_to_death = spares - w_failed + 1;
+                    let writes_to_death = rem + (failures_to_death - 1) * limit;
+                    if n >= writes_to_death {
+                        w.refill_after_failures(pa as u64, failures_to_death, 0);
+                        w_failed += failures_to_death;
+                        w_writes += writes_to_death;
+                        w_dead = true;
+                    } else {
+                        let failures = (n - rem) / limit + 1;
+                        w.refill_after_failures(pa as u64, failures, (n - rem) % limit);
+                        w_failed += failures;
+                        w_writes += n;
+                    }
+                }
+            }
+        }
+        assert_eq!(w_dead, r_dead, "death disagreement");
+        assert_eq!(w_writes, r_writes, "death point (total writes) diverged");
+        assert_eq!(w_failed, r_failed, "failure count diverged");
+        for pa in 0..lines {
+            assert_eq!(w.remaining(pa as u64), r.remaining[pa], "remaining at {pa}");
+        }
+        if !w_dead {
+            // Short of death the derived counts must also be exact; at
+            // death the closed form stops mid-run by design.
+            for pa in 0..lines {
+                assert_eq!(w.write_count(pa as u64), r.counts[pa], "count at {pa}");
+            }
+        }
+    }
+}

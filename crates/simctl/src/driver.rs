@@ -21,7 +21,7 @@ use std::fmt;
 use sawl_algos::WearLeveler;
 use sawl_core::ConfigError;
 use sawl_nvm::{FaultPlanError, NvmDevice};
-use sawl_trace::{AddressStream, MemReq};
+use sawl_trace::{AddressStream, MemReq, ReqRun};
 
 use crate::telemetry::TelemetryRun;
 
@@ -195,12 +195,15 @@ pub fn pump_observed<W, S, F>(
 /// Stops within one request of either condition, exactly like the scalar
 /// loop: the per-request check happens inside the block walk.
 ///
-/// Maximal runs of consecutive writes to the same logical address are
-/// handed to [`WearLeveler::write_run`] as one call, letting schemes with
-/// a batched override (PCM-S, MWSR, security refresh, SAWL) collapse the
-/// run into counter arithmetic. The default `write_run` is a scalar loop,
-/// so the request sequence every scheme observes — and the resulting
-/// device state — is bit-identical to the per-request loop; the scenario
+/// The workload is drained at *run* granularity
+/// ([`AddressStream::fill_runs`]): each run of consecutive writes to the
+/// same logical address is handed to [`WearLeveler::write_run`] as one
+/// call, letting schemes with a batched override (PCM-S, MWSR, security
+/// refresh, SAWL) collapse the run into counter arithmetic — and letting
+/// run-structured generators (BPA, RAA) skip materializing the request
+/// sequence entirely. The default `write_run` is a scalar loop, so the
+/// request sequence every scheme observes — and the resulting device
+/// state — is bit-identical to the per-request loop; the scenario
 /// equivalence tests enforce this end to end.
 ///
 /// When the device carries a fault plan, a scheduled power loss surfaces
@@ -222,56 +225,54 @@ where
     W: WearLeveler + ?Sized,
     S: AddressStream + ?Sized,
 {
-    let mut buf = [MemReq::read(0); BLOCK];
+    let mut scratch = [MemReq::read(0); BLOCK];
+    let mut runs: Vec<ReqRun> = Vec::new();
     let mut consecutive_reads = 0u64;
     let mut stats = PumpStats::default();
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
-        let filled = stream.fill(&mut buf);
-        let mut i = 0;
-        while i < filled {
-            let req = buf[i];
-            if !req.write {
-                consecutive_reads += 1;
+        stream.fill_runs(&mut runs, &mut scratch);
+        for run in &runs {
+            if !run.write {
+                consecutive_reads += run.len;
                 if consecutive_reads >= READ_SPIN_LIMIT {
                     return Err(DriverError::WriteFreeStream { stream: stream.name().to_string() });
                 }
-                i += 1;
                 continue;
             }
             consecutive_reads = 0;
-            let mut j = i + 1;
-            while j < filled && buf[j].write && buf[j].la == req.la {
-                j += 1;
-            }
-            let n = ((j - i) as u64).min(cap - dev.wear().demand_writes);
-            let done = wl.write_run(req.la, n, dev);
-            if dev.is_dead() || dev.wear().demand_writes >= cap {
-                break 'blocks;
-            }
-            if dev.power_lost() {
-                // Replay is idempotent; keep recovering until a pass runs
-                // to completion without another scheduled power loss.
-                loop {
-                    let r = wl.recover(dev);
-                    stats.journal_replays += u64::from(r.replayed);
-                    stats.journal_rollbacks += u64::from(r.rolled_back);
-                    if r.complete {
-                        break;
-                    }
-                }
-                stats.recoveries += 1;
-                // Replayed data movement wears cells too and can finish
-                // off a nearly-dead device.
-                if dev.is_dead() {
+            let mut served = 0u64;
+            while served < run.len {
+                let n = (run.len - served).min(cap - dev.wear().demand_writes);
+                let done = wl.write_run(run.la, n, dev);
+                if dev.is_dead() || dev.wear().demand_writes >= cap {
                     break 'blocks;
                 }
-                // Whatever the interrupted run did not serve is retried by
-                // the next inner-loop iteration.
-                i += done as usize;
-                continue;
+                if dev.power_lost() {
+                    // Replay is idempotent; keep recovering until a pass
+                    // runs to completion without another scheduled power
+                    // loss.
+                    loop {
+                        let r = wl.recover(dev);
+                        stats.journal_replays += u64::from(r.replayed);
+                        stats.journal_rollbacks += u64::from(r.rolled_back);
+                        if r.complete {
+                            break;
+                        }
+                    }
+                    stats.recoveries += 1;
+                    // Replayed data movement wears cells too and can finish
+                    // off a nearly-dead device.
+                    if dev.is_dead() {
+                        break 'blocks;
+                    }
+                    // Whatever the interrupted run did not serve is retried
+                    // by the next inner-loop iteration.
+                    served += done;
+                    continue;
+                }
+                debug_assert_eq!(done, n, "write_run must complete unless the device died");
+                served += done;
             }
-            debug_assert_eq!(done, n, "write_run must complete unless the device died");
-            i += done as usize;
         }
     }
     Ok(stats)
@@ -303,57 +304,56 @@ where
     let Some(t) = telemetry else {
         return pump_writes(wl, dev, stream, cap);
     };
-    let mut buf = [MemReq::read(0); BLOCK];
+    let mut scratch = [MemReq::read(0); BLOCK];
+    let mut runs: Vec<ReqRun> = Vec::new();
     let mut consecutive_reads = 0u64;
     let mut stats = PumpStats::default();
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
-        let filled = stream.fill(&mut buf);
-        let mut i = 0;
-        while i < filled {
-            let req = buf[i];
-            if !req.write {
-                consecutive_reads += 1;
+        stream.fill_runs(&mut runs, &mut scratch);
+        for run in &runs {
+            if !run.write {
+                consecutive_reads += run.len;
                 if consecutive_reads >= READ_SPIN_LIMIT {
                     return Err(DriverError::WriteFreeStream { stream: stream.name().to_string() });
                 }
-                i += 1;
                 continue;
             }
             consecutive_reads = 0;
-            let mut j = i + 1;
-            while j < filled && buf[j].write && buf[j].la == req.la {
-                j += 1;
-            }
-            let n = ((j - i) as u64).min(cap - dev.wear().demand_writes).min(t.until_sample());
-            let done = wl.write_run(req.la, n, dev);
-            t.note_served(done, wl, dev);
-            if dev.is_dead() || dev.wear().demand_writes >= cap {
-                break 'blocks;
-            }
-            if dev.power_lost() {
-                // Replay is idempotent; keep recovering until a pass runs
-                // to completion without another scheduled power loss.
-                loop {
-                    let r = wl.recover(dev);
-                    stats.journal_replays += u64::from(r.replayed);
-                    stats.journal_rollbacks += u64::from(r.rolled_back);
-                    if r.complete {
-                        break;
-                    }
-                }
-                stats.recoveries += 1;
-                // Replayed data movement wears cells too and can finish
-                // off a nearly-dead device.
-                if dev.is_dead() {
+            let mut served = 0u64;
+            while served < run.len {
+                let n =
+                    (run.len - served).min(cap - dev.wear().demand_writes).min(t.until_sample());
+                let done = wl.write_run(run.la, n, dev);
+                t.note_served(done, wl, dev);
+                if dev.is_dead() || dev.wear().demand_writes >= cap {
                     break 'blocks;
                 }
-                // Whatever the interrupted run did not serve is retried by
-                // the next inner-loop iteration.
-                i += done as usize;
-                continue;
+                if dev.power_lost() {
+                    // Replay is idempotent; keep recovering until a pass
+                    // runs to completion without another scheduled power
+                    // loss.
+                    loop {
+                        let r = wl.recover(dev);
+                        stats.journal_replays += u64::from(r.replayed);
+                        stats.journal_rollbacks += u64::from(r.rolled_back);
+                        if r.complete {
+                            break;
+                        }
+                    }
+                    stats.recoveries += 1;
+                    // Replayed data movement wears cells too and can finish
+                    // off a nearly-dead device.
+                    if dev.is_dead() {
+                        break 'blocks;
+                    }
+                    // Whatever the interrupted run did not serve is retried
+                    // by the next inner-loop iteration.
+                    served += done;
+                    continue;
+                }
+                debug_assert_eq!(done, n, "write_run must complete unless the device died");
+                served += done;
             }
-            debug_assert_eq!(done, n, "write_run must complete unless the device died");
-            i += done as usize;
         }
     }
     Ok(stats)

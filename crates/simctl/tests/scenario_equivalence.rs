@@ -143,6 +143,67 @@ fn batched_lifetime_matches_scalar_reference_under_raa_and_variation() {
 }
 
 #[test]
+fn tlsr_batched_write_run_matches_scalar_across_parameter_grid() {
+    // TLSR's `write_run` collapses a whole inner/outer refresh window —
+    // one translation plus one device run per window, including the
+    // window's first write. These cases pin that restructuring against the
+    // scalar loop where windows interact awkwardly with run boundaries:
+    // dwells shorter than, equal to, and much longer than both periods,
+    // inner/outer period ratios from 2 to 64, and a single-region
+    // geometry where the outer level is degenerate.
+    let grids = [
+        (64u64, 2u64, 4u64), // tiny windows: a step almost every write
+        (64, 8, 512),        // wide outer: inner steps dominate
+        (128, 64, 128),      // window == common BPA dwell sizes
+        (512, 16, 64),       // single region: outer mapping degenerate
+    ];
+    let dwells = [3u64, 16, 512, 5_000];
+    for (region_lines, inner_period, outer_period) in grids {
+        for dwell in dwells {
+            let exp = LifetimeExperiment {
+                id: format!("equiv-tlsr/{region_lines}-{inner_period}-{outer_period}/{dwell}"),
+                scheme: SchemeSpec::Tlsr { region_lines, inner_period, outer_period },
+                workload: WorkloadSpec::Bpa { writes_per_target: dwell },
+                data_lines: 1 << 9,
+                device: DeviceSpec { endurance: 200, ..Default::default() },
+                max_demand_writes: 0,
+                fault: None,
+                telemetry: None,
+            };
+            let batched = run_lifetime(&exp).unwrap();
+            let scalar = scalar_lifetime(&exp);
+            assert_eq!(batched, scalar, "batched TLSR diverged from scalar for {}", exp.id);
+        }
+    }
+}
+
+#[test]
+fn single_sr_batched_write_run_matches_scalar_across_periods() {
+    // The single-level refresh shares TLSR's window-collapsing
+    // `write_run`; sweep the period against a fixed awkward dwell and
+    // under Gaussian endurance variation so failures land mid-window.
+    for period in [1u64, 2, 7, 32, 513] {
+        let exp = LifetimeExperiment {
+            id: format!("equiv-sr/{period}"),
+            scheme: SchemeSpec::SingleSr { period },
+            workload: WorkloadSpec::Bpa { writes_per_target: 96 },
+            data_lines: 1 << 9,
+            device: DeviceSpec {
+                endurance: 200,
+                variation: sawl_nvm::EnduranceModel::Gaussian { cov: 0.2 },
+                ..Default::default()
+            },
+            max_demand_writes: 0,
+            fault: None,
+            telemetry: None,
+        };
+        let batched = run_lifetime(&exp).unwrap();
+        let scalar = scalar_lifetime(&exp);
+        assert_eq!(batched, scalar, "batched SR diverged from scalar for {}", exp.id);
+    }
+}
+
+#[test]
 fn batched_lifetime_matches_scalar_reference_at_a_write_cap() {
     // A cap that lands mid-block: the pump must stop within one request
     // of it, exactly like the scalar loop.

@@ -16,7 +16,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AddressStream, MemReq};
+use crate::{AddressStream, MemReq, ReqRun};
 
 /// Repeated Address Attack: writes one logical line forever.
 #[derive(Debug, Clone)]
@@ -42,6 +42,14 @@ impl AddressStream for Raa {
     fn fill(&mut self, buf: &mut [MemReq]) -> usize {
         buf.fill(MemReq::write(self.target));
         buf.len()
+    }
+
+    fn fill_runs(&mut self, runs: &mut Vec<ReqRun>, scratch: &mut [MemReq]) -> u64 {
+        // The whole block is one run; `scratch` is only the request budget.
+        runs.clear();
+        let n = scratch.len() as u64;
+        runs.push(ReqRun { la: self.target, write: true, len: n });
+        n
     }
 
     fn space_lines(&self) -> u64 {
@@ -115,6 +123,26 @@ impl AddressStream for Bpa {
             i += run;
         }
         buf.len()
+    }
+
+    fn fill_runs(&mut self, runs: &mut Vec<ReqRun>, scratch: &mut [MemReq]) -> u64 {
+        // One `ReqRun` per dwell (or dwell fragment at the block budget
+        // boundary): no request materialization, no scan — the run-level
+        // pump costs O(1) per dwell instead of O(dwell).
+        runs.clear();
+        let budget = scratch.len() as u64;
+        let mut total = 0;
+        while total < budget {
+            if self.remaining == 0 {
+                self.current = self.rng.random_range(0..self.space);
+                self.remaining = self.writes_per_target;
+            }
+            let run = self.remaining.min(budget - total);
+            runs.push(ReqRun { la: self.current, write: true, len: run });
+            self.remaining -= run;
+            total += run;
+        }
+        total
     }
 
     fn space_lines(&self) -> u64 {

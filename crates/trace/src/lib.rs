@@ -67,6 +67,21 @@ impl MemReq {
     }
 }
 
+/// A run of `len` consecutive identical requests (same logical address,
+/// same kind). The run-level stream interface ([`AddressStream::fill_runs`])
+/// speaks in these so that run-structured generators (BPA dwells, RAA) can
+/// hand whole runs to the batched write path without ever materializing —
+/// or re-scanning — the per-request sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqRun {
+    /// Logical line address every request in the run targets.
+    pub la: u64,
+    /// `true` for writes, `false` for reads.
+    pub write: bool,
+    /// Number of consecutive requests in the run (≥ 1).
+    pub len: u64,
+}
+
 /// An infinite stream of memory requests over a logical address space of
 /// `space_lines()` lines. Implementations must be deterministic functions of
 /// their construction parameters (including seeds).
@@ -88,6 +103,37 @@ pub trait AddressStream {
         buf.len()
     }
 
+    /// Drain the next `scratch.len()` requests as runs of identical
+    /// consecutive requests, replacing the contents of `runs`. Returns the
+    /// total number of requests covered (always `scratch.len()`).
+    ///
+    /// Flattening the produced runs yields exactly the request sequence
+    /// [`fill`](Self::fill) would have written, except that run boundaries
+    /// are unspecified: a maximal run may be split across several `ReqRun`
+    /// entries (never merged out of order). Batched drivers must therefore
+    /// treat consecutive entries independently — which the device/scheme
+    /// `write_run` split-equivalence already guarantees.
+    ///
+    /// The default derives runs by scanning a [`fill`] block through
+    /// `scratch`; run-structured generators (BPA, RAA) override it to emit
+    /// runs directly, skipping both the request materialization and the
+    /// scan.
+    fn fill_runs(&mut self, runs: &mut Vec<ReqRun>, scratch: &mut [MemReq]) -> u64 {
+        runs.clear();
+        let filled = self.fill(scratch);
+        let mut i = 0;
+        while i < filled {
+            let req = scratch[i];
+            let mut j = i + 1;
+            while j < filled && scratch[j] == req {
+                j += 1;
+            }
+            runs.push(ReqRun { la: req.la, write: req.write, len: (j - i) as u64 });
+            i = j;
+        }
+        filled as u64
+    }
+
     /// Size of the logical address space this stream draws from; every
     /// produced `la` is `< space_lines()`.
     fn space_lines(&self) -> u64;
@@ -107,6 +153,10 @@ impl<S: AddressStream + ?Sized> AddressStream for Box<S> {
         (**self).fill(buf)
     }
 
+    fn fill_runs(&mut self, runs: &mut Vec<ReqRun>, scratch: &mut [MemReq]) -> u64 {
+        (**self).fill_runs(runs, scratch)
+    }
+
     fn space_lines(&self) -> u64 {
         (**self).space_lines()
     }
@@ -119,6 +169,53 @@ impl<S: AddressStream + ?Sized> AddressStream for Box<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Flatten `fill_runs` output back into requests and check it matches
+    /// the `next_req` sequence of an identical twin stream.
+    fn assert_runs_match_scalar<S: AddressStream>(
+        mut runs_side: S,
+        mut scalar_side: S,
+        total: u64,
+    ) {
+        let mut runs = Vec::new();
+        let mut scratch = [MemReq::read(0); 512];
+        let mut produced = 0u64;
+        while produced < total {
+            let covered = runs_side.fill_runs(&mut runs, &mut scratch);
+            assert!(covered > 0);
+            for run in &runs {
+                assert!(run.len >= 1);
+                for _ in 0..run.len {
+                    let expect = scalar_side.next_req();
+                    assert_eq!((run.la, run.write), (expect.la, expect.write));
+                }
+            }
+            assert_eq!(runs.iter().map(|r| r.len).sum::<u64>(), covered);
+            produced += covered;
+        }
+    }
+
+    #[test]
+    fn default_fill_runs_matches_next_req() {
+        assert_runs_match_scalar(
+            Uniform::new(1 << 10, 0.5, 17),
+            Uniform::new(1 << 10, 0.5, 17),
+            5_000,
+        );
+    }
+
+    #[test]
+    fn bpa_fill_runs_matches_next_req() {
+        // Dwell 96 does not divide the 512-request scratch budget, so runs
+        // split at block boundaries — the flattened sequence must still be
+        // bit-identical.
+        assert_runs_match_scalar(Bpa::new(1 << 16, 96, 7), Bpa::new(1 << 16, 96, 7), 10_000);
+    }
+
+    #[test]
+    fn raa_fill_runs_matches_next_req() {
+        assert_runs_match_scalar(Raa::new(5, 64), Raa::new(5, 64), 2_048);
+    }
 
     #[test]
     fn memreq_constructors() {
