@@ -151,6 +151,26 @@ pub trait WearLeveler {
     fn telemetry_events_take(&mut self) -> Option<(Vec<sawl_telemetry::Event>, u64)> {
         None
     }
+
+    /// Cumulative wear-leveling operation counts. The timing driver diffs
+    /// this around each request to attribute that request's overhead
+    /// writes to a cause (data exchange vs. merge/split reorganization).
+    /// Default: all zero — correct for schemes that report nothing; their
+    /// overhead writes are then attributed to exchanges, which is what
+    /// every non-SAWL scheme performs.
+    fn op_counts(&self) -> OpCounts {
+        OpCounts::default()
+    }
+}
+
+/// Cumulative operation counters reported by
+/// [`WearLeveler::op_counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Completed data exchanges (remap/swap moves).
+    pub exchanges: u64,
+    /// Completed region reorganizations (SAWL's merges + splits).
+    pub reorgs: u64,
 }
 
 /// Blanket impl so drivers can hold `Box<dyn WearLeveler>`.
@@ -197,6 +217,10 @@ impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
 
     fn telemetry_events_take(&mut self) -> Option<(Vec<sawl_telemetry::Event>, u64)> {
         (**self).telemetry_events_take()
+    }
+
+    fn op_counts(&self) -> OpCounts {
+        (**self).op_counts()
     }
 }
 

@@ -1,0 +1,144 @@
+//! Tail-latency comparison: run each scheme's lifetime probe with the
+//! closed-loop timing model attached under BPA and Zipf traffic, and
+//! record the latency distribution (p50/p99/p999/max) plus the stall
+//! attribution as `BENCH_latency.json` in the working directory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sawl-bench --bin fig_latency              # full geometry
+//! cargo run --release -p sawl-bench --bin fig_latency -- --smoke  # tiny, seconds
+//! ```
+//!
+//! The JSON schema is a single object:
+//!
+//! ```json
+//! {
+//!   "probe": "timed-lifetime",
+//!   "smoke": false,
+//!   "data_lines": 65536,
+//!   "requests": 2000000,
+//!   "rows": [
+//!     { "scheme": "sawl", "workload": "bpa", "requests": 0, "mean_ns": 0.0,
+//!       "p50_ns": 0, "p99_ns": 0, "p999_ns": 0, "max_ns": 0,
+//!       "saturated": false, "stall_queue_ns": 0.0, "stall_trans_miss_ns": 0.0,
+//!       "stall_exchange_ns": 0.0, "stall_reorg_ns": 0.0 }
+//!   ]
+//! }
+//! ```
+//!
+//! The mean separates schemes only mildly; the p99/p999 columns are where
+//! periodic table-wide exchanges (PCM-S, MWSR) and SAWL's merge/split
+//! reorganizations show up. Every run serves the same request count, so
+//! percentiles are comparable across rows.
+
+use serde::{Deserialize, Serialize};
+
+use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, TimingSpec, WorkloadSpec};
+
+/// One scheme × workload row in `BENCH_latency.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct LatencyRow {
+    scheme: String,
+    workload: String,
+    requests: u64,
+    mean_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    p999_ns: u64,
+    max_ns: u64,
+    saturated: bool,
+    stall_queue_ns: f64,
+    stall_trans_miss_ns: f64,
+    stall_exchange_ns: f64,
+    stall_reorg_ns: f64,
+}
+
+/// Top-level `BENCH_latency.json` document.
+#[derive(Debug, Serialize, Deserialize)]
+struct LatencyReportDoc {
+    probe: String,
+    smoke: bool,
+    data_lines: u64,
+    endurance: u32,
+    requests: u64,
+    rows: Vec<LatencyRow>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // High endurance: every run serves the full request budget, so the
+    // percentile columns compare identical sample counts.
+    let (data_lines, requests): (u64, u64) =
+        if smoke { (1 << 12, 100_000) } else { (1 << 16, 2_000_000) };
+    let endurance = u32::MAX;
+
+    let schemes: Vec<(&str, SchemeSpec)> = vec![
+        ("baseline", SchemeSpec::Baseline),
+        ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
+        ("tlsr", SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 }),
+        ("mwsr", SchemeSpec::Mwsr { region_lines: 16, period: 32 }),
+        ("nwl", SchemeSpec::Nwl { granularity: 4, cmt_entries: 1 << 10, swap_period: 1 << 20 }),
+        ("sawl", SchemeSpec::sawl_default(1024)),
+    ];
+    let workloads: Vec<(&str, WorkloadSpec)> = vec![
+        ("bpa", WorkloadSpec::Bpa { writes_per_target: 2048 }),
+        ("zipf", WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 1.0 }),
+    ];
+
+    let mut rows = Vec::new();
+    for (sname, scheme) in &schemes {
+        for (wname, workload) in &workloads {
+            let scenario = Scenario::lifetime(
+                format!("fig-latency/{sname}/{wname}"),
+                scheme.clone(),
+                workload.clone(),
+                data_lines,
+                DeviceSpec { endurance, ..Default::default() },
+            )
+            .with_write_cap(requests)
+            .with_timing(TimingSpec::default());
+            let report = run_scenario(&scenario).expect("latency scenario failed");
+            let l = report.lifetime().latency.clone().expect("timed run must report latency");
+            println!(
+                "{sname:>8}/{wname}: p50 {:>5} ns  p99 {:>6} ns  p999 {:>7} ns  max {:>8} ns  \
+                 (queue {:.2e} / miss {:.2e} / xchg {:.2e} / reorg {:.2e})",
+                l.p50_ns,
+                l.p99_ns,
+                l.p999_ns,
+                l.max_ns,
+                l.stall_queue_ns,
+                l.stall_trans_miss_ns,
+                l.stall_exchange_ns,
+                l.stall_reorg_ns,
+            );
+            rows.push(LatencyRow {
+                scheme: (*sname).into(),
+                workload: (*wname).into(),
+                requests: l.requests,
+                mean_ns: l.mean_ns,
+                p50_ns: l.p50_ns,
+                p99_ns: l.p99_ns,
+                p999_ns: l.p999_ns,
+                max_ns: l.max_ns,
+                saturated: l.saturated,
+                stall_queue_ns: l.stall_queue_ns,
+                stall_trans_miss_ns: l.stall_trans_miss_ns,
+                stall_exchange_ns: l.stall_exchange_ns,
+                stall_reorg_ns: l.stall_reorg_ns,
+            });
+        }
+    }
+
+    let doc = LatencyReportDoc {
+        probe: "timed-lifetime".into(),
+        smoke,
+        data_lines,
+        endurance,
+        requests,
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&doc).expect("serialize latency report");
+    std::fs::write("BENCH_latency.json", json + "\n").expect("write BENCH_latency.json");
+    println!("wrote BENCH_latency.json");
+}

@@ -32,7 +32,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use sawl_algos::{Recovery, WearLeveler};
+use sawl_algos::{OpCounts, Recovery, WearLeveler};
 use sawl_nvm::{La, NvmDevice, Pa};
 use sawl_telemetry::{Event, EventKind, EventRing, SchemeSample};
 use sawl_tiered::cmt::Cmt;
@@ -605,6 +605,10 @@ impl WearLeveler for Sawl {
 
     fn telemetry_events_enable(&mut self, capacity: usize) {
         self.events = Some(Box::new(EventRing::new(capacity)));
+    }
+
+    fn op_counts(&self) -> OpCounts {
+        OpCounts { exchanges: self.xchg.exchanges(), reorgs: self.merges + self.splits }
     }
 
     fn telemetry_events_take(&mut self) -> Option<(Vec<Event>, u64)> {

@@ -1,7 +1,7 @@
 //! `sawl-sim` — run a custom experiment from a JSON spec.
 //!
 //! ```text
-//! sawl-sim lifetime <spec.json> [--telemetry out.json] [--progress]
+//! sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress]
 //! sawl-sim perf     <spec.json>
 //! sawl-sim example  lifetime|perf   print a template spec
 //! ```
@@ -14,7 +14,10 @@
 //! `telemetry` block if present, otherwise a default 100k-write stride)
 //! and writes it to `out.json` as JSON lines — one `meta` line, one line
 //! per sample/event, one `end` line — instead of embedding it in the
-//! stdout result. `--progress` adds a throttled stderr ticker.
+//! stdout result. `--timing` attaches the closed-loop controller model
+//! (the spec's own `timing` block if present, otherwise the Table 1
+//! default) so the result carries the latency distribution and stall
+//! breakdown. `--progress` adds a throttled stderr ticker.
 //!
 //! Exit codes: `0` success, `1` runtime failure (I/O, write-free
 //! workload), `2` bad usage or an invalid spec.
@@ -23,11 +26,11 @@ use std::process::ExitCode;
 
 use sawl_simctl::{
     run_lifetime, run_perf, DeviceSpec, DriverError, FaultPlan, LifetimeExperiment, PerfExperiment,
-    SchemeSpec, TelemetrySpec, WorkloadSpec,
+    SchemeSpec, TelemetrySpec, TimingSpec, WorkloadSpec,
 };
 use sawl_trace::SpecBenchmark;
 
-const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--progress]\n  sawl-sim perf <spec.json>\n  sawl-sim example lifetime|perf";
+const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress]\n  sawl-sim perf <spec.json>\n  sawl-sim example lifetime|perf";
 
 /// Spec problems exit 2 (the input is wrong, rerunning won't help);
 /// runtime failures exit 1.
@@ -43,13 +46,15 @@ fn driver_exit_code(e: &DriverError) -> u8 {
 struct RunArgs {
     spec_path: String,
     telemetry_out: Option<String>,
+    timing: bool,
     progress: bool,
 }
 
-/// Parse `<spec.json> [--telemetry out.json] [--progress]`.
+/// Parse `<spec.json> [--telemetry out.json] [--timing] [--progress]`.
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut spec_path = None;
     let mut telemetry_out = None;
+    let mut timing = false;
     let mut progress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -58,6 +63,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 Some(path) => telemetry_out = Some(path.clone()),
                 None => return Err("--telemetry needs an output path".into()),
             },
+            "--timing" => timing = true,
             "--progress" => progress = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path if spec_path.is_none() => spec_path = Some(path.to_string()),
@@ -65,7 +71,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         }
     }
     let Some(spec_path) = spec_path else { return Err("missing <spec.json>".into()) };
-    Ok(RunArgs { spec_path, telemetry_out, progress })
+    Ok(RunArgs { spec_path, telemetry_out, timing, progress })
 }
 
 /// Fold the CLI telemetry flags into the experiment's own `telemetry`
@@ -80,6 +86,14 @@ fn apply_telemetry_flags(spec: &mut Option<TelemetrySpec>, args: &RunArgs) {
     }
 }
 
+/// `--timing` supplies the Table 1 timing model when the JSON has none
+/// (an explicit `timing` block always wins).
+fn apply_timing_flag(spec: &mut Option<TimingSpec>, args: &RunArgs) {
+    if spec.is_none() && args.timing {
+        *spec = Some(TimingSpec::default());
+    }
+}
+
 fn template_lifetime() -> LifetimeExperiment {
     LifetimeExperiment {
         id: "custom/lifetime".into(),
@@ -90,6 +104,7 @@ fn template_lifetime() -> LifetimeExperiment {
         max_demand_writes: 0,
         fault: Some(FaultPlan::default()),
         telemetry: Some(TelemetrySpec::default()),
+        timing: Some(TimingSpec::default()),
     }
 }
 
@@ -112,6 +127,7 @@ fn run_lifetime_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
     let mut exp = serde_json::from_str::<LifetimeExperiment>(raw)
         .map_err(|e| (format!("invalid lifetime spec {}: {e}", args.spec_path), 2))?;
     apply_telemetry_flags(&mut exp.telemetry, args);
+    apply_timing_flag(&mut exp.timing, args);
     let mut result = run_lifetime(&exp)
         .map_err(|e| (format!("lifetime run failed: {e}"), driver_exit_code(&e)))?;
     if let Some(out_path) = &args.telemetry_out {
@@ -123,8 +139,13 @@ fn run_lifetime_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
 }
 
 fn run_perf_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
-    if args.telemetry_out.is_some() || args.progress {
-        return Err(("perf runs do not support --telemetry/--progress".into(), 2));
+    if args.telemetry_out.is_some() || args.progress || args.timing {
+        return Err((
+            "perf runs do not support --telemetry/--timing/--progress (perf always carries \
+             its own timing model)"
+                .into(),
+            2,
+        ));
     }
     let exp = serde_json::from_str::<PerfExperiment>(raw)
         .map_err(|e| (format!("invalid perf spec {}: {e}", args.spec_path), 2))?;
@@ -240,13 +261,26 @@ mod tests {
     fn run_args_parse_flags_in_any_order() {
         assert_eq!(
             parse_run_args(&strs(&["spec.json"])).unwrap(),
-            RunArgs { spec_path: "spec.json".into(), telemetry_out: None, progress: false }
+            RunArgs {
+                spec_path: "spec.json".into(),
+                telemetry_out: None,
+                timing: false,
+                progress: false
+            }
         );
         assert_eq!(
-            parse_run_args(&strs(&["--progress", "spec.json", "--telemetry", "t.json"])).unwrap(),
+            parse_run_args(&strs(&[
+                "--progress",
+                "spec.json",
+                "--telemetry",
+                "t.json",
+                "--timing"
+            ]))
+            .unwrap(),
             RunArgs {
                 spec_path: "spec.json".into(),
                 telemetry_out: Some("t.json".into()),
+                timing: true,
                 progress: true
             }
         );
@@ -261,6 +295,7 @@ mod tests {
         let args = |telemetry_out: Option<&str>, progress| RunArgs {
             spec_path: "s.json".into(),
             telemetry_out: telemetry_out.map(String::from),
+            timing: false,
             progress,
         };
         // No flags, no spec: stays off.
@@ -289,6 +324,7 @@ mod tests {
             max_demand_writes: 30_000,
             fault: None,
             telemetry: Some(TelemetrySpec::with_stride(10_000)),
+            timing: None,
         };
         let raw = serde_json::to_string(&exp).unwrap();
         let dir = std::env::temp_dir().join("sawl-sim-cli-test");
@@ -297,6 +333,7 @@ mod tests {
         let args = RunArgs {
             spec_path: "spec.json".into(),
             telemetry_out: Some(out.to_str().unwrap().to_string()),
+            timing: false,
             progress: false,
         };
         let stdout = run_lifetime_cli(&raw, &args).unwrap();
@@ -311,7 +348,12 @@ mod tests {
 
     #[test]
     fn lifetime_cli_maps_bad_specs_to_exit_2() {
-        let args = RunArgs { spec_path: "spec.json".into(), telemetry_out: None, progress: false };
+        let args = RunArgs {
+            spec_path: "spec.json".into(),
+            telemetry_out: None,
+            timing: false,
+            progress: false,
+        };
         let (_, code) = run_lifetime_cli("{not json", &args).unwrap_err();
         assert_eq!(code, 2);
         let mut exp = template_lifetime();
@@ -328,6 +370,7 @@ mod tests {
         let args = RunArgs {
             spec_path: "spec.json".into(),
             telemetry_out: Some("t.json".into()),
+            timing: false,
             progress: false,
         };
         let (msg, code) = run_perf_cli("{}", &args).unwrap_err();

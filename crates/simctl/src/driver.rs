@@ -24,6 +24,7 @@ use sawl_nvm::{FaultPlanError, NvmDevice};
 use sawl_trace::{AddressStream, MemReq, ReqRun};
 
 use crate::telemetry::TelemetryRun;
+use crate::timing::TimingRun;
 
 /// Requests drained from the stream per batch. Big enough to amortize the
 /// virtual dispatch and RNG setup, small enough to stay cache-resident
@@ -353,6 +354,87 @@ where
                 }
                 debug_assert_eq!(done, n, "write_run must complete unless the device died");
                 served += done;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// [`pump_writes_telemetry`] with the closed-loop timing model attached.
+///
+/// Timing needs the physical address and the per-request device/scheme
+/// counter deltas of **every** write, so this pump serves requests scalar
+/// (one [`WearLeveler::write`] per request) while still draining the
+/// stream at run granularity — the request sequence, and hence the device
+/// state, is bit-identical to the batched pumps (the `write_run` contract)
+/// and to the scalar reference loop (`latency_alignment.rs` pins both).
+///
+/// The telemetry clock advances per served write exactly as in the batched
+/// pump, so boundary samples — including the timing histogram — land on
+/// identical request indices. A write dropped by a power loss is neither
+/// observed by the timing model nor counted as served; the recovery's own
+/// data movement is charged to the next observed request's overhead delta.
+pub fn pump_writes_timed<W, S>(
+    wl: &mut W,
+    dev: &mut NvmDevice,
+    stream: &mut S,
+    cap: u64,
+    mut telemetry: Option<&mut TelemetryRun>,
+    timing: &mut TimingRun,
+) -> Result<PumpStats, DriverError>
+where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+{
+    let mut scratch = [MemReq::read(0); BLOCK];
+    let mut runs: Vec<ReqRun> = Vec::new();
+    let mut consecutive_reads = 0u64;
+    let mut stats = PumpStats::default();
+    timing.prime(wl, dev);
+    'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        stream.fill_runs(&mut runs, &mut scratch);
+        for run in &runs {
+            if !run.write {
+                consecutive_reads += run.len;
+                if consecutive_reads >= READ_SPIN_LIMIT {
+                    return Err(DriverError::WriteFreeStream { stream: stream.name().to_string() });
+                }
+                continue;
+            }
+            consecutive_reads = 0;
+            let mut served = 0u64;
+            while served < run.len {
+                let before = dev.wear().demand_writes;
+                let pa = wl.write(run.la, dev);
+                if dev.power_lost() {
+                    // Replay is idempotent; keep recovering until a pass
+                    // runs to completion without another scheduled loss.
+                    loop {
+                        let r = wl.recover(dev);
+                        stats.journal_replays += u64::from(r.replayed);
+                        stats.journal_rollbacks += u64::from(r.rolled_back);
+                        if r.complete {
+                            break;
+                        }
+                    }
+                    stats.recoveries += 1;
+                    if dev.is_dead() {
+                        break 'blocks;
+                    }
+                    // A dropped write is retried; a landed one is observed
+                    // below on the retry path's next iteration only if it
+                    // actually advanced the demand counter.
+                    served += dev.wear().demand_writes - before;
+                    continue;
+                }
+                timing.observe(true, pa, wl, dev);
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.note_served_timed(1, wl, dev, timing);
+                }
+                served += 1;
+                if dev.is_dead() || dev.wear().demand_writes >= cap {
+                    break 'blocks;
+                }
             }
         }
     }

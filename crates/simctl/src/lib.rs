@@ -35,9 +35,11 @@ pub mod seed;
 pub mod spec;
 pub mod sysconfig;
 pub mod telemetry;
+pub mod timing;
 
 pub use driver::{
-    pump, pump_observed, pump_telemetry, pump_writes, pump_writes_telemetry, DriverError, PumpStats,
+    pump, pump_observed, pump_telemetry, pump_writes, pump_writes_telemetry, pump_writes_timed,
+    DriverError, PumpStats,
 };
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
@@ -51,6 +53,7 @@ pub use spec::{DeviceSpec, SchemeInstance, SchemeSpec, TranslationKind, Workload
 pub use sysconfig::SystemConfig;
 
 pub use telemetry::{device_sample, TelemetryRun};
+pub use timing::{EventBuilder, LatencyReport, TimingRun};
 
 // Fault vocabulary, re-exported so spec authors don't need a direct
 // `sawl-nvm` dependency to describe a faulted run.
@@ -58,3 +61,6 @@ pub use sawl_nvm::{FaultCounters, FaultPlan, FaultPlanError};
 
 // Telemetry vocabulary, likewise re-exported for spec authors.
 pub use sawl_telemetry::{Channel, Event, EventKind, Series, TelemetrySpec};
+
+// Timing vocabulary, likewise re-exported for spec authors.
+pub use sawl_timing::{ClosedLoopConfig, Percentile, TimingSpec};

@@ -16,11 +16,13 @@ use serde::{Deserialize, Serialize};
 use sawl_algos::WearLeveler;
 use sawl_nvm::FaultPlan;
 use sawl_telemetry::{Series, TelemetrySpec};
+use sawl_timing::TimingSpec;
 
-use crate::driver::{pump_writes_telemetry, DriverError};
+use crate::driver::{pump_writes_telemetry, pump_writes_timed, DriverError};
 use crate::seed::stable_seed;
 use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
 use crate::telemetry::TelemetryRun;
+use crate::timing::{LatencyReport, TimingRun};
 
 /// A lifetime run specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,6 +49,13 @@ pub struct LifetimeExperiment {
     /// uninstrumented one (the recorder only observes).
     #[serde(default)]
     pub telemetry: Option<TelemetrySpec>,
+    /// Optional closed-loop timing model: serve every demand write through
+    /// the multi-channel controller and report the latency distribution.
+    /// `None` keeps the batched fast path; `Some` serves writes scalar
+    /// (identical request sequence and device state — only slower) and
+    /// fills [`LifetimeResult::latency`].
+    #[serde(default)]
+    pub timing: Option<TimingSpec>,
 }
 
 /// Outcome of a lifetime run.
@@ -97,6 +106,10 @@ pub struct LifetimeResult {
     /// Sampled time series, present when the experiment asked for one.
     #[serde(default)]
     pub telemetry: Option<Series>,
+    /// Latency distribution and stall attribution, present when the
+    /// experiment attached a timing model.
+    #[serde(default)]
+    pub latency: Option<LatencyReport>,
 }
 
 /// Run one lifetime experiment to completion.
@@ -131,7 +144,12 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
 
     // Reads are skipped by the lifetime pump: no wear, and lifetime is the
     // only output here.
-    let pump = pump_writes_telemetry(&mut wl, &mut dev, &mut *stream, cap, telemetry.as_mut())?;
+    let mut timing = exp.timing.as_ref().map(|s| TimingRun::new(s, exp.scheme.translation_kind()));
+    let pump = match timing.as_mut() {
+        Some(t) => pump_writes_timed(&mut wl, &mut dev, &mut *stream, cap, telemetry.as_mut(), t)?,
+        None => pump_writes_telemetry(&mut wl, &mut dev, &mut *stream, cap, telemetry.as_mut())?,
+    };
+    let latency = timing.map(TimingRun::finish);
     let series = telemetry.map(|t| t.finish(&mut wl));
 
     let wear = *dev.wear();
@@ -164,6 +182,7 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
         journal_rollbacks: pump.journal_rollbacks,
         spares_remaining: dev.spares_remaining(),
         telemetry: series,
+        latency,
     })
 }
 
@@ -181,6 +200,7 @@ mod tests {
             max_demand_writes: 0,
             fault: None,
             telemetry: None,
+            timing: None,
         }
     }
 
@@ -282,6 +302,55 @@ mod tests {
             series.samples[3].counter(sawl_telemetry::Channel::DemandWrites),
             Some(plain.demand_writes)
         );
+    }
+
+    #[test]
+    fn timing_observes_without_changing_the_outcome() {
+        let mut e = exp(
+            SchemeSpec::PcmS { region_lines: 4, period: 16 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+            1_000_000,
+        );
+        e.max_demand_writes = 30_000;
+        let plain = run_lifetime(&e).unwrap();
+        e.timing = Some(TimingSpec::default());
+        let mut timed = run_lifetime(&e).unwrap();
+        let latency = timed.latency.take().unwrap();
+        // Stripping the latency report leaves a result identical to the
+        // batched untimed run: the scalar serving order is bit-equivalent.
+        assert_eq!(timed, plain);
+        assert_eq!(latency.requests, 30_000);
+        assert!(latency.p999_ns >= latency.p99_ns && latency.p99_ns >= latency.p50_ns);
+        assert!(latency.p50_ns >= 350, "writes cost at least the device write: {latency:?}");
+        // PCM-S exchanges show up as exchange-attributed stall, never as
+        // merge/split (it has no regions to reorganize).
+        assert!(latency.stall_exchange_ns > 0.0, "{latency:?}");
+        assert_eq!(latency.stall_reorg_ns, 0.0);
+    }
+
+    #[test]
+    fn sawl_timing_attributes_reorg_stall() {
+        use sawl_core::SawlConfig;
+        let mut e = exp(
+            SchemeSpec::Sawl(SawlConfig {
+                cmt_entries: 64,
+                swap_period: 16,
+                sample_interval: 500,
+                observation_window: 2_000,
+                settling_window: 1_000,
+                ..SawlConfig::default()
+            }),
+            WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 1.0 },
+            1_000_000,
+        );
+        e.max_demand_writes = 40_000;
+        e.timing = Some(TimingSpec::default());
+        let r = run_lifetime(&e).unwrap();
+        let latency = r.latency.unwrap();
+        // SAWL pays CMT misses and performs both exchanges and merges.
+        assert!(latency.stall_trans_miss_ns > 0.0, "{latency:?}");
+        assert!(latency.stall_exchange_ns > 0.0, "{latency:?}");
+        assert!(latency.stall_reorg_ns > 0.0, "{latency:?}");
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! Performance experiments (§4.4, Figs. 12–14, 17).
 //!
 //! Replay a workload through a scheme for a fixed number of requests,
-//! feeding every request into the closed-loop timing simulator:
+//! feeding every request into the closed-loop multi-channel controller
+//! model as a [`sawl_timing::MemEvent`] (assembled by
+//! [`EventBuilder`](crate::timing::EventBuilder)):
 //!
-//! * translation latency per request comes from the scheme's
-//!   [`TranslationKind`] — 0 ns for the baseline, 5 ns flat for on-chip
-//!   schemes, 5/55 ns by observed CMT hit/miss for tiered schemes;
+//! * the translation outcome comes from the scheme's [`TranslationKind`] —
+//!   none for the baseline, a flat CMT hit for on-chip schemes, the
+//!   observed hit/miss for tiered schemes;
 //! * wear-leveling writes are charged to banks by diffing the device's
-//!   overhead-write counter around each request.
+//!   overhead-write counter around each request, attributed to exchange
+//!   vs. merge/split via [`WearLeveler::op_counts`].
 //!
 //! The IPC baseline (no wear leveling, no translation) replays the *same*
 //! seeded workload, so the degradation isolates the scheme's cost exactly.
+//! Beyond the Fig. 17 mean, each pass's simulator keeps the latency
+//! histogram and stall attribution, summarized as a
+//! [`LatencyReport`](crate::timing::LatencyReport) per result.
 
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +26,8 @@ use sawl_trace::SpecBenchmark;
 
 use crate::driver::{pump, pump_observed, DriverError};
 use crate::seed::stable_seed;
-use crate::spec::{DeviceSpec, SchemeSpec, TranslationKind, WorkloadSpec};
+use crate::spec::{DeviceSpec, SchemeSpec, WorkloadSpec};
+use crate::timing::{EventBuilder, LatencyReport};
 
 /// A performance run specification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -65,57 +72,18 @@ pub struct PerfResult {
     pub ipc_degradation: f64,
     /// Wear-leveling writes per demand write.
     pub overhead_fraction: f64,
-}
-
-/// Hit/miss introspection for tiered schemes, via the device-read count:
-/// every CMT miss performs exactly one translation-line read, and demand
-/// reads add one more device read each — so
-/// `misses = device_reads - demand_reads`.
-struct TranslationTracker {
-    kind: TranslationKind,
-    hits: u64,
-    misses: u64,
-}
-
-impl TranslationTracker {
-    fn latency_ns(&mut self, reads_before: u64, reads_after: u64, was_read: bool) -> f64 {
-        match self.kind {
-            TranslationKind::None => 0.0,
-            TranslationKind::OnChip => 5.0,
-            TranslationKind::Tiered => {
-                let device_reads = reads_after - reads_before;
-                let translation_reads = device_reads - u64::from(was_read);
-                if translation_reads > 0 {
-                    self.misses += 1;
-                    55.0
-                } else {
-                    self.hits += 1;
-                    5.0
-                }
-            }
-        }
-    }
-
-    fn hit_rate(&self) -> f64 {
-        match self.kind {
-            TranslationKind::Tiered => {
-                let t = self.hits + self.misses;
-                if t == 0 {
-                    0.0
-                } else {
-                    self.hits as f64 / t as f64
-                }
-            }
-            _ => 1.0,
-        }
-    }
+    /// Latency distribution and stall attribution of the scheme pass.
+    #[serde(default)]
+    pub latency: Option<LatencyReport>,
+    /// Latency distribution of the baseline pass on the same stream.
+    #[serde(default)]
+    pub baseline_latency: Option<LatencyReport>,
 }
 
 /// Run one performance experiment.
 pub fn run_perf(exp: &PerfExperiment) -> Result<PerfResult, DriverError> {
     let seed = stable_seed(&exp.id);
     let cpu = CpuModel::for_benchmark(exp.benchmark);
-    let banks = exp.device.banks;
 
     // Scheme pass, monomorphized over the concrete enum instance.
     let phys = exp.scheme.physical_lines(exp.data_lines);
@@ -123,9 +91,9 @@ pub fn run_perf(exp: &PerfExperiment) -> Result<PerfResult, DriverError> {
     let mut dev = exp.device.try_build(phys, seed)?;
     let workload = WorkloadSpec::Spec(exp.benchmark);
     let mut stream = workload.build(wl.logical_lines(), seed);
-    let mut tracker =
-        TranslationTracker { kind: exp.scheme.translation_kind(), hits: 0, misses: 0 };
     let mut ipc_model = IpcModel::new(cpu);
+    let banks = ipc_model.sim().config().banks;
+    let mut builder = EventBuilder::new(exp.scheme.translation_kind(), banks);
     // Baseline pass shares the identical request sequence: regenerate the
     // stream with the same seed and replay it with zero-cost translation.
     let mut base_stream = workload.build(exp.data_lines, seed);
@@ -137,30 +105,18 @@ pub fn run_perf(exp: &PerfExperiment) -> Result<PerfResult, DriverError> {
         let _ = base_stream.next_req();
     }
 
-    // The observer diffs the device's read and overhead-write counters
-    // around each request, so it carries the pre-request values forward
-    // from the end of the previous observation.
-    let mut reads_before = dev.wear().reads;
-    let mut ov_before = dev.wear().overhead_writes;
-    pump_observed(&mut wl, &mut dev, &mut *stream, exp.requests, |req, pa, _, d| {
-        let translation_ns = tracker.latency_ns(reads_before, d.wear().reads, !req.write);
-        let wl_writes = (d.wear().overhead_writes - ov_before).min(u64::from(u32::MAX)) as u32;
-        reads_before = d.wear().reads;
-        ov_before = d.wear().overhead_writes;
-        ipc_model.push(MemEvent {
-            bank: (pa % u64::from(banks)) as u32,
-            write: req.write,
-            translation_ns,
-            wl_writes,
-        });
+    // The builder diffs the device's read/overhead counters and the
+    // scheme's op counts around each request, so seed it with the
+    // post-warmup values.
+    builder.prime(&wl, &dev);
+    pump_observed(&mut wl, &mut dev, &mut *stream, exp.requests, |req, pa, w, d| {
+        ipc_model.push(builder.build(req.write, pa, w, d));
 
+        // The baseline performs no translation and no wear leveling: its
+        // events carry the untranslated address and nothing else.
         let base_req = base_stream.next_req();
-        base_model.push(MemEvent {
-            bank: (base_req.la % u64::from(banks)) as u32,
-            write: base_req.write,
-            translation_ns: 0.0,
-            wl_writes: 0,
-        });
+        let bank = (base_req.la % u64::from(banks)) as u32;
+        base_model.push(if base_req.write { MemEvent::write(bank) } else { MemEvent::read(bank) });
     });
 
     let ipc = ipc_model.estimate();
@@ -170,7 +126,7 @@ pub fn run_perf(exp: &PerfExperiment) -> Result<PerfResult, DriverError> {
         id: exp.id.clone(),
         scheme: exp.scheme.name(),
         benchmark: exp.benchmark.name().into(),
-        hit_rate: tracker.hit_rate(),
+        hit_rate: builder.hit_rate(),
         ipc,
         baseline_ipc,
         ipc_degradation: ipc_degradation(baseline_ipc, ipc),
@@ -179,6 +135,8 @@ pub fn run_perf(exp: &PerfExperiment) -> Result<PerfResult, DriverError> {
         } else {
             wear.overhead_writes as f64 / wear.demand_writes as f64
         },
+        latency: Some(LatencyReport::from_sim(ipc_model.sim())),
+        baseline_latency: Some(LatencyReport::from_sim(base_model.sim())),
     })
 }
 

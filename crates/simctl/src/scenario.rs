@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use sawl_core::{History, SawlStats};
 use sawl_nvm::{FaultPlan, NvmDevice};
 use sawl_telemetry::{Series, TelemetrySpec};
+use sawl_timing::TimingSpec;
 
 use crate::driver::{pump_telemetry, DriverError};
 use crate::lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
@@ -81,6 +82,11 @@ pub struct Scenario {
     /// outside the telemetry clock).
     #[serde(default)]
     pub telemetry: Option<TelemetrySpec>,
+    /// Optional closed-loop timing model (lifetime probes only; perf
+    /// probes always carry their own timing model, trace probes replay on
+    /// a wear-free device with no latency semantics).
+    #[serde(default)]
+    pub timing: Option<TimingSpec>,
 }
 
 impl Scenario {
@@ -101,6 +107,7 @@ impl Scenario {
             probe: Probe::Lifetime { max_demand_writes: 0 },
             fault: None,
             telemetry: None,
+            timing: None,
         }
     }
 
@@ -122,6 +129,7 @@ impl Scenario {
             probe: Probe::Perf { requests, warmup_requests },
             fault: None,
             telemetry: None,
+            timing: None,
         }
     }
 
@@ -143,6 +151,7 @@ impl Scenario {
             probe: Probe::Trace { requests },
             fault: None,
             telemetry: None,
+            timing: None,
         }
     }
 
@@ -166,6 +175,13 @@ impl Scenario {
     /// perf probes carrying one).
     pub fn with_telemetry(mut self, spec: TelemetrySpec) -> Self {
         self.telemetry = Some(spec);
+        self
+    }
+
+    /// Attach a timing model (lifetime probes only; [`run`] rejects other
+    /// probes carrying one).
+    pub fn with_timing(mut self, spec: TimingSpec) -> Self {
+        self.timing = Some(spec);
         self
     }
 }
@@ -259,6 +275,12 @@ pub fn run(s: &Scenario) -> Result<Report, DriverError> {
             s.id
         )));
     }
+    if s.timing.is_some() && !matches!(s.probe, Probe::Lifetime { .. }) {
+        return Err(DriverError::Spec(format!(
+            "timing models apply to lifetime scenarios, but \"{}\" carries a {:?} probe",
+            s.id, s.probe
+        )));
+    }
     match s.probe {
         Probe::Lifetime { max_demand_writes } => {
             Ok(Report::Lifetime(run_lifetime(&LifetimeExperiment {
@@ -270,6 +292,7 @@ pub fn run(s: &Scenario) -> Result<Report, DriverError> {
                 max_demand_writes,
                 fault: s.fault.clone(),
                 telemetry: s.telemetry.clone(),
+                timing: s.timing,
             })?))
         }
         Probe::Perf { requests, warmup_requests } => {
@@ -393,6 +416,7 @@ mod tests {
             max_demand_writes: 0,
             fault: None,
             telemetry: None,
+            timing: None,
         })
         .unwrap();
         assert_eq!(via_scenario, direct, "the scenario layer must not change results");
@@ -524,6 +548,38 @@ mod tests {
         assert_eq!(t.hit_rate, plain.hit_rate);
         assert_eq!(t.demand_writes, plain.demand_writes);
         assert_eq!(t.adaptation().history.samples(), plain.adaptation().history.samples());
+    }
+
+    #[test]
+    fn lifetime_scenario_carries_timing() {
+        let s = Scenario::lifetime(
+            "scn/lifetime/timing",
+            SchemeSpec::PcmS { region_lines: 8, period: 16 },
+            WorkloadSpec::Bpa { writes_per_target: 500 },
+            1 << 10,
+            DeviceSpec { endurance: 500, ..Default::default() },
+        )
+        .with_write_cap(20_000)
+        .with_timing(TimingSpec::default());
+        let r = run(&s).unwrap().lifetime().clone();
+        let latency = r.latency.expect("timing was attached");
+        assert_eq!(latency.requests, r.demand_writes);
+        assert!(latency.p99_ns >= latency.p50_ns);
+    }
+
+    #[test]
+    fn non_lifetime_scenarios_reject_timing() {
+        let s = Scenario::trace(
+            "scn/trace/timing",
+            sawl_spec(),
+            WorkloadSpec::Uniform { write_ratio: 1.0 },
+            1 << 12,
+            1_000,
+        )
+        .with_timing(TimingSpec::default());
+        let err = run(&s).unwrap_err();
+        assert!(matches!(err, DriverError::Spec(_)), "{err:?}");
+        assert!(err.to_string().contains("timing models apply"), "{err}");
     }
 
     #[test]

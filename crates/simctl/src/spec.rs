@@ -14,7 +14,7 @@ use sawl_algos::{
 use sawl_core::{Sawl, SawlConfig};
 use sawl_nvm::{EnduranceModel, NvmConfig, NvmDevice};
 use sawl_tiered::{Nwl, NwlConfig};
-use sawl_trace::{AddressStream, Bpa, Raa, SpecBenchmark, Uniform};
+use sawl_trace::{AddressStream, Bpa, Raa, SpecBenchmark, Uniform, ZipfStream};
 
 use crate::driver::DriverError;
 use crate::seed::derive;
@@ -367,6 +367,10 @@ impl WearLeveler for SchemeInstance {
     fn telemetry_events_take(&mut self) -> Option<(Vec<sawl_telemetry::Event>, u64)> {
         dispatch!(self, w => w.telemetry_events_take())
     }
+
+    fn op_counts(&self) -> sawl_algos::OpCounts {
+        dispatch!(self, w => w.op_counts())
+    }
 }
 
 /// Workload selector.
@@ -384,6 +388,15 @@ pub enum WorkloadSpec {
         /// Fraction of requests that are writes.
         write_ratio: f64,
     },
+    /// Zipf-popular traffic: line popularity follows a power law with the
+    /// given exponent (rank 0 hottest), the heavy-tailed profile of real
+    /// application heaps.
+    Zipf {
+        /// Zipf exponent (`s > 0`; 1.0 is the classic harmonic skew).
+        exponent: f64,
+        /// Fraction of requests that are writes.
+        write_ratio: f64,
+    },
     /// One of the 14 SPEC-like benchmark models.
     Spec(SpecBenchmark),
 }
@@ -395,6 +408,7 @@ impl WorkloadSpec {
             Self::Raa => "raa".into(),
             Self::Bpa { .. } => "bpa".into(),
             Self::Uniform { .. } => "uniform".into(),
+            Self::Zipf { .. } => "zipf".into(),
             Self::Spec(b) => b.name().into(),
         }
     }
@@ -408,6 +422,9 @@ impl WorkloadSpec {
             }
             Self::Uniform { write_ratio } => {
                 Box::new(Uniform::new(space, write_ratio, derive(seed, "uniform")))
+            }
+            Self::Zipf { exponent, write_ratio } => {
+                Box::new(ZipfStream::new(space, exponent, write_ratio, derive(seed, "zipf")))
             }
             Self::Spec(b) => Box::new(b.stream(space, derive(seed, b.name()))),
         }
@@ -533,6 +550,22 @@ mod tests {
     #[test]
     fn workload_names() {
         assert_eq!(WorkloadSpec::Raa.name(), "raa");
+        assert_eq!(WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 0.5 }.name(), "zipf");
         assert_eq!(WorkloadSpec::Spec(SpecBenchmark::Gcc).name(), "gcc");
+    }
+
+    #[test]
+    fn zipf_workload_builds_and_round_trips() {
+        let w = WorkloadSpec::Zipf { exponent: 1.1, write_ratio: 0.8 };
+        let json = serde_json::to_string(&w).unwrap();
+        assert_eq!(w, serde_json::from_str::<WorkloadSpec>(&json).unwrap());
+        let mut stream = w.build(1 << 10, 5);
+        let mut hot = 0u64;
+        for _ in 0..10_000 {
+            let r = stream.next_req();
+            assert!(r.la < 1 << 10);
+            hot += u64::from(r.la < 16);
+        }
+        assert!(hot > 3_000, "zipf skew missing: {hot}");
     }
 }

@@ -22,6 +22,8 @@ use sawl_algos::WearLeveler;
 use sawl_nvm::NvmDevice;
 use sawl_telemetry::{DeviceSample, Recorder, SchemeSample, Series, TelemetrySpec};
 
+use crate::timing::TimingRun;
+
 /// One run's live telemetry state: the recorder plus the optional stderr
 /// progress ticker.
 #[derive(Debug)]
@@ -79,10 +81,35 @@ impl TelemetryRun {
 
     /// Advance the clock by `k` served requests and sample at a boundary.
     pub fn note_served<W: WearLeveler + ?Sized>(&mut self, k: u64, wl: &W, dev: &NvmDevice) {
+        self.note_inner(k, wl, dev, None);
+    }
+
+    /// [`note_served`](Self::note_served) for timed runs: boundary samples
+    /// additionally capture the timing model's stall counters and latency
+    /// histogram. The timing snapshot is taken only at a boundary, so the
+    /// per-request cost off-boundary is unchanged.
+    pub fn note_served_timed<W: WearLeveler + ?Sized>(
+        &mut self,
+        k: u64,
+        wl: &W,
+        dev: &NvmDevice,
+        timing: &TimingRun,
+    ) {
+        self.note_inner(k, wl, dev, Some(timing));
+    }
+
+    fn note_inner<W: WearLeveler + ?Sized>(
+        &mut self,
+        k: u64,
+        wl: &W,
+        dev: &NvmDevice,
+        timing: Option<&TimingRun>,
+    ) {
         if self.rec.note_served(k) {
             let mut scheme = SchemeSample::default();
             wl.telemetry_sample(&mut scheme);
-            self.rec.record(&device_sample(dev), &scheme);
+            let sample = timing.map(|t| t.sample());
+            self.rec.record(&device_sample(dev), &scheme, sample.as_ref());
             if self.progress {
                 self.progress_tick(dev);
             }

@@ -1,0 +1,316 @@
+//! Driver-side timing glue: turns each served request into a [`MemEvent`]
+//! for the closed-loop controller model and reports the run's latency
+//! distribution and stall breakdown.
+//!
+//! ## Event construction (per request)
+//!
+//! * **Translation** comes from the scheme's [`TranslationKind`] — `None`
+//!   for the untranslated baseline, a flat CMT `Hit` for on-chip schemes,
+//!   and the *observed* hit/miss for tiered schemes, recovered from the
+//!   device-read delta around the request (every CMT miss performs exactly
+//!   one translation-line read; demand reads add one more device read).
+//! * **Wear-leveling writes** are the device's overhead-write delta around
+//!   the request, attributed to a cause by diffing the scheme's
+//!   [`OpCounts`]: requests on which only `reorgs` advanced charge the
+//!   delta to merge/split reorganization, only `exchanges` to data
+//!   exchange, both to a proportional split. Schemes that report nothing
+//!   (all baselines) leave the counters at zero and the delta lands on
+//!   exchange — the only wear-leveling operation they perform.
+//! * **Bank** is the physical address modulo the *timing model's* bank
+//!   count (Table 1: 32), independent of the wear device's banking.
+
+use serde::{Deserialize, Serialize};
+
+use sawl_algos::{OpCounts, WearLeveler};
+use sawl_nvm::NvmDevice;
+use sawl_timing::{ClosedLoopSim, MemEvent, TimingSample, TimingSpec, Translation};
+
+use crate::spec::TranslationKind;
+
+/// Per-request [`MemEvent`] assembly state: carries the pre-request device
+/// and scheme counters forward between observations.
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    kind: TranslationKind,
+    banks: u32,
+    hits: u64,
+    misses: u64,
+    reads_before: u64,
+    ov_before: u64,
+    ops_before: OpCounts,
+}
+
+impl EventBuilder {
+    /// Builder for a scheme of the given translation class, spreading
+    /// physical addresses over `banks` timing-model banks.
+    pub fn new(kind: TranslationKind, banks: u32) -> Self {
+        Self {
+            kind,
+            banks,
+            hits: 0,
+            misses: 0,
+            reads_before: 0,
+            ov_before: 0,
+            ops_before: OpCounts::default(),
+        }
+    }
+
+    /// Re-seed the carried counters from the current device/scheme state.
+    /// Call after warmup (or any unobserved traffic) so the first observed
+    /// request doesn't inherit the warmup's deltas.
+    pub fn prime<W: WearLeveler + ?Sized>(&mut self, wl: &W, dev: &NvmDevice) {
+        self.reads_before = dev.wear().reads;
+        self.ov_before = dev.wear().overhead_writes;
+        self.ops_before = wl.op_counts();
+    }
+
+    /// Assemble the event for the request that just completed: a demand
+    /// `write`/read that resolved to physical address `pa`, with `wl` and
+    /// `dev` in their post-request state.
+    pub fn build<W: WearLeveler + ?Sized>(
+        &mut self,
+        write: bool,
+        pa: u64,
+        wl: &W,
+        dev: &NvmDevice,
+    ) -> MemEvent {
+        let translation = match self.kind {
+            TranslationKind::None => Translation::None,
+            TranslationKind::OnChip => {
+                self.hits += 1;
+                Translation::Hit
+            }
+            TranslationKind::Tiered => {
+                let device_reads = dev.wear().reads - self.reads_before;
+                let translation_reads = device_reads - u64::from(!write);
+                if translation_reads > 0 {
+                    self.misses += 1;
+                    Translation::Miss
+                } else {
+                    self.hits += 1;
+                    Translation::Hit
+                }
+            }
+        };
+        let overhead = dev.wear().overhead_writes - self.ov_before;
+        let ops = wl.op_counts();
+        let d_ex = ops.exchanges - self.ops_before.exchanges;
+        let d_re = ops.reorgs - self.ops_before.reorgs;
+        let wl_writes = overhead.min(u64::from(u32::MAX)) as u32;
+        let (exchange_writes, reorg_writes) = if d_re == 0 {
+            (wl_writes, 0)
+        } else if d_ex == 0 {
+            (0, wl_writes)
+        } else {
+            // Both operations fired on this request: split the write delta
+            // proportionally to the operation counts (integer, exchange
+            // keeps the remainder).
+            let re = (u64::from(wl_writes) * d_re / (d_ex + d_re)) as u32;
+            (wl_writes - re, re)
+        };
+        self.reads_before = dev.wear().reads;
+        self.ov_before = dev.wear().overhead_writes;
+        self.ops_before = ops;
+        MemEvent {
+            bank: (pa % u64::from(self.banks)) as u32,
+            write,
+            translation,
+            exchange_writes,
+            reorg_writes,
+        }
+    }
+
+    /// Whole-run CMT hit rate: hits/(hits+misses) for tiered schemes, 1.0
+    /// otherwise (no cache to miss).
+    pub fn hit_rate(&self) -> f64 {
+        match self.kind {
+            TranslationKind::Tiered => {
+                let t = self.hits + self.misses;
+                if t == 0 {
+                    0.0
+                } else {
+                    self.hits as f64 / t as f64
+                }
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+/// One run's live timing state: the controller simulator plus the event
+/// builder feeding it.
+#[derive(Debug, Clone)]
+pub struct TimingRun {
+    builder: EventBuilder,
+    sim: ClosedLoopSim,
+}
+
+impl TimingRun {
+    /// Timing model for one run of a scheme with the given translation
+    /// class.
+    pub fn new(spec: &TimingSpec, kind: TranslationKind) -> Self {
+        let sim = spec.build();
+        let banks = sim.config().banks;
+        Self { builder: EventBuilder::new(kind, banks), sim }
+    }
+
+    /// Re-seed the builder's carried counters (see [`EventBuilder::prime`]).
+    pub fn prime<W: WearLeveler + ?Sized>(&mut self, wl: &W, dev: &NvmDevice) {
+        self.builder.prime(wl, dev);
+    }
+
+    /// Feed the request that just completed into the controller model.
+    pub fn observe<W: WearLeveler + ?Sized>(
+        &mut self,
+        write: bool,
+        pa: u64,
+        wl: &W,
+        dev: &NvmDevice,
+    ) {
+        let e = self.builder.build(write, pa, wl, dev);
+        self.sim.push(e);
+    }
+
+    /// Snapshot for the telemetry stream: cumulative stall counters and
+    /// the latency histogram as of now.
+    pub fn sample(&self) -> TimingSample {
+        self.sim.timing_sample()
+    }
+
+    /// Whole-run CMT hit rate observed by the builder.
+    pub fn hit_rate(&self) -> f64 {
+        self.builder.hit_rate()
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &ClosedLoopSim {
+        &self.sim
+    }
+
+    /// Finish the run and summarize the latency distribution.
+    pub fn finish(self) -> LatencyReport {
+        LatencyReport::from_sim(&self.sim)
+    }
+}
+
+/// Latency summary of one timed run: the tail percentiles the figures
+/// report, plus the per-cause stall attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Demand requests the timing model served.
+    pub requests: u64,
+    /// Mean demand latency, ns.
+    pub mean_ns: f64,
+    /// Median latency, ns (histogram bucket upper edge, ≤3.2% high).
+    pub p50_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency, ns.
+    pub p999_ns: u64,
+    /// Largest latency observed, ns (exact).
+    pub max_ns: u64,
+    /// Whether any recorded latency overflowed the histogram's ~2.1 s
+    /// trackable range (percentiles above the overflow rank clamp to
+    /// `max_ns`).
+    pub saturated: bool,
+    /// Stalled time attributed to bank-queue contention, ns.
+    pub stall_queue_ns: f64,
+    /// Stalled time attributed to CMT-miss translation, ns.
+    pub stall_trans_miss_ns: f64,
+    /// Stalled time attributed to background data-exchange writes, ns.
+    pub stall_exchange_ns: f64,
+    /// Stalled time attributed to background merge/split writes, ns.
+    pub stall_reorg_ns: f64,
+    /// Simulated wall-clock, ns.
+    pub elapsed_ns: f64,
+}
+
+impl LatencyReport {
+    /// Summarize a finished simulator.
+    pub fn from_sim(sim: &ClosedLoopSim) -> Self {
+        let pctl = |p: f64| sim.latency_percentile(p).map_or(0, |x| x.ns);
+        let stalls = sim.stalls();
+        let hist = sim.histogram();
+        Self {
+            requests: sim.events(),
+            mean_ns: sim.mean_latency_ns(),
+            p50_ns: pctl(0.5),
+            p99_ns: pctl(0.99),
+            p999_ns: pctl(0.999),
+            max_ns: hist.snapshot().max_ns,
+            saturated: sim.latency_percentile(1.0).is_some_and(|x| x.saturated),
+            stall_queue_ns: stalls.queue_ns,
+            stall_trans_miss_ns: stalls.trans_miss_ns,
+            stall_exchange_ns: stalls.exchange_ns,
+            stall_reorg_ns: stalls.reorg_ns,
+            elapsed_ns: sim.elapsed_ns(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sawl_algos::NoWl;
+    use sawl_nvm::NvmConfig;
+
+    fn device(lines: u64) -> NvmDevice {
+        NvmDevice::new(
+            NvmConfig::builder()
+                .lines(lines)
+                .banks(1)
+                .endurance(u32::MAX)
+                .spare_shift(6)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn baseline_events_carry_no_translation_or_overhead() {
+        let mut wl = NoWl::new(64);
+        let mut dev = device(64);
+        let mut b = EventBuilder::new(TranslationKind::None, 32);
+        b.prime(&wl, &dev);
+        let pa = wl.write(5, &mut dev);
+        let e = b.build(true, pa, &wl, &dev);
+        assert_eq!(e.translation, Translation::None);
+        assert_eq!(e.wl_writes(), 0);
+        assert_eq!(e.bank, 5);
+        assert!(e.write);
+        assert_eq!(b.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn onchip_schemes_pay_a_flat_hit() {
+        let mut wl = NoWl::new(64);
+        let mut dev = device(64);
+        let mut b = EventBuilder::new(TranslationKind::OnChip, 32);
+        b.prime(&wl, &dev);
+        let pa = wl.read(9, &mut dev);
+        let e = b.build(false, pa, &wl, &dev);
+        assert_eq!(e.translation, Translation::Hit);
+        assert_eq!(b.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn timed_run_reports_percentiles_and_stalls() {
+        let mut wl = NoWl::new(1 << 10);
+        let mut dev = device(1 << 10);
+        let mut t = TimingRun::new(&TimingSpec::default(), TranslationKind::None);
+        t.prime(&wl, &dev);
+        for la in 0..5_000u64 {
+            let pa = wl.write(la % (1 << 10), &mut dev);
+            t.observe(true, pa, &wl, &dev);
+        }
+        let s = t.sample();
+        assert_eq!(s.latency.count, 5_000);
+        let r = t.finish();
+        assert_eq!(r.requests, 5_000);
+        assert!(r.p50_ns >= 350, "{}", r.p50_ns);
+        assert!(r.p999_ns >= r.p99_ns && r.p99_ns >= r.p50_ns);
+        assert!(r.max_ns as f64 >= r.mean_ns);
+        assert!(!r.saturated);
+        assert!(r.elapsed_ns > 0.0);
+    }
+}

@@ -57,6 +57,7 @@ fn sawl_lifetime_survives_dense_power_losses_and_faults() {
             seed: 13,
         }),
         telemetry: None,
+        timing: None,
     };
     let r = run_lifetime(&exp).unwrap();
     assert_eq!(r.demand_writes, 80_000, "run must complete despite the crashes");

@@ -1,0 +1,127 @@
+//! Batched-vs-scalar latency histogram alignment.
+//!
+//! The timing-enabled lifetime pump drains its workload at *run*
+//! granularity but serves every write scalar, feeding the closed-loop
+//! controller one event per request. These tests pin two contracts:
+//!
+//! * the telemetry series a timed run emits — including every histogram
+//!   sample taken on the served-request clock — is **bit-identical** to a
+//!   scalar `next_req`-per-request reference loop, for every scheme
+//!   variant in the suite;
+//! * attaching the timing model does not perturb the run itself: the
+//!   timed [`LifetimeResult`] minus its latency report equals the plain
+//!   batched run's result.
+
+use sawl_algos::WearLeveler;
+use sawl_simctl::{
+    run_lifetime, stable_seed, DeviceSpec, LatencyReport, LifetimeExperiment, SchemeSpec, Series,
+    TelemetryRun, TelemetrySpec, TimingRun, TimingSpec, WorkloadSpec,
+};
+use sawl_trace::AddressStream;
+
+/// Every `SchemeSpec` variant, sized for a 2^9-line device.
+fn all_schemes() -> Vec<SchemeSpec> {
+    vec![
+        SchemeSpec::Baseline,
+        SchemeSpec::Ideal,
+        SchemeSpec::SegmentSwap { segment_lines: 64, swap_period: 1 << 10 },
+        SchemeSpec::Rbsg { regions: 4, region_lines: 128, period: 64 },
+        SchemeSpec::SingleSr { period: 32 },
+        SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 },
+        SchemeSpec::PcmS { region_lines: 16, period: 32 },
+        SchemeSpec::Mwsr { region_lines: 16, period: 32 },
+        SchemeSpec::Nwl { granularity: 4, cmt_entries: 64, swap_period: 1 << 10 },
+        SchemeSpec::sawl_default(64),
+    ]
+}
+
+fn exp(scheme: SchemeSpec, workload: WorkloadSpec, timed: bool) -> LifetimeExperiment {
+    LifetimeExperiment {
+        id: format!("latency-align/{}/{}", scheme.name(), workload.name()),
+        scheme,
+        workload,
+        data_lines: 1 << 9,
+        device: DeviceSpec { endurance: 200, ..Default::default() },
+        max_demand_writes: 25_000,
+        fault: None,
+        // 777 never coincides with the 4096-request fill block, so samples
+        // land mid-run.
+        telemetry: Some(TelemetrySpec::with_stride(777)),
+        timing: timed.then(TimingSpec::default),
+    }
+}
+
+/// Scalar reference: one request at a time, one observed write at a time —
+/// the definitionally correct served-request clock for histogram samples.
+fn scalar_run(exp: &LifetimeExperiment) -> (Series, LatencyReport) {
+    let seed = stable_seed(&exp.id);
+    let phys = exp.scheme.physical_lines(exp.data_lines);
+    let mut wl = exp.scheme.instantiate(exp.data_lines, seed);
+    let mut dev = exp.device.build(phys, seed);
+    let spec = exp.telemetry.clone().expect("alignment reference needs a telemetry spec");
+    let mut timing =
+        TimingRun::new(exp.timing.as_ref().expect("timing spec"), exp.scheme.translation_kind());
+    let mut run = TelemetryRun::new(&exp.id, &spec);
+    run.attach(&mut wl, &mut dev);
+    let mut stream = exp.workload.build(wl.logical_lines(), seed);
+    timing.prime(&wl, &dev);
+
+    while !dev.is_dead() && dev.wear().demand_writes < exp.max_demand_writes {
+        let req = stream.next_req();
+        if !req.write {
+            continue;
+        }
+        let pa = wl.write(req.la, &mut dev);
+        timing.observe(true, pa, &wl, &dev);
+        run.note_served_timed(1, &wl, &dev, &timing);
+    }
+    (run.finish(&mut wl), timing.finish())
+}
+
+#[test]
+fn timed_histogram_samples_align_with_the_scalar_clock() {
+    for scheme in all_schemes() {
+        for workload in [
+            WorkloadSpec::Uniform { write_ratio: 0.5 },
+            WorkloadSpec::Bpa { writes_per_target: 512 },
+        ] {
+            let e = exp(scheme.clone(), workload, true);
+            let r = run_lifetime(&e).unwrap();
+            let batched = r.telemetry.expect("series requested");
+            let (scalar, scalar_latency) = scalar_run(&e);
+            assert_eq!(
+                batched.to_json_lines(),
+                scalar.to_json_lines(),
+                "histogram sample misalignment in {}",
+                e.id
+            );
+            assert_eq!(r.latency, Some(scalar_latency), "latency report drift in {}", e.id);
+            assert!(
+                batched.to_json_lines().contains("LatencyNs"),
+                "timed series must carry histogram samples in {}",
+                e.id
+            );
+        }
+    }
+}
+
+#[test]
+fn attaching_timing_does_not_perturb_the_run() {
+    for scheme in all_schemes() {
+        let timed =
+            run_lifetime(&exp(scheme.clone(), WorkloadSpec::Bpa { writes_per_target: 512 }, true))
+                .unwrap();
+        let mut plain =
+            run_lifetime(&exp(scheme, WorkloadSpec::Bpa { writes_per_target: 512 }, false))
+                .unwrap();
+        assert!(timed.latency.is_some() && plain.latency.is_none());
+        // The plain run samples on the same clock but records no timing,
+        // so only the per-sample stall counters and histograms differ.
+        plain.latency = timed.latency.clone();
+        let strip = |mut r: sawl_simctl::LifetimeResult| {
+            r.telemetry = None;
+            r
+        };
+        assert_eq!(strip(timed), strip(plain), "timing perturbed the run outcome");
+    }
+}

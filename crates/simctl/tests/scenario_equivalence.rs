@@ -70,6 +70,7 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
         journal_rollbacks: 0,
         spares_remaining: dev.spares_remaining(),
         telemetry: None,
+        latency: None,
     }
 }
 
@@ -105,6 +106,7 @@ fn batched_lifetime_matches_scalar_reference_for_every_scheme() {
                 max_demand_writes: 0,
                 fault: None,
                 telemetry: None,
+                timing: None,
             };
             let batched = run_lifetime(&exp).unwrap();
             let scalar = scalar_lifetime(&exp);
@@ -135,6 +137,7 @@ fn batched_lifetime_matches_scalar_reference_under_raa_and_variation() {
             max_demand_writes: 0,
             fault: None,
             telemetry: None,
+            timing: None,
         };
         let batched = run_lifetime(&exp).unwrap();
         let scalar = scalar_lifetime(&exp);
@@ -169,6 +172,7 @@ fn tlsr_batched_write_run_matches_scalar_across_parameter_grid() {
                 max_demand_writes: 0,
                 fault: None,
                 telemetry: None,
+                timing: None,
             };
             let batched = run_lifetime(&exp).unwrap();
             let scalar = scalar_lifetime(&exp);
@@ -196,6 +200,7 @@ fn single_sr_batched_write_run_matches_scalar_across_periods() {
             max_demand_writes: 0,
             fault: None,
             telemetry: None,
+            timing: None,
         };
         let batched = run_lifetime(&exp).unwrap();
         let scalar = scalar_lifetime(&exp);
@@ -217,6 +222,7 @@ fn batched_lifetime_matches_scalar_reference_at_a_write_cap() {
             max_demand_writes: cap,
             fault: None,
             telemetry: None,
+            timing: None,
         };
         let batched = run_lifetime(&exp).unwrap();
         assert_eq!(batched.demand_writes, cap, "cap overshoot at {cap}");
@@ -244,10 +250,12 @@ fn telemetry_is_observation_only_for_every_scheme() {
                 max_demand_writes: 0,
                 fault: None,
                 telemetry: None,
+                timing: None,
             };
             // An awkward stride, so sample boundaries land mid-block.
             let instrumented = LifetimeExperiment {
                 telemetry: Some(sawl_simctl::TelemetrySpec::with_stride(777)),
+                timing: None,
                 ..plain.clone()
             };
             let bare = run_lifetime(&plain).unwrap();
@@ -284,6 +292,7 @@ fn zero_fault_plan_is_byte_identical_to_the_fault_free_path() {
                 max_demand_writes: 0,
                 fault: None,
                 telemetry: None,
+                timing: None,
             };
             let zero_plan =
                 LifetimeExperiment { fault: Some(FaultPlan::default()), ..plain.clone() };

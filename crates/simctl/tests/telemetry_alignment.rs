@@ -54,6 +54,7 @@ fn exp(scheme: SchemeSpec, workload: WorkloadSpec, stride: u64) -> LifetimeExper
         max_demand_writes: 0,
         fault: None,
         telemetry: Some(TelemetrySpec::with_stride(stride)),
+        timing: None,
     }
 }
 

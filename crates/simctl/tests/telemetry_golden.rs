@@ -39,6 +39,7 @@ fn experiment(id: &str, scheme: SchemeSpec) -> LifetimeExperiment {
         max_demand_writes: 200_000,
         fault: None,
         telemetry: Some(TelemetrySpec::with_stride(10_000)),
+        timing: None,
     }
 }
 

@@ -29,6 +29,7 @@ fn experiment(tag: u64, stride: u64, workload: u64, scheme: SchemeSpec) -> Lifet
         max_demand_writes: 20_000,
         fault: None,
         telemetry: Some(TelemetrySpec::with_stride(stride)),
+        timing: None,
     }
 }
 

@@ -32,9 +32,11 @@
 //! the streaming JSON-lines form used by `sawl-sim --telemetry` and the
 //! golden-run regression suite (schema in DESIGN.md §12).
 
+mod hist;
 mod recorder;
 mod ring;
 
+pub use hist::{HistogramSnapshot, LatencyHistogram, Percentile, MAX_TRACKABLE_NS};
 pub use recorder::Recorder;
 pub use ring::{Event, EventKind, EventRing};
 
@@ -48,7 +50,12 @@ pub const DEFAULT_STRIDE: u64 = 100_000;
 pub const DEFAULT_EVENT_CAPACITY: usize = 1024;
 
 /// JSON-lines schema version emitted in the `meta` line.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — counters + gauges.
+/// * v2 — adds [`ChannelKind::Histogram`] channels (`hists` on every
+///   sample line, run-length-encoded buckets) and the per-cause stall
+///   counters from the timing model.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// What kind of value a channel carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +64,8 @@ pub enum ChannelKind {
     Counter,
     /// Point-in-time `f64` reading.
     Gauge,
+    /// Cumulative log-bucketed distribution ([`HistogramSnapshot`]).
+    Histogram,
 }
 
 /// The typed channel registry. Counters are cumulative and monotone
@@ -90,6 +99,14 @@ pub enum Channel {
     PowerLosses,
     /// Transient write faults injected (before verify-and-retry).
     TransientFaults,
+    /// Cumulative demand-request stall attributed to bank queueing, ns.
+    StallQueueNs,
+    /// Cumulative stall attributed to CMT translation misses, ns.
+    StallTransMissNs,
+    /// Cumulative stall attributed to in-flight data exchanges, ns.
+    StallExchangeNs,
+    /// Cumulative stall attributed to region merges/splits, ns.
+    StallReorgNs,
     // -- gauges -----------------------------------------------------------
     /// Mean per-line write count.
     WearMean,
@@ -113,11 +130,15 @@ pub enum Channel {
     RegionSizeCached,
     /// Average global region size in lines (SAWL).
     RegionSizeGlobal,
+    // -- histograms -------------------------------------------------------
+    /// Cumulative demand-request latency distribution, ns.
+    LatencyNs,
 }
 
 impl Channel {
-    /// Every channel, in the canonical sampling order (counters first).
-    pub const ALL: [Channel; 22] = [
+    /// Every channel, in the canonical sampling order (counters, then
+    /// gauges, then histograms).
+    pub const ALL: [Channel; 27] = [
         Channel::DemandWrites,
         Channel::OverheadWrites,
         Channel::WearMax,
@@ -131,6 +152,10 @@ impl Channel {
         Channel::JournalRollbacks,
         Channel::PowerLosses,
         Channel::TransientFaults,
+        Channel::StallQueueNs,
+        Channel::StallTransMissNs,
+        Channel::StallExchangeNs,
+        Channel::StallReorgNs,
         Channel::WearMean,
         Channel::WearCov,
         Channel::SpareLevel,
@@ -140,9 +165,10 @@ impl Channel {
         Channel::RegionCount,
         Channel::RegionSizeCached,
         Channel::RegionSizeGlobal,
+        Channel::LatencyNs,
     ];
 
-    /// Counter or gauge.
+    /// Counter, gauge, or histogram.
     pub fn kind(self) -> ChannelKind {
         match self {
             Channel::DemandWrites
@@ -157,7 +183,11 @@ impl Channel {
             | Channel::JournalCommits
             | Channel::JournalRollbacks
             | Channel::PowerLosses
-            | Channel::TransientFaults => ChannelKind::Counter,
+            | Channel::TransientFaults
+            | Channel::StallQueueNs
+            | Channel::StallTransMissNs
+            | Channel::StallExchangeNs
+            | Channel::StallReorgNs => ChannelKind::Counter,
             Channel::WearMean
             | Channel::WearCov
             | Channel::SpareLevel
@@ -167,6 +197,7 @@ impl Channel {
             | Channel::RegionCount
             | Channel::RegionSizeCached
             | Channel::RegionSizeGlobal => ChannelKind::Gauge,
+            Channel::LatencyNs => ChannelKind::Histogram,
         }
     }
 
@@ -186,6 +217,10 @@ impl Channel {
             Channel::JournalRollbacks => "JournalRollbacks",
             Channel::PowerLosses => "PowerLosses",
             Channel::TransientFaults => "TransientFaults",
+            Channel::StallQueueNs => "StallQueueNs",
+            Channel::StallTransMissNs => "StallTransMissNs",
+            Channel::StallExchangeNs => "StallExchangeNs",
+            Channel::StallReorgNs => "StallReorgNs",
             Channel::WearMean => "WearMean",
             Channel::WearCov => "WearCov",
             Channel::SpareLevel => "SpareLevel",
@@ -195,6 +230,7 @@ impl Channel {
             Channel::RegionCount => "RegionCount",
             Channel::RegionSizeCached => "RegionSizeCached",
             Channel::RegionSizeGlobal => "RegionSizeGlobal",
+            Channel::LatencyNs => "LatencyNs",
         }
     }
 }
@@ -277,8 +313,21 @@ pub struct DeviceSample {
     pub transient_faults: u64,
 }
 
+/// The timing model's contribution to one sample: cumulative per-cause
+/// stall time plus the cumulative latency distribution. Producers sample
+/// it on the same served-request clock as everything else, so batched and
+/// scalar drivers emit bit-identical snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingSample {
+    pub stall_queue_ns: u64,
+    pub stall_trans_miss_ns: u64,
+    pub stall_exchange_ns: u64,
+    pub stall_reorg_ns: u64,
+    pub latency: HistogramSnapshot,
+}
+
 /// One recorded point: the request index it was taken at plus the
-/// counter/gauge readings, both in [`Channel::ALL`] order.
+/// counter/gauge/histogram readings, all in [`Channel::ALL`] order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SamplePoint {
     pub requests: u64,
@@ -286,6 +335,8 @@ pub struct SamplePoint {
     pub counters: Vec<(Channel, u64)>,
     #[serde(default)]
     pub gauges: Vec<(Channel, f64)>,
+    #[serde(default)]
+    pub hists: Vec<(Channel, HistogramSnapshot)>,
 }
 
 impl SamplePoint {
@@ -297,6 +348,11 @@ impl SamplePoint {
     /// Look up a gauge reading by channel.
     pub fn gauge(&self, channel: Channel) -> Option<f64> {
         self.gauges.iter().find(|(c, _)| *c == channel).map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram snapshot by channel.
+    pub fn hist(&self, channel: Channel) -> Option<&HistogramSnapshot> {
+        self.hists.iter().find(|(c, _)| *c == channel).map(|(_, v)| v)
     }
 }
 
@@ -334,6 +390,7 @@ impl Series {
             requests: u64,
             counters: Vec<(&'static str, u64)>,
             gauges: Vec<(&'static str, f64)>,
+            hists: Vec<(&'static str, HistogramSnapshot)>,
         }
         #[derive(Serialize)]
         struct EventLine {
@@ -364,6 +421,7 @@ impl Series {
                 requests: s.requests,
                 counters: s.counters.iter().map(|(c, v)| (c.name(), *v)).collect(),
                 gauges: s.gauges.iter().map(|(c, v)| (c.name(), *v)).collect(),
+                hists: s.hists.iter().map(|(c, v)| (c.name(), v.clone())).collect(),
             };
             out.push_str(&serde_json::to_string(&line).expect("serialize sample line"));
             out.push('\n');
@@ -401,7 +459,7 @@ mod tests {
 
     #[test]
     fn registry_is_consistent() {
-        assert_eq!(Channel::ALL.len(), 22);
+        assert_eq!(Channel::ALL.len(), 27);
         for (i, c) in Channel::ALL.iter().enumerate() {
             // Names are unique and serde round-trips the unit variant.
             for d in &Channel::ALL[i + 1..] {
@@ -415,10 +473,18 @@ mod tests {
     }
 
     #[test]
-    fn counters_precede_gauges_in_registry_order() {
+    fn kinds_are_blocked_in_registry_order() {
+        // Counters, then gauges, then histograms — sample rows keep the
+        // same shape as the registry listing.
         let first_gauge = Channel::ALL.iter().position(|c| c.kind() == ChannelKind::Gauge).unwrap();
+        let first_hist =
+            Channel::ALL.iter().position(|c| c.kind() == ChannelKind::Histogram).unwrap();
+        assert!(first_gauge < first_hist);
         assert!(Channel::ALL[..first_gauge].iter().all(|c| c.kind() == ChannelKind::Counter));
-        assert!(Channel::ALL[first_gauge..].iter().all(|c| c.kind() == ChannelKind::Gauge));
+        assert!(Channel::ALL[first_gauge..first_hist]
+            .iter()
+            .all(|c| c.kind() == ChannelKind::Gauge));
+        assert!(Channel::ALL[first_hist..].iter().all(|c| c.kind() == ChannelKind::Histogram));
     }
 
     #[test]
@@ -456,6 +522,12 @@ mod tests {
                 requests: 100,
                 counters: vec![(Channel::DemandWrites, 100)],
                 gauges: vec![(Channel::WearCov, 0.25)],
+                hists: vec![(Channel::LatencyNs, {
+                    let mut h = LatencyHistogram::new();
+                    h.record(60);
+                    h.record(410);
+                    h.snapshot()
+                })],
             }],
             events: vec![Event { requests: 42, kind: EventKind::Merge { base: 8 } }],
             events_dropped: 1,
@@ -474,6 +546,12 @@ mod tests {
                 requests: 100,
                 counters: vec![(Channel::DemandWrites, 100)],
                 gauges: vec![(Channel::CmtHitRate, 0.5)],
+                hists: vec![(Channel::LatencyNs, {
+                    let mut h = LatencyHistogram::new();
+                    h.record_n(60, 99);
+                    h.record(900);
+                    h.snapshot()
+                })],
             }],
             events: vec![Event { requests: 7, kind: EventKind::Split { base: 0 } }],
             events_dropped: 0,
@@ -483,7 +561,9 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[0].starts_with("{\"line\":\"meta\""));
+        assert!(lines[0].contains("\"version\":2"));
         assert!(lines[1].contains("[\"DemandWrites\",100]"));
+        assert!(lines[1].contains("\"hists\":[[\"LatencyNs\",{\"count\":100"));
         assert!(lines[2].contains("\"Split\""));
         assert!(lines[3].starts_with("{\"line\":\"end\""));
         assert!(text.ends_with('\n'));
@@ -495,10 +575,12 @@ mod tests {
             requests: 10,
             counters: vec![(Channel::CmtHits, 3)],
             gauges: vec![(Channel::WearMean, 1.5)],
+            hists: vec![(Channel::LatencyNs, LatencyHistogram::new().snapshot())],
         };
         assert_eq!(p.counter(Channel::CmtHits), Some(3));
         assert_eq!(p.counter(Channel::CmtMisses), None);
         assert_eq!(p.gauge(Channel::WearMean), Some(1.5));
         assert_eq!(p.gauge(Channel::WearCov), None);
+        assert!(p.hist(Channel::LatencyNs).is_some());
     }
 }

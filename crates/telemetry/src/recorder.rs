@@ -1,7 +1,8 @@
 //! Fixed-stride sampling over the typed channel registry.
 
 use crate::{
-    Channel, ChannelKind, DeviceSample, Event, SamplePoint, SchemeSample, Series, TelemetrySpec,
+    Channel, ChannelKind, DeviceSample, Event, HistogramSnapshot, SamplePoint, SchemeSample,
+    Series, TelemetrySpec, TimingSample,
 };
 
 /// Samples the channel registry every `stride` served requests.
@@ -80,10 +81,18 @@ impl Recorder {
     }
 
     /// Take a sample at the current clock position and schedule the next
-    /// boundary.
-    pub fn record(&mut self, dev: &DeviceSample, scheme: &SchemeSample) {
+    /// boundary. `timing` is the closed-loop timing model's contribution;
+    /// `None` when no timing model is attached (its channels are skipped,
+    /// not zeroed, like any other missing producer).
+    pub fn record(
+        &mut self,
+        dev: &DeviceSample,
+        scheme: &SchemeSample,
+        timing: Option<&TimingSample>,
+    ) {
         let mut counters: Vec<(Channel, u64)> = Vec::new();
         let mut gauges: Vec<(Channel, f64)> = Vec::new();
+        let mut hists: Vec<(Channel, HistogramSnapshot)> = Vec::new();
 
         // Delta gauges over the last stride. Snapshots update whenever the
         // producer reports the underlying counters, independent of channel
@@ -130,6 +139,10 @@ impl Recorder {
                 Channel::JournalRollbacks => scheme.journal_rollbacks,
                 Channel::PowerLosses => Some(dev.power_losses),
                 Channel::TransientFaults => Some(dev.transient_faults),
+                Channel::StallQueueNs => timing.map(|t| t.stall_queue_ns),
+                Channel::StallTransMissNs => timing.map(|t| t.stall_trans_miss_ns),
+                Channel::StallExchangeNs => timing.map(|t| t.stall_exchange_ns),
+                Channel::StallReorgNs => timing.map(|t| t.stall_reorg_ns),
                 _ => None,
             };
             if let Some(v) = counter {
@@ -152,10 +165,17 @@ impl Recorder {
             if let Some(v) = gauge {
                 debug_assert_eq!(channel.kind(), ChannelKind::Gauge);
                 gauges.push((channel, v));
+                continue;
+            }
+            if channel == Channel::LatencyNs {
+                if let Some(t) = timing {
+                    debug_assert_eq!(channel.kind(), ChannelKind::Histogram);
+                    hists.push((channel, t.latency.clone()));
+                }
             }
         }
 
-        self.samples.push(SamplePoint { requests: self.served, counters, gauges });
+        self.samples.push(SamplePoint { requests: self.served, counters, gauges, hists });
         self.next = self.served + self.spec.stride;
     }
 
@@ -194,7 +214,7 @@ mod tests {
         for i in 1..=35u64 {
             assert!(r.until_sample() >= 1);
             if r.note_served(1) {
-                r.record(&dev(i), &SchemeSample::default());
+                r.record(&dev(i), &SchemeSample::default(), None);
                 sampled.push(i);
             }
         }
@@ -213,7 +233,7 @@ mod tests {
         assert!(!r.note_served(60));
         assert_eq!(r.until_sample(), 40);
         assert!(r.note_served(40));
-        r.record(&dev(100), &SchemeSample::default());
+        r.record(&dev(100), &SchemeSample::default(), None);
         assert_eq!(r.until_sample(), 100);
     }
 
@@ -228,9 +248,9 @@ mod tests {
             ..SchemeSample::default()
         };
         assert!(r.note_served(5));
-        r.record(&dev(5), &scheme(4, 1, 3, 1));
+        r.record(&dev(5), &scheme(4, 1, 3, 1), None);
         assert!(r.note_served(5));
-        r.record(&dev(10), &scheme(5, 5, 3, 2));
+        r.record(&dev(10), &scheme(5, 5, 3, 2), None);
         let series = r.into_series(Vec::new(), 0);
         let rates = series.gauge_series(Channel::CmtHitRate);
         assert_eq!(rates[0], (5, 0.8)); // 4 of 5
@@ -244,7 +264,7 @@ mod tests {
     fn missing_scheme_signals_are_skipped_not_zeroed() {
         let mut r = Recorder::new(TelemetrySpec::with_stride(1));
         assert!(r.note_served(1));
-        r.record(&dev(1), &SchemeSample::default());
+        r.record(&dev(1), &SchemeSample::default(), None);
         let series = r.into_series(Vec::new(), 0);
         let p = &series.samples[0];
         assert_eq!(p.counter(Channel::CmtHits), None);
@@ -261,11 +281,37 @@ mod tests {
         };
         let mut r = Recorder::new(spec);
         assert!(r.note_served(1));
-        r.record(&dev(1), &SchemeSample::default());
+        r.record(&dev(1), &SchemeSample::default(), None);
         let series = r.into_series(Vec::new(), 0);
         assert_eq!(series.channels, vec![Channel::DemandWrites, Channel::WearCov]);
         assert_eq!(series.samples[0].counters.len(), 1);
         assert_eq!(series.samples[0].gauges.len(), 1);
+    }
+
+    #[test]
+    fn timing_sample_lands_in_stall_counters_and_histogram() {
+        let mut r = Recorder::new(TelemetrySpec::with_stride(1));
+        let mut h = crate::LatencyHistogram::new();
+        h.record(60);
+        h.record(410);
+        let t = TimingSample {
+            stall_queue_ns: 100,
+            stall_trans_miss_ns: 55,
+            stall_exchange_ns: 350,
+            stall_reorg_ns: 0,
+            latency: h.snapshot(),
+        };
+        assert!(r.note_served(1));
+        r.record(&dev(1), &SchemeSample::default(), Some(&t));
+        let series = r.into_series(Vec::new(), 0);
+        let p = &series.samples[0];
+        assert_eq!(p.counter(Channel::StallQueueNs), Some(100));
+        assert_eq!(p.counter(Channel::StallTransMissNs), Some(55));
+        assert_eq!(p.counter(Channel::StallExchangeNs), Some(350));
+        assert_eq!(p.counter(Channel::StallReorgNs), Some(0));
+        let snap = p.hist(Channel::LatencyNs).unwrap();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.max_ns, 410);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use sawl_nvm::{La, NvmDevice, Pa};
 
 use sawl_algos::exchange::{draw_key, SwapCounters};
-use sawl_algos::{Recovery, WearLeveler};
+use sawl_algos::{OpCounts, Recovery, WearLeveler};
 use serde::{Deserialize, Serialize};
 
 use crate::cmt::{Cmt, CmtLookup};
@@ -378,6 +378,10 @@ impl WearLeveler for Nwl {
         out.region_count = Some(self.cfg.data_lines / self.cfg.granularity);
         out.region_size_cached = Some(self.cfg.granularity as f64);
         out.region_size_global = Some(self.cfg.granularity as f64);
+    }
+
+    fn op_counts(&self) -> OpCounts {
+        OpCounts { exchanges: self.exchanges, reorgs: 0 }
     }
 }
 

@@ -1,12 +1,30 @@
 //! The abstract memory event the timing simulator consumes.
 //!
 //! The experiment drivers run a wear leveler over a workload and translate
-//! each demand request — plus whatever data-exchange writes the scheme
-//! issued — into one [`MemEvent`]. Keeping the event abstract decouples the
+//! each demand request — plus whatever background writes the scheme issued
+//! — into one [`MemEvent`]. Keeping the event abstract decouples the
 //! timing model from the wear-leveling crates: any scheme, including the
 //! no-wear-leveling baseline, produces the same event vocabulary.
+//!
+//! Translation cost is carried as the *outcome* ([`Translation`]) rather
+//! than a raw latency: the simulator's config owns the hit/miss costs, so
+//! one event stream can be replayed under different memory systems, and
+//! the per-cause stall attribution can bill misses explicitly.
 
 use serde::{Deserialize, Serialize};
+
+/// How this request's address translation resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Translation {
+    /// No translation on the critical path (untranslated baseline, or an
+    /// algorithmic scheme that computes the mapping).
+    #[default]
+    None,
+    /// The cached mapping table hit (Table 1: 5 ns).
+    Hit,
+    /// The cached mapping table missed (Table 1: 55 ns).
+    Miss,
+}
 
 /// One demand memory request, as seen by the memory controller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -15,36 +33,61 @@ pub struct MemEvent {
     pub bank: u32,
     /// Whether the demand access is a write (350 ns) or a read (50 ns).
     pub write: bool,
-    /// Address-translation latency on this request's critical path:
-    /// 0 for untranslated baselines, 5 ns on a CMT hit, 55 ns on a miss.
-    pub translation_ns: f64,
-    /// Wear-leveling writes triggered by this request (data exchanges,
-    /// mapping-table updates). They occupy banks but do not block the
-    /// requesting core.
-    pub wl_writes: u32,
+    /// Address-translation outcome on this request's critical path.
+    pub translation: Translation,
+    /// Data-exchange writes the scheme triggered on this request. They
+    /// occupy banks in the background but do not block the issuing core.
+    pub exchange_writes: u32,
+    /// Region merge/split writes triggered on this request (SAWL's lazy
+    /// reorganization); background bank occupancy like exchanges, but
+    /// attributed separately.
+    pub reorg_writes: u32,
 }
 
 impl MemEvent {
     /// A plain read with no translation cost.
     pub fn read(bank: u32) -> Self {
-        Self { bank, write: false, translation_ns: 0.0, wl_writes: 0 }
+        Self {
+            bank,
+            write: false,
+            translation: Translation::None,
+            exchange_writes: 0,
+            reorg_writes: 0,
+        }
     }
 
     /// A plain write with no translation cost.
     pub fn write(bank: u32) -> Self {
-        Self { bank, write: true, translation_ns: 0.0, wl_writes: 0 }
+        Self {
+            bank,
+            write: true,
+            translation: Translation::None,
+            exchange_writes: 0,
+            reorg_writes: 0,
+        }
     }
 
-    /// Attach a translation latency.
-    pub fn with_translation(mut self, ns: f64) -> Self {
-        self.translation_ns = ns;
+    /// Attach a translation outcome.
+    pub fn with_translation(mut self, t: Translation) -> Self {
+        self.translation = t;
         self
     }
 
-    /// Attach wear-leveling write amplification.
-    pub fn with_wl_writes(mut self, n: u32) -> Self {
-        self.wl_writes = n;
+    /// Attach data-exchange write amplification.
+    pub fn with_exchange_writes(mut self, n: u32) -> Self {
+        self.exchange_writes = n;
         self
+    }
+
+    /// Attach merge/split write amplification.
+    pub fn with_reorg_writes(mut self, n: u32) -> Self {
+        self.reorg_writes = n;
+        self
+    }
+
+    /// All background wear-leveling writes on this event.
+    pub fn wl_writes(&self) -> u32 {
+        self.exchange_writes + self.reorg_writes
     }
 }
 
@@ -54,13 +97,28 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let e = MemEvent::write(3).with_translation(55.0).with_wl_writes(8);
+        let e = MemEvent::write(3)
+            .with_translation(Translation::Miss)
+            .with_exchange_writes(8)
+            .with_reorg_writes(2);
         assert!(e.write);
         assert_eq!(e.bank, 3);
-        assert_eq!(e.translation_ns, 55.0);
-        assert_eq!(e.wl_writes, 8);
+        assert_eq!(e.translation, Translation::Miss);
+        assert_eq!(e.exchange_writes, 8);
+        assert_eq!(e.reorg_writes, 2);
+        assert_eq!(e.wl_writes(), 10);
         let r = MemEvent::read(0);
         assert!(!r.write);
-        assert_eq!(r.translation_ns, 0.0);
+        assert_eq!(r.translation, Translation::None);
+        assert_eq!(r.wl_writes(), 0);
+    }
+
+    #[test]
+    fn translation_round_trips_through_serde() {
+        for t in [Translation::None, Translation::Hit, Translation::Miss] {
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Translation = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
     }
 }

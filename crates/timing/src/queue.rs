@@ -1,27 +1,54 @@
-//! Closed-loop bank-contention simulator.
+//! Closed-loop multi-channel, multi-bank memory-controller simulator.
 //!
 //! A window of `W = cores × MLP` outstanding requests circulates through
 //! the memory system: a new request may issue only when a window slot is
 //! free (the oldest outstanding request completed). Each request
 //!
 //! 1. waits `think_ns` of core compute after the previous issue,
-//! 2. pays its translation latency on the critical path (the controller
-//!    cannot address the device before translating),
-//! 3. occupies its bank for the device service time (50 ns read / 350 ns
-//!    write, Table 1), queueing behind earlier occupants FR-FCFS-style, and
-//! 4. schedules its wear-leveling writes as background bank occupancy on
-//!    the banks adjacent to the accessed one (data exchanges move whole
-//!    regions, i.e. interleave-adjacent lines).
+//! 2. pays its translation latency on the critical path — 0 for
+//!    untranslated baselines, `trans_hit_ns` on a CMT hit, `trans_miss_ns`
+//!    on a miss (the controller cannot address the device before
+//!    translating),
+//! 3. waits for a slot in its bank's bounded FR-FCFS-style queue
+//!    (`queue_depth` entries; admission blocks until the oldest queued
+//!    access retires),
+//! 4. serializes on its channel's data bus for `bus_ns` (channel of bank
+//!    `b` is `b % channels`, the usual fine-grain channel interleave), and
+//! 5. occupies its bank for the device service time (50 ns read / 350 ns
+//!    write, Table 1), queueing behind earlier occupants.
 //!
-//! The simulation's output is wall-clock time for the event sequence, from
-//! which the IPC model derives throughput. Everything is deterministic.
+//! Wear-leveling writes ride along as *background* bank occupancy on the
+//! banks adjacent to the accessed one (region moves touch
+//! interleave-adjacent lines). They never block the issuing core directly
+//! — they surface as queueing delay for later demand requests on those
+//! banks, which is exactly how the paper argues lazy merge/split hides
+//! its cost.
+//!
+//! ## Stall attribution
+//!
+//! Every nanosecond a demand request spends beyond its bare service time
+//! is attributed to one cause:
+//!
+//! * **translation miss** — the `trans_miss_ns` paid when the CMT missed;
+//! * **exchange** / **merge-split** — queueing delay consumed from the
+//!   per-bank occupancy *debt* that background wear-leveling writes
+//!   posted (tracked separately per cause);
+//! * **queueing** — the remainder: ordinary bank/bus/window contention.
+//!
+//! Latencies land in a log-bucketed [`LatencyHistogram`] (sawl-telemetry)
+//! with explicit overflow — the old linear histogram saturated silently
+//! at 3.2 µs, right where the tail lives. Everything is deterministic:
+//! the same event sequence produces bit-identical histograms and stall
+//! counters, which the telemetry alignment suite relies on.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
-use crate::event::MemEvent;
+use sawl_telemetry::{LatencyHistogram, Percentile, TimingSample};
+
+use crate::event::{MemEvent, Translation};
 
 /// Ordered f64 for the completion heap (times are finite by construction).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,34 +68,100 @@ impl Ord for Time {
     }
 }
 
-/// Static parameters of the simulator.
+/// Static parameters of the simulator. [`ClosedLoopConfig::default`] is
+/// the Table 1 memory system; JSON specs either omit the config (taking
+/// the default) or spell out every field.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ClosedLoopConfig {
-    /// Number of banks (Table 1: 32).
+    /// Memory channels; bank `b` belongs to channel `b % channels`.
+    pub channels: u32,
+    /// Total banks across all channels (Table 1: 32).
     pub banks: u32,
     /// Outstanding-request window (cores × per-core MLP).
     pub window: usize,
+    /// Per-bank queue depth; admission to a full queue blocks until the
+    /// oldest queued access retires.
+    pub queue_depth: usize,
     /// Core compute time between consecutive issues, ns.
     pub think_ns: f64,
     /// Device read service time, ns.
     pub read_ns: f64,
     /// Device write service time, ns.
     pub write_ns: f64,
+    /// Channel data-bus occupancy per demand access, ns.
+    pub bus_ns: f64,
+    /// Address translation on a CMT hit, ns.
+    pub trans_hit_ns: f64,
+    /// Address translation on a CMT miss, ns.
+    pub trans_miss_ns: f64,
+}
+
+impl Default for ClosedLoopConfig {
+    fn default() -> Self {
+        Self::table1(10.0, 32)
+    }
 }
 
 impl ClosedLoopConfig {
-    /// Table 1 memory system under a given think time and window.
+    /// Table 1 memory system under a given think time and window: 2
+    /// channels × 16 banks, 8-deep bank queues, 50/350 ns MLC reads and
+    /// writes, 5/55 ns CMT hit/miss translation.
     pub fn table1(think_ns: f64, window: usize) -> Self {
-        Self { banks: 32, window, think_ns, read_ns: 50.0, write_ns: 350.0 }
+        Self {
+            channels: 2,
+            banks: 32,
+            window,
+            queue_depth: 8,
+            think_ns,
+            read_ns: 50.0,
+            write_ns: 350.0,
+            bus_ns: 5.0,
+            trans_hit_ns: 5.0,
+            trans_miss_ns: 55.0,
+        }
     }
+
+    /// Translation latency of one event under this config, ns.
+    pub fn translation_ns(&self, t: Translation) -> f64 {
+        match t {
+            Translation::None => 0.0,
+            Translation::Hit => self.trans_hit_ns,
+            Translation::Miss => self.trans_miss_ns,
+        }
+    }
+}
+
+/// One bank's state: accepted-but-unretired accesses plus the occupancy
+/// debt that background wear-leveling writes posted, split by cause.
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    /// Time the bank finishes everything accepted so far.
+    free: f64,
+    /// Completion times of queued accesses, oldest first (completions are
+    /// monotone because the bank serializes).
+    queue: VecDeque<f64>,
+    /// Unconsumed occupancy from exchange writes, ns.
+    exch_debt: f64,
+    /// Unconsumed occupancy from merge/split writes, ns.
+    reorg_debt: f64,
+}
+
+/// Per-cause demand-stall totals, ns (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StallBreakdown {
+    pub queue_ns: f64,
+    pub trans_miss_ns: f64,
+    pub exchange_ns: f64,
+    pub reorg_ns: f64,
 }
 
 /// The simulator state.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopSim {
     cfg: ClosedLoopConfig,
-    /// Next-free time per bank.
-    bank_free: Vec<f64>,
+    banks: Vec<Bank>,
+    /// Next-free time per channel data bus.
+    chan_free: Vec<f64>,
     /// Completion times of outstanding requests.
     outstanding: BinaryHeap<Reverse<Time>>,
     /// Core issue clock.
@@ -79,29 +172,25 @@ pub struct ClosedLoopSim {
     /// Accumulated request latency (completion - issue-ready), for the
     /// average-latency report.
     total_latency: f64,
-    /// Latency histogram in 50 ns buckets (last bucket = overflow), for
-    /// tail-latency reporting.
-    latency_hist: Vec<u64>,
+    stalls: StallBreakdown,
+    hist: LatencyHistogram,
 }
-
-/// Width of one latency-histogram bucket, ns.
-const LATENCY_BUCKET_NS: f64 = 50.0;
-/// Number of histogram buckets (the last one collects the overflow).
-const LATENCY_BUCKETS: usize = 64;
 
 impl ClosedLoopSim {
     /// Fresh simulator.
     pub fn new(cfg: ClosedLoopConfig) -> Self {
-        assert!(cfg.banks > 0 && cfg.window > 0);
+        assert!(cfg.channels > 0 && cfg.banks > 0 && cfg.window > 0 && cfg.queue_depth > 0);
         Self {
             cfg,
-            bank_free: vec![0.0; cfg.banks as usize],
+            banks: vec![Bank::default(); cfg.banks as usize],
+            chan_free: vec![0.0; cfg.channels as usize],
             outstanding: BinaryHeap::with_capacity(cfg.window + 1),
             now: 0.0,
             finish: 0.0,
             events: 0,
             total_latency: 0.0,
-            latency_hist: vec![0; LATENCY_BUCKETS],
+            stalls: StallBreakdown::default(),
+            hist: LatencyHistogram::new(),
         }
     }
 
@@ -117,28 +206,74 @@ impl ClosedLoopSim {
                 self.now = c;
             }
         }
+        let issue = self.now;
         // Translation on the critical path.
-        let ready = self.now + e.translation_ns;
-        let bank = (e.bank % cfg.banks) as usize;
+        let trans_ns = cfg.translation_ns(e.translation);
+        let mut ready = issue + trans_ns;
+        if e.translation == Translation::Miss {
+            self.stalls.trans_miss_ns += trans_ns;
+        }
+        let b = (e.bank % cfg.banks) as usize;
+        // Bounded bank queue: retire what finished, then block for a slot.
+        // A full queue stalls the controller's issue stream — head-of-line
+        // blocking for every later request, whatever bank it targets.
+        while let Some(&c) = self.banks[b].queue.front() {
+            if c <= ready {
+                self.banks[b].queue.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.banks[b].queue.len() >= cfg.queue_depth {
+            while self.banks[b].queue.len() >= cfg.queue_depth {
+                let c = self.banks[b].queue.pop_front().unwrap();
+                ready = ready.max(c);
+            }
+            self.now = self.now.max(ready);
+        }
+        // Channel bus serialization.
+        let chan = (e.bank % cfg.channels) as usize;
+        let ready = ready.max(self.chan_free[chan]);
+        self.chan_free[chan] = ready + cfg.bus_ns;
+        // Bank occupancy.
         let service = if e.write { cfg.write_ns } else { cfg.read_ns };
-        let start = self.bank_free[bank].max(ready);
+        let start = self.banks[b].free.max(ready);
         let done = start + service;
-        self.bank_free[bank] = done;
+        self.banks[b].free = done;
+        self.banks[b].queue.push_back(done);
         self.outstanding.push(Reverse(Time(done)));
         self.finish = self.finish.max(done);
-        let latency = done - self.now;
+        let latency = done - issue;
         self.total_latency += latency;
-        let bucket = ((latency / LATENCY_BUCKET_NS) as usize).min(LATENCY_BUCKETS - 1);
-        self.latency_hist[bucket] += 1;
+        self.hist.record(latency.round() as u64);
         self.events += 1;
+        // Queueing delay, attributed first to the wear-leveling occupancy
+        // debt this bank carries (clamped to what is actually owed), the
+        // remainder to ordinary contention.
+        let mut wait = done - issue - trans_ns - service;
+        let from_exch = wait.min(self.banks[b].exch_debt);
+        self.banks[b].exch_debt -= from_exch;
+        self.stalls.exchange_ns += from_exch;
+        wait -= from_exch;
+        let from_reorg = wait.min(self.banks[b].reorg_debt);
+        self.banks[b].reorg_debt -= from_reorg;
+        self.stalls.reorg_ns += from_reorg;
+        self.stalls.queue_ns += wait - from_reorg;
         // Background wear-leveling writes: spread across banks starting at
         // the accessed one (region moves touch interleave-adjacent lines).
-        for k in 0..e.wl_writes {
-            let b = ((e.bank + k) % cfg.banks) as usize;
-            let s = self.bank_free[b].max(ready);
-            let d = s + cfg.write_ns;
-            self.bank_free[b] = d;
-            self.finish = self.finish.max(d);
+        for (writes, reorg) in [(e.exchange_writes, false), (e.reorg_writes, true)] {
+            for k in 0..writes {
+                let bb = ((e.bank + k) % cfg.banks) as usize;
+                let s = self.banks[bb].free.max(ready);
+                let d = s + cfg.write_ns;
+                self.banks[bb].free = d;
+                self.finish = self.finish.max(d);
+                if reorg {
+                    self.banks[bb].reorg_debt += cfg.write_ns;
+                } else {
+                    self.banks[bb].exch_debt += cfg.write_ns;
+                }
+            }
         }
     }
 
@@ -166,22 +301,45 @@ impl ClosedLoopSim {
         self.cfg
     }
 
-    /// Latency at the given percentile (0 < p <= 1), to 50 ns resolution;
-    /// 0 before any event.
+    /// The latency distribution.
+    pub fn histogram(&self) -> &LatencyHistogram {
+        &self.hist
+    }
+
+    /// Per-cause demand-stall totals so far.
+    pub fn stalls(&self) -> StallBreakdown {
+        self.stalls
+    }
+
+    /// Latency at the given percentile with explicit saturation, `None`
+    /// before any event.
+    pub fn latency_percentile(&self, p: f64) -> Option<Percentile> {
+        self.hist.percentile(p)
+    }
+
+    /// Latency at the given percentile (0 < p <= 1) as a bare number;
+    /// 0 before any event. Thin compatibility wrapper over
+    /// [`ClosedLoopSim::latency_percentile`] — unlike the old linear
+    /// histogram this never silently caps: values land in log buckets up
+    /// to ~2.1 s and the overflow bin reports the exact maximum.
     pub fn latency_percentile_ns(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "percentile out of range");
-        if self.events == 0 {
+        if p == 0.0 {
             return 0.0;
         }
-        let target = (self.events as f64 * p).ceil() as u64;
-        let mut acc = 0u64;
-        for (i, &c) in self.latency_hist.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return (i as f64 + 1.0) * LATENCY_BUCKET_NS;
-            }
+        self.latency_percentile(p).map_or(0.0, |q| q.ns as f64)
+    }
+
+    /// The telemetry sample for the current clock: cumulative stall
+    /// counters (rounded to whole ns) plus the latency histogram.
+    pub fn timing_sample(&self) -> TimingSample {
+        TimingSample {
+            stall_queue_ns: self.stalls.queue_ns.round() as u64,
+            stall_trans_miss_ns: self.stalls.trans_miss_ns.round() as u64,
+            stall_exchange_ns: self.stalls.exchange_ns.round() as u64,
+            stall_reorg_ns: self.stalls.reorg_ns.round() as u64,
+            latency: self.hist.snapshot(),
         }
-        LATENCY_BUCKETS as f64 * LATENCY_BUCKET_NS
     }
 }
 
@@ -190,7 +348,18 @@ mod tests {
     use super::*;
 
     fn cfg() -> ClosedLoopConfig {
-        ClosedLoopConfig { banks: 4, window: 2, think_ns: 10.0, read_ns: 50.0, write_ns: 350.0 }
+        ClosedLoopConfig {
+            channels: 1,
+            banks: 4,
+            window: 2,
+            queue_depth: 8,
+            think_ns: 10.0,
+            read_ns: 50.0,
+            write_ns: 350.0,
+            bus_ns: 0.0,
+            trans_hit_ns: 5.0,
+            trans_miss_ns: 55.0,
+        }
     }
 
     #[test]
@@ -204,8 +373,13 @@ mod tests {
     #[test]
     fn translation_adds_to_critical_path() {
         let mut s = ClosedLoopSim::new(cfg());
-        s.push(MemEvent::read(0).with_translation(55.0));
+        s.push(MemEvent::read(0).with_translation(Translation::Miss));
         assert!((s.elapsed_ns() - 115.0).abs() < 1e-9);
+        assert!((s.stalls().trans_miss_ns - 55.0).abs() < 1e-9);
+        let mut h = ClosedLoopSim::new(cfg());
+        h.push(MemEvent::read(0).with_translation(Translation::Hit));
+        assert!((h.elapsed_ns() - 65.0).abs() < 1e-9);
+        assert_eq!(h.stalls().trans_miss_ns, 0.0);
     }
 
     #[test]
@@ -224,6 +398,8 @@ mod tests {
         a.push(MemEvent::read(0));
         // Second starts when the bank frees at 60, done at 110.
         assert!((a.elapsed_ns() - 110.0).abs() < 1e-9);
+        // The 40 ns wait is plain queueing.
+        assert!((a.stalls().queue_ns - 40.0).abs() < 1e-9);
     }
 
     #[test]
@@ -238,9 +414,46 @@ mod tests {
     }
 
     #[test]
+    fn bounded_bank_queue_blocks_head_of_line() {
+        // 8 writes hammer bank 0, then 96 reads spread over the other
+        // banks. With 1-deep bank queues the writes stall the issue
+        // stream (head-of-line), so the reads start ~2 µs late; deep
+        // queues absorb the writes and let the reads overlap them.
+        let run = |queue_depth| {
+            let mut s = ClosedLoopSim::new(ClosedLoopConfig { queue_depth, window: 16, ..cfg() });
+            for _ in 0..8 {
+                s.push(MemEvent::write(0));
+            }
+            for i in 0..96u32 {
+                s.push(MemEvent::read(1 + i % 3));
+            }
+            s.elapsed_ns()
+        };
+        let (shallow, deep) = (run(1), run(64));
+        assert!(shallow > deep + 500.0, "shallow {shallow} vs deep {deep}");
+    }
+
+    #[test]
+    fn channel_bus_serializes_across_banks() {
+        let slow = ClosedLoopConfig { bus_ns: 40.0, window: 8, ..cfg() };
+        let mut one_chan = ClosedLoopSim::new(slow);
+        let mut two_chan = ClosedLoopSim::new(ClosedLoopConfig { channels: 2, ..slow });
+        for i in 0..64u32 {
+            one_chan.push(MemEvent::read(i));
+            two_chan.push(MemEvent::read(i));
+        }
+        assert!(
+            one_chan.elapsed_ns() > 1.5 * two_chan.elapsed_ns(),
+            "one channel {} vs two {}",
+            one_chan.elapsed_ns(),
+            two_chan.elapsed_ns()
+        );
+    }
+
+    #[test]
     fn wl_writes_occupy_banks() {
         let mut with = ClosedLoopSim::new(cfg());
-        with.push(MemEvent::write(0).with_wl_writes(4));
+        with.push(MemEvent::write(0).with_exchange_writes(4));
         with.push(MemEvent::write(0));
         let mut without = ClosedLoopSim::new(cfg());
         without.push(MemEvent::write(0));
@@ -251,6 +464,49 @@ mod tests {
             with.elapsed_ns(),
             without.elapsed_ns()
         );
+    }
+
+    #[test]
+    fn stalls_attribute_wl_wait_to_cause() {
+        // An exchange posts occupancy on bank 0; the next demand write
+        // there waits, and the wait is billed to the exchange, not to
+        // generic queueing.
+        let mut s = ClosedLoopSim::new(cfg());
+        s.push(MemEvent::write(0).with_exchange_writes(1));
+        s.push(MemEvent::write(0));
+        let st = s.stalls();
+        assert!(st.exchange_ns > 300.0, "exchange stall {}", st.exchange_ns);
+        assert_eq!(st.reorg_ns, 0.0);
+
+        let mut m = ClosedLoopSim::new(cfg());
+        m.push(MemEvent::write(0).with_reorg_writes(1));
+        m.push(MemEvent::write(0));
+        let st = m.stalls();
+        assert!(st.reorg_ns > 300.0, "reorg stall {}", st.reorg_ns);
+        assert_eq!(st.exchange_ns, 0.0);
+    }
+
+    #[test]
+    fn stall_attribution_is_conservative() {
+        // Attributed stall never exceeds total measured latency minus the
+        // bare service time.
+        let mut s = ClosedLoopSim::new(cfg());
+        let mut service = 0.0;
+        for i in 0..500u32 {
+            let e = if i % 3 == 0 {
+                service += 350.0;
+                MemEvent::write(i % 2).with_exchange_writes(2).with_reorg_writes(1)
+            } else {
+                service += 50.0;
+                MemEvent::read(i % 2).with_translation(Translation::Miss)
+            };
+            s.push(e);
+        }
+        let st = s.stalls();
+        let attributed = st.queue_ns + st.trans_miss_ns + st.exchange_ns + st.reorg_ns;
+        let total_wait = s.mean_latency_ns() * s.events() as f64 - service;
+        assert!(attributed <= total_wait + 1e-6, "{attributed} > {total_wait}");
+        assert!((attributed - total_wait).abs() < 1e-6, "unattributed stall");
     }
 
     #[test]
@@ -277,30 +533,47 @@ mod tests {
             contended.latency_percentile_ns(0.99) > uncontended.latency_percentile_ns(0.99),
             "contention must fatten the tail"
         );
-        // The median is never above the p99.
+        // The median is never above the p99, nor the p99 above the p999.
         assert!(contended.latency_percentile_ns(0.5) <= contended.latency_percentile_ns(0.99));
+        assert!(contended.latency_percentile_ns(0.99) <= contended.latency_percentile_ns(0.999));
+    }
+
+    #[test]
+    fn deep_tail_is_not_capped_at_3200ns() {
+        // Regression for the old linear histogram: a hard-contended bank
+        // drives tail latencies far beyond 3.2 µs, and the percentile
+        // must follow them instead of reporting the cap.
+        let mut s = ClosedLoopSim::new(ClosedLoopConfig { window: 64, queue_depth: 64, ..cfg() });
+        for _ in 0..200 {
+            s.push(MemEvent::write(0));
+        }
+        let p999 = s.latency_percentile_ns(0.999);
+        assert!(p999 > 10_000.0, "tail still capped: p999 = {p999}");
+        let q = s.latency_percentile(0.999).unwrap();
+        assert!(!q.saturated, "within histogram range, must not be flagged");
     }
 
     #[test]
     fn throughput_scales_with_banks() {
-        let mut narrow = ClosedLoopSim::new(ClosedLoopConfig {
-            banks: 1,
-            window: 8,
-            think_ns: 1.0,
-            read_ns: 50.0,
-            write_ns: 350.0,
-        });
-        let mut wide = ClosedLoopSim::new(ClosedLoopConfig {
-            banks: 8,
-            window: 8,
-            think_ns: 1.0,
-            read_ns: 50.0,
-            write_ns: 350.0,
-        });
+        let mut narrow = ClosedLoopSim::new(ClosedLoopConfig { banks: 1, window: 8, ..cfg() });
+        let mut wide =
+            ClosedLoopSim::new(ClosedLoopConfig { banks: 8, window: 8, queue_depth: 64, ..cfg() });
         for i in 0..800u32 {
             narrow.push(MemEvent::read(i));
             wide.push(MemEvent::read(i));
         }
         assert!(narrow.elapsed_ns() > 4.0 * wide.elapsed_ns());
+    }
+
+    #[test]
+    fn timing_sample_matches_histogram() {
+        let mut s = ClosedLoopSim::new(cfg());
+        for i in 0..100u32 {
+            s.push(MemEvent::write(i % 2).with_exchange_writes(1));
+        }
+        let t = s.timing_sample();
+        assert_eq!(t.latency.restore(), *s.histogram());
+        assert_eq!(t.stall_exchange_ns, s.stalls().exchange_ns.round() as u64);
+        assert_eq!(t.latency.count, s.events());
     }
 }

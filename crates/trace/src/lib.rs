@@ -37,7 +37,7 @@ pub use crash::{
     demand_writes_before, power_loss_at_sample_boundaries, power_loss_schedule, sample_boundaries,
 };
 pub use file::{TraceReader, TraceWriter};
-pub use patterns::{Hotspot, SeqScan, Stride, Uniform};
+pub use patterns::{Hotspot, SeqScan, Stride, Uniform, ZipfStream};
 pub use phased::{Mix, Phased};
 pub use rate_mode::RateMode;
 pub use reuse::ReuseTracker;

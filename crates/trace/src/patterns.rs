@@ -1,10 +1,12 @@
-//! Elementary access patterns: uniform random, sequential scan, strided
-//! walk, and hotspot. These are the building blocks the SPEC-like models
-//! compose, and they double as well-understood unit-test workloads.
+//! Elementary access patterns: uniform random, Zipf-popular, sequential
+//! scan, strided walk, and hotspot. These are the building blocks the
+//! SPEC-like models compose, and they double as well-understood unit-test
+//! workloads.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::zipf::Zipf;
 use crate::{AddressStream, MemReq};
 
 /// Uniform random accesses over the whole space.
@@ -53,6 +55,65 @@ impl AddressStream for Uniform {
 
     fn name(&self) -> &str {
         "uniform"
+    }
+}
+
+/// Zipf-popular accesses: each request draws a line by Zipf rank
+/// (P(line = k) ∝ 1/(k+1)^s), the heavy-tailed popularity profile of real
+/// application heaps. Rank r maps to line r directly — wear-leveling
+/// permutations spread the hot lines physically, so no extra scrambling is
+/// warranted here.
+#[derive(Debug, Clone)]
+pub struct ZipfStream {
+    rng: SmallRng,
+    zipf: Zipf,
+    space: u64,
+    write_ratio: f64,
+}
+
+impl ZipfStream {
+    /// Zipf stream over `space` lines with exponent `exponent > 0`; each
+    /// request is a write with probability `write_ratio`.
+    pub fn new(space: u64, exponent: f64, write_ratio: f64, seed: u64) -> Self {
+        assert!(space > 0);
+        assert!((0.0..=1.0).contains(&write_ratio));
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            zipf: Zipf::new(space, exponent),
+            space,
+            write_ratio,
+        }
+    }
+}
+
+impl AddressStream for ZipfStream {
+    #[inline]
+    fn next_req(&mut self) -> MemReq {
+        let la = self.zipf.sample(&mut self.rng);
+        let write = self.rng.random::<f64>() < self.write_ratio;
+        MemReq { la, write }
+    }
+
+    fn fill(&mut self, buf: &mut [MemReq]) -> usize {
+        // Same draws in the same order as `next_req`, with the sampler and
+        // ratio hoisted for the whole block.
+        let zipf = &self.zipf;
+        let write_ratio = self.write_ratio;
+        let rng = &mut self.rng;
+        for slot in buf.iter_mut() {
+            let la = zipf.sample(rng);
+            let write = rng.random::<f64>() < write_ratio;
+            *slot = MemReq { la, write };
+        }
+        buf.len()
+    }
+
+    fn space_lines(&self) -> u64 {
+        self.space
+    }
+
+    fn name(&self) -> &str {
+        "zipf"
     }
 }
 
@@ -257,6 +318,34 @@ mod tests {
         let frac = hot as f64 / total as f64;
         // 0.9 hot probability plus the sliver of cold traffic landing there.
         assert!((frac - 0.9).abs() < 0.01, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_stream_skews_toward_low_ranks() {
+        let mut z = ZipfStream::new(1 << 10, 1.0, 1.0, 7);
+        let total = 50_000;
+        let mut low = 0usize;
+        for _ in 0..total {
+            let r = z.next_req();
+            assert!(r.la < 1 << 10);
+            assert!(r.write);
+            low += usize::from(r.la < 16);
+        }
+        // The 16 hottest of 1024 lines draw far more than their 1.6%
+        // uniform share under s=1.0 (analytically ~45%).
+        let frac = low as f64 / total as f64;
+        assert!(frac > 0.35, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_stream_fill_matches_next_req() {
+        let mut a = ZipfStream::new(256, 1.2, 0.4, 11);
+        let mut b = ZipfStream::new(256, 1.2, 0.4, 11);
+        let mut buf = [MemReq::read(0); 300];
+        a.fill(&mut buf);
+        for (i, slot) in buf.iter().enumerate() {
+            assert_eq!(*slot, b.next_req(), "request {i}");
+        }
     }
 
     #[test]

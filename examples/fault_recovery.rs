@@ -35,6 +35,7 @@ fn main() {
             seed: 7,
         }),
         telemetry: None,
+        timing: None,
     };
 
     let r = run_lifetime(&exp).expect("valid experiment");

@@ -13,7 +13,7 @@ use bytes::Bytes;
 use sawl::nvm::{NvmConfig, NvmDevice};
 use sawl::simctl::pump_observed;
 use sawl::tiered::{Nwl, NwlConfig};
-use sawl::timing::{ipc_degradation, CpuModel, IpcModel, MemEvent};
+use sawl::timing::{ipc_degradation, CpuModel, IpcModel, MemEvent, Translation};
 use sawl::trace::{SpecBenchmark, TraceReader, TraceWriter};
 
 fn device_for(lines: u64) -> NvmDevice {
@@ -52,18 +52,15 @@ fn main() {
         pump_observed(&mut nwl, &mut dev, &mut reader, count, |req, pa, w, _| {
             let missed = w.mapping_stats().misses > misses_before;
             misses_before = w.mapping_stats().misses;
-            let translation = if missed { 55.0 } else { 5.0 };
-            model.push(MemEvent {
-                bank: (pa % 32) as u32,
-                write: req.write,
-                translation_ns: translation,
-                wl_writes: 0,
-            });
-            base.push(MemEvent {
-                bank: (req.la % 32) as u32,
-                write: req.write,
-                translation_ns: 0.0,
-                wl_writes: 0,
+            let translation = if missed { Translation::Miss } else { Translation::Hit };
+            let bank = (pa % 32) as u32;
+            let ev = if req.write { MemEvent::write(bank) } else { MemEvent::read(bank) };
+            model.push(ev.with_translation(translation));
+            let base_bank = (req.la % 32) as u32;
+            base.push(if req.write {
+                MemEvent::write(base_bank)
+            } else {
+                MemEvent::read(base_bank)
             });
         });
         let hit = nwl.mapping_stats().hit_rate();

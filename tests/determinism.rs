@@ -34,6 +34,7 @@ fn lifetime_experiments_reproduce_bit_identically() {
         max_demand_writes: 0,
         fault: None,
         telemetry: None,
+        timing: None,
     };
     assert_eq!(run_lifetime(&exp), run_lifetime(&exp));
 }
@@ -63,6 +64,7 @@ fn different_experiment_ids_draw_different_randomness() {
         max_demand_writes: 0,
         fault: None,
         telemetry: None,
+        timing: None,
     };
     let a = run_lifetime(&mk("id-a")).unwrap();
     let b = run_lifetime(&mk("id-b")).unwrap();

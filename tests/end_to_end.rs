@@ -22,6 +22,7 @@ fn lifetime_result(
         max_demand_writes: 0,
         fault: None,
         telemetry: None,
+        timing: None,
     })
     .unwrap()
 }
@@ -179,6 +180,7 @@ fn overhead_fractions_track_swap_periods() {
             max_demand_writes: 0,
             fault: None,
             telemetry: None,
+            timing: None,
         })
         .unwrap()
     };
