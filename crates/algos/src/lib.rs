@@ -115,6 +115,23 @@ pub trait WearLeveler {
         done
     }
 
+    /// Lower bound on how many *further* consecutive demand writes to `la`
+    /// are **quiet**: they keep [`translate`](WearLeveler::translate)`(la)`
+    /// unchanged, perform no device reads, post no overhead writes, and
+    /// advance no [`op_counts`](WearLeveler::op_counts) counter — each one
+    /// is exactly one demand write to the same physical line.
+    ///
+    /// The timed driver batches exactly this many writes through one
+    /// memory-controller event stream fast path; anything the scheme might
+    /// do (exchange, gap move, refresh step, CMT miss, adaptation sample)
+    /// must lie strictly *beyond* the returned count. `0` — the default —
+    /// is always safe and simply keeps the driver scalar.
+    ///
+    /// Pure observation: must not change scheme state.
+    fn quiet_writes(&self, _la: La) -> u64 {
+        0
+    }
+
     /// Bring the scheme back to a consistent state after a power-loss
     /// event: restore device power, resolve any interrupted wear-leveling
     /// operation, and rebuild volatile (cache/counter) state.
@@ -197,6 +214,9 @@ impl<W: WearLeveler + ?Sized> WearLeveler for Box<W> {
 
     fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
         (**self).write_run(la, n, dev)
+    }
+    fn quiet_writes(&self, la: La) -> u64 {
+        (**self).quiet_writes(la)
     }
 
     fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {

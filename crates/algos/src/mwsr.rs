@@ -216,6 +216,14 @@ impl WearLeveler for Mwsr {
         done
     }
 
+    fn quiet_writes(&self, la: La) -> u64 {
+        // Only `step` (every `period` writes to the region) can move the
+        // mapping or write lines; everything strictly before the trigger
+        // write is quiet.
+        let lrn = self.geo.region_of(la) as usize;
+        (self.period - u64::from(self.ctr[lrn])).max(1) - 1
+    }
+
     fn onchip_bits(&self) -> u64 {
         // Per region: two placements (prn + key each) + a 20-bit counter —
         // the "two physical addresses, two offset addresses and a write

@@ -55,6 +55,11 @@ impl WearLeveler for NoWl {
         done
     }
 
+    fn quiet_writes(&self, _la: La) -> u64 {
+        // No wear leveling: every write is quiet, forever.
+        u64::MAX
+    }
+
     fn onchip_bits(&self) -> u64 {
         0
     }

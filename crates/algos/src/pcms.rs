@@ -168,6 +168,15 @@ impl WearLeveler for PcmS {
         done
     }
 
+    fn quiet_writes(&self, la: La) -> u64 {
+        // The mapping only moves at the region's exchange trigger; every
+        // write strictly before it repeats the same physical line with no
+        // overhead traffic. (`until_trigger` is trigger-inclusive, so the
+        // trigger write itself is excluded.)
+        let lrn = self.geo.region_of(la) as usize;
+        self.swaps.until_trigger(lrn, self.geo.region_lines()) - 1
+    }
+
     fn onchip_bits(&self) -> u64 {
         // Per logical region: prn + key + a 20-bit write counter (the
         // paper's §2.2 item 4 counts prn and key; the counter is required

@@ -151,6 +151,13 @@ impl WearLeveler for SecurityRefresh {
         pa
     }
 
+    fn quiet_writes(&self, _la: La) -> u64 {
+        // The mapping only moves in `step`; the trigger write is excluded
+        // because `step` always advances the refresh pointer (changing the
+        // translation of refreshed addresses) even when it swaps nothing.
+        (self.period - self.writes).saturating_sub(1)
+    }
+
     fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {
         // The SR mapping only moves in `step`, every `period` writes: the
         // whole window up to (and including) the step trigger shares one
@@ -291,6 +298,18 @@ impl WearLeveler for Tlsr {
             }
         }
         pa
+    }
+
+    fn quiet_writes(&self, la: La) -> u64 {
+        // Both SR levels move only on their periodic steps. The trigger
+        // write itself is excluded even though a step may swap nothing:
+        // `SrInstance::step` always advances the refresh pointer, which
+        // changes the translation of already-refreshed addresses.
+        let intermediate = self.outer.map(la);
+        let region = self.geo.region_of(intermediate) as usize;
+        let inner_gap = self.inner_period - u64::from(self.inner_writes[region]);
+        let outer_gap = self.outer_period - self.outer_writes;
+        inner_gap.min(outer_gap).saturating_sub(1)
     }
 
     fn write_run(&mut self, la: La, n: u64, dev: &mut NvmDevice) -> u64 {

@@ -126,6 +126,17 @@ impl WearLeveler for SegmentSwap {
         pa
     }
 
+    fn quiet_writes(&self, la: La) -> u64 {
+        // The table only changes at a segment's swap trigger; with a
+        // single segment the trigger is disabled outright and every write
+        // is quiet.
+        if self.geo.regions() == 1 {
+            return u64::MAX;
+        }
+        let pseg = (self.translate(la) >> self.geo.offset_bits()) as usize;
+        self.swap_period.saturating_sub(self.seg_since_swap[pseg] + 1)
+    }
+
     fn onchip_bits(&self) -> u64 {
         // Mapping entry + inverse + two counters per segment.
         let segs = self.geo.regions();

@@ -149,6 +149,13 @@ impl WearLeveler for StartGap {
         pa
     }
 
+    fn quiet_writes(&self, la: La) -> u64 {
+        // The region's rotation only advances at the gap-move trigger;
+        // every write strictly before it repeats the same slot.
+        let region = (la / self.region_lines) as usize;
+        self.period.saturating_sub(self.state[region].writes + 1)
+    }
+
     fn onchip_bits(&self) -> u64 {
         // START + GAP + write counter per region.
         let slot_bits = 64 - self.slots().leading_zeros() as u64;

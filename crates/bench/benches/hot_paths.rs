@@ -227,8 +227,86 @@ fn bench_lifetime_slice(c: &mut Criterion) {
             max_demand_writes: 500_000,
             fault: None,
             telemetry: None,
+            timing: None,
         };
         b.iter(|| black_box(run_lifetime(&exp).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    // The latency histogram sits on the timed hot path: one record per
+    // served request on the scalar path, one record_n per quiet run on the
+    // fast path. Keep both visible, plus the snapshot/merge costs the
+    // telemetry stream and sharded sweeps pay per sample/reduction.
+    use sawl_timing::LatencyHistogram;
+    let mut g = c.benchmark_group("histogram");
+    g.bench_function("record", |b| {
+        let mut h = LatencyHistogram::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 359) & ((1 << 22) - 1);
+            h.record(v);
+            black_box(h.count())
+        });
+    });
+    g.bench_function("record_n_4096", |b| {
+        // One fast-path bulk record standing in for 4096 scalar ones.
+        let mut h = LatencyHistogram::new();
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 359) & ((1 << 22) - 1);
+            h.record_n(v, 4096);
+            black_box(h.count())
+        });
+    });
+    g.bench_function("snapshot_restore", |b| {
+        let mut h = LatencyHistogram::new();
+        for i in 0..100_000u64 {
+            h.record((i * i) & ((1 << 22) - 1));
+        }
+        b.iter(|| black_box(h.snapshot().restore().count()));
+    });
+    g.bench_function("merge", |b| {
+        let mut a = LatencyHistogram::new();
+        let mut other = LatencyHistogram::new();
+        for i in 0..100_000u64 {
+            a.record((i * i) & ((1 << 22) - 1));
+            other.record((i * 31) & ((1 << 22) - 1));
+        }
+        b.iter(|| {
+            a.merge(&other);
+            black_box(a.count())
+        });
+    });
+    g.finish();
+}
+
+fn bench_controller(c: &mut Criterion) {
+    // The timing model's per-event step and the closed-form run
+    // advancement the timed fast path rides on. `push_n_bpa_dwell` is one
+    // 2048-write BPA dwell landing on a fresh bank — warmup pushes, the
+    // periodicity detection, and the jump — so its per-event cost is the
+    // timed fast path's dominant term.
+    use sawl_timing::{ClosedLoopConfig, ClosedLoopSim, MemEvent};
+    let mut g = c.benchmark_group("controller");
+    g.bench_function("push", |b| {
+        let mut s = ClosedLoopSim::new(ClosedLoopConfig::default());
+        let mut bank = 0u32;
+        b.iter(|| {
+            bank = (bank + 1) % 32;
+            s.push(MemEvent::write(bank));
+            black_box(s.events())
+        });
+    });
+    g.bench_function("push_n_bpa_dwell", |b| {
+        let mut s = ClosedLoopSim::new(ClosedLoopConfig::default());
+        let mut bank = 0u32;
+        b.iter(|| {
+            bank = (bank + 1) % 32;
+            s.push_n(MemEvent::write(bank), 2048);
+            black_box(s.events())
+        });
     });
     g.finish();
 }
@@ -236,6 +314,6 @@ fn bench_lifetime_slice(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_device_write, bench_translate, bench_write_path, bench_cmt, bench_streams, bench_stream_fill, bench_lifetime_slice
+    targets = bench_device_write, bench_translate, bench_write_path, bench_cmt, bench_streams, bench_stream_fill, bench_lifetime_slice, bench_histogram, bench_controller
 }
 criterion_main!(benches);

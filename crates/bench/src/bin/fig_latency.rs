@@ -1,144 +1,120 @@
-//! Tail-latency comparison: run each scheme's lifetime probe with the
-//! closed-loop timing model attached under BPA and Zipf traffic, and
-//! record the latency distribution (p50/p99/p999/max) plus the stall
-//! attribution as `BENCH_latency.json` in the working directory.
+//! Tail-latency comparison: run each scheme's timed lifetime probe under
+//! BPA and Zipf traffic — sharded over (scheme × workload × seed) and
+//! fanned across cores — and record the latency distribution
+//! (p50/p99/p999/max) plus the stall attribution as `BENCH_latency.json`
+//! in the working directory, together with a timed-throughput probe of
+//! the run-granular fast path against the forced-scalar serve path.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p sawl-bench --bin fig_latency              # full geometry
-//! cargo run --release -p sawl-bench --bin fig_latency -- --smoke  # tiny, seconds
+//! cargo run --release -p sawl-bench --bin fig_latency                 # full geometry
+//! cargo run --release -p sawl-bench --bin fig_latency -- --smoke     # tiny, seconds
+//!     [--seeds K]            # seed shards per cell (default 4)
+//!     [--threads N]          # worker cap; beats SAWL_THREADS
+//!     [--min-timed-mwps X]   # exit 1 if the fast-path probe is slower
 //! ```
 //!
-//! The JSON schema is a single object:
-//!
-//! ```json
-//! {
-//!   "probe": "timed-lifetime",
-//!   "smoke": false,
-//!   "data_lines": 65536,
-//!   "requests": 2000000,
-//!   "rows": [
-//!     { "scheme": "sawl", "workload": "bpa", "requests": 0, "mean_ns": 0.0,
-//!       "p50_ns": 0, "p99_ns": 0, "p999_ns": 0, "max_ns": 0,
-//!       "saturated": false, "stall_queue_ns": 0.0, "stall_trans_miss_ns": 0.0,
-//!       "stall_exchange_ns": 0.0, "stall_reorg_ns": 0.0 }
-//!   ]
-//! }
-//! ```
+//! The rows are deterministic: every shard seeds its own request stream
+//! from its id, shards reduce in fixed order through the histogram's
+//! slot-exact merge, and the worker count only bounds the fan-out — so
+//! `--threads 1` and `--threads 4` write byte-identical rows. The
+//! `timed_probe` object (wall-clock Mw/s, scalar vs fast serve) is the
+//! one intentionally non-deterministic part of the document.
 //!
 //! The mean separates schemes only mildly; the p99/p999 columns are where
 //! periodic table-wide exchanges (PCM-S, MWSR) and SAWL's merge/split
-//! reorganizations show up. Every run serves the same request count, so
+//! reorganizations show up. Every cell serves the same request count, so
 //! percentiles are comparable across rows.
 
-use serde::{Deserialize, Serialize};
+use sawl_bench::latency::{
+    run_sweep, scheme_grid, timed_probe, workload_grid, LatencyReportDoc, LatencyRow, SweepConfig,
+};
 
-use sawl_simctl::{run_scenario, DeviceSpec, Scenario, SchemeSpec, TimingSpec, WorkloadSpec};
-
-/// One scheme × workload row in `BENCH_latency.json`.
-#[derive(Debug, Serialize, Deserialize)]
-struct LatencyRow {
-    scheme: String,
-    workload: String,
-    requests: u64,
-    mean_ns: f64,
-    p50_ns: u64,
-    p99_ns: u64,
-    p999_ns: u64,
-    max_ns: u64,
-    saturated: bool,
-    stall_queue_ns: f64,
-    stall_trans_miss_ns: f64,
-    stall_exchange_ns: f64,
-    stall_reorg_ns: f64,
-}
-
-/// Top-level `BENCH_latency.json` document.
-#[derive(Debug, Serialize, Deserialize)]
-struct LatencyReportDoc {
-    probe: String,
-    smoke: bool,
-    data_lines: u64,
-    endurance: u32,
-    requests: u64,
-    rows: Vec<LatencyRow>,
+fn usage() -> ! {
+    eprintln!("usage: fig_latency [--smoke] [--seeds K] [--threads N] [--min-timed-mwps X]");
+    std::process::exit(2);
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    // High endurance: every run serves the full request budget, so the
-    // percentile columns compare identical sample counts.
-    let (data_lines, requests): (u64, u64) =
-        if smoke { (1 << 12, 100_000) } else { (1 << 16, 2_000_000) };
-    let endurance = u32::MAX;
-
-    let schemes: Vec<(&str, SchemeSpec)> = vec![
-        ("baseline", SchemeSpec::Baseline),
-        ("pcms", SchemeSpec::PcmS { region_lines: 16, period: 32 }),
-        ("tlsr", SchemeSpec::Tlsr { region_lines: 64, inner_period: 8, outer_period: 32 }),
-        ("mwsr", SchemeSpec::Mwsr { region_lines: 16, period: 32 }),
-        ("nwl", SchemeSpec::Nwl { granularity: 4, cmt_entries: 1 << 10, swap_period: 1 << 20 }),
-        ("sawl", SchemeSpec::sawl_default(1024)),
-    ];
-    let workloads: Vec<(&str, WorkloadSpec)> = vec![
-        ("bpa", WorkloadSpec::Bpa { writes_per_target: 2048 }),
-        ("zipf", WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 1.0 }),
-    ];
-
-    let mut rows = Vec::new();
-    for (sname, scheme) in &schemes {
-        for (wname, workload) in &workloads {
-            let scenario = Scenario::lifetime(
-                format!("fig-latency/{sname}/{wname}"),
-                scheme.clone(),
-                workload.clone(),
-                data_lines,
-                DeviceSpec { endurance, ..Default::default() },
-            )
-            .with_write_cap(requests)
-            .with_timing(TimingSpec::default());
-            let report = run_scenario(&scenario).expect("latency scenario failed");
-            let l = report.lifetime().latency.clone().expect("timed run must report latency");
-            println!(
-                "{sname:>8}/{wname}: p50 {:>5} ns  p99 {:>6} ns  p999 {:>7} ns  max {:>8} ns  \
-                 (queue {:.2e} / miss {:.2e} / xchg {:.2e} / reorg {:.2e})",
-                l.p50_ns,
-                l.p99_ns,
-                l.p999_ns,
-                l.max_ns,
-                l.stall_queue_ns,
-                l.stall_trans_miss_ns,
-                l.stall_exchange_ns,
-                l.stall_reorg_ns,
-            );
-            rows.push(LatencyRow {
-                scheme: (*sname).into(),
-                workload: (*wname).into(),
-                requests: l.requests,
-                mean_ns: l.mean_ns,
-                p50_ns: l.p50_ns,
-                p99_ns: l.p99_ns,
-                p999_ns: l.p999_ns,
-                max_ns: l.max_ns,
-                saturated: l.saturated,
-                stall_queue_ns: l.stall_queue_ns,
-                stall_trans_miss_ns: l.stall_trans_miss_ns,
-                stall_exchange_ns: l.stall_exchange_ns,
-                stall_reorg_ns: l.stall_reorg_ns,
-            });
+    let mut smoke = false;
+    let mut seeds: u64 = 4;
+    let mut min_timed_mwps: Option<f64> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seeds" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(k)) if k >= 1 => seeds = k,
+                _ => usage(),
+            },
+            "--threads" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => sawl_simctl::set_thread_override(Some(n.max(1))),
+                _ => usage(),
+            },
+            "--min-timed-mwps" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(x)) if x > 0.0 => min_timed_mwps = Some(x),
+                _ => usage(),
+            },
+            _ => usage(),
         }
     }
+
+    let cfg = if smoke { SweepConfig::smoke(seeds) } else { SweepConfig::full(seeds) };
+    let schemes = scheme_grid(cfg.data_lines);
+    let workloads = workload_grid();
+    let rows = run_sweep(&cfg, &schemes, &workloads);
+    for row in &rows {
+        let l = &row.report;
+        println!(
+            "{:>8}/{}: p50 {:>5} ns  p99 {:>6} ns  p999 {:>7} ns  max {:>8} ns  \
+             (queue {:.2e} / miss {:.2e} / xchg {:.2e} / reorg {:.2e})",
+            row.scheme,
+            row.workload,
+            l.p50_ns,
+            l.p99_ns,
+            l.p999_ns,
+            l.max_ns,
+            l.stall_queue_ns,
+            l.stall_trans_miss_ns,
+            l.stall_exchange_ns,
+            l.stall_reorg_ns,
+        );
+    }
+
+    let probe = timed_probe(&cfg);
+    println!(
+        "timed probe ({}/{}, {} writes): scalar {:.2} Mw/s, fast {:.2} Mw/s ({:.1}x)",
+        probe.scheme,
+        probe.workload,
+        probe.requests,
+        probe.scalar_mw_per_sec,
+        probe.fast_mw_per_sec,
+        probe.speedup,
+    );
 
     let doc = LatencyReportDoc {
         probe: "timed-lifetime".into(),
         smoke,
-        data_lines,
-        endurance,
-        requests,
-        rows,
+        data_lines: cfg.data_lines,
+        endurance: cfg.endurance,
+        requests: cfg.requests,
+        seeds: cfg.seeds,
+        rows: rows.iter().map(LatencyRow::from_row).collect(),
+        timed_probe: probe.clone(),
     };
     let json = serde_json::to_string_pretty(&doc).expect("serialize latency report");
     std::fs::write("BENCH_latency.json", json + "\n").expect("write BENCH_latency.json");
     println!("wrote BENCH_latency.json");
+
+    if let Some(floor) = min_timed_mwps {
+        if probe.fast_mw_per_sec < floor {
+            eprintln!(
+                "timed throughput {:.2} Mw/s below the {floor:.2} Mw/s floor",
+                probe.fast_mw_per_sec
+            );
+            std::process::exit(1);
+        }
+    }
 }

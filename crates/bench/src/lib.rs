@@ -11,6 +11,8 @@
 //! reports through [`Figure`]. This module holds the shared
 //! scaled-geometry constants (DESIGN.md §4) and the output helpers.
 
+pub mod latency;
+
 use std::path::PathBuf;
 
 use sawl_core::History;

@@ -575,6 +575,23 @@ impl WearLeveler for Sawl {
         done
     }
 
+    fn quiet_writes(&self, la: La) -> u64 {
+        // Mirrors the batched `write_run` guards: quiet requires a settled
+        // (non-adapting) region whose front entry is cached, and ends
+        // strictly before the nearer of the exchange trigger and the
+        // monitor's sample boundary (a sample can decide a merge/split).
+        let g = la >> self.mapping.p_log2();
+        let e = self.mapping.entry(g);
+        if self.adapt.action_for(e.q_log2).is_some() {
+            return 0;
+        }
+        let base = self.mapping.base_of(g, e);
+        if self.mapping.cmt().peek(base).is_none() {
+            return 0;
+        }
+        self.xchg.until_trigger(base, e.q()).min(self.adapt.until_sample()) - 1
+    }
+
     fn recover(&mut self, dev: &mut NvmDevice) -> Recovery {
         Sawl::recover(self, dev)
     }

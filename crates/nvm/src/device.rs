@@ -233,6 +233,15 @@ impl NvmDevice {
         }
     }
 
+    /// Whether a (non-empty) fault-injection plan is armed. Drivers with a
+    /// fault-free fast path consult this once per run: an armed plan can
+    /// drop writes (power loss) or add retries mid-run, so such devices
+    /// must stay on the scalar serve path.
+    #[inline]
+    pub fn fault_plan_armed(&self) -> bool {
+        self.fault.is_some()
+    }
+
     /// Fault-injection counters; all-zero when no fault plan is installed.
     pub fn fault_counters(&self) -> FaultCounters {
         self.fault.as_deref().map(|f| f.counters).unwrap_or_default()

@@ -30,7 +30,7 @@ use sawl_simctl::{
 };
 use sawl_trace::SpecBenchmark;
 
-const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress]\n  sawl-sim perf <spec.json>\n  sawl-sim example lifetime|perf";
+const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress] [--threads N]\n  sawl-sim perf <spec.json> [--threads N]\n  sawl-sim example lifetime|perf";
 
 /// Spec problems exit 2 (the input is wrong, rerunning won't help);
 /// runtime failures exit 1.
@@ -48,14 +48,17 @@ struct RunArgs {
     telemetry_out: Option<String>,
     timing: bool,
     progress: bool,
+    threads: Option<usize>,
 }
 
-/// Parse `<spec.json> [--telemetry out.json] [--timing] [--progress]`.
+/// Parse `<spec.json> [--telemetry out.json] [--timing] [--progress]
+/// [--threads N]`.
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut spec_path = None;
     let mut telemetry_out = None;
     let mut timing = false;
     let mut progress = false;
+    let mut threads = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -65,13 +68,18 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             },
             "--timing" => timing = true,
             "--progress" => progress = true,
+            "--threads" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) => threads = Some(n.max(1)),
+                Some(Err(_)) => return Err("--threads needs a worker count".into()),
+                None => return Err("--threads needs a worker count".into()),
+            },
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path if spec_path.is_none() => spec_path = Some(path.to_string()),
             extra => return Err(format!("unexpected argument {extra}")),
         }
     }
     let Some(spec_path) = spec_path else { return Err("missing <spec.json>".into()) };
-    Ok(RunArgs { spec_path, telemetry_out, timing, progress })
+    Ok(RunArgs { spec_path, telemetry_out, timing, progress, threads })
 }
 
 /// Fold the CLI telemetry flags into the experiment's own `telemetry`
@@ -179,6 +187,11 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            // Worker-count flag beats the SAWL_THREADS env var; worker
+            // count never changes results, only the resource footprint.
+            if run_args.threads.is_some() {
+                sawl_simctl::set_thread_override(run_args.threads);
+            }
             let raw = match std::fs::read_to_string(&run_args.spec_path) {
                 Ok(s) => s,
                 Err(e) => {
@@ -265,7 +278,8 @@ mod tests {
                 spec_path: "spec.json".into(),
                 telemetry_out: None,
                 timing: false,
-                progress: false
+                progress: false,
+                threads: None
             }
         );
         assert_eq!(
@@ -281,9 +295,19 @@ mod tests {
                 spec_path: "spec.json".into(),
                 telemetry_out: Some("t.json".into()),
                 timing: true,
-                progress: true
+                progress: true,
+                threads: None
             }
         );
+        // --threads parses, clamps to >= 1, and rejects garbage.
+        let with_threads = parse_run_args(&strs(&["spec.json", "--threads", "4"])).unwrap();
+        assert_eq!(with_threads.threads, Some(4));
+        assert_eq!(
+            parse_run_args(&strs(&["spec.json", "--threads", "0"])).unwrap().threads,
+            Some(1)
+        );
+        assert!(parse_run_args(&strs(&["spec.json", "--threads"])).is_err());
+        assert!(parse_run_args(&strs(&["spec.json", "--threads", "lots"])).is_err());
         assert!(parse_run_args(&strs(&[])).is_err());
         assert!(parse_run_args(&strs(&["spec.json", "--telemetry"])).is_err());
         assert!(parse_run_args(&strs(&["spec.json", "--bogus"])).is_err());
@@ -297,6 +321,7 @@ mod tests {
             telemetry_out: telemetry_out.map(String::from),
             timing: false,
             progress,
+            threads: None,
         };
         // No flags, no spec: stays off.
         let mut spec = None;
@@ -335,6 +360,7 @@ mod tests {
             telemetry_out: Some(out.to_str().unwrap().to_string()),
             timing: false,
             progress: false,
+            threads: None,
         };
         let stdout = run_lifetime_cli(&raw, &args).unwrap();
         // The series went to the file, not the stdout result.
@@ -353,6 +379,7 @@ mod tests {
             telemetry_out: None,
             timing: false,
             progress: false,
+            threads: None,
         };
         let (_, code) = run_lifetime_cli("{not json", &args).unwrap_err();
         assert_eq!(code, 2);
@@ -372,6 +399,7 @@ mod tests {
             telemetry_out: Some("t.json".into()),
             timing: false,
             progress: false,
+            threads: None,
         };
         let (msg, code) = run_perf_cli("{}", &args).unwrap_err();
         assert_eq!(code, 2);

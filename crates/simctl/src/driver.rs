@@ -363,18 +363,107 @@ where
 /// [`pump_writes_telemetry`] with the closed-loop timing model attached.
 ///
 /// Timing needs the physical address and the per-request device/scheme
-/// counter deltas of **every** write, so this pump serves requests scalar
-/// (one [`WearLeveler::write`] per request) while still draining the
-/// stream at run granularity — the request sequence, and hence the device
-/// state, is bit-identical to the batched pumps (the `write_run` contract)
-/// and to the scalar reference loop (`latency_alignment.rs` pins both).
+/// counter deltas of every write, but it does **not** need them one write
+/// at a time: a span the scheme certifies as *quiet*
+/// ([`WearLeveler::quiet_writes`] — stable translation, no device reads,
+/// no overhead writes, no op-count movement) produces `n` copies of one
+/// event, which the controller advances in closed form
+/// ([`TimingRun::observe_run`]). Everything else — the first write after a
+/// mapping move, CMT misses, exchange/merge/split triggers, telemetry
+/// sample boundaries — is served scalar, so the observed event stream, and
+/// with it every nanosecond, histogram slot and stall counter, is
+/// bit-identical to the scalar reference loop (`latency_alignment.rs` pins
+/// this for every scheme variant).
+///
+/// Devices with an armed fault plan can drop writes (power loss) or add
+/// retries mid-span, so they take the scalar serve loop unconditionally,
+/// as does a spec with [`TimingSpec::scalar_serve`] set.
 ///
 /// The telemetry clock advances per served write exactly as in the batched
-/// pump, so boundary samples — including the timing histogram — land on
-/// identical request indices. A write dropped by a power loss is neither
-/// observed by the timing model nor counted as served; the recovery's own
-/// data movement is charged to the next observed request's overhead delta.
+/// pump: quiet spans are clamped at the recorder's
+/// [`until_sample`](TelemetryRun::until_sample) boundary, so samples land
+/// on identical request indices.
+///
+/// [`TimingSpec::scalar_serve`]: sawl_timing::TimingSpec
 pub fn pump_writes_timed<W, S>(
+    wl: &mut W,
+    dev: &mut NvmDevice,
+    stream: &mut S,
+    cap: u64,
+    mut telemetry: Option<&mut TelemetryRun>,
+    timing: &mut TimingRun,
+) -> Result<PumpStats, DriverError>
+where
+    W: WearLeveler + ?Sized,
+    S: AddressStream + ?Sized,
+{
+    if dev.fault_plan_armed() || timing.scalar_serve() {
+        return pump_writes_timed_scalar(wl, dev, stream, cap, telemetry, timing);
+    }
+    let mut scratch = [MemReq::read(0); BLOCK];
+    let mut runs: Vec<ReqRun> = Vec::new();
+    let mut consecutive_reads = 0u64;
+    let stats = PumpStats::default();
+    timing.prime(wl, dev);
+    'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        stream.fill_runs(&mut runs, &mut scratch);
+        for run in &runs {
+            if !run.write {
+                consecutive_reads += run.len;
+                if consecutive_reads >= READ_SPIN_LIMIT {
+                    return Err(DriverError::WriteFreeStream { stream: stream.name().to_string() });
+                }
+                continue;
+            }
+            consecutive_reads = 0;
+            let mut served = 0u64;
+            while served < run.len {
+                let until =
+                    telemetry.as_deref().map_or(u64::MAX, |t: &TelemetryRun| t.until_sample());
+                let n = wl
+                    .quiet_writes(run.la)
+                    .min(run.len - served)
+                    .min(cap - dev.wear().demand_writes)
+                    .min(until);
+                let done = if n == 0 {
+                    // Not certified quiet (mapping move, CMT miss, trigger
+                    // or sample boundary ahead): serve scalar and let the
+                    // builder diff the deltas.
+                    let pa = wl.write(run.la, dev);
+                    timing.observe(true, pa, wl, dev);
+                    1
+                } else {
+                    // The whole span repeats one physical line; the killing
+                    // write (if the device dies mid-span) is still served
+                    // and observed, exactly as in the scalar loop.
+                    let pa = wl.translate(run.la);
+                    let done = wl.write_run(run.la, n, dev);
+                    debug_assert!(done > 0, "write_run served nothing on a live device");
+                    timing.observe_run(true, pa, done, wl, dev);
+                    done
+                };
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.note_served_timed(done, wl, dev, timing);
+                }
+                served += done;
+                if dev.is_dead() || dev.wear().demand_writes >= cap {
+                    break 'blocks;
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// The scalar serve loop of [`pump_writes_timed`]: one
+/// [`WearLeveler::write`] and one observed event per request, with full
+/// power-loss recovery. Fault-armed runs use it for correctness; fast
+/// runs use it as the measured baseline (`TimingSpec::scalar_serve`).
+///
+/// A write dropped by a power loss is neither observed by the timing model
+/// nor counted as served; the recovery's own data movement is charged to
+/// the next observed request's overhead delta.
+fn pump_writes_timed_scalar<W, S>(
     wl: &mut W,
     dev: &mut NvmDevice,
     stream: &mut S,

@@ -44,7 +44,7 @@ pub use driver::{
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
 pub use report::Table;
-pub use runner::parallel_map;
+pub use runner::{parallel_map, set_thread_override};
 pub use scenario::{
     run as run_scenario, run_all, AdaptationTrace, Probe, Report, Scenario, TraceReport,
 };

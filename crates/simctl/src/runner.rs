@@ -12,11 +12,25 @@
 //! The fan-out honors a `SAWL_THREADS` environment override (clamped to at
 //! least 1) so CI and shared machines can bound the worker count
 //! deterministically; unset or unparsable values fall back to the
-//! machine's available parallelism.
+//! machine's available parallelism. A process-wide programmatic override
+//! ([`set_thread_override`], the `--threads` CLI flag) beats the
+//! environment. Worker count never changes results — every run is seeded
+//! from its own id and results are reassembled in input order — so the
+//! knobs only bound the resource footprint.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crossbeam::channel;
+
+/// Process-wide thread-count override set by CLI flags; 0 means unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set (or clear, with `None`) the programmatic worker-count override.
+/// Takes precedence over `SAWL_THREADS`; values clamp to at least 1. This
+/// is how `--threads N` flags plumb into every [`parallel_map`] sweep.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
 
 /// Parse a raw `SAWL_THREADS` value into a worker count (clamped to ≥ 1).
 /// `None` means fall back to the machine's parallelism — silently when the
@@ -37,9 +51,14 @@ fn parse_thread_override(raw: Option<&str>) -> Option<usize> {
     }
 }
 
-/// Worker threads to use: the `SAWL_THREADS` override when set (clamped to
-/// ≥ 1), otherwise the machine's available parallelism.
+/// Worker threads to use: the programmatic override when set (a `--threads`
+/// flag), else the `SAWL_THREADS` override (clamped to ≥ 1), otherwise the
+/// machine's available parallelism.
 fn configured_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {}
+        n => return n,
+    }
     match parse_thread_override(std::env::var("SAWL_THREADS").ok().as_deref()) {
         Some(n) => n,
         None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
@@ -144,7 +163,8 @@ mod tests {
 
     #[test]
     fn thread_env_override_is_honored() {
-        // One test covers every SAWL_THREADS case so the env mutations
+        // One test covers every SAWL_THREADS case — and the programmatic
+        // override's precedence over it — so the env/global mutations
         // can't race each other across the test harness's threads. The
         // other tests in this module are thread-count-agnostic, so a
         // transient override cannot affect their outcomes.
@@ -158,6 +178,16 @@ mod tests {
         std::env::set_var("SAWL_THREADS", "2");
         assert_eq!(configured_threads(), 2);
         assert_eq!(parallel_map(&items, |&x| x * 3), expect);
+
+        // The --threads flag (programmatic override) beats the env var,
+        // clamps to >= 1, and clears back to the env behind it.
+        set_thread_override(Some(3));
+        assert_eq!(configured_threads(), 3);
+        assert_eq!(parallel_map(&items, |&x| x * 3), expect);
+        set_thread_override(Some(0));
+        assert_eq!(configured_threads(), 1);
+        set_thread_override(None);
+        assert_eq!(configured_threads(), 2);
 
         // Zero clamps up to one worker instead of hanging or panicking.
         std::env::set_var("SAWL_THREADS", "0");

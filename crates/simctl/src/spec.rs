@@ -344,6 +344,11 @@ impl WearLeveler for SchemeInstance {
     }
 
     #[inline]
+    fn quiet_writes(&self, la: sawl_nvm::La) -> u64 {
+        dispatch!(self, w => w.quiet_writes(la))
+    }
+
+    #[inline]
     fn read(&mut self, la: sawl_nvm::La, dev: &mut NvmDevice) -> sawl_nvm::Pa {
         dispatch!(self, w => w.read(la, dev))
     }

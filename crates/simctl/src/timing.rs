@@ -120,6 +120,55 @@ impl EventBuilder {
         }
     }
 
+    /// Assemble the one event shape shared by `n` *quiet* demand requests
+    /// (see [`WearLeveler::quiet_writes`]) that just completed: same
+    /// physical address, no device reads, no overhead writes, no
+    /// wear-leveling operations. Equivalent to `n` [`build`] calls — each
+    /// of which would see zero deltas and produce this exact event — in
+    /// O(1).
+    ///
+    /// [`build`]: EventBuilder::build
+    pub fn build_run<W: WearLeveler + ?Sized>(
+        &mut self,
+        write: bool,
+        pa: u64,
+        n: u64,
+        wl: &W,
+        dev: &NvmDevice,
+    ) -> MemEvent {
+        debug_assert!(n > 0);
+        let translation = match self.kind {
+            TranslationKind::None => Translation::None,
+            TranslationKind::OnChip | TranslationKind::Tiered => {
+                // Quiet runs never read a translation line: demand reads
+                // account for every device read, so tiered lookups all hit.
+                debug_assert_eq!(
+                    dev.wear().reads - self.reads_before,
+                    if write { 0 } else { n },
+                    "quiet run performed translation reads"
+                );
+                self.hits += n;
+                Translation::Hit
+            }
+        };
+        debug_assert_eq!(
+            dev.wear().overhead_writes,
+            self.ov_before,
+            "quiet run posted overhead writes"
+        );
+        debug_assert_eq!(wl.op_counts(), self.ops_before, "quiet run advanced op counters");
+        self.reads_before = dev.wear().reads;
+        self.ov_before = dev.wear().overhead_writes;
+        self.ops_before = wl.op_counts();
+        MemEvent {
+            bank: (pa % u64::from(self.banks)) as u32,
+            write,
+            translation,
+            exchange_writes: 0,
+            reorg_writes: 0,
+        }
+    }
+
     /// Whole-run CMT hit rate: hits/(hits+misses) for tiered schemes, 1.0
     /// otherwise (no cache to miss).
     pub fn hit_rate(&self) -> f64 {
@@ -143,6 +192,8 @@ impl EventBuilder {
 pub struct TimingRun {
     builder: EventBuilder,
     sim: ClosedLoopSim,
+    scalar_serve: bool,
+    keep_histogram: bool,
 }
 
 impl TimingRun {
@@ -151,7 +202,18 @@ impl TimingRun {
     pub fn new(spec: &TimingSpec, kind: TranslationKind) -> Self {
         let sim = spec.build();
         let banks = sim.config().banks;
-        Self { builder: EventBuilder::new(kind, banks), sim }
+        Self {
+            builder: EventBuilder::new(kind, banks),
+            sim,
+            scalar_serve: spec.scalar_serve,
+            keep_histogram: spec.keep_histogram,
+        }
+    }
+
+    /// Whether the spec forces the timed driver onto the scalar serve path
+    /// (see [`TimingSpec::scalar_serve`]).
+    pub fn scalar_serve(&self) -> bool {
+        self.scalar_serve
     }
 
     /// Re-seed the builder's carried counters (see [`EventBuilder::prime`]).
@@ -171,6 +233,25 @@ impl TimingRun {
         self.sim.push(e);
     }
 
+    /// Feed `n` quiet same-address requests that just completed — one
+    /// event shape, advanced through the controller in closed form
+    /// ([`ClosedLoopSim::push_n`]). Bit-identical to `n` scalar
+    /// [`observe`](TimingRun::observe) calls over the same quiet span.
+    pub fn observe_run<W: WearLeveler + ?Sized>(
+        &mut self,
+        write: bool,
+        pa: u64,
+        n: u64,
+        wl: &W,
+        dev: &NvmDevice,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let e = self.builder.build_run(write, pa, n, wl, dev);
+        self.sim.push_n(e, n);
+    }
+
     /// Snapshot for the telemetry stream: cumulative stall counters and
     /// the latency histogram as of now.
     pub fn sample(&self) -> TimingSample {
@@ -187,9 +268,15 @@ impl TimingRun {
         &self.sim
     }
 
-    /// Finish the run and summarize the latency distribution.
+    /// Finish the run and summarize the latency distribution. When the
+    /// spec asked for it, the full histogram snapshot rides along for
+    /// slot-exact shard merging.
     pub fn finish(self) -> LatencyReport {
-        LatencyReport::from_sim(&self.sim)
+        let mut report = LatencyReport::from_sim(&self.sim);
+        if self.keep_histogram {
+            report.histogram = Some(self.sim.histogram().snapshot());
+        }
+        report
     }
 }
 
@@ -223,6 +310,10 @@ pub struct LatencyReport {
     pub stall_reorg_ns: f64,
     /// Simulated wall-clock, ns.
     pub elapsed_ns: f64,
+    /// Full histogram snapshot, present when the run's [`TimingSpec`]
+    /// set `keep_histogram` — sharded sweeps merge these slot-exactly.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub histogram: Option<sawl_telemetry::HistogramSnapshot>,
 }
 
 impl LatencyReport {
@@ -244,6 +335,7 @@ impl LatencyReport {
             stall_exchange_ns: stalls.exchange_ns,
             stall_reorg_ns: stalls.reorg_ns,
             elapsed_ns: sim.elapsed_ns(),
+            histogram: None,
         }
     }
 }

@@ -428,5 +428,68 @@ mod tests {
             }
             assert_eq!(h.snapshot().restore(), h);
         }
+
+        #[test]
+        fn record_n_is_slot_exact_against_scalar_records(
+            // Values straddle MAX_TRACKABLE_NS so the overflow bin is
+            // exercised alongside every bucket class; k = 0 must be a
+            // no-op.
+            pairs in proptest::collection::vec(
+                (0u64..2 * MAX_TRACKABLE_NS, 0u64..50), 1..60),
+        ) {
+            let mut bulk = LatencyHistogram::new();
+            let mut scalar = LatencyHistogram::new();
+            for &(v, k) in &pairs {
+                bulk.record_n(v, k);
+                for _ in 0..k {
+                    scalar.record(v);
+                }
+            }
+            // Structural equality covers every slot plus count, overflow,
+            // max and total — record_n(v, k) IS k records, not an
+            // approximation of them.
+            assert_eq!(bulk, scalar);
+        }
+
+        #[test]
+        fn record_n_snapshot_round_trips_with_overflow(
+            pairs in proptest::collection::vec(
+                (0u64..2 * MAX_TRACKABLE_NS, 1u64..1000), 0..40),
+        ) {
+            let mut h = LatencyHistogram::new();
+            for &(v, k) in &pairs {
+                h.record_n(v, k);
+            }
+            let snap = h.snapshot();
+            assert_eq!(snap.restore(), h);
+            let json = serde_json::to_string(&snap).unwrap();
+            let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.restore(), h);
+        }
+
+        #[test]
+        fn sharded_merge_matches_unsharded_byte_for_byte(
+            values in proptest::collection::vec(0u64..2 * MAX_TRACKABLE_NS, 0..300),
+            shards in 1usize..6,
+        ) {
+            // Round-robin the observations over N shard histograms, merge
+            // the shards left-to-right, and demand the canonical snapshot
+            // encoding of the merge equals the unsharded histogram's —
+            // the property the sharded latency sweeps rest on.
+            let mut whole = LatencyHistogram::new();
+            let mut parts = vec![LatencyHistogram::new(); shards];
+            for (i, &v) in values.iter().enumerate() {
+                whole.record(v);
+                parts[i % shards].record(v);
+            }
+            let mut merged = LatencyHistogram::new();
+            for part in &parts {
+                merged.merge(part);
+            }
+            assert_eq!(merged, whole);
+            let a = serde_json::to_string(&merged.snapshot()).unwrap();
+            let b = serde_json::to_string(&whole.snapshot()).unwrap();
+            assert_eq!(a, b);
+        }
     }
 }

@@ -319,6 +319,17 @@ impl WearLeveler for Nwl {
         pa
     }
 
+    fn quiet_writes(&self, la: La) -> u64 {
+        // Quiet requires a cached mapping entry (a miss reads an in-NVM
+        // translation line) and staying strictly before the region's
+        // exchange trigger.
+        let lrn = self.imt.lrn_of(la);
+        if self.cmt.peek(lrn).is_none() {
+            return 0;
+        }
+        self.swaps.until_trigger(lrn as usize, self.cfg.granularity) - 1
+    }
+
     /// Post-power-loss recovery: roll the interrupted exchange forward when
     /// any of its descriptors landed (replaying the data rewrites), roll it
     /// back otherwise, then rebuild the volatile inverse map and caches

@@ -51,6 +51,19 @@ pub struct TimingSpec {
     /// default or spell the config out.
     #[serde(default)]
     pub config: ClosedLoopConfig,
+    /// Force the timed driver to serve every request scalar — one
+    /// `WearLeveler::write` and one controller event per request — instead
+    /// of the run-granular fast path. The observed timing is identical
+    /// either way (the alignment suite pins it); this knob exists to
+    /// measure the fast path's speedup and as an A/B escape hatch.
+    #[serde(default)]
+    pub scalar_serve: bool,
+    /// Attach the full latency-histogram snapshot to the run's
+    /// `LatencyReport`. Off by default (the summary percentiles suffice);
+    /// sharded sweeps turn it on so per-shard histograms can be merged
+    /// slot-exactly into one distribution.
+    #[serde(default)]
+    pub keep_histogram: bool,
 }
 
 impl TimingSpec {

@@ -131,6 +131,54 @@ impl ClosedLoopConfig {
     }
 }
 
+/// Largest magnitude (in ns) where every whole-ns f64 value, sum and
+/// product used by the closed-form jump is exactly representable. 2^52 ns
+/// is ~52 simulated days — far beyond any run this model sees.
+const MAX_EXACT_NS: f64 = (1u64 << 52) as f64;
+
+/// Whether `x` is a whole number of ns inside the exact-arithmetic range.
+#[inline]
+fn exact_ns(x: f64) -> bool {
+    x.fract() == 0.0 && x.abs() < MAX_EXACT_NS
+}
+
+/// The O(1) subset of [`StepSig`]: the scalar clocks plus the queue and
+/// window occupancy, captured without touching their contents. A uniform
+/// shift here is necessary (not sufficient) for a [`StepSig`] shift, so
+/// the warm loop tracks this for free every push and only pays for the
+/// full capture once the light fields go periodic.
+#[derive(Debug, Clone, Copy)]
+struct LightSig {
+    now: f64,
+    finish: f64,
+    chan_free: f64,
+    bank_free: f64,
+    queue_len: usize,
+    heap_len: usize,
+    exch_debt: f64,
+    reorg_debt: f64,
+}
+
+/// The restricted simulator state that one steady-state `push` of a fixed
+/// wl-free event reads and writes: the issue clock, the target bank and
+/// channel, the outstanding window, and the latency/stall accumulators.
+/// Two consecutive captures differing by a uniform time shift prove the
+/// controller is periodic (see [`ClosedLoopSim::push_n`]).
+#[derive(Debug, Clone)]
+struct StepSig {
+    now: f64,
+    finish: f64,
+    chan_free: f64,
+    bank_free: f64,
+    queue: Vec<f64>,
+    /// Outstanding completion times, sorted (heap order is not canonical).
+    heap: Vec<f64>,
+    exch_debt: f64,
+    reorg_debt: f64,
+    stalls: StallBreakdown,
+    total_latency: f64,
+}
+
 /// One bank's state: accepted-but-unretired accesses plus the occupancy
 /// debt that background wear-leveling writes posted, split by cause.
 #[derive(Debug, Clone, Default)]
@@ -174,6 +222,12 @@ pub struct ClosedLoopSim {
     total_latency: f64,
     stalls: StallBreakdown,
     hist: LatencyHistogram,
+    /// Warmup length of the last successful [`Self::push_n`] jump — a
+    /// scheduling hint for when the next run's full periodicity check is
+    /// worth attempting. Never read by the timing semantics: any attempt
+    /// schedule yields bit-identical results, the hint only skips capture
+    /// attempts that are known to fail while the window flushes.
+    warm_hint: u64,
 }
 
 impl ClosedLoopSim {
@@ -191,6 +245,7 @@ impl ClosedLoopSim {
             total_latency: 0.0,
             stalls: StallBreakdown::default(),
             hist: LatencyHistogram::new(),
+            warm_hint: 0,
         }
     }
 
@@ -275,6 +330,237 @@ impl ClosedLoopSim {
                 }
             }
         }
+    }
+
+    /// Feed the same event `n` times — bit-identical to `n` calls of
+    /// [`ClosedLoopSim::push`], but in O(warmup) instead of O(n) when the
+    /// controller settles into a steady state.
+    ///
+    /// ## Closed-form run advancement
+    ///
+    /// A long same-address run with no background wear-leveling traffic
+    /// drives the controller into a *periodic* regime: every further event
+    /// shifts the reachable state (issue clock, bank queue, channel bus,
+    /// outstanding window) by one constant time offset `P` and adds one
+    /// constant latency sample. The `push` transition reads only that
+    /// state and is time-translation invariant, so once two consecutive
+    /// events produce states that differ by a uniform shift, every later
+    /// event does too — the remaining `k` events collapse to `state += k·P`
+    /// plus `k` histogram/stall increments ([`LatencyHistogram::record_n`]).
+    ///
+    /// The jump is taken only when it is *exactly* equal to the scalar
+    /// replay: every participating time must be a whole number of ns (true
+    /// for any integer config, e.g. Table 1) and stay below 2^52 so f64
+    /// arithmetic is exact. Events with wear-leveling writes, short runs,
+    /// fractional configs, and states still draining queue-full blocking or
+    /// occupancy debt all fall back to the scalar loop automatically.
+    pub fn push_n(&mut self, e: MemEvent, n: u64) {
+        // Steady state is reached within one window circulation plus one
+        // bank-queue drain; past that, give up and stay scalar.
+        let warmup_cap = (self.cfg.window + self.cfg.queue_depth + 8) as u64;
+        if e.wl_writes() > 0 || n <= warmup_cap + 2 {
+            for _ in 0..n {
+                self.push(e);
+            }
+            return;
+        }
+        let mut remaining = n;
+        let mut warm = 0u64;
+        // Two-tier detection. The O(1) light signature is tracked on every
+        // push; the allocating full capture (queue + sorted window
+        // contents) runs in consecutive-push pairs, and a failed pair backs
+        // off exponentially before the next attempt. The backoff matters:
+        // while the window is still flushing another bank's completions
+        // (e.g. each new dwell of a BPA run), those stale entries can sit
+        // exactly one period apart, so the light fields shift uniformly for
+        // a whole window's worth of pushes while the full check keeps
+        // failing on the unshifted heap contents — paying the full capture
+        // on every one of them would dominate the run cost.
+        let mut prev_light = self.light_sig(&e);
+        let mut pending: Option<StepSig> = None;
+        let mut next_attempt = 0u64;
+        let mut backoff = 2u64;
+        let mut used_hint = false;
+        while remaining > 0 && warm <= warmup_cap {
+            self.push(e);
+            remaining -= 1;
+            warm += 1;
+            let cur_light = self.light_sig(&e);
+            let light_ok = Self::light_shift(&prev_light, &cur_light).is_some();
+            prev_light = cur_light;
+            if !light_ok {
+                pending = None;
+                continue;
+            }
+            if let Some(prev) = pending.take() {
+                let cur = self.step_sig(&e);
+                if remaining >= 2 {
+                    if let Some(p) = Self::uniform_shift(&prev, &cur) {
+                        if self.try_jump(&e, &prev, &cur, p, remaining) {
+                            self.warm_hint = warm;
+                            return;
+                        }
+                    }
+                }
+                // First failure fast-forwards to the last successful
+                // warmup length (a still-flushing window keeps the light
+                // check green while every full check fails); later
+                // failures back off exponentially.
+                if used_hint {
+                    next_attempt = warm + backoff;
+                    backoff *= 2;
+                } else {
+                    next_attempt = (warm + backoff).max(self.warm_hint.saturating_sub(2));
+                    used_hint = true;
+                }
+            } else if warm >= next_attempt && remaining >= 3 {
+                pending = Some(self.step_sig(&e));
+            }
+        }
+        for _ in 0..remaining {
+            self.push(e);
+        }
+    }
+
+    /// Allocation-free capture of the light step signature (see
+    /// [`LightSig`]).
+    fn light_sig(&self, e: &MemEvent) -> LightSig {
+        let b = (e.bank % self.cfg.banks) as usize;
+        let chan = (e.bank % self.cfg.channels) as usize;
+        LightSig {
+            now: self.now,
+            finish: self.finish,
+            chan_free: self.chan_free[chan],
+            bank_free: self.banks[b].free,
+            queue_len: self.banks[b].queue.len(),
+            heap_len: self.outstanding.len(),
+            exch_debt: self.banks[b].exch_debt,
+            reorg_debt: self.banks[b].reorg_debt,
+        }
+    }
+
+    /// If the light fields of `cur` are exactly those of `prev` advanced by
+    /// one uniform, whole-ns time shift (with untouched occupancy and
+    /// debts), return the shift. Necessary for [`Self::uniform_shift`] on
+    /// the corresponding full captures, but not sufficient: the queue and
+    /// window *contents* still have to shift, which only the full check
+    /// sees.
+    fn light_shift(prev: &LightSig, cur: &LightSig) -> Option<f64> {
+        let p = cur.now - prev.now;
+        if !(p >= 0.0 && exact_ns(p) && exact_ns(prev.now) && exact_ns(cur.now)) {
+            return None;
+        }
+        let shifted = |a: f64, b: f64| exact_ns(a) && exact_ns(b) && b - a == p;
+        if !shifted(prev.finish, cur.finish)
+            || !shifted(prev.chan_free, cur.chan_free)
+            || !shifted(prev.bank_free, cur.bank_free)
+            || prev.queue_len != cur.queue_len
+            || prev.heap_len != cur.heap_len
+            || prev.exch_debt != cur.exch_debt
+            || prev.reorg_debt != cur.reorg_debt
+        {
+            return None;
+        }
+        Some(p)
+    }
+
+    /// The restricted state one steady-state `push` of `e` reads and
+    /// writes, captured for shift comparison.
+    fn step_sig(&self, e: &MemEvent) -> StepSig {
+        let b = (e.bank % self.cfg.banks) as usize;
+        let chan = (e.bank % self.cfg.channels) as usize;
+        let mut heap: Vec<f64> = self.outstanding.iter().map(|Reverse(Time(t))| *t).collect();
+        heap.sort_by(f64::total_cmp);
+        StepSig {
+            now: self.now,
+            finish: self.finish,
+            chan_free: self.chan_free[chan],
+            bank_free: self.banks[b].free,
+            queue: self.banks[b].queue.iter().copied().collect(),
+            heap,
+            exch_debt: self.banks[b].exch_debt,
+            reorg_debt: self.banks[b].reorg_debt,
+            stalls: self.stalls,
+            total_latency: self.total_latency,
+        }
+    }
+
+    /// If `cur` is exactly `prev` advanced by one uniform, whole-ns time
+    /// shift (with untouched debts), return the shift.
+    fn uniform_shift(prev: &StepSig, cur: &StepSig) -> Option<f64> {
+        let p = cur.now - prev.now;
+        if !(p >= 0.0 && exact_ns(p) && exact_ns(prev.now) && exact_ns(cur.now)) {
+            return None;
+        }
+        let shifted = |a: f64, b: f64| exact_ns(a) && exact_ns(b) && b - a == p;
+        if !shifted(prev.finish, cur.finish)
+            || !shifted(prev.chan_free, cur.chan_free)
+            || !shifted(prev.bank_free, cur.bank_free)
+            || prev.queue.len() != cur.queue.len()
+            || prev.heap.len() != cur.heap.len()
+            || prev.exch_debt != cur.exch_debt
+            || prev.reorg_debt != cur.reorg_debt
+        {
+            return None;
+        }
+        let pairs = prev.queue.iter().zip(&cur.queue).chain(prev.heap.iter().zip(&cur.heap));
+        for (&a, &b) in pairs {
+            if !shifted(a, b) {
+                return None;
+            }
+        }
+        Some(p)
+    }
+
+    /// Apply `k` steady-state steps at once. Returns `false` (leaving the
+    /// state untouched) if the extrapolated values would leave the range
+    /// where f64 arithmetic is exact.
+    fn try_jump(&mut self, e: &MemEvent, prev: &StepSig, cur: &StepSig, p: f64, k: u64) -> bool {
+        let latency = cur.total_latency - prev.total_latency;
+        let d_queue = cur.stalls.queue_ns - prev.stalls.queue_ns;
+        let d_miss = cur.stalls.trans_miss_ns - prev.stalls.trans_miss_ns;
+        let d_exch = cur.stalls.exchange_ns - prev.stalls.exchange_ns;
+        let d_reorg = cur.stalls.reorg_ns - prev.stalls.reorg_ns;
+        let kf = k as f64;
+        let kp = kf * p;
+        // Every extrapolated time, and every accumulator after k more
+        // whole-ns additions, must stay exactly representable.
+        let horizon = cur.finish.max(cur.now) + kp;
+        let accum = [
+            latency,
+            d_queue,
+            d_miss,
+            d_exch,
+            d_reorg,
+            self.total_latency + kf * latency,
+            self.stalls.queue_ns + kf * d_queue,
+            self.stalls.trans_miss_ns + kf * d_miss,
+            self.stalls.exchange_ns + kf * d_exch,
+            self.stalls.reorg_ns + kf * d_reorg,
+        ];
+        if !exact_ns(horizon) || accum.iter().any(|&v| !exact_ns(v) || v < 0.0) {
+            return false;
+        }
+        let b = (e.bank % self.cfg.banks) as usize;
+        let chan = (e.bank % self.cfg.channels) as usize;
+        self.now += kp;
+        self.finish += kp;
+        self.chan_free[chan] += kp;
+        self.banks[b].free += kp;
+        for q in self.banks[b].queue.iter_mut() {
+            *q += kp;
+        }
+        let shifted: Vec<Reverse<Time>> =
+            self.outstanding.drain().map(|Reverse(Time(t))| Reverse(Time(t + kp))).collect();
+        self.outstanding.extend(shifted);
+        self.stalls.queue_ns += kf * d_queue;
+        self.stalls.trans_miss_ns += kf * d_miss;
+        self.stalls.exchange_ns += kf * d_exch;
+        self.stalls.reorg_ns += kf * d_reorg;
+        self.total_latency += kf * latency;
+        self.hist.record_n(latency as u64, k);
+        self.events += k;
+        true
     }
 
     /// Total simulated time once all events have been pushed, ns.
@@ -563,6 +849,127 @@ mod tests {
             wide.push(MemEvent::read(i));
         }
         assert!(narrow.elapsed_ns() > 4.0 * wide.elapsed_ns());
+    }
+
+    /// Bit-exact equality of two simulators: clocks, accumulators, stall
+    /// attribution and the full latency distribution.
+    fn assert_sims_identical(a: &ClosedLoopSim, b: &ClosedLoopSim, ctx: &str) {
+        assert_eq!(a.events(), b.events(), "{ctx}: events");
+        assert_eq!(a.elapsed_ns().to_bits(), b.elapsed_ns().to_bits(), "{ctx}: elapsed");
+        assert_eq!(a.mean_latency_ns().to_bits(), b.mean_latency_ns().to_bits(), "{ctx}: mean");
+        assert_eq!(a.stalls(), b.stalls(), "{ctx}: stalls");
+        assert_eq!(a.histogram(), b.histogram(), "{ctx}: histogram");
+        assert_eq!(a.timing_sample(), b.timing_sample(), "{ctx}: sample");
+    }
+
+    /// Replay `script` on two fresh sims — one via scalar `push`, one via
+    /// `push_n` — then feed both an identical scalar coda to prove the
+    /// post-jump state behaves identically, not just reports identically.
+    fn assert_push_n_matches_scalar(cfg: ClosedLoopConfig, script: &[(MemEvent, u64)]) {
+        let mut scalar = ClosedLoopSim::new(cfg);
+        let mut fast = ClosedLoopSim::new(cfg);
+        for &(e, n) in script {
+            for _ in 0..n {
+                scalar.push(e);
+            }
+            fast.push_n(e, n);
+        }
+        assert_sims_identical(&scalar, &fast, "after script");
+        for i in 0..200u32 {
+            let e = if i % 3 == 0 {
+                MemEvent::write(i % 7).with_exchange_writes(1)
+            } else {
+                MemEvent::read(i % 5).with_translation(Translation::Miss)
+            };
+            scalar.push(e);
+            fast.push(e);
+        }
+        assert_sims_identical(&scalar, &fast, "after coda");
+    }
+
+    #[test]
+    fn push_n_matches_scalar_on_long_write_runs() {
+        for n in [1u64, 7, 40, 41, 1000, 10_000] {
+            assert_push_n_matches_scalar(
+                ClosedLoopConfig::default(),
+                &[(MemEvent::write(3).with_translation(Translation::Hit), n)],
+            );
+        }
+    }
+
+    #[test]
+    fn push_n_matches_scalar_for_reads_and_untranslated_events() {
+        assert_push_n_matches_scalar(ClosedLoopConfig::default(), &[(MemEvent::read(0), 5_000)]);
+        assert_push_n_matches_scalar(ClosedLoopConfig::default(), &[(MemEvent::write(9), 5_000)]);
+        assert_push_n_matches_scalar(
+            ClosedLoopConfig::default(),
+            &[(MemEvent::write(2).with_translation(Translation::Miss), 5_000)],
+        );
+    }
+
+    #[test]
+    fn push_n_matches_scalar_from_a_dirty_state() {
+        // Pre-contend several banks and channels, leave occupancy debt and
+        // stale window entries behind, then jump on a different bank.
+        let mut script: Vec<(MemEvent, u64)> = Vec::new();
+        for i in 0..40u32 {
+            script.push((MemEvent::write(i % 6).with_exchange_writes(2).with_reorg_writes(1), 1));
+        }
+        script.push((MemEvent::write(0).with_translation(Translation::Hit), 3_000));
+        script.push((MemEvent::read(1), 700));
+        script.push((MemEvent::write(0).with_translation(Translation::Hit), 3_000));
+        assert_push_n_matches_scalar(ClosedLoopConfig::default(), &script);
+    }
+
+    #[test]
+    fn push_n_matches_scalar_under_fractional_configs() {
+        // Fractional think time breaks the whole-ns gate: push_n must fall
+        // back to the scalar loop and still match exactly.
+        let frac = ClosedLoopConfig { think_ns: 10.25, ..ClosedLoopConfig::default() };
+        assert_push_n_matches_scalar(frac, &[(MemEvent::write(0), 2_000)]);
+        let frac_bus = ClosedLoopConfig { bus_ns: 2.5, ..ClosedLoopConfig::default() };
+        assert_push_n_matches_scalar(frac_bus, &[(MemEvent::write(4), 2_000)]);
+    }
+
+    #[test]
+    fn push_n_matches_scalar_with_wl_writes() {
+        // Background traffic disables the fast path outright.
+        assert_push_n_matches_scalar(
+            ClosedLoopConfig::default(),
+            &[(MemEvent::write(0).with_exchange_writes(3), 500)],
+        );
+    }
+
+    #[test]
+    fn push_n_matches_scalar_across_configs() {
+        for cfg in [
+            cfg(),
+            ClosedLoopConfig { window: 1, ..cfg() },
+            ClosedLoopConfig { queue_depth: 1, window: 16, ..cfg() },
+            ClosedLoopConfig { banks: 1, channels: 1, ..cfg() },
+            ClosedLoopConfig::table1(0.0, 64),
+        ] {
+            assert_push_n_matches_scalar(cfg, &[(MemEvent::write(0), 4_000)]);
+        }
+    }
+
+    #[test]
+    fn push_n_takes_the_closed_form_jump_on_table1() {
+        // Not just equal — actually fast. The steady state must be found
+        // within the warmup cap, so a huge run costs O(warmup) pushes; if
+        // the jump were declined this test would still pass, so pin the
+        // jump indirectly through its exact long-run arithmetic: the run
+        // must not drift by even one ns over 10^7 events.
+        let mut s = ClosedLoopSim::new(ClosedLoopConfig::default());
+        let e = MemEvent::write(5).with_translation(Translation::Hit);
+        s.push_n(e, 10_000_000);
+        assert_eq!(s.events(), 10_000_000);
+        // Steady-state period for a single hammered bank under Table 1:
+        // one write every 350 ns (the bank service time; the 10 ns think
+        // overlaps under the 32-deep window), after a short ramp.
+        let per_event = s.elapsed_ns() / s.events() as f64;
+        assert!((per_event - 350.0).abs() < 0.01, "period drifted: {per_event}");
+        assert_eq!(s.histogram().snapshot().count, 10_000_000);
     }
 
     #[test]

@@ -108,6 +108,34 @@ impl AddressStream for ZipfStream {
         buf.len()
     }
 
+    fn fill_runs(&mut self, runs: &mut Vec<crate::ReqRun>, scratch: &mut [MemReq]) -> u64 {
+        // Zipf's head ranks repeat back to back often enough that the
+        // batched drivers win real run lengths; coalesce directly off the
+        // sampler (same two draws per request, same order as `next_req`)
+        // instead of materializing the block and re-scanning it.
+        runs.clear();
+        let zipf = &self.zipf;
+        let write_ratio = self.write_ratio;
+        let rng = &mut self.rng;
+        let mut cur: Option<crate::ReqRun> = None;
+        for _ in 0..scratch.len() {
+            let la = zipf.sample(rng);
+            let write = rng.random::<f64>() < write_ratio;
+            match &mut cur {
+                Some(run) if run.la == la && run.write == write => run.len += 1,
+                _ => {
+                    if let Some(run) = cur.replace(crate::ReqRun { la, write, len: 1 }) {
+                        runs.push(run);
+                    }
+                }
+            }
+        }
+        if let Some(run) = cur {
+            runs.push(run);
+        }
+        scratch.len() as u64
+    }
+
     fn space_lines(&self) -> u64 {
         self.space
     }
