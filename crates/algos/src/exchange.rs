@@ -108,6 +108,30 @@ impl SwapCounters {
         self.ctr[base] = c / 2;
         self.ctr[half] = c / 2;
     }
+
+    /// Checkpoint the demand-write counters (the period is configuration,
+    /// rebuilt from the spec).
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u32_slice(&self.ctr);
+    }
+
+    /// Restore counters saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built with the same slot count.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let ctr = r.get_u32_vec()?;
+        if ctr.len() != self.ctr.len() {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "swap counters: {} slots in checkpoint, {} in instance",
+                ctr.len(),
+                self.ctr.len()
+            )));
+        }
+        self.ctr = ctr;
+        Ok(())
+    }
 }
 
 /// Draw a fresh intra-region XOR key uniform over `[0, region_lines)`.

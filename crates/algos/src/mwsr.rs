@@ -114,6 +114,97 @@ impl Mwsr {
         u64::from(p.prn) * self.geo.region_lines() + (off ^ u64::from(p.key))
     }
 
+    /// Checkpoint the placements, migration engine, counters, and RNG.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.cur.len() as u64);
+        for p in &self.cur {
+            w.put_u32(p.prn);
+            w.put_u32(p.key);
+        }
+        w.put_u32(self.next.prn);
+        w.put_u32(self.next.key);
+        w.put_opt_u64(self.active.map(u64::from));
+        w.put_u64(self.migrated);
+        w.put_u32(self.spare);
+        w.put_u32_slice(&self.ctr);
+        w.put_rng(self.rng.state());
+        w.put_u64(self.migrations_completed);
+        w.put_bool(self.rotate_next);
+        w.put_u32(self.rr_victim);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let regions = self.geo.regions();
+        let count = r.get_u64()?;
+        if count != regions {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "mwsr: {count} placements in checkpoint, {regions} regions in instance"
+            )));
+        }
+        let mut cur = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let prn = r.get_u32()?;
+            let key = r.get_u32()?;
+            cur.push(Placement { prn, key });
+        }
+        let next = Placement { prn: r.get_u32()?, key: r.get_u32()? };
+        let active = r.get_opt_u64()?;
+        let migrated = r.get_u64()?;
+        let spare = r.get_u32()?;
+        let ctr = r.get_u32_vec()?;
+        let rng = r.get_rng()?;
+        let migrations_completed = r.get_u64()?;
+        let rotate_next = r.get_bool()?;
+        let rr_victim = r.get_u32()?;
+        // One spare region: valid prns span [0, regions].
+        if cur.iter().any(|p| u64::from(p.prn) > regions)
+            || u64::from(spare) > regions
+            || ctr.len() != regions as usize
+            || u64::from(rr_victim) >= regions
+        {
+            return Err(sawl_ckpt::CkptError::Corrupt("mwsr: placement state malformed".into()));
+        }
+        let active = match active {
+            None => {
+                // An idle engine is either fresh (no migration yet) or
+                // parked right after a completed pass, which leaves
+                // `migrated` at the full region length until the next
+                // migration rearms it.
+                if migrated != 0 && migrated != self.geo.region_lines() {
+                    return Err(sawl_ckpt::CkptError::Corrupt(
+                        "mwsr: idle engine with mid-flight migration progress".into(),
+                    ));
+                }
+                None
+            }
+            Some(lrn) => {
+                if lrn >= regions || migrated >= self.geo.region_lines() {
+                    return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                        "mwsr: active migration of region {lrn} at offset {migrated} \
+                         out of range"
+                    )));
+                }
+                Some(lrn as u32)
+            }
+        };
+        self.cur = cur;
+        self.next = next;
+        self.active = active;
+        self.migrated = migrated;
+        self.spare = spare;
+        self.ctr = ctr;
+        self.rng = SmallRng::from_state(rng);
+        self.migrations_completed = migrations_completed;
+        self.rotate_next = rotate_next;
+        self.rr_victim = rr_victim;
+        Ok(())
+    }
+
     /// Advance the active migration by one line, or start a migration for
     /// `trigger_region` if the engine is idle.
     fn step(&mut self, trigger_region: u32, dev: &mut NvmDevice) {
@@ -368,5 +459,32 @@ mod tests {
         };
         let ratio = life_mwsr / life_pcms;
         assert!((0.4..2.5).contains(&ratio), "mwsr {life_mwsr} vs pcm-s {life_pcms}");
+    }
+
+    #[test]
+    fn ckpt_round_trips_the_idle_state_after_a_completed_migration() {
+        let mut wl = Mwsr::new(256, 16, 2, 4);
+        let mut d = dev_for(&wl, 1_000_000);
+        // Drive one full migration: the engine parks with `active == None`
+        // but `migrated` left at the full region length — a state an
+        // earlier restore validation wrongly rejected as corrupt.
+        while wl.migrations_completed() == 0 {
+            wl.write(0, &mut d);
+        }
+        while wl.active.is_some() {
+            wl.write(0, &mut d);
+        }
+        assert_eq!(wl.migrated, wl.geo.region_lines(), "completion leaves migrated parked");
+
+        let mut w = sawl_ckpt::Writer::new();
+        wl.ckpt_save(&mut w);
+        let payload = w.into_payload();
+        let mut twin = Mwsr::new(256, 16, 2, 4);
+        let mut r = sawl_ckpt::Reader::new(&payload);
+        twin.ckpt_restore(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = sawl_ckpt::Writer::new();
+        twin.ckpt_save(&mut w2);
+        assert_eq!(payload, w2.into_payload(), "restore lost state");
     }
 }

@@ -26,6 +26,28 @@ impl NoWl {
         assert!(lines > 0);
         Self { lines }
     }
+
+    /// The identity mapping has no mutable state; the checkpoint records
+    /// only the line count so a resume can verify the spec matches.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.lines);
+    }
+
+    /// Validate a [`ckpt_save`](Self::ckpt_save) record against this
+    /// instance (nothing to restore).
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let lines = r.get_u64()?;
+        if lines != self.lines {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "baseline: checkpoint covers {lines} lines, instance has {}",
+                self.lines
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl WearLeveler for NoWl {
@@ -77,6 +99,35 @@ impl Ideal {
     pub fn new(lines: u64) -> Self {
         assert!(lines > 0);
         Self { lines, cursor: 0 }
+    }
+
+    /// Checkpoint the round-robin cursor.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.lines);
+        w.put_u64(self.cursor);
+    }
+
+    /// Restore a cursor saved by [`ckpt_save`](Self::ckpt_save).
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let lines = r.get_u64()?;
+        if lines != self.lines {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "ideal: checkpoint covers {lines} lines, instance has {}",
+                self.lines
+            )));
+        }
+        let cursor = r.get_u64()?;
+        if cursor >= self.lines {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "ideal: cursor {cursor} out of range for {} lines",
+                self.lines
+            )));
+        }
+        self.cursor = cursor;
+        Ok(())
     }
 }
 

@@ -76,6 +76,55 @@ impl PcmS {
         self.swaps.threshold(self.geo.region_lines())
     }
 
+    /// Checkpoint the mapping tables, swap counters, RNG, and exchange
+    /// count. Geometry and period are configuration, rebuilt from the spec.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u32_slice(&self.prn);
+        w.put_u32_slice(&self.key);
+        w.put_u32_slice(&self.p2l);
+        self.swaps.ckpt_save(w);
+        w.put_rng(self.rng.state());
+        w.put_u64(self.exchanges);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let regions = self.geo.regions() as usize;
+        let prn = r.get_u32_vec()?;
+        let key = r.get_u32_vec()?;
+        let p2l = r.get_u32_vec()?;
+        if prn.len() != regions || key.len() != regions || p2l.len() != regions {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "pcm-s: table sizes {}/{}/{} for {regions} regions",
+                prn.len(),
+                key.len(),
+                p2l.len()
+            )));
+        }
+        for (l, &p) in prn.iter().enumerate() {
+            if p as usize >= regions || p2l[p as usize] as usize != l {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "pcm-s tables are not inverse permutations at logical region {l}"
+                )));
+            }
+        }
+        if key.iter().any(|&k| u64::from(k) >= self.geo.region_lines()) {
+            return Err(sawl_ckpt::CkptError::Corrupt("pcm-s: key exceeds region size".into()));
+        }
+        self.swaps.ckpt_restore(r)?;
+        let rng = r.get_rng()?;
+        self.prn = prn;
+        self.key = key;
+        self.p2l = p2l;
+        self.rng = SmallRng::from_state(rng);
+        self.exchanges = r.get_u64()?;
+        Ok(())
+    }
+
     /// Exchange logical region `a` with a uniformly random other region,
     /// re-randomizing both keys and charging 2·S overhead writes.
     fn exchange(&mut self, a: u32, dev: &mut NvmDevice) {

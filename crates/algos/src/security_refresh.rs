@@ -92,6 +92,41 @@ impl SrInstance {
     pub fn size(&self) -> u64 {
         self.size
     }
+
+    /// Checkpoint the keys and refresh pointer (size and key mask are
+    /// configuration, rebuilt from the spec).
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.k0);
+        w.put_u64(self.k1);
+        w.put_u64(self.rp);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built with the same size and key mask.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let k0 = r.get_u64()?;
+        let k1 = r.get_u64()?;
+        let rp = r.get_u64()?;
+        if k0 & !self.key_mask != 0 || k1 & !self.key_mask != 0 {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "security-refresh: keys {k0:#x}/{k1:#x} exceed mask {:#x}",
+                self.key_mask
+            )));
+        }
+        if rp >= self.size {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "security-refresh: refresh pointer {rp} out of range for size {}",
+                self.size
+            )));
+        }
+        self.k0 = k0;
+        self.k1 = k1;
+        self.rp = rp;
+        Ok(())
+    }
 }
 
 /// Single-level Security Refresh as a standalone wear leveler (one SR
@@ -119,6 +154,35 @@ impl SecurityRefresh {
     /// Refresh steps executed (including pair-skipped ones).
     pub fn refresh_steps(&self) -> u64 {
         self.refresh_steps
+    }
+
+    /// Checkpoint the SR state, trigger counter, and key-drawing RNG.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.sr.ckpt_save(w);
+        w.put_u64(self.writes);
+        w.put_rng(self.rng.state());
+        w.put_u64(self.refresh_steps);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.sr.ckpt_restore(r)?;
+        let writes = r.get_u64()?;
+        if writes >= self.period {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "security-refresh: write counter {writes} out of range for period {}",
+                self.period
+            )));
+        }
+        let rng = r.get_rng()?;
+        self.writes = writes;
+        self.rng = SmallRng::from_state(rng);
+        self.refresh_steps = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -254,6 +318,57 @@ impl Tlsr {
     /// (`1/inner + 1/outer`), matching the paper's legend percentages.
     pub fn nominal_overhead(&self) -> f64 {
         1.0 / self.inner_period as f64 + 1.0 / self.outer_period as f64
+    }
+
+    /// Checkpoint both SR levels, all trigger counters, and the RNG.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.outer.ckpt_save(w);
+        w.put_u64(self.inner.len() as u64);
+        for sr in &self.inner {
+            sr.ckpt_save(w);
+        }
+        w.put_u32_slice(&self.inner_writes);
+        w.put_u64(self.outer_writes);
+        w.put_rng(self.rng.state());
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.outer.ckpt_restore(r)?;
+        let regions = r.get_u64()?;
+        if regions != self.inner.len() as u64 {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "tlsr: {regions} inner instances in checkpoint, {} in instance",
+                self.inner.len()
+            )));
+        }
+        for sr in &mut self.inner {
+            sr.ckpt_restore(r)?;
+        }
+        let inner_writes = r.get_u32_vec()?;
+        if inner_writes.len() != self.inner.len()
+            || inner_writes.iter().any(|&wr| u64::from(wr) >= self.inner_period)
+        {
+            return Err(sawl_ckpt::CkptError::Corrupt(
+                "tlsr: inner write counters malformed".into(),
+            ));
+        }
+        let outer_writes = r.get_u64()?;
+        if outer_writes >= self.outer_period {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "tlsr: outer counter {outer_writes} out of range for period {}",
+                self.outer_period
+            )));
+        }
+        let rng = r.get_rng()?;
+        self.inner_writes = inner_writes;
+        self.outer_writes = outer_writes;
+        self.rng = SmallRng::from_state(rng);
+        Ok(())
     }
 }
 

@@ -81,6 +81,56 @@ impl SegmentSwap {
         self.swaps_performed += 1;
     }
 
+    /// Checkpoint the mapping tables and per-segment counters. Geometry and
+    /// the swap period are configuration, rebuilt from the spec.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u32_slice(&self.l2p);
+        w.put_u32_slice(&self.p2l);
+        w.put_u64_slice(&self.seg_writes);
+        w.put_u64_slice(&self.seg_since_swap);
+        w.put_u64(self.swaps_performed);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec. Rejects table shapes that do not
+    /// match the geometry or tables that are not inverse permutations.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let segs = self.geo.regions() as usize;
+        let l2p = r.get_u32_vec()?;
+        let p2l = r.get_u32_vec()?;
+        let seg_writes = r.get_u64_vec()?;
+        let seg_since_swap = r.get_u64_vec()?;
+        let swaps_performed = r.get_u64()?;
+        for (name, len) in [
+            ("l2p", l2p.len()),
+            ("p2l", p2l.len()),
+            ("seg_writes", seg_writes.len()),
+            ("seg_since_swap", seg_since_swap.len()),
+        ] {
+            if len != segs {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "segment-swap {name}: {len} entries for {segs} segments"
+                )));
+            }
+        }
+        for (l, &p) in l2p.iter().enumerate() {
+            if p as usize >= segs || p2l[p as usize] as usize != l {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "segment-swap tables are not inverse permutations at logical segment {l}"
+                )));
+            }
+        }
+        self.l2p = l2p;
+        self.p2l = p2l;
+        self.seg_writes = seg_writes;
+        self.seg_since_swap = seg_since_swap;
+        self.swaps_performed = swaps_performed;
+        Ok(())
+    }
+
     /// Physical segment with the fewest lifetime writes (excluding `not`).
     fn coldest_segment(&self, not: u32) -> u32 {
         let mut best = u32::MAX;

@@ -73,6 +73,51 @@ impl StartGap {
         self.region_lines + 1
     }
 
+    /// Checkpoint the per-region rotation state and the gap-move counter.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.gap_moves);
+        w.put_u64(self.state.len() as u64);
+        for st in &self.state {
+            w.put_u64(st.rounds);
+            w.put_u64(st.gap);
+            w.put_u64(st.writes);
+        }
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let gap_moves = r.get_u64()?;
+        let count = r.get_u64()?;
+        if count != self.regions {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "start-gap: {count} regions in checkpoint, {} in instance",
+                self.regions
+            )));
+        }
+        let m = self.slots();
+        let mut state = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let rounds = r.get_u64()?;
+            let gap = r.get_u64()?;
+            let writes = r.get_u64()?;
+            if rounds >= m || gap >= m || writes >= self.period {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "start-gap region {i}: rounds {rounds}, gap {gap}, writes {writes} \
+                     out of range (slots {m}, period {})",
+                    self.period
+                )));
+            }
+            state.push(RegionState { rounds, gap, writes });
+        }
+        self.state = state;
+        self.gap_moves = gap_moves;
+        Ok(())
+    }
+
     /// Gap position at the start of the current round.
     #[inline]
     fn round_start_gap(&self, st: &RegionState) -> u64 {

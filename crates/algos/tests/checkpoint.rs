@@ -1,0 +1,182 @@
+//! Checkpoint round-trips for every baseline scheme: restoring into a
+//! freshly built twin must reproduce the exact mutable state (re-encoding
+//! is byte-identical) and the twin must continue in lockstep with the
+//! original on an identical device.
+
+use sawl_algos::WearLeveler;
+use sawl_algos::{Ideal, Mwsr, NoWl, PcmS, SecurityRefresh, SegmentSwap, StartGap, Tlsr};
+use sawl_ckpt::{Reader, Writer};
+use sawl_nvm::{NvmConfig, NvmDevice};
+
+fn dev(lines: u64) -> NvmDevice {
+    NvmDevice::new(
+        NvmConfig::builder()
+            .lines(lines)
+            .banks(1)
+            .endurance(1_000_000)
+            .spare_shift(4)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Drive `n` pseudo-random writes over `span` logical lines.
+fn traffic<W: WearLeveler>(wl: &mut W, d: &mut NvmDevice, span: u64, n: u64, mut x: u64) {
+    for _ in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        wl.write(x % span, d);
+    }
+}
+
+/// Warm the scheme up, checkpoint it, restore into `twin`, then check that
+/// (a) re-encoding the twin is byte-identical and (b) the twin continues in
+/// lockstep with the original on a cloned device.
+fn roundtrip<W: WearLeveler>(
+    mut wl: W,
+    mut twin: W,
+    mut d: NvmDevice,
+    save: impl Fn(&W, &mut Writer),
+    restore: impl Fn(&mut W, &mut Reader<'_>) -> Result<(), sawl_ckpt::CkptError>,
+) {
+    let span = wl.logical_lines();
+    traffic(&mut wl, &mut d, span, 5_000, 0x9E3779B97F4A7C15);
+
+    let mut w = Writer::new();
+    save(&wl, &mut w);
+    let payload = w.into_payload();
+
+    let mut r = Reader::new(&payload);
+    restore(&mut twin, &mut r).expect("restore");
+    r.finish().expect("no trailing bytes");
+
+    let mut w2 = Writer::new();
+    save(&twin, &mut w2);
+    assert_eq!(payload, w2.into_payload(), "re-encode differs: state not fully captured");
+
+    let mut d2 = d.clone();
+    let mut x = 0xDEADBEEFCAFEu64;
+    for i in 0..2_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let la = x % span;
+        assert_eq!(wl.translate(la), twin.translate(la), "translate diverged at step {i}");
+        let pa1 = wl.write(la, &mut d);
+        let pa2 = twin.write(la, &mut d2);
+        assert_eq!(pa1, pa2, "write landed differently at step {i}");
+    }
+    assert_eq!(d.wear(), d2.wear(), "device wear diverged after resume");
+    assert_eq!(d.write_counts(), d2.write_counts(), "per-line wear diverged after resume");
+}
+
+#[test]
+fn nowl_roundtrips() {
+    roundtrip(
+        NoWl::new(256),
+        NoWl::new(256),
+        dev(256),
+        |w, wr| w.ckpt_save(wr),
+        |w, r| w.ckpt_restore(r),
+    );
+}
+
+#[test]
+fn ideal_roundtrips() {
+    roundtrip(
+        Ideal::new(256),
+        Ideal::new(256),
+        dev(256),
+        |w, wr| w.ckpt_save(wr),
+        |w, r| w.ckpt_restore(r),
+    );
+}
+
+#[test]
+fn segment_swap_roundtrips() {
+    roundtrip(
+        SegmentSwap::new(512, 16, 40),
+        SegmentSwap::new(512, 16, 40),
+        dev(512),
+        |w, wr| w.ckpt_save(wr),
+        |w, r| w.ckpt_restore(r),
+    );
+}
+
+#[test]
+fn start_gap_roundtrips() {
+    let wl = StartGap::new(8, 15, 3);
+    let d = dev(wl.physical_lines());
+    roundtrip(wl, StartGap::new(8, 15, 3), d, |w, wr| w.ckpt_save(wr), |w, r| w.ckpt_restore(r));
+}
+
+#[test]
+fn security_refresh_roundtrips() {
+    roundtrip(
+        SecurityRefresh::new(512, 4, 7),
+        SecurityRefresh::new(512, 4, 7),
+        dev(512),
+        |w, wr| w.ckpt_save(wr),
+        |w, r| w.ckpt_restore(r),
+    );
+}
+
+#[test]
+fn tlsr_roundtrips() {
+    roundtrip(
+        Tlsr::new(1 << 9, 1 << 4, 8, 32, 11),
+        Tlsr::new(1 << 9, 1 << 4, 8, 32, 11),
+        dev(1 << 9),
+        |w, wr| w.ckpt_save(wr),
+        |w, r| w.ckpt_restore(r),
+    );
+}
+
+#[test]
+fn pcms_roundtrips() {
+    roundtrip(
+        PcmS::new(512, 16, 8, 5),
+        PcmS::new(512, 16, 8, 5),
+        dev(512),
+        |w, wr| w.ckpt_save(wr),
+        |w, r| w.ckpt_restore(r),
+    );
+}
+
+#[test]
+fn mwsr_roundtrips() {
+    let wl = Mwsr::new(512, 16, 8, 6);
+    let d = dev(wl.physical_lines());
+    roundtrip(wl, Mwsr::new(512, 16, 8, 6), d, |w, wr| w.ckpt_save(wr), |w, r| w.ckpt_restore(r));
+}
+
+#[test]
+fn restore_rejects_mismatched_shapes() {
+    // A checkpoint from a differently-shaped instance must come back as a
+    // typed Corrupt error, never a panic or silent partial load.
+    let mut w = Writer::new();
+    SegmentSwap::new(512, 16, 40).ckpt_save(&mut w);
+    let payload = w.into_payload();
+    let mut small = SegmentSwap::new(256, 16, 40);
+    let err = small.ckpt_restore(&mut Reader::new(&payload)).unwrap_err();
+    assert!(matches!(err, sawl_ckpt::CkptError::Corrupt(_)), "{err}");
+
+    let mut w = Writer::new();
+    StartGap::new(8, 15, 3).ckpt_save(&mut w);
+    let payload = w.into_payload();
+    let mut other = StartGap::new(4, 15, 3);
+    assert!(other.ckpt_restore(&mut Reader::new(&payload)).is_err());
+
+    // Truncation anywhere inside a scheme record errors cleanly too.
+    let mut w = Writer::new();
+    Mwsr::new(512, 16, 8, 6).ckpt_save(&mut w);
+    let payload = w.into_payload();
+    for cut in [0, 1, payload.len() / 2, payload.len() - 1] {
+        let mut twin = Mwsr::new(512, 16, 8, 6);
+        assert!(
+            twin.ckpt_restore(&mut Reader::new(&payload[..cut])).is_err(),
+            "truncation at {cut} not rejected"
+        );
+    }
+}

@@ -1,0 +1,572 @@
+//! # sawl-ckpt — checkpoint container and field codec
+//!
+//! The checkpoint/resume machinery (ROADMAP item 2, DESIGN.md §15) needs a
+//! wire format with three properties the rest of the workspace can build
+//! on blindly:
+//!
+//! 1. **Versioned and checksummed**: a file that is truncated, corrupted,
+//!    or written by a different format revision is rejected with a typed
+//!    [`CkptError`] — never a panic, never a silent partial load.
+//! 2. **Atomic on disk**: [`write_file`] stages the image under a
+//!    temporary name, fsyncs it, then renames it over the target and
+//!    fsyncs the directory, so a crash mid-checkpoint leaves either the
+//!    previous complete checkpoint or the new complete checkpoint.
+//! 3. **Deterministic**: the same logical state always encodes to the
+//!    same bytes (fixed-width little-endian fields, no map iteration
+//!    order, no timestamps), so "resume ≡ uninterrupted" can be asserted
+//!    byte-for-byte.
+//!
+//! The codec itself is deliberately primitive: a [`Writer`] appends
+//! fixed-width little-endian fields and length-prefixed blobs to a byte
+//! buffer; a [`Reader`] consumes them in the same order, returning
+//! [`CkptError::Truncated`] instead of slicing out of bounds. Every state
+//! owner (device, scheme, recorder, stream cursor) writes its fields in a
+//! fixed documented order; the container does not know or care what the
+//! payload means. Layout changes bump [`VERSION`].
+//!
+//! This crate is dependency-free so every layer of the workspace —
+//! including `sawl-nvm` at the bottom — can implement save/restore
+//! without a dependency cycle.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// File magic: identifies a SAWL checkpoint regardless of version.
+pub const MAGIC: [u8; 8] = *b"SAWLCKPT";
+
+/// Container format version. Bumped whenever any state owner changes its
+/// field layout; old files are then rejected with
+/// [`CkptError::BadVersion`] rather than misdecoded.
+pub const VERSION: u32 = 1;
+
+/// Frame overhead: magic + version + payload length + trailing checksum.
+const HEADER_LEN: usize = 8 + 4 + 8;
+const TRAILER_LEN: usize = 8;
+
+/// Typed checkpoint failure. Every decode path returns one of these;
+/// nothing in this crate panics on malformed input.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying filesystem error (open/read/write/fsync/rename).
+    Io(std::io::Error),
+    /// The file (or a field inside the payload) ends before the bytes it
+    /// promises; `needed`/`available` describe the failing read.
+    Truncated { needed: usize, available: usize },
+    /// The first eight bytes are not [`MAGIC`] — not a checkpoint file.
+    BadMagic,
+    /// A checkpoint from a different format revision.
+    BadVersion { found: u32, expected: u32 },
+    /// The payload does not match its recorded checksum: bit rot or a
+    /// torn write that survived the atomicity protocol (e.g. copied off
+    /// a crashed disk).
+    BadChecksum { expected: u64, found: u64 },
+    /// The payload decoded structurally but describes an impossible
+    /// state (length mismatch against the live configuration, unknown
+    /// enum tag, cursor past the end, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CkptError::Truncated { needed, available } => {
+                write!(f, "checkpoint truncated: needed {needed} bytes, had {available}")
+            }
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::BadVersion { found, expected } => {
+                write!(f, "checkpoint version {found} unsupported (expected {expected})")
+            }
+            CkptError::BadChecksum { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch (recorded {expected:#018x}, computed {found:#018x})"
+            ),
+            CkptError::Corrupt(why) => write!(f, "checkpoint corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        CkptError::Io(e)
+    }
+}
+
+/// FNV-1a over the framed bytes. Not cryptographic — it guards against
+/// truncation and bit rot, not adversaries (the checkpoint directory is
+/// trusted local state).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append-only field encoder. All integers are little-endian fixed
+/// width; blobs and slices are length-prefixed with a `u64` count.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, yielding the raw payload for [`write_file`].
+    pub fn into_payload(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bits, so NaN payloads round-trip bit-exactly.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Optional u64: presence flag then the value.
+    pub fn put_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.put_bool(true);
+                self.put_u64(x);
+            }
+            None => self.put_bool(false),
+        }
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string (used for embedded JSON blobs).
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    pub fn put_u16_slice(&mut self, v: &[u16]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// A captured xoshiro256++ state ([`rand::SmallRng`-shaped]).
+    pub fn put_rng(&mut self, s: [u64; 4]) {
+        for x in s {
+            self.put_u64(x);
+        }
+    }
+}
+
+/// Cursor over a checkpoint payload; every read is bounds-checked and
+/// returns [`CkptError::Truncated`] past the end.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the payload was consumed exactly; trailing garbage means
+    /// the reader and writer disagree about the layout.
+    pub fn finish(self) -> Result<(), CkptError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(CkptError::Corrupt(format!(
+                "{} unconsumed payload bytes",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.remaining() < n {
+            return Err(CkptError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_bool(&mut self) -> Result<bool, CkptError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Corrupt(format!("bool field holds {b}"))),
+        }
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_opt_u64(&mut self) -> Result<Option<u64>, CkptError> {
+        if self.get_bool()? {
+            Ok(Some(self.get_u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// A length prefix that must also fit in the remaining payload —
+    /// rejects absurd lengths before any allocation.
+    fn get_len(&mut self, elem_bytes: usize) -> Result<usize, CkptError> {
+        let n = self.get_u64()?;
+        let need = (n as usize)
+            .checked_mul(elem_bytes)
+            .ok_or_else(|| CkptError::Corrupt(format!("length prefix {n} overflows")))?;
+        if need > self.remaining() {
+            return Err(CkptError::Truncated { needed: need, available: self.remaining() });
+        }
+        Ok(n as usize)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CkptError> {
+        let n = self.get_len(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    pub fn get_str(&mut self) -> Result<String, CkptError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b).map_err(|_| CkptError::Corrupt("non-UTF-8 string field".into()))
+    }
+
+    pub fn get_u16_vec(&mut self) -> Result<Vec<u16>, CkptError> {
+        let n = self.get_len(2)?;
+        let raw = self.take(n * 2)?;
+        Ok(raw.chunks_exact(2).map(|c| u16::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, CkptError> {
+        let n = self.get_len(4)?;
+        let raw = self.take(n * 4)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>, CkptError> {
+        let n = self.get_len(8)?;
+        let raw = self.take(n * 8)?;
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    pub fn get_rng(&mut self) -> Result<[u64; 4], CkptError> {
+        Ok([self.get_u64()?, self.get_u64()?, self.get_u64()?, self.get_u64()?])
+    }
+}
+
+/// Frame a payload: `MAGIC | version | payload_len | payload | checksum`,
+/// where the checksum covers version + length + payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let sum = checksum(&out[8..]);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Strip and verify the frame, yielding the payload slice.
+pub fn unframe(bytes: &[u8]) -> Result<&[u8], CkptError> {
+    if bytes.len() < 8 {
+        return Err(CkptError::Truncated { needed: 8, available: bytes.len() });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(CkptError::Truncated { needed: HEADER_LEN, available: bytes.len() });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(CkptError::BadVersion { found: version, expected: VERSION });
+    }
+    let plen = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    let total = HEADER_LEN
+        .checked_add(plen)
+        .and_then(|n| n.checked_add(TRAILER_LEN))
+        .ok_or_else(|| CkptError::Corrupt(format!("payload length {plen} overflows")))?;
+    if bytes.len() < total {
+        return Err(CkptError::Truncated { needed: total, available: bytes.len() });
+    }
+    if bytes.len() > total {
+        return Err(CkptError::Corrupt(format!(
+            "{} trailing bytes after frame",
+            bytes.len() - total
+        )));
+    }
+    let recorded = u64::from_le_bytes(bytes[total - TRAILER_LEN..total].try_into().unwrap());
+    let computed = checksum(&bytes[8..total - TRAILER_LEN]);
+    if recorded != computed {
+        return Err(CkptError::BadChecksum { expected: recorded, found: computed });
+    }
+    Ok(&bytes[HEADER_LEN..HEADER_LEN + plen])
+}
+
+/// Write a framed checkpoint atomically: stage under `<path>.tmp`, fsync
+/// the staged file, rename over `path`, then fsync the parent directory
+/// so the rename itself is durable. A crash at any point leaves `path`
+/// either absent, the previous complete image, or the new complete
+/// image — never a torn mixture.
+pub fn write_file(path: &Path, payload: &[u8]) -> Result<(), CkptError> {
+    let framed = frame(payload);
+    let tmp = tmp_path(path);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&framed)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    if let Some(dir) = path.parent() {
+        // Directory fsync makes the rename durable; some filesystems
+        // refuse to open a directory for writing, so failure to sync is
+        // not failure to checkpoint.
+        if let Ok(d) = fs::File::open(if dir.as_os_str().is_empty() { Path::new(".") } else { dir })
+        {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Read and verify a checkpoint file, returning its payload.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, CkptError> {
+    let bytes = fs::read(path)?;
+    Ok(unframe(&bytes)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_bool(false);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_f64(1.5);
+        w.put_f64(f64::NAN);
+        w.put_opt_u64(Some(9));
+        w.put_opt_u64(None);
+        w.put_bytes(b"blob");
+        w.put_str("json{}");
+        w.put_u16_slice(&[1, 2, 65535]);
+        w.put_u32_slice(&[3, 4]);
+        w.put_u64_slice(&[5]);
+        w.put_rng([11, 12, 13, 14]);
+        let payload = w.into_payload();
+
+        let mut r = Reader::new(&payload);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert!(!r.get_bool().unwrap());
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        assert!(r.get_f64().unwrap().is_nan());
+        assert_eq!(r.get_opt_u64().unwrap(), Some(9));
+        assert_eq!(r.get_opt_u64().unwrap(), None);
+        assert_eq!(r.get_bytes().unwrap(), b"blob");
+        assert_eq!(r.get_str().unwrap(), "json{}");
+        assert_eq!(r.get_u16_vec().unwrap(), vec![1, 2, 65535]);
+        assert_eq!(r.get_u32_vec().unwrap(), vec![3, 4]);
+        assert_eq!(r.get_u64_vec().unwrap(), vec![5]);
+        assert_eq!(r.get_rng().unwrap(), [11, 12, 13, 14]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_overrun_not_panics() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(r.get_u64(), Err(CkptError::Truncated { .. })));
+    }
+
+    #[test]
+    fn reader_rejects_absurd_length_prefix() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX); // claims ~2^64 bytes follow
+        let payload = w.into_payload();
+        let mut r = Reader::new(&payload);
+        assert!(matches!(
+            r.get_u64_vec(),
+            Err(CkptError::Corrupt(_)) | Err(CkptError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn finish_flags_trailing_garbage() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        w.put_u64(2);
+        let payload = w.into_payload();
+        let mut r = Reader::new(&payload);
+        r.get_u64().unwrap();
+        assert!(matches!(r.finish(), Err(CkptError::Corrupt(_))));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_determinism() {
+        let framed = frame(b"hello");
+        assert_eq!(unframe(&framed).unwrap(), b"hello");
+        assert_eq!(framed, frame(b"hello"));
+    }
+
+    #[test]
+    fn unframe_rejects_bad_magic() {
+        let mut framed = frame(b"hello");
+        framed[0] ^= 0xFF;
+        assert!(matches!(unframe(&framed), Err(CkptError::BadMagic)));
+    }
+
+    #[test]
+    fn unframe_rejects_wrong_version() {
+        let mut framed = frame(b"hello");
+        framed[8] = framed[8].wrapping_add(1);
+        assert!(matches!(unframe(&framed), Err(CkptError::BadVersion { expected: VERSION, .. })));
+    }
+
+    #[test]
+    fn unframe_rejects_every_truncation_point() {
+        let framed = frame(b"payload bytes");
+        for cut in 0..framed.len() {
+            let err = unframe(&framed[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CkptError::Truncated { .. } | CkptError::BadMagic),
+                "cut at {cut} gave {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn unframe_rejects_every_single_bitflip() {
+        let framed = frame(b"sensitive state");
+        for i in 8..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            assert!(unframe(&bad).is_err(), "bitflip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn unframe_rejects_trailing_garbage() {
+        let mut framed = frame(b"hello");
+        framed.push(0);
+        assert!(matches!(unframe(&framed), Err(CkptError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_shaped() {
+        let dir = std::env::temp_dir().join(format!("sawl-ckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ckpt");
+        write_file(&path, b"first").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"first");
+        write_file(&path, b"second").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"second");
+        assert!(!tmp_path(&path).exists(), "staging file left behind");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_file_maps_missing_to_io() {
+        let err = read_file(Path::new("/nonexistent/sawl.ckpt")).unwrap_err();
+        assert!(matches!(err, CkptError::Io(_)));
+    }
+}

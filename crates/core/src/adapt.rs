@@ -250,6 +250,80 @@ impl HitRateMonitor {
         // adjustment is observed before the next one.
         self.cooldown = self.settle_samples;
     }
+
+    /// Checkpoint the observation window: every ring block, the rotation
+    /// cursor and the settling/cooldown state. The running sums are
+    /// derived and recomputed on restore. Thresholds and window sizes are
+    /// configuration, rebuilt from the spec.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.ring.len() as u64);
+        for b in &self.ring {
+            w.put_u64(b.hits);
+            w.put_u64(b.total);
+            w.put_u64(b.hits_first);
+            w.put_u64(b.hits_second);
+        }
+        w.put_u64(self.ring_pos as u64);
+        w.put_u64(self.filled as u64);
+        w.put_u64(self.below_streak);
+        w.put_u64(self.above_streak);
+        w.put_u64(self.cooldown);
+    }
+
+    /// Restore a window saved by [`ckpt_save`](Self::ckpt_save) into a
+    /// monitor built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        use sawl_ckpt::CkptError;
+        let blocks = r.get_u64()?;
+        if blocks != self.ring.len() as u64 {
+            return Err(CkptError::Corrupt(format!(
+                "monitor: {blocks} window blocks in checkpoint, {} in instance",
+                self.ring.len()
+            )));
+        }
+        let mut sums = (0u64, 0u64, 0u64, 0u64);
+        for slot in &mut self.ring {
+            let hits = r.get_u64()?;
+            let total = r.get_u64()?;
+            let hits_first = r.get_u64()?;
+            let hits_second = r.get_u64()?;
+            if hits > total || hits_first + hits_second != hits {
+                return Err(CkptError::Corrupt("monitor: inconsistent window block".into()));
+            }
+            *slot = Block { hits, total, hits_first, hits_second };
+            sums.0 += hits;
+            sums.1 += total;
+            sums.2 += hits_first;
+            sums.3 += hits_second;
+        }
+        (self.sum_hits, self.sum_total, self.sum_first, self.sum_second) = sums;
+        let ring_pos = r.get_u64()?;
+        let filled = r.get_u64()?;
+        if ring_pos >= self.ring.len() as u64 || filled > self.ring.len() as u64 {
+            return Err(CkptError::Corrupt(format!(
+                "monitor: cursor {ring_pos}/fill {filled} out of range for {} blocks",
+                self.ring.len()
+            )));
+        }
+        self.ring_pos = ring_pos as usize;
+        self.filled = filled as usize;
+        self.below_streak = r.get_u64()?;
+        self.above_streak = r.get_u64()?;
+        self.cooldown = r.get_u64()?;
+        if self.below_streak > self.settle_samples
+            || self.above_streak > self.settle_samples
+            || self.cooldown > self.settle_samples
+        {
+            return Err(CkptError::Corrupt(format!(
+                "monitor: streak/cooldown beyond the {}-sample settling window",
+                self.settle_samples
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Lazy adaptation step the controller wants a touched region to take.
@@ -375,6 +449,79 @@ impl HitRateAdaptation {
     /// next sample's deltas well-defined.
     pub fn reset_after_crash(&mut self) {
         self.monitor.reset_window();
+    }
+
+    /// Checkpoint the controller: monitor window, recorded history, target
+    /// granularity, request clock, CMT-counter snapshots and decision
+    /// counters (geometry bounds and enable switches are configuration).
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.monitor.ckpt_save(w);
+        let samples = self.history.samples();
+        w.put_u64(samples.len() as u64);
+        for s in samples {
+            w.put_u64(s.requests);
+            w.put_f64(s.windowed_hit_rate);
+            w.put_f64(s.instant_hit_rate);
+            w.put_f64(s.cached_region_size);
+            w.put_f64(s.global_region_size);
+        }
+        w.put_u8(self.target_q_log2);
+        w.put_u64(self.requests);
+        w.put_u64(self.last_first);
+        w.put_u64(self.last_second);
+        w.put_u64(self.last_misses);
+        w.put_u64(self.merge_decisions);
+        w.put_u64(self.split_decisions);
+    }
+
+    /// Restore a controller saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        use sawl_ckpt::CkptError;
+        self.monitor.ckpt_restore(r)?;
+        let count = r.get_u64()?;
+        // One sample per interval: more samples than requests could ever
+        // have produced (given u64 requests below) is plain corruption.
+        let mut history = History::new();
+        for _ in 0..count {
+            let requests = r.get_u64()?;
+            let windowed_hit_rate = r.get_f64()?;
+            let instant_hit_rate = r.get_f64()?;
+            let cached_region_size = r.get_f64()?;
+            let global_region_size = r.get_f64()?;
+            history.push(Sample {
+                requests,
+                windowed_hit_rate,
+                instant_hit_rate,
+                cached_region_size,
+                global_region_size,
+            });
+        }
+        let target_q_log2 = r.get_u8()?;
+        if !(self.p_log2..=self.max_q_log2).contains(&target_q_log2) {
+            return Err(CkptError::Corrupt(format!(
+                "adaptation: target granularity {target_q_log2} outside [{}, {}]",
+                self.p_log2, self.max_q_log2
+            )));
+        }
+        let requests = r.get_u64()?;
+        if count > requests / self.monitor.sample_interval() {
+            return Err(CkptError::Corrupt(format!(
+                "adaptation: {count} history samples but only {requests} requests"
+            )));
+        }
+        self.history = history;
+        self.target_q_log2 = target_q_log2;
+        self.requests = requests;
+        self.last_first = r.get_u64()?;
+        self.last_second = r.get_u64()?;
+        self.last_misses = r.get_u64()?;
+        self.merge_decisions = r.get_u64()?;
+        self.split_decisions = r.get_u64()?;
+        Ok(())
     }
 
     /// Force the target granularity level (log2 lines). Test and ablation

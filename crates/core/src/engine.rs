@@ -471,6 +471,48 @@ impl Sawl {
         &self.journal
     }
 
+    // ---- checkpoint / resume -------------------------------------------
+
+    /// Checkpoint every piece of mutable engine state: the mapping tier
+    /// (IMT, CMT, GTD), the adaptation controller (window, history,
+    /// target), the exchange policy (counters + RNG), the journal, the
+    /// merge/split tallies and the telemetry event ring. Restoring into a
+    /// twin built from the same config resumes the run byte-identically —
+    /// unlike [`Sawl::recover`], which deliberately restarts the volatile
+    /// structures cold after a power loss.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.mapping.ckpt_save(w);
+        self.adapt.ckpt_save(w);
+        self.xchg.ckpt_save(w);
+        self.journal.ckpt_save(w);
+        w.put_u64(self.merges);
+        w.put_u64(self.splits);
+        match self.events.as_deref() {
+            None => w.put_bool(false),
+            Some(ring) => {
+                w.put_bool(true);
+                ring.ckpt_save(w);
+            }
+        }
+    }
+
+    /// Restore state saved by [`Sawl::ckpt_save`] into an engine built
+    /// from the same config. The region count is recomputed from the
+    /// restored IMT while the owner map is rebuilt.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.region_count = self.mapping.ckpt_restore(r)?;
+        self.adapt.ckpt_restore(r)?;
+        self.xchg.ckpt_restore(r)?;
+        self.journal.ckpt_restore(r)?;
+        self.merges = r.get_u64()?;
+        self.splits = r.get_u64()?;
+        self.events = if r.get_bool()? { Some(Box::new(EventRing::ckpt_load(r)?)) } else { None };
+        Ok(())
+    }
+
     /// Verify internal invariants: region alignment/identical-entry runs,
     /// owner-map consistency and injective translation. O(data lines);
     /// runs after every merge/split/exchange under `debug_assertions`.

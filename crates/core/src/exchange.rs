@@ -157,6 +157,27 @@ impl RegionExchange {
     pub fn reset_after_crash(&mut self) {
         self.swaps.clear();
     }
+
+    /// Checkpoint the policy: counters, the engine's RNG stream and the
+    /// exchange tally. Unlike crash recovery, resume keeps the counters so
+    /// the swapping cadence continues exactly.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.swaps.ckpt_save(w);
+        w.put_rng(self.rng.state());
+        w.put_u64(self.exchanges);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into a policy
+    /// built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.swaps.ckpt_restore(r)?;
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.exchanges = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl ExchangePolicy for RegionExchange {

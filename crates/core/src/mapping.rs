@@ -233,6 +233,89 @@ impl TieredMapping {
         region_count
     }
 
+    /// Checkpoint the mutable mapping state: the IMT image, the CMT (full
+    /// LRU stack + counters, so a resumed run replays hits and misses
+    /// byte-identically) and the GTD. The owner inverse map is derived
+    /// state and is rebuilt on restore.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.imt.ckpt_save(w);
+        self.cmt.ckpt_save(w, |e, w| {
+            w.put_u64(e.d);
+            w.put_u8(e.q_log2);
+        });
+        self.gtd.ckpt_save(w);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into a
+    /// mapping built from the same spec. Unlike post-crash recovery the
+    /// CMT contents survive (checkpoint/resume must continue the exact
+    /// request stream). Validates that the restored IMT describes aligned,
+    /// in-bounds regions and that every cached entry matches it. Returns
+    /// the region count observed while rebuilding the owner map.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<u64, sawl_ckpt::CkptError> {
+        use sawl_ckpt::CkptError;
+        self.imt.ckpt_restore(r)?;
+        // Rebuild the owner map from the restored IMT, bounds-checking
+        // every physical granule a corrupted table could point at.
+        let mut g = 0;
+        let mut region_count = 0u64;
+        while g < self.granules {
+            let e = self.imt.entry(g);
+            if u32::from(e.q_log2) < self.p_log2 {
+                return Err(CkptError::Corrupt(format!(
+                    "mapping: entry at granule {g} below minimum granularity"
+                )));
+            }
+            let nq = self.nq(e);
+            if g & (nq - 1) != 0 {
+                return Err(CkptError::Corrupt(format!(
+                    "mapping: region at granule {g} misaligned"
+                )));
+            }
+            let key_g = e.key() >> self.p_log2;
+            let phys_base = e.prn() << (u32::from(e.q_log2) - self.p_log2);
+            for j in 0..nq {
+                if self.imt.entry(g + j) != e {
+                    return Err(CkptError::Corrupt(format!(
+                        "mapping: entry run broken at granule {}",
+                        g + j
+                    )));
+                }
+                let phys = phys_base + (j ^ key_g);
+                if phys >= self.granules {
+                    return Err(CkptError::Corrupt(format!(
+                        "mapping: granule {} maps to physical granule {phys} beyond {}",
+                        g + j,
+                        self.granules
+                    )));
+                }
+                self.owner[phys as usize] = (g + j) as u32;
+            }
+            region_count += 1;
+            g += nq;
+        }
+        self.cmt.ckpt_restore(r, |r| {
+            let d = r.get_u64()?;
+            let q_log2 = r.get_u8()?;
+            if q_log2 >= 64 {
+                return Err(CkptError::Corrupt(format!("cmt: granularity 2^{q_log2} is absurd")));
+            }
+            Ok(ImtEntry { d, q_log2 })
+        })?;
+        for (base, e) in self.cmt.iter_mru() {
+            if base >= self.granules || self.imt.entry(base) != e || self.base_of(base, e) != base {
+                return Err(CkptError::Corrupt(format!(
+                    "mapping: cached entry at granule {base} disagrees with the IMT"
+                )));
+            }
+        }
+        self.gtd.ckpt_restore(r)?;
+        Ok(region_count)
+    }
+
     /// Mean region size in lines over currently cached entries (what the
     /// running workload experiences; Figs. 13–14's "Region size" axis).
     pub fn cached_region_size(&self) -> f64 {

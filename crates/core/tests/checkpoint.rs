@@ -1,0 +1,128 @@
+//! Checkpoint round-trip for the SAWL engine: restore into a fresh twin
+//! must reproduce the exact mutable state (IMT, CMT stack, GTD, monitor
+//! window, history, exchange counters, RNG, journal, event ring) and
+//! continue in lockstep with the original.
+
+use sawl_algos::WearLeveler;
+use sawl_ckpt::{Reader, Writer};
+use sawl_core::{Sawl, SawlConfig};
+use sawl_nvm::{NvmConfig, NvmDevice};
+
+fn cfg() -> SawlConfig {
+    SawlConfig {
+        data_lines: 1 << 12,
+        initial_granularity: 4,
+        max_granularity: 64,
+        cmt_entries: 64,
+        swap_period: 4,
+        sample_interval: 500,
+        observation_window: 2_000,
+        settling_window: 1_000,
+        ..Default::default()
+    }
+}
+
+fn make(cfg: SawlConfig) -> (Sawl, NvmDevice) {
+    let s = Sawl::new(cfg);
+    let dev = NvmDevice::new(
+        NvmConfig::builder()
+            .lines(s.required_physical_lines())
+            .banks(1)
+            .endurance(1_000_000)
+            .spare_shift(6)
+            .build()
+            .unwrap(),
+    );
+    (s, dev)
+}
+
+#[test]
+fn sawl_roundtrips_and_continues_in_lockstep() {
+    let (mut wl, mut d) = make(cfg());
+    wl.telemetry_events_enable(256);
+    let span = wl.logical_lines();
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for _ in 0..30_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        wl.write(x % span, &mut d);
+    }
+    let stats = wl.stats();
+    assert!(stats.exchanges > 0, "warmup produced no exchanges");
+    assert!(stats.merges > 0, "warmup produced no merges");
+
+    let mut w = Writer::new();
+    wl.ckpt_save(&mut w);
+    let payload = w.into_payload();
+
+    let (mut twin, _) = make(cfg());
+    let mut r = Reader::new(&payload);
+    twin.ckpt_restore(&mut r).expect("restore");
+    r.finish().expect("no trailing bytes");
+
+    let mut w2 = Writer::new();
+    twin.ckpt_save(&mut w2);
+    assert_eq!(payload, w2.into_payload(), "re-encode differs: state not fully captured");
+
+    assert_eq!(wl.stats(), twin.stats());
+    assert_eq!(wl.history().samples(), twin.history().samples());
+    assert_eq!(wl.cmt().keys_mru(), twin.cmt().keys_mru());
+    assert_eq!(wl.target_granularity(), twin.target_granularity());
+    assert_eq!(wl.region_size_histogram(), twin.region_size_histogram());
+
+    let mut d2 = d.clone();
+    for i in 0..10_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let la = x % span;
+        let (pa1, pa2) = if i % 5 == 0 {
+            (wl.read(la, &mut d), twin.read(la, &mut d2))
+        } else {
+            (wl.write(la, &mut d), twin.write(la, &mut d2))
+        };
+        assert_eq!(pa1, pa2, "request landed differently at step {i}");
+    }
+    assert_eq!(d.wear(), d2.wear(), "device wear diverged after resume");
+    assert_eq!(d.write_counts(), d2.write_counts(), "per-line wear diverged");
+    assert_eq!(wl.stats(), twin.stats());
+    // The resumed event ring keeps accumulating on the same clock.
+    let (ev1, dropped1) = wl.telemetry_events_take().expect("events enabled");
+    let (ev2, dropped2) = twin.telemetry_events_take().expect("events restored");
+    assert_eq!(ev1, ev2);
+    assert_eq!(dropped1, dropped2);
+}
+
+#[test]
+fn sawl_restore_rejects_corruption() {
+    let (mut wl, mut d) = make(cfg());
+    let span = wl.logical_lines();
+    for la in 0..8_000u64 {
+        wl.write((la * 37) % span, &mut d);
+    }
+    let mut w = Writer::new();
+    wl.ckpt_save(&mut w);
+    let payload = w.into_payload();
+
+    // Wrong geometry.
+    let (mut small, _) = make(SawlConfig { data_lines: 1 << 10, ..cfg() });
+    assert!(small.ckpt_restore(&mut Reader::new(&payload)).is_err());
+
+    // Wrong CMT capacity.
+    let (mut other_cache, _) = make(SawlConfig { cmt_entries: 32, ..cfg() });
+    assert!(other_cache.ckpt_restore(&mut Reader::new(&payload)).is_err());
+
+    // Wrong monitor window shape.
+    let (mut other_window, _) = make(SawlConfig { observation_window: 4_000, ..cfg() });
+    assert!(other_window.ckpt_restore(&mut Reader::new(&payload)).is_err());
+
+    // Truncation anywhere must error, never panic.
+    for cut in [0, 9, payload.len() / 3, payload.len() / 2, payload.len() - 1] {
+        let (mut twin, _) = make(cfg());
+        assert!(
+            twin.ckpt_restore(&mut Reader::new(&payload[..cut])).is_err(),
+            "truncation at {cut} not rejected"
+        );
+    }
+}

@@ -640,6 +640,68 @@ impl NvmDevice {
         (n, last)
     }
 
+    /// Checkpoint the device's full mutable state: wear state, aggregate
+    /// counters, death/power flags, and dynamic fault-injection state. The
+    /// configuration, limit table, and wear probe are not written — resume
+    /// rebuilds the device from the same spec (reinstalling any fault
+    /// plan), calls [`ckpt_restore`](Self::ckpt_restore) to overwrite the
+    /// mutable state, and the probe recomputes itself from the restored
+    /// wear if it was enabled.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.wear.ckpt_save(w);
+        w.put_u64(self.counters.total_writes);
+        w.put_u64(self.counters.demand_writes);
+        w.put_u64(self.counters.overhead_writes);
+        w.put_u64(self.counters.reads);
+        w.put_u64(self.counters.failed_lines);
+        w.put_opt_u64(self.demand_writes_at_death);
+        w.put_bool(self.dead);
+        w.put_bool(self.powered);
+        match self.fault.as_deref() {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                f.ckpt_save(w);
+            }
+        }
+    }
+
+    /// Restore the state captured by [`ckpt_save`](Self::ckpt_save) into a
+    /// device freshly built from the same config (with the same fault plan
+    /// installed). Presence/shape mismatches are rejected as
+    /// [`sawl_ckpt::CkptError::Corrupt`].
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.wear.ckpt_restore(r)?;
+        self.counters = WearCounters {
+            total_writes: r.get_u64()?,
+            demand_writes: r.get_u64()?,
+            overhead_writes: r.get_u64()?,
+            reads: r.get_u64()?,
+            failed_lines: r.get_u64()?,
+        };
+        self.demand_writes_at_death = r.get_opt_u64()?;
+        self.dead = r.get_bool()?;
+        self.powered = r.get_bool()?;
+        let has_fault = r.get_bool()?;
+        if has_fault != self.fault.is_some() {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "checkpoint {} fault state but the rebuilt device {}",
+                if has_fault { "carries" } else { "lacks" },
+                if self.fault.is_some() { "has a plan installed" } else { "has none" },
+            )));
+        }
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.ckpt_restore(r)?;
+        }
+        if self.probe.is_some() {
+            self.enable_wear_probe();
+        }
+        Ok(())
+    }
+
     /// Compute full wear-distribution statistics (O(lines) time, and
     /// materializes a 4 B/line count vector — avoid on billion-line
     /// devices).
@@ -1300,6 +1362,88 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_continues_bit_exactly() {
+        // Run a faulted, probed device mid-way, checkpoint it, and resume
+        // into a freshly built twin: both must serve the remaining traffic
+        // identically, outcome by outcome.
+        let plan = FaultPlan {
+            stuck_lines: vec![2],
+            transient_rate: 0.05,
+            power_loss_at_writes: vec![30, 200],
+            seed: 13,
+        };
+        let build = || {
+            let mut d = tiny(32, 8, 2);
+            d.install_fault_plan(&plan).unwrap();
+            d.enable_wear_probe();
+            d
+        };
+        let mut orig = build();
+        for i in 0..120u64 {
+            orig.write(i % 32);
+            if orig.power_lost() {
+                orig.restore_power();
+            }
+        }
+        let mut w = sawl_ckpt::Writer::new();
+        orig.ckpt_save(&mut w);
+        let payload = w.into_payload();
+
+        let mut resumed = build();
+        let mut r = sawl_ckpt::Reader::new(&payload);
+        resumed.ckpt_restore(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(orig.wear(), resumed.wear());
+        assert_eq!(orig.fault_counters(), resumed.fault_counters());
+        assert_eq!(orig.wear_snapshot(), resumed.wear_snapshot());
+        for i in 0..400u64 {
+            assert_eq!(orig.write(i % 32), resumed.write(i % 32), "write {i}");
+            assert_eq!(orig.power_lost(), resumed.power_lost());
+            if orig.power_lost() {
+                orig.restore_power();
+                resumed.restore_power();
+            }
+            if orig.is_dead() {
+                break;
+            }
+        }
+        assert_eq!(orig.write_counts(), resumed.write_counts());
+        // Identical state encodes to identical bytes.
+        let (mut wa, mut wb) = (sawl_ckpt::Writer::new(), sawl_ckpt::Writer::new());
+        orig.ckpt_save(&mut wa);
+        resumed.ckpt_save(&mut wb);
+        assert_eq!(wa.into_payload(), wb.into_payload());
+    }
+
+    #[test]
+    fn checkpoint_restore_rejects_shape_mismatches() {
+        let mut src = tiny(16, 5, 2);
+        src.write_run(1, 7);
+        let mut w = sawl_ckpt::Writer::new();
+        src.ckpt_save(&mut w);
+        let payload = w.into_payload();
+
+        // Different line count: countdown table length mismatch.
+        let mut wrong_lines = tiny(32, 5, 2);
+        let mut r = sawl_ckpt::Reader::new(&payload);
+        assert!(matches!(wrong_lines.ckpt_restore(&mut r), Err(sawl_ckpt::CkptError::Corrupt(_))));
+
+        // Fault-state presence mismatch.
+        let mut faulted = tiny(16, 5, 2);
+        faulted
+            .install_fault_plan(&FaultPlan { transient_rate: 0.1, ..Default::default() })
+            .unwrap();
+        let mut r = sawl_ckpt::Reader::new(&payload);
+        assert!(matches!(faulted.ckpt_restore(&mut r), Err(sawl_ckpt::CkptError::Corrupt(_))));
+
+        // Truncated payload surfaces as Truncated, not a panic.
+        let mut fresh = tiny(16, 5, 2);
+        let mut r = sawl_ckpt::Reader::new(&payload[..payload.len() / 2]);
+        assert!(fresh.ckpt_restore(&mut r).is_err());
     }
 
     #[test]

@@ -148,6 +148,46 @@ impl FaultState {
     pub(crate) fn redraw_transient(&mut self) {
         self.until_transient = draw_gap(&mut self.rng, self.plan.transient_rate);
     }
+
+    /// Checkpoint the dynamic injection state. The plan itself is not
+    /// written: resume reinstalls it from the experiment spec, and this
+    /// overwrites the RNG position, pending-event cursor, and counters.
+    pub(crate) fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+        w.put_u64(self.until_transient);
+        w.put_u64(self.next_power_event as u64);
+        w.put_u64(self.counters.stuck_lines_remapped);
+        w.put_u64(self.counters.transient_write_faults);
+        w.put_u64(self.counters.retry_writes);
+        w.put_u64(self.counters.power_losses);
+        w.put_u64(self.counters.power_restores);
+    }
+
+    /// Restore the state captured by [`ckpt_save`](Self::ckpt_save) into a
+    /// freshly installed plan.
+    pub(crate) fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.until_transient = r.get_u64()?;
+        let next = r.get_u64()? as usize;
+        if next > self.plan.power_loss_at_writes.len() {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "power-event cursor {next} beyond the plan's {} events",
+                self.plan.power_loss_at_writes.len()
+            )));
+        }
+        self.next_power_event = next;
+        self.counters = FaultCounters {
+            stuck_lines_remapped: r.get_u64()?,
+            transient_write_faults: r.get_u64()?,
+            retry_writes: r.get_u64()?,
+            power_losses: r.get_u64()?,
+            power_restores: r.get_u64()?,
+        };
+        Ok(())
+    }
 }
 
 /// Draw a geometric gap: the number of writes that succeed before the next

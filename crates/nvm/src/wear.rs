@@ -344,6 +344,107 @@ impl WearState {
         (rem + lim + overlay) as u64
     }
 
+    /// Checkpoint the mutable wear state: countdowns plus the failure
+    /// overlay. The limit table is *not* written — it materializes
+    /// deterministically from the device config at rebuild time — so a
+    /// checkpoint stays ~2 B/line. Overlay entries are emitted sorted by
+    /// line so identical states encode to identical bytes.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        match &self.remaining {
+            Countdown::U16(v) => {
+                w.put_u8(0);
+                w.put_u16_slice(v);
+            }
+            Countdown::U32(v) => {
+                w.put_u8(1);
+                w.put_u32_slice(v);
+            }
+        }
+        match &self.failed {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                w.put_u64_slice(&f.bits);
+                let mut pairs: Vec<(Pa, u64)> = f.extra.iter().map(|(&k, &v)| (k, v)).collect();
+                pairs.sort_unstable_by_key(|&(k, _)| k);
+                w.put_u64(pairs.len() as u64);
+                for (pa, extra) in pairs {
+                    w.put_u64(pa);
+                    w.put_u64(extra);
+                }
+            }
+        }
+    }
+
+    /// Restore the mutable state captured by [`ckpt_save`](Self::ckpt_save)
+    /// into a freshly rebuilt `WearState` (same config ⇒ same countdown
+    /// width and limit table). Rejects width/length mismatches as
+    /// [`CkptError::Corrupt`] without touching `self`'s invariants beyond
+    /// the fields it fully replaces.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        use sawl_ckpt::CkptError;
+        let tag = r.get_u8()?;
+        let expect_tag = match &self.remaining {
+            Countdown::U16(_) => 0,
+            Countdown::U32(_) => 1,
+        };
+        if tag != expect_tag {
+            return Err(CkptError::Corrupt(format!(
+                "countdown width tag {tag} does not match rebuilt device (expected {expect_tag})"
+            )));
+        }
+        let remaining = match tag {
+            0 => Countdown::U16(r.get_u16_vec()?),
+            _ => Countdown::U32(r.get_u32_vec()?),
+        };
+        let got_lines = match &remaining {
+            Countdown::U16(v) => v.len() as u64,
+            Countdown::U32(v) => v.len() as u64,
+        };
+        if got_lines != self.lines {
+            return Err(CkptError::Corrupt(format!(
+                "countdown table holds {got_lines} lines, device has {}",
+                self.lines
+            )));
+        }
+        let failed = if r.get_bool()? {
+            let bits = r.get_u64_vec()?;
+            if bits.len() != (self.lines as usize).div_ceil(64) {
+                return Err(CkptError::Corrupt(format!(
+                    "failure bitset holds {} words for {} lines",
+                    bits.len(),
+                    self.lines
+                )));
+            }
+            let n = r.get_u64()?;
+            let mut extra = HashMap::with_capacity(n as usize);
+            for _ in 0..n {
+                let pa = r.get_u64()?;
+                let k = r.get_u64()?;
+                if pa >= self.lines {
+                    return Err(CkptError::Corrupt(format!(
+                        "failure overlay names line {pa} beyond {}",
+                        self.lines
+                    )));
+                }
+                if extra.insert(pa, k).is_some() {
+                    return Err(CkptError::Corrupt(format!(
+                        "duplicate overlay entry for line {pa}"
+                    )));
+                }
+            }
+            Some(Box::new(FailedSet { bits, extra }))
+        } else {
+            None
+        };
+        self.remaining = remaining;
+        self.failed = failed;
+        Ok(())
+    }
+
     /// Human-readable layout tag for reports: countdown width plus limit
     /// encoding, e.g. `"u16+delta16"`.
     pub fn layout(&self) -> String {

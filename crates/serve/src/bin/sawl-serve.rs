@@ -1,0 +1,190 @@
+//! sawl-serve — the multi-tenant simulation daemon, as a binary.
+//!
+//! ```text
+//! sawl-serve --state-dir DIR [--listen ADDR] [--unix PATH]
+//!            [--workers N] [--checkpoint-interval WRITES] [--slice-batches N]
+//! ```
+//!
+//! Binds the control socket(s), recovers every tenant found in the
+//! state directory (resuming from checkpoints where present), prints
+//! one `listening on ...` line per endpoint to stdout, and serves until
+//! a `Shutdown` command or SIGTERM/SIGINT arrives — then quiesces,
+//! checkpoints every running tenant, and exits 0. `--listen 127.0.0.1:0`
+//! picks a free port; scripts parse it from the `listening on` line.
+//!
+//! Exit codes: 0 graceful shutdown, 1 runtime error (bind/IO), 2 usage.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sawl_serve::{signal, Daemon, Endpoint, ServeConfig};
+
+const USAGE: &str = "usage:\n  sawl-serve --state-dir DIR [--listen ADDR] [--unix PATH] \
+                     [--workers N] [--checkpoint-interval WRITES] [--slice-batches N]";
+
+/// Parsed command line.
+#[derive(Debug, PartialEq)]
+struct Args {
+    state_dir: PathBuf,
+    listen: Option<String>,
+    unix: Option<PathBuf>,
+    workers: usize,
+    checkpoint_interval: Option<u64>,
+    slice_batches: Option<u64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut state_dir = None;
+    let mut listen = None;
+    let mut unix = None;
+    let mut workers = 0usize;
+    let mut checkpoint_interval = None;
+    let mut slice_batches = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--state-dir" => match it.next() {
+                Some(dir) => state_dir = Some(PathBuf::from(dir)),
+                None => return Err("--state-dir needs a directory".into()),
+            },
+            "--listen" => match it.next() {
+                Some(addr) => listen = Some(addr.clone()),
+                None => return Err("--listen needs an address like 127.0.0.1:7463".into()),
+            },
+            "--unix" => match it.next() {
+                Some(path) => unix = Some(PathBuf::from(path)),
+                None => return Err("--unix needs a socket path".into()),
+            },
+            "--workers" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => workers = n,
+                _ => return Err("--workers needs a thread count >= 1".into()),
+            },
+            "--checkpoint-interval" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => checkpoint_interval = Some(n),
+                _ => return Err("--checkpoint-interval needs a write count >= 1".into()),
+            },
+            "--slice-batches" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => slice_batches = Some(n),
+                _ => return Err("--slice-batches needs a batch count >= 1".into()),
+            },
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let state_dir = state_dir.ok_or("--state-dir is required")?;
+    Ok(Args { state_dir, listen, unix, workers, checkpoint_interval, slice_batches })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let mut cfg = ServeConfig::new(&args.state_dir);
+    cfg.workers = args.workers;
+    if let Some(interval) = args.checkpoint_interval {
+        cfg.checkpoint_interval = interval;
+    }
+    if let Some(batches) = args.slice_batches {
+        cfg.slice_batches = batches;
+    }
+
+    let mut endpoints = Vec::new();
+    // Default to loopback TCP when no endpoint was requested at all.
+    let listen = match (&args.listen, &args.unix) {
+        (None, None) => Some("127.0.0.1:7463".to_string()),
+        (listen, _) => listen.clone(),
+    };
+    if let Some(addr) = listen {
+        let l = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let local = l.local_addr().map_err(|e| e.to_string())?;
+        println!("sawl-serve: listening on tcp://{local}");
+        endpoints.push(Endpoint::Tcp(l));
+    }
+    #[cfg(unix)]
+    if let Some(path) = &args.unix {
+        // A previous unclean death leaves the socket file behind; it is
+        // control-plane only, so replacing it is always right.
+        let _ = std::fs::remove_file(path);
+        let l = std::os::unix::net::UnixListener::bind(path)
+            .map_err(|e| format!("cannot bind {}: {e}", path.display()))?;
+        println!("sawl-serve: listening on unix://{}", path.display());
+        endpoints.push(Endpoint::Unix(l));
+    }
+    #[cfg(not(unix))]
+    if args.unix.is_some() {
+        return Err("--unix is only available on Unix platforms".into());
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    signal::install();
+    let daemon = Daemon::new(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let running = daemon.status().iter().filter(|t| t.state == "running").count();
+    if running > 0 {
+        eprintln!("sawl-serve: recovered {running} running tenant(s) from state dir");
+    }
+    daemon.serve(endpoints, signal::requested).map_err(|e| e.to_string())?;
+    eprintln!(
+        "sawl-serve: shut down cleanly ({} checkpoint(s) written)",
+        daemon.checkpoints_written()
+    );
+    #[cfg(unix)]
+    if let Some(path) = &args.unix {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("sawl-serve: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sawl-serve: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn state_dir_is_required_and_flags_parse() {
+        assert!(parse(&[]).unwrap_err().contains("--state-dir"));
+        let args = parse(&[
+            "--state-dir",
+            "/tmp/x",
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "3",
+            "--checkpoint-interval",
+            "5000",
+            "--slice-batches",
+            "8",
+        ])
+        .unwrap();
+        assert_eq!(args.state_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args.workers, 3);
+        assert_eq!(args.checkpoint_interval, Some(5000));
+        assert_eq!(args.slice_batches, Some(8));
+    }
+
+    #[test]
+    fn bad_values_are_usage_errors() {
+        assert!(parse(&["--state-dir", "/tmp/x", "--workers", "0"]).is_err());
+        assert!(parse(&["--state-dir", "/tmp/x", "--checkpoint-interval", "0"]).is_err());
+        assert!(parse(&["--state-dir", "/tmp/x", "--frobnicate"]).is_err());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress]
+//!                   [--checkpoint ckpt] [--checkpoint-interval N] [--resume]
 //! sawl-sim perf     <spec.json>
 //! sawl-sim example  lifetime|perf   print a template spec
 //! ```
@@ -19,25 +20,89 @@
 //! default) so the result carries the latency distribution and stall
 //! breakdown. `--progress` adds a throttled stderr ticker.
 //!
+//! ## Checkpointing and interruption
+//!
+//! `--checkpoint ckpt` writes an atomic, checksummed checkpoint of the
+//! run to `ckpt` every `--checkpoint-interval` demand writes (default
+//! ~268M) and when the run ends; `--resume` restores the run from that
+//! file and continues it **byte-identically** — the final report and
+//! telemetry series match an uninterrupted run exactly. Checkpointing
+//! requires an untimed run (the timing model has no checkpoint form).
+//!
+//! Untimed lifetime runs install a SIGINT/SIGTERM handler: an
+//! interrupted run stops at the next batch boundary, still writes its
+//! telemetry stream and checkpoint (if requested), prints the partial
+//! report, and exits 3 instead of losing the run.
+//!
 //! Exit codes: `0` success, `1` runtime failure (I/O, write-free
-//! workload), `2` bad usage or an invalid spec.
+//! workload, unreadable checkpoint), `2` bad usage or an invalid spec,
+//! `3` interrupted (partial report emitted).
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use sawl_simctl::{
     run_lifetime, run_perf, DeviceSpec, DriverError, FaultPlan, LifetimeExperiment, PerfExperiment,
-    SchemeSpec, TelemetrySpec, TimingSpec, WorkloadSpec,
+    ResumableRun, SchemeSpec, TelemetrySpec, TimingSpec, WorkloadSpec, DEFAULT_CHECKPOINT_INTERVAL,
 };
 use sawl_trace::SpecBenchmark;
 
-const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress] [--threads N]\n  sawl-sim perf <spec.json> [--threads N]\n  sawl-sim example lifetime|perf";
+const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress] [--threads N] [--checkpoint ckpt] [--checkpoint-interval N] [--resume]\n  sawl-sim perf <spec.json> [--threads N]\n  sawl-sim example lifetime|perf";
+
+/// Exit code for a run stopped by SIGINT/SIGTERM after emitting its
+/// partial report.
+const EXIT_INTERRUPTED: u8 = 3;
 
 /// Spec problems exit 2 (the input is wrong, rerunning won't help);
 /// runtime failures exit 1.
 fn driver_exit_code(e: &DriverError) -> u8 {
     match e {
         DriverError::Spec(_) | DriverError::Config(_) | DriverError::FaultPlan(_) => 2,
-        DriverError::WriteFreeStream { .. } => 1,
+        DriverError::WriteFreeStream { .. }
+        | DriverError::Checkpoint(_)
+        | DriverError::Report(_) => 1,
+    }
+}
+
+/// SIGINT/SIGTERM latch: the handler only sets a flag; the run loop polls
+/// it at batch boundaries so interrupted runs stop at a consistent point,
+/// flush their telemetry, and report partially instead of vanishing.
+#[cfg(unix)]
+mod interrupt {
+    use std::os::raw::c_int;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" fn latch(_signum: c_int) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, latch as extern "C" fn(c_int) as usize);
+            signal(SIGTERM, latch as extern "C" fn(c_int) as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod interrupt {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
     }
 }
 
@@ -49,16 +114,23 @@ struct RunArgs {
     timing: bool,
     progress: bool,
     threads: Option<usize>,
+    checkpoint: Option<String>,
+    checkpoint_interval: Option<u64>,
+    resume: bool,
 }
 
 /// Parse `<spec.json> [--telemetry out.json] [--timing] [--progress]
-/// [--threads N]`.
+/// [--threads N] [--checkpoint ckpt] [--checkpoint-interval N]
+/// [--resume]`.
 fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     let mut spec_path = None;
     let mut telemetry_out = None;
     let mut timing = false;
     let mut progress = false;
     let mut threads = None;
+    let mut checkpoint = None;
+    let mut checkpoint_interval = None;
+    let mut resume = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -73,13 +145,37 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 Some(Err(_)) => return Err("--threads needs a worker count".into()),
                 None => return Err("--threads needs a worker count".into()),
             },
+            "--checkpoint" => match it.next() {
+                Some(path) => checkpoint = Some(path.clone()),
+                None => return Err("--checkpoint needs a file path".into()),
+            },
+            "--checkpoint-interval" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => checkpoint_interval = Some(n),
+                Some(_) => {
+                    return Err("--checkpoint-interval needs a demand-write count >= 1".into())
+                }
+                None => return Err("--checkpoint-interval needs a demand-write count >= 1".into()),
+            },
+            "--resume" => resume = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path if spec_path.is_none() => spec_path = Some(path.to_string()),
             extra => return Err(format!("unexpected argument {extra}")),
         }
     }
     let Some(spec_path) = spec_path else { return Err("missing <spec.json>".into()) };
-    Ok(RunArgs { spec_path, telemetry_out, timing, progress, threads })
+    if checkpoint.is_none() && (checkpoint_interval.is_some() || resume) {
+        return Err("--checkpoint-interval/--resume need --checkpoint <path>".into());
+    }
+    Ok(RunArgs {
+        spec_path,
+        telemetry_out,
+        timing,
+        progress,
+        threads,
+        checkpoint,
+        checkpoint_interval,
+        resume,
+    })
 }
 
 /// Fold the CLI telemetry flags into the experiment's own `telemetry`
@@ -128,25 +224,85 @@ fn template_perf() -> PerfExperiment {
     }
 }
 
-/// Run a lifetime spec end to end; returns the stdout JSON or
-/// `(message, exit code)`. When `telemetry_out` is set, the series is
-/// split out of the result and written there as JSON lines.
-fn run_lifetime_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
+/// Serialize a report through the typed error path instead of panicking
+/// on a (pathological) serialization failure.
+fn report_json<T: serde::Serialize>(value: &T) -> Result<String, (String, u8)> {
+    serde_json::to_string_pretty(value).map_err(|e| {
+        let err = DriverError::Report(e.to_string());
+        (err.to_string(), driver_exit_code(&err))
+    })
+}
+
+/// Run a lifetime spec end to end; returns the stdout JSON plus the exit
+/// code (`0` finished, [`EXIT_INTERRUPTED`] for a partial report after
+/// SIGINT/SIGTERM), or `(message, exit code)` on failure. When
+/// `telemetry_out` is set, the series is split out of the result and
+/// written there as JSON lines — for interrupted runs too.
+fn run_lifetime_cli(raw: &str, args: &RunArgs) -> Result<(String, u8), (String, u8)> {
     let mut exp = serde_json::from_str::<LifetimeExperiment>(raw)
         .map_err(|e| (format!("invalid lifetime spec {}: {e}", args.spec_path), 2))?;
     apply_telemetry_flags(&mut exp.telemetry, args);
     apply_timing_flag(&mut exp.timing, args);
-    let mut result = run_lifetime(&exp)
-        .map_err(|e| (format!("lifetime run failed: {e}"), driver_exit_code(&e)))?;
+    let fail = |e: DriverError| (format!("lifetime run failed: {e}"), driver_exit_code(&e));
+
+    let (mut result, interrupted) = if exp.timing.is_some() {
+        // The timing model has no checkpoint form and its pump has no
+        // interruption point; timed runs stay on the one-shot path.
+        if args.checkpoint.is_some() {
+            return Err((
+                "--checkpoint cannot be combined with a timed run (the closed-loop timing \
+                 model has no checkpoint form); drop --timing / the spec's `timing` block"
+                    .into(),
+                2,
+            ));
+        }
+        (run_lifetime(&exp).map_err(fail)?, false)
+    } else {
+        let mut run = match (&args.checkpoint, args.resume) {
+            (Some(path), true) => ResumableRun::resume(&exp, Path::new(path)).map_err(fail)?,
+            _ => ResumableRun::new(&exp).map_err(fail)?,
+        };
+        let finished = match &args.checkpoint {
+            Some(path) => {
+                let interval = args.checkpoint_interval.unwrap_or(DEFAULT_CHECKPOINT_INTERVAL);
+                run.run_with_checkpoints(Path::new(path), interval, interrupt::requested)
+                    .map_err(fail)?
+            }
+            None => {
+                let mut finished = true;
+                while run.step().map_err(fail)? {
+                    if interrupt::requested() {
+                        finished = false;
+                        break;
+                    }
+                }
+                finished
+            }
+        };
+        (run.into_result(), !finished)
+    };
+
     if let Some(out_path) = &args.telemetry_out {
         let series = result.telemetry.take().expect("telemetry was requested");
         std::fs::write(out_path, series.to_json_lines())
             .map_err(|e| (format!("cannot write {out_path}: {e}"), 1))?;
     }
-    Ok(serde_json::to_string_pretty(&result).unwrap())
+    let json = report_json(&result)?;
+    if interrupted {
+        eprintln!(
+            "interrupted at {} demand writes; partial report follows{}",
+            result.demand_writes,
+            match &args.checkpoint {
+                Some(path) => format!(", checkpoint saved to {path}"),
+                None => String::new(),
+            }
+        );
+        return Ok((json, EXIT_INTERRUPTED));
+    }
+    Ok((json, 0))
 }
 
-fn run_perf_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
+fn run_perf_cli(raw: &str, args: &RunArgs) -> Result<(String, u8), (String, u8)> {
     if args.telemetry_out.is_some() || args.progress || args.timing {
         return Err((
             "perf runs do not support --telemetry/--timing/--progress (perf always carries \
@@ -155,25 +311,40 @@ fn run_perf_cli(raw: &str, args: &RunArgs) -> Result<String, (String, u8)> {
             2,
         ));
     }
+    if args.checkpoint.is_some() {
+        return Err((
+            "perf runs do not support --checkpoint/--resume (the timing model has no \
+             checkpoint form)"
+                .into(),
+            2,
+        ));
+    }
     let exp = serde_json::from_str::<PerfExperiment>(raw)
         .map_err(|e| (format!("invalid perf spec {}: {e}", args.spec_path), 2))?;
     let result =
         run_perf(&exp).map_err(|e| (format!("perf run failed: {e}"), driver_exit_code(&e)))?;
-    Ok(serde_json::to_string_pretty(&result).unwrap())
+    Ok((report_json(&result)?, 0))
+}
+
+fn print_or_fail(out: Result<String, (String, u8)>) -> ExitCode {
+    match out {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err((msg, code)) => {
+            eprintln!("{msg}");
+            ExitCode::from(code)
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("example") => match args.get(2).map(String::as_str) {
-            Some("lifetime") => {
-                println!("{}", serde_json::to_string_pretty(&template_lifetime()).unwrap());
-                ExitCode::SUCCESS
-            }
-            Some("perf") => {
-                println!("{}", serde_json::to_string_pretty(&template_perf()).unwrap());
-                ExitCode::SUCCESS
-            }
+            Some("lifetime") => print_or_fail(report_json(&template_lifetime())),
+            Some("perf") => print_or_fail(report_json(&template_perf())),
             _ => {
                 eprintln!("{USAGE}");
                 ExitCode::from(2)
@@ -199,15 +370,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            interrupt::install();
             let out = if mode == "lifetime" {
                 run_lifetime_cli(&raw, &run_args)
             } else {
                 run_perf_cli(&raw, &run_args)
             };
             match out {
-                Ok(json) => {
+                Ok((json, code)) => {
                     println!("{json}");
-                    ExitCode::SUCCESS
+                    ExitCode::from(code)
                 }
                 Err((msg, code)) => {
                     eprintln!("{msg}");
@@ -232,6 +404,19 @@ mod tests {
         v.iter().map(|s| s.to_string()).collect()
     }
 
+    fn plain_args(spec_path: &str) -> RunArgs {
+        RunArgs {
+            spec_path: spec_path.into(),
+            telemetry_out: None,
+            timing: false,
+            progress: false,
+            threads: None,
+            checkpoint: None,
+            checkpoint_interval: None,
+            resume: false,
+        }
+    }
+
     #[test]
     fn driver_errors_display_a_one_line_reason() {
         let cases: Vec<(DriverError, &str)> = vec![
@@ -251,6 +436,11 @@ mod tests {
                 DriverError::Spec("telemetry stride must be >= 1".into()),
                 "invalid spec: telemetry stride must be >= 1",
             ),
+            (DriverError::Checkpoint("bad checksum".into()), "checkpoint error: bad checksum"),
+            (
+                DriverError::Report("key must be a string".into()),
+                "cannot serialize report: key must be a string",
+            ),
         ];
         for (err, expect) in cases {
             let shown = err.to_string();
@@ -268,20 +458,13 @@ mod tests {
             2
         );
         assert_eq!(driver_exit_code(&DriverError::WriteFreeStream { stream: "raa".into() }), 1);
+        assert_eq!(driver_exit_code(&DriverError::Checkpoint("torn".into())), 1);
+        assert_eq!(driver_exit_code(&DriverError::Report("nan".into())), 1);
     }
 
     #[test]
     fn run_args_parse_flags_in_any_order() {
-        assert_eq!(
-            parse_run_args(&strs(&["spec.json"])).unwrap(),
-            RunArgs {
-                spec_path: "spec.json".into(),
-                telemetry_out: None,
-                timing: false,
-                progress: false,
-                threads: None
-            }
-        );
+        assert_eq!(parse_run_args(&strs(&["spec.json"])).unwrap(), plain_args("spec.json"));
         assert_eq!(
             parse_run_args(&strs(&[
                 "--progress",
@@ -292,11 +475,10 @@ mod tests {
             ]))
             .unwrap(),
             RunArgs {
-                spec_path: "spec.json".into(),
                 telemetry_out: Some("t.json".into()),
                 timing: true,
                 progress: true,
-                threads: None
+                ..plain_args("spec.json")
             }
         );
         // --threads parses, clamps to >= 1, and rejects garbage.
@@ -315,13 +497,34 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_flags_parse_and_validate() {
+        let parsed = parse_run_args(&strs(&[
+            "spec.json",
+            "--checkpoint",
+            "run.ckpt",
+            "--checkpoint-interval",
+            "50000",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.checkpoint.as_deref(), Some("run.ckpt"));
+        assert_eq!(parsed.checkpoint_interval, Some(50_000));
+        assert!(parsed.resume);
+        // The dependent flags demand --checkpoint.
+        assert!(parse_run_args(&strs(&["spec.json", "--resume"])).is_err());
+        assert!(parse_run_args(&strs(&["spec.json", "--checkpoint-interval", "5"])).is_err());
+        // The interval must be a positive count.
+        assert!(parse_run_args(&strs(&["s", "--checkpoint", "c", "--checkpoint-interval", "0"]))
+            .is_err());
+        assert!(parse_run_args(&strs(&["spec.json", "--checkpoint"])).is_err());
+    }
+
+    #[test]
     fn telemetry_flags_fold_into_the_spec() {
         let args = |telemetry_out: Option<&str>, progress| RunArgs {
-            spec_path: "s.json".into(),
             telemetry_out: telemetry_out.map(String::from),
-            timing: false,
             progress,
-            threads: None,
+            ..plain_args("s.json")
         };
         // No flags, no spec: stays off.
         let mut spec = None;
@@ -356,13 +559,11 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("telemetry.json");
         let args = RunArgs {
-            spec_path: "spec.json".into(),
             telemetry_out: Some(out.to_str().unwrap().to_string()),
-            timing: false,
-            progress: false,
-            threads: None,
+            ..plain_args("spec.json")
         };
-        let stdout = run_lifetime_cli(&raw, &args).unwrap();
+        let (stdout, code) = run_lifetime_cli(&raw, &args).unwrap();
+        assert_eq!(code, 0);
         // The series went to the file, not the stdout result.
         assert!(!stdout.contains("\"samples\""), "{stdout}");
         let lines = std::fs::read_to_string(&out).unwrap();
@@ -373,14 +574,63 @@ mod tests {
     }
 
     #[test]
-    fn lifetime_cli_maps_bad_specs_to_exit_2() {
-        let args = RunArgs {
-            spec_path: "spec.json".into(),
-            telemetry_out: None,
-            timing: false,
-            progress: false,
-            threads: None,
+    fn lifetime_cli_checkpoints_and_resumes_byte_identically() {
+        let exp = LifetimeExperiment {
+            id: "cli/ckpt".into(),
+            scheme: SchemeSpec::PcmS { region_lines: 4, period: 16 },
+            workload: WorkloadSpec::Bpa { writes_per_target: 512 },
+            data_lines: 1 << 10,
+            device: DeviceSpec { endurance: 500, ..Default::default() },
+            max_demand_writes: 30_000,
+            fault: None,
+            telemetry: None,
+            timing: None,
         };
+        let raw = serde_json::to_string(&exp).unwrap();
+        let dir = std::env::temp_dir().join("sawl-sim-cli-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("run.ckpt");
+
+        let (reference, code) = run_lifetime_cli(&raw, &plain_args("spec.json")).unwrap();
+        assert_eq!(code, 0);
+
+        let args = RunArgs {
+            checkpoint: Some(ckpt.to_str().unwrap().to_string()),
+            checkpoint_interval: Some(10_000),
+            ..plain_args("spec.json")
+        };
+        let (first, code) = run_lifetime_cli(&raw, &args).unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(first, reference);
+        assert!(ckpt.exists(), "final checkpoint must be written");
+
+        // Resuming the finished checkpoint reproduces the report exactly.
+        let args = RunArgs { resume: true, ..args };
+        let (resumed, code) = run_lifetime_cli(&raw, &args).unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(resumed, reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lifetime_cli_rejects_checkpointed_timed_runs() {
+        let mut exp = template_lifetime();
+        exp.data_lines = 1 << 10;
+        exp.fault = None;
+        let raw = serde_json::to_string(&exp).unwrap();
+        let args = RunArgs {
+            checkpoint: Some("run.ckpt".into()),
+            timing: true,
+            ..plain_args("spec.json")
+        };
+        let (msg, code) = run_lifetime_cli(&raw, &args).unwrap_err();
+        assert_eq!(code, 2, "{msg}");
+        assert!(msg.contains("timing"), "{msg}");
+    }
+
+    #[test]
+    fn lifetime_cli_maps_bad_specs_to_exit_2() {
+        let args = plain_args("spec.json");
         let (_, code) = run_lifetime_cli("{not json", &args).unwrap_err();
         assert_eq!(code, 2);
         let mut exp = template_lifetime();
@@ -393,16 +643,32 @@ mod tests {
     }
 
     #[test]
-    fn perf_cli_rejects_telemetry_flags() {
+    fn lifetime_cli_maps_missing_checkpoints_to_exit_1() {
+        let mut exp = template_lifetime();
+        exp.data_lines = 1 << 10;
+        exp.fault = None;
+        exp.timing = None;
+        exp.max_demand_writes = 10_000;
+        let raw = serde_json::to_string(&exp).unwrap();
         let args = RunArgs {
-            spec_path: "spec.json".into(),
-            telemetry_out: Some("t.json".into()),
-            timing: false,
-            progress: false,
-            threads: None,
+            checkpoint: Some("/nonexistent-dir/run.ckpt".into()),
+            resume: true,
+            ..plain_args("spec.json")
         };
+        let (msg, code) = run_lifetime_cli(&raw, &args).unwrap_err();
+        assert_eq!(code, 1, "{msg}");
+        assert!(msg.contains("checkpoint error"), "{msg}");
+    }
+
+    #[test]
+    fn perf_cli_rejects_telemetry_flags() {
+        let args = RunArgs { telemetry_out: Some("t.json".into()), ..plain_args("spec.json") };
         let (msg, code) = run_perf_cli("{}", &args).unwrap_err();
         assert_eq!(code, 2);
         assert!(msg.contains("perf runs do not support"), "{msg}");
+        let args = RunArgs { checkpoint: Some("c.ckpt".into()), ..plain_args("spec.json") };
+        let (msg, code) = run_perf_cli("{}", &args).unwrap_err();
+        assert_eq!(code, 2);
+        assert!(msg.contains("checkpoint"), "{msg}");
     }
 }

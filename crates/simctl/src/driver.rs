@@ -52,6 +52,14 @@ pub enum DriverError {
     FaultPlan(FaultPlanError),
     /// A scheme/device/probe geometry defect in the spec.
     Spec(String),
+    /// A checkpoint file could not be written, read, or restored (I/O,
+    /// corruption, version skew, or a spec mismatch). Carries the
+    /// rendered [`sawl_ckpt::CkptError`]/IO reason; the run is not lost —
+    /// an earlier checkpoint or a fresh start both remain valid.
+    Checkpoint(String),
+    /// A finished run's report failed to serialize (diagnostic path for
+    /// what would otherwise be a panic in the CLI).
+    Report(String),
 }
 
 impl fmt::Display for DriverError {
@@ -66,6 +74,8 @@ impl fmt::Display for DriverError {
             Self::Config(e) => write!(f, "invalid scheme config: {e}"),
             Self::FaultPlan(e) => write!(f, "invalid fault plan: {e}"),
             Self::Spec(msg) => write!(f, "invalid spec: {msg}"),
+            Self::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            Self::Report(msg) => write!(f, "cannot serialize report: {msg}"),
         }
     }
 }

@@ -29,6 +29,7 @@ pub mod driver;
 pub mod lifetime;
 pub mod perf;
 pub mod report;
+pub mod resume;
 pub mod runner;
 pub mod scenario;
 pub mod seed;
@@ -44,6 +45,7 @@ pub use driver::{
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
 pub use report::Table;
+pub use resume::{ResumableRun, DEFAULT_CHECKPOINT_INTERVAL};
 pub use runner::{parallel_map, set_thread_override};
 pub use scenario::{
     run as run_scenario, run_all, AdaptationTrace, Probe, Report, Scenario, TraceReport,

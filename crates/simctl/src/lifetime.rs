@@ -151,7 +151,20 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
     };
     let latency = timing.map(TimingRun::finish);
     let series = telemetry.map(|t| t.finish(&mut wl));
+    Ok(build_result(exp, &dev, &pump, series, latency))
+}
 
+/// Assemble a [`LifetimeResult`] from a finished run's final device state
+/// and pump bookkeeping — shared by [`run_lifetime`] and the resumable
+/// checkpoint/resume path ([`crate::resume::ResumableRun`]), so both
+/// report byte-identical results from identical state.
+pub(crate) fn build_result(
+    exp: &LifetimeExperiment,
+    dev: &sawl_nvm::NvmDevice,
+    pump: &crate::driver::PumpStats,
+    telemetry: Option<Series>,
+    latency: Option<LatencyReport>,
+) -> LifetimeResult {
     let wear = *dev.wear();
     let stats = dev.wear_stats();
     let faults = dev.fault_counters();
@@ -159,7 +172,7 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
     // reserved space (gap slots, translation region) compare on the same
     // denominator — the paper's ideal lifetime of the user-visible device.
     let ideal = exp.data_lines as f64 * f64::from(exp.device.endurance);
-    Ok(LifetimeResult {
+    LifetimeResult {
         id: exp.id.clone(),
         scheme: exp.scheme.name(),
         workload: exp.workload.name(),
@@ -181,9 +194,9 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
         journal_replays: pump.journal_replays,
         journal_rollbacks: pump.journal_rollbacks,
         spares_remaining: dev.spares_remaining(),
-        telemetry: series,
+        telemetry,
         latency,
-    })
+    }
 }
 
 #[cfg(test)]

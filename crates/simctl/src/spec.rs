@@ -319,6 +319,50 @@ macro_rules! dispatch {
     };
 }
 
+impl SchemeInstance {
+    /// Stable scheme tag embedded in checkpoints so a restore against the
+    /// wrong scheme is rejected before any payload is interpreted.
+    fn ckpt_tag(&self) -> u8 {
+        match self {
+            Self::Baseline(_) => 0,
+            Self::Ideal(_) => 1,
+            Self::SegmentSwap(_) => 2,
+            Self::Rbsg(_) => 3,
+            Self::SingleSr(_) => 4,
+            Self::Tlsr(_) => 5,
+            Self::PcmS(_) => 6,
+            Self::Mwsr(_) => 7,
+            Self::Nwl(_) => 8,
+            Self::Sawl(_) => 9,
+        }
+    }
+
+    /// Checkpoint the scheme's mutable state, prefixed with its scheme
+    /// tag. Every variant serializes through its own `ckpt_save`.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u8(self.ckpt_tag());
+        dispatch!(self, s => s.ckpt_save(w))
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec and seed. Rejects a checkpoint
+    /// written by a different scheme with a typed error.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let tag = r.get_u8()?;
+        if tag != self.ckpt_tag() {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "scheme: checkpoint carries scheme tag {tag}, instance is {} (tag {})",
+                self.name(),
+                self.ckpt_tag()
+            )));
+        }
+        dispatch!(self, s => s.ckpt_restore(r))
+    }
+}
+
 impl WearLeveler for SchemeInstance {
     fn name(&self) -> &'static str {
         dispatch!(self, w => w.name())

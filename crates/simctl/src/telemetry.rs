@@ -116,6 +116,22 @@ impl TelemetryRun {
         }
     }
 
+    /// Checkpoint the recorder's sampling cursor and gathered samples.
+    /// The progress ticker's wall-clock state is not written — it is
+    /// cosmetic and restarts on resume.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.rec.ckpt_save(w);
+    }
+
+    /// Restore the cursor captured by [`ckpt_save`](Self::ckpt_save) into
+    /// a run freshly built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.rec.ckpt_restore(r)
+    }
+
     /// Finish the run: drain the scheme's event ring into the series.
     pub fn finish<W: WearLeveler + ?Sized>(self, wl: &mut W) -> Series {
         let (events, dropped) = wl.telemetry_events_take().unwrap_or_default();

@@ -1,0 +1,90 @@
+//! Pins the acceptance bound on checkpointing cost: at the default
+//! interval, a checkpointed BPA run must stay within 5% of the plain
+//! pump's wall time. Timing-sensitive, so the test is `#[ignore]`d in
+//! the ordinary (debug) suite and run in release by the CI `serve-smoke`
+//! job:
+//!
+//! ```text
+//! cargo test --release -p sawl-simctl --test checkpoint_overhead -- --ignored
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sawl_simctl::{
+    run_lifetime, DeviceSpec, LifetimeExperiment, ResumableRun, SchemeSpec, WorkloadSpec,
+    DEFAULT_CHECKPOINT_INTERVAL,
+};
+
+fn probe() -> LifetimeExperiment {
+    LifetimeExperiment {
+        id: "ci/checkpoint-overhead".into(),
+        scheme: SchemeSpec::PcmS { region_lines: 16, period: 32 },
+        // Bulk-served BPA bursts are the pump's fastest path (~8 GW/s in
+        // release), which makes this the *worst case* for checkpointing:
+        // any workload that does per-request work gives each save far
+        // more compute to amortize against.
+        workload: WorkloadSpec::Bpa { writes_per_target: 512 },
+        data_lines: 1 << 12,
+        device: DeviceSpec { endurance: 1 << 22, ..Default::default() },
+        // Two periodic checkpoints at the default interval, plus the
+        // final one — the steady-state cost, not just the epilogue.
+        max_demand_writes: 5 << 27,
+        fault: None,
+        telemetry: None,
+        timing: None,
+    }
+}
+
+fn best_of<F: FnMut()>(rounds: usize, mut f: F) -> Duration {
+    (0..rounds)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+#[ignore = "wall-clock comparison; run in release via the CI serve-smoke job"]
+fn checkpointing_at_the_default_interval_costs_under_five_percent() {
+    let exp = probe();
+    let dir = std::env::temp_dir().join(format!("sawl-ckpt-overhead-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("probe.ckpt");
+
+    // Warm-up, and correctness anchor: the checkpointed run must produce
+    // the plain run's bytes before its timing means anything.
+    let reference = run_lifetime(&exp).unwrap();
+    assert!(
+        reference.demand_writes >= 2 * DEFAULT_CHECKPOINT_INTERVAL,
+        "probe must span at least two default intervals to measure steady-state \
+         cost (got {} demand writes)",
+        reference.demand_writes
+    );
+    let mut warm = ResumableRun::new(&exp).unwrap();
+    warm.run_with_checkpoints(&path, DEFAULT_CHECKPOINT_INTERVAL, || false).unwrap();
+    assert_eq!(warm.into_result(), reference);
+
+    let plain = best_of(5, || {
+        run_lifetime(&exp).unwrap();
+    });
+    let checkpointed = best_of(5, || {
+        let mut run = ResumableRun::new(&exp).unwrap();
+        run.run_with_checkpoints(&path, DEFAULT_CHECKPOINT_INTERVAL, || false).unwrap();
+    });
+
+    let ratio = checkpointed.as_secs_f64() / plain.as_secs_f64();
+    eprintln!(
+        "checkpoint overhead: plain {:?}, checkpointed {:?}, ratio {ratio:.4}",
+        plain, checkpointed
+    );
+    assert!(
+        ratio < 1.05,
+        "checkpointing cost {:.2}% exceeds the 5% budget (plain {plain:?}, \
+         checkpointed {checkpointed:?})",
+        (ratio - 1.0) * 100.0
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -179,6 +179,48 @@ impl Recorder {
         self.next = self.served + self.spec.stride;
     }
 
+    /// Checkpoint the sampling cursor: request clock, next boundary,
+    /// delta-gauge snapshots, and the samples gathered so far (as a JSON
+    /// blob — [`SamplePoint`] is already serde and its JSON round-trip is
+    /// pinned byte-stable). The spec is not written; resume rebuilds the
+    /// recorder from the experiment spec and overwrites the cursor.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.served);
+        w.put_u64(self.next);
+        w.put_u64(self.last_hits);
+        w.put_u64(self.last_misses);
+        w.put_u64(self.last_first);
+        w.put_u64(self.last_second);
+        let json = serde_json::to_string(&self.samples).expect("samples serialize infallibly");
+        w.put_str(&json);
+    }
+
+    /// Restore the cursor captured by [`ckpt_save`](Self::ckpt_save) into
+    /// a recorder freshly built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let served = r.get_u64()?;
+        let next = r.get_u64()?;
+        if next < served || next - served > self.spec.stride {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "sample boundary {next} inconsistent with clock {served} at stride {}",
+                self.spec.stride
+            )));
+        }
+        self.served = served;
+        self.next = next;
+        self.last_hits = r.get_u64()?;
+        self.last_misses = r.get_u64()?;
+        self.last_first = r.get_u64()?;
+        self.last_second = r.get_u64()?;
+        let json = r.get_str()?;
+        self.samples = serde_json::from_str(&json)
+            .map_err(|e| sawl_ckpt::CkptError::Corrupt(format!("sample blob: {e}")))?;
+        Ok(())
+    }
+
     /// Finish the run, attaching the drained event ring.
     pub fn into_series(self, events: Vec<Event>, events_dropped: u64) -> Series {
         let channels = if self.spec.channels.is_empty() {

@@ -78,6 +78,36 @@ impl EventRing {
     pub fn into_parts(self) -> (Vec<Event>, u64) {
         (self.buf.into_iter().collect(), self.dropped)
     }
+
+    /// Checkpoint the ring: capacity, drop count, and the held events
+    /// (oldest first) as a JSON blob — events are tiny and already serde.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.dropped);
+        let events: Vec<Event> = self.buf.iter().copied().collect();
+        let json = serde_json::to_string(&events).expect("events serialize infallibly");
+        w.put_str(&json);
+    }
+
+    /// Rebuild a ring from [`ckpt_save`](Self::ckpt_save) output.
+    pub fn ckpt_load(r: &mut sawl_ckpt::Reader<'_>) -> Result<Self, sawl_ckpt::CkptError> {
+        let capacity = r.get_u64()? as usize;
+        let dropped = r.get_u64()?;
+        let json = r.get_str()?;
+        let events: Vec<Event> = serde_json::from_str(&json)
+            .map_err(|e| sawl_ckpt::CkptError::Corrupt(format!("event ring blob: {e}")))?;
+        let capacity = capacity.max(1);
+        if events.len() > capacity {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "event ring holds {} events over capacity {capacity}",
+                events.len()
+            )));
+        }
+        let mut ring = EventRing::new(capacity);
+        ring.buf.extend(events);
+        ring.dropped = dropped;
+        Ok(ring)
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,75 @@ impl<V: Copy> Cmt<V> {
         self.map.len().div_ceil(2)
     }
 
+    /// Checkpoint the cache: counters plus the `(key, value)` stack from
+    /// MRU to LRU. Values are written through `save_val` since the CMT is
+    /// generic. Rebuilding from MRU order reproduces the exact LRU stack
+    /// (and therefore the half-boundary) on restore.
+    pub fn ckpt_save(
+        &self,
+        w: &mut sawl_ckpt::Writer,
+        mut save_val: impl FnMut(&V, &mut sawl_ckpt::Writer),
+    ) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+        w.put_u64(self.hits_first);
+        w.put_u64(self.hits_second);
+        w.put_u64(self.evictions);
+        w.put_u64(self.map.len() as u64);
+        for (k, v) in self.iter_mru() {
+            w.put_u64(k);
+            save_val(&v, w);
+        }
+    }
+
+    /// Restore a cache saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built with the same capacity.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+        mut load_val: impl FnMut(&mut sawl_ckpt::Reader<'_>) -> Result<V, sawl_ckpt::CkptError>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let capacity = r.get_u64()?;
+        if capacity != self.capacity as u64 {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "cmt: capacity {capacity} in checkpoint, {} in instance",
+                self.capacity
+            )));
+        }
+        let hits = r.get_u64()?;
+        let misses = r.get_u64()?;
+        let hits_first = r.get_u64()?;
+        let hits_second = r.get_u64()?;
+        let evictions = r.get_u64()?;
+        let len = r.get_u64()?;
+        if len > capacity {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "cmt: {len} entries over capacity {capacity}"
+            )));
+        }
+        let mut mru: Vec<(u64, V)> = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            let k = r.get_u64()?;
+            mru.push((k, load_val(r)?));
+        }
+        self.clear();
+        // Inserting LRU-first reproduces the MRU order; `insert` detects
+        // duplicate keys by not growing the map.
+        for &(k, ref v) in mru.iter().rev() {
+            self.insert(k, *v);
+        }
+        if self.map.len() != mru.len() {
+            return Err(sawl_ckpt::CkptError::Corrupt("cmt: duplicate keys in stack".into()));
+        }
+        self.hits = hits;
+        self.misses = misses;
+        self.hits_first = hits_first;
+        self.hits_second = hits_second;
+        self.evictions = evictions;
+        Ok(())
+    }
+
     /// Look up `key`; a hit moves the entry to the MRU position and is
     /// attributed to the half it was found in.
     pub fn lookup(&mut self, key: u64) -> CmtLookup<V> {

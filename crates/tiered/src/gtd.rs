@@ -86,6 +86,35 @@ impl Gtd {
         let bits = 64 - (self.sr.size() - 1).leading_zeros() as u64;
         3 * bits + 64
     }
+
+    /// Checkpoint the SR state, refresh counter, RNG and update count
+    /// (base, space and period are configuration, rebuilt from the spec).
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.sr.ckpt_save(w);
+        w.put_u64(self.writes);
+        w.put_rng(self.rng.state());
+        w.put_u64(self.updates);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same spec.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.sr.ckpt_restore(r)?;
+        let writes = r.get_u64()?;
+        if writes >= self.period {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "gtd: refresh counter {writes} out of range for period {}",
+                self.period
+            )));
+        }
+        self.writes = writes;
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.updates = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,44 @@ impl ImtTable {
     pub fn entries(&self) -> &[ImtEntry] {
         &self.entries
     }
+
+    /// Checkpoint the full table (initial granularity is configuration,
+    /// rebuilt from the spec).
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.put_u64(e.d);
+            w.put_u8(e.q_log2);
+        }
+    }
+
+    /// Restore a table saved by [`ckpt_save`](Self::ckpt_save) into a table
+    /// built with the same geometry.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let count = r.get_u64()?;
+        if count != self.entries.len() as u64 {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "imt: {count} entries in checkpoint, {} in table",
+                self.entries.len()
+            )));
+        }
+        let mut entries = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let d = r.get_u64()?;
+            let q_log2 = r.get_u8()?;
+            if q_log2 >= 64 {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "imt: entry granularity 2^{q_log2} is absurd"
+                )));
+            }
+            entries.push(ImtEntry { d, q_log2 });
+        }
+        self.entries = entries;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,78 @@ impl Journal {
     pub fn rollbacks(&self) -> u64 {
         self.rollbacks
     }
+
+    /// Checkpoint the journal: the in-flight record (if any) and the
+    /// lifetime counters. The journal models capacitor-backed SRAM, so it
+    /// must survive a checkpoint/resume cycle exactly like a power cycle.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        match &self.pending {
+            None => w.put_bool(false),
+            Some(rec) => {
+                w.put_bool(true);
+                w.put_u8(match rec.kind {
+                    OpKind::Merge => 0,
+                    OpKind::Split => 1,
+                    OpKind::Exchange => 2,
+                });
+                w.put_u64(rec.updates.len() as u64);
+                for u in &rec.updates {
+                    w.put_u64(u.base);
+                    w.put_u64(u.prn);
+                    w.put_u64(u.key);
+                    w.put_u8(u.q_log2);
+                }
+            }
+        }
+        w.put_u64(self.begins);
+        w.put_u64(self.commits);
+        w.put_u64(self.replays);
+        w.put_u64(self.rollbacks);
+    }
+
+    /// Restore a journal saved by [`ckpt_save`](Self::ckpt_save).
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        let pending = if r.get_bool()? {
+            let kind = match r.get_u8()? {
+                0 => OpKind::Merge,
+                1 => OpKind::Split,
+                2 => OpKind::Exchange,
+                k => {
+                    return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                        "journal: unknown operation kind {k}"
+                    )))
+                }
+            };
+            let count = r.get_u64()?;
+            // An operation touches at most a handful of regions; a huge
+            // count is corruption, not a real record.
+            if count > 1024 {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "journal: implausible update count {count}"
+                )));
+            }
+            let mut updates = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let base = r.get_u64()?;
+                let prn = r.get_u64()?;
+                let key = r.get_u64()?;
+                let q_log2 = r.get_u8()?;
+                updates.push(RegionUpdate { base, prn, key, q_log2 });
+            }
+            Some(OpRecord { kind, updates })
+        } else {
+            None
+        };
+        self.pending = pending;
+        self.begins = r.get_u64()?;
+        self.commits = r.get_u64()?;
+        self.replays = r.get_u64()?;
+        self.rollbacks = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -284,6 +284,62 @@ impl Nwl {
     pub fn journal(&self) -> &Journal {
         &self.journal
     }
+
+    /// Checkpoint every piece of mutable state: the durable IMT and
+    /// journal, the volatile CMT and swap counters (so resume is
+    /// byte-identical to an uninterrupted run, unlike crash recovery which
+    /// deliberately restarts them cold), the GTD and the RNG.
+    pub fn ckpt_save(&self, w: &mut sawl_ckpt::Writer) {
+        self.imt.ckpt_save(w);
+        self.swaps.ckpt_save(w);
+        self.cmt.ckpt_save(w, |e, w| {
+            w.put_u64(e.d);
+            w.put_u8(e.q_log2);
+        });
+        self.gtd.ckpt_save(w);
+        w.put_rng(self.rng.state());
+        self.journal.ckpt_save(w);
+        w.put_u64(self.exchanges);
+    }
+
+    /// Restore state saved by [`ckpt_save`](Self::ckpt_save) into an
+    /// instance built from the same config. The inverse map is rebuilt from
+    /// the restored IMT; cached CMT entries are validated against it.
+    pub fn ckpt_restore(
+        &mut self,
+        r: &mut sawl_ckpt::Reader<'_>,
+    ) -> Result<(), sawl_ckpt::CkptError> {
+        self.imt.ckpt_restore(r)?;
+        let regions = self.layout.imt_entries;
+        for lrn in 0..regions {
+            let e = self.imt.entry(lrn);
+            if e.prn() >= regions {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "nwl: region {lrn} maps to physical region {} of {regions}",
+                    e.prn()
+                )));
+            }
+            self.p2l[e.prn() as usize] = lrn as u32;
+        }
+        self.swaps.ckpt_restore(r)?;
+        self.cmt.ckpt_restore(r, |r| {
+            let d = r.get_u64()?;
+            let q_log2 = r.get_u8()?;
+            Ok(ImtEntry { d, q_log2 })
+        })?;
+        for (lrn, e) in self.cmt.iter_mru() {
+            if lrn >= regions || e != self.imt.entry(lrn) {
+                return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                    "nwl: cached entry for region {lrn} disagrees with the IMT"
+                )));
+            }
+        }
+        self.gtd.ckpt_restore(r)?;
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.journal.ckpt_restore(r)?;
+        self.exchanges = r.get_u64()?;
+        Ok(())
+    }
 }
 
 impl WearLeveler for Nwl {

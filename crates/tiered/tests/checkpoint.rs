@@ -1,0 +1,109 @@
+//! Checkpoint round-trip for the tiered NWL scheme: restore into a fresh
+//! twin must reproduce the exact mutable state (CMT stack, IMT, GTD, RNG,
+//! journal) and continue in lockstep with the original.
+
+use sawl_algos::WearLeveler;
+use sawl_ckpt::{Reader, Writer};
+use sawl_nvm::{NvmConfig, NvmDevice};
+use sawl_tiered::{Nwl, NwlConfig};
+
+fn make(cfg: NwlConfig) -> (Nwl, NvmDevice) {
+    let nwl = Nwl::new(cfg);
+    let dev = NvmDevice::new(
+        NvmConfig::builder()
+            .lines(nwl.required_physical_lines())
+            .banks(1)
+            .endurance(1_000_000)
+            .spare_shift(6)
+            .build()
+            .unwrap(),
+    );
+    (nwl, dev)
+}
+
+fn cfg() -> NwlConfig {
+    NwlConfig {
+        data_lines: 1 << 12,
+        granularity: 4,
+        cmt_entries: 128,
+        swap_period: 4,
+        gtd_period: 8,
+        seed: 0xFEED,
+    }
+}
+
+#[test]
+fn nwl_roundtrips_and_continues_in_lockstep() {
+    let (mut wl, mut d) = make(cfg());
+    let span = wl.logical_lines();
+    let mut x = 0x2545F4914F6CDD1Du64;
+    for _ in 0..30_000 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        wl.write(x % span, &mut d);
+    }
+    assert!(wl.exchanges() > 0, "warmup produced no exchanges");
+
+    let mut w = Writer::new();
+    wl.ckpt_save(&mut w);
+    let payload = w.into_payload();
+
+    let (mut twin, _) = make(cfg());
+    let mut r = Reader::new(&payload);
+    twin.ckpt_restore(&mut r).expect("restore");
+    r.finish().expect("no trailing bytes");
+
+    let mut w2 = Writer::new();
+    twin.ckpt_save(&mut w2);
+    assert_eq!(payload, w2.into_payload(), "re-encode differs: state not fully captured");
+
+    // Hit/miss and half-attribution counters must survive exactly — the
+    // adaptation heuristics read them.
+    assert_eq!(wl.mapping_stats(), twin.mapping_stats());
+    assert_eq!(wl.cmt().hits_first_half(), twin.cmt().hits_first_half());
+    assert_eq!(wl.cmt().hits_second_half(), twin.cmt().hits_second_half());
+    assert_eq!(wl.cmt().keys_mru(), twin.cmt().keys_mru());
+
+    let mut d2 = d.clone();
+    for i in 0..10_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let la = x % span;
+        let pa1 = wl.write(la, &mut d);
+        let pa2 = twin.write(la, &mut d2);
+        assert_eq!(pa1, pa2, "write landed differently at step {i}");
+    }
+    assert_eq!(d.wear(), d2.wear(), "device wear diverged after resume");
+    assert_eq!(d.write_counts(), d2.write_counts(), "per-line wear diverged");
+    assert_eq!(wl.exchanges(), twin.exchanges());
+}
+
+#[test]
+fn nwl_restore_rejects_corruption() {
+    let (mut wl, mut d) = make(cfg());
+    for la in 0..5_000u64 {
+        wl.write(la % wl.logical_lines(), &mut d);
+    }
+    let mut w = Writer::new();
+    wl.ckpt_save(&mut w);
+    let payload = w.into_payload();
+
+    // Wrong shape: a twin with a different geometry.
+    let (mut small, _) = make(NwlConfig { data_lines: 1 << 10, ..cfg() });
+    assert!(small.ckpt_restore(&mut Reader::new(&payload)).is_err());
+
+    // Wrong CMT capacity.
+    let (mut other_cache, _) = make(NwlConfig { cmt_entries: 64, ..cfg() });
+    assert!(other_cache.ckpt_restore(&mut Reader::new(&payload)).is_err());
+
+    // Truncation anywhere must error, never panic.
+    for cut in [0, 7, payload.len() / 3, payload.len() / 2, payload.len() - 1] {
+        let (mut twin, _) = make(cfg());
+        assert!(
+            twin.ckpt_restore(&mut Reader::new(&payload[..cut])).is_err(),
+            "truncation at {cut} not rejected"
+        );
+    }
+}

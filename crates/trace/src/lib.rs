@@ -134,6 +134,21 @@ pub trait AddressStream {
         filled as u64
     }
 
+    /// Fast-forward the stream by replaying `batches` complete
+    /// [`fill_runs`](Self::fill_runs) calls of `scratch.len()` requests
+    /// each, discarding the output. This is the resume cursor: a stream's
+    /// internal state after N batches is a deterministic function of
+    /// (generator parameters, seed, batch size, N), so a checkpoint needs
+    /// to record only the batch count — rebuilding the stream from its
+    /// spec and replaying the same call pattern lands it exactly where
+    /// the original run left off.
+    fn skip_batches(&mut self, batches: u64, scratch: &mut [MemReq]) {
+        let mut runs = Vec::new();
+        for _ in 0..batches {
+            self.fill_runs(&mut runs, scratch);
+        }
+    }
+
     /// Size of the logical address space this stream draws from; every
     /// produced `la` is `< space_lines()`.
     fn space_lines(&self) -> u64;
@@ -242,6 +257,23 @@ mod tests {
         assert_eq!(runs.iter().map(|r| r.len).sum::<u64>(), 4096);
         assert!(runs.len() < 4096, "no coalescing happened across {} requests", covered);
         assert!(runs.iter().any(|r| r.len > 1));
+    }
+
+    #[test]
+    fn skip_batches_lands_on_the_replayed_cursor() {
+        // A fresh stream fast-forwarded by N batches continues exactly
+        // like one that actually served those batches.
+        let mut skipped = Bpa::new(1 << 12, 96, 7);
+        let mut served = Bpa::new(1 << 12, 96, 7);
+        let mut scratch = [MemReq::read(0); 512];
+        let mut runs = Vec::new();
+        for _ in 0..5 {
+            served.fill_runs(&mut runs, &mut scratch);
+        }
+        skipped.skip_batches(5, &mut scratch);
+        for i in 0..1_000 {
+            assert_eq!(skipped.next_req(), served.next_req(), "diverged at request {i}");
+        }
     }
 
     #[test]

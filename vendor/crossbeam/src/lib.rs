@@ -1,26 +1,278 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! The workspace only uses `crossbeam::channel::bounded` as a
-//! multi-producer/single-consumer results pipe in `parallel_map`; the
-//! standard library's `mpsc::sync_channel` has identical semantics for
-//! that use (cloneable sender, bounded backpressure, iteration until all
-//! senders drop), so this crate is a thin alias layer over it.
+//! The workspace uses `crossbeam::channel` in two places: `parallel_map`
+//! fans worker results into a bounded multi-producer pipe, and the
+//! `sawl-serve` daemon shards tenants across a worker pool through an
+//! unbounded multi-consumer work queue. The real crossbeam channel is
+//! MPMC with cloneable ends on both sides, so this stand-in implements
+//! that contract directly over `Mutex<VecDeque>` + `Condvar`: cloneable
+//! [`channel::Sender`]/[`channel::Receiver`], blocking `send`/`recv`,
+//! `recv_timeout`/`try_recv`, and iteration that drains until every
+//! sender is gone.
 
 pub mod channel {
-    /// Cloneable bounded sender.
-    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
-    /// Receiving end; iterating yields until every sender is dropped.
-    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+    use std::time::{Duration, Instant};
 
-    /// A bounded channel with capacity `cap`.
+    struct State<T> {
+        items: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when an item arrives or the last sender drops.
+        recv_cv: Condvar,
+        /// Signalled when capacity frees up or the last receiver drops.
+        send_cv: Condvar,
+    }
+
+    /// Cloneable producing end; `send` blocks while a bounded channel is
+    /// full and errors once every receiver is gone.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Cloneable consuming end; `recv` blocks while the channel is empty
+    /// and errors once every sender is gone and the queue has drained.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// The message could not be delivered: every receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    /// Every sender is gone and the channel has drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a timed receive returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// Every sender is gone and the channel has drained.
+        Disconnected,
+    }
+
+    /// Why a non-blocking receive returned without a message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// Every sender is gone and the channel has drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a channel with no receivers")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on a channel with no senders")
+        }
+    }
+
+    fn new_pair<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { items: VecDeque::new(), cap, senders: 1, receivers: 1 }),
+            recv_cv: Condvar::new(),
+            send_cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    /// A bounded channel holding at most `cap` in-flight messages.
+    ///
+    /// Rendezvous channels (`cap == 0`) are not modelled; a zero
+    /// capacity is promoted to one slot.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::sync_channel(cap)
+        new_pair(Some(cap.max(1)))
+    }
+
+    /// An unbounded channel; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_pair(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = st.cap.is_some_and(|c| st.items.len() >= c);
+                if !full {
+                    st.items.push_back(value);
+                    drop(st);
+                    self.0.recv_cv.notify_one();
+                    return Ok(());
+                }
+                st = self.0.send_cv.wait(st).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.recv_cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn pop(&self, st: &mut MutexGuard<'_, State<T>>) -> Option<T> {
+            let item = st.items.pop_front();
+            if item.is_some() {
+                self.0.send_cv.notify_one();
+            }
+            item
+        }
+
+        /// Take the next message, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(item) = self.pop(&mut st) {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.recv_cv.wait(st).unwrap();
+            }
+        }
+
+        /// Take the next message, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(item) = self.pop(&mut st) {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self.0.recv_cv.wait_timeout(st, left).unwrap();
+                st = guard;
+                if res.timed_out() && st.items.is_empty() {
+                    if st.senders == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Take the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().unwrap();
+            if let Some(item) = self.pop(&mut st) {
+                return Ok(item);
+            }
+            if st.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocking iterator: yields until every sender is gone and the
+        /// channel has drained.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.send_cv.notify_all();
+            }
+        }
+    }
+
+    /// Borrowing blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::channel;
+    use std::time::Duration;
 
     #[test]
     fn fan_in_from_multiple_senders() {
@@ -38,5 +290,65 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn fan_out_to_multiple_receivers() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut seen = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        seen.push(v);
+                    }
+                    seen
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let mut all: Vec<u32> = Vec::new();
+        for w in workers {
+            all.extend(w.join().unwrap());
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room_and_errors_without_receivers() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.send(1).unwrap();
+        let t = {
+            let tx = tx.clone();
+            std::thread::spawn(move || tx.send(2).unwrap())
+        };
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        drop(rx);
+        assert!(tx.send(3).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeouts_and_disconnects() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
     }
 }

@@ -99,6 +99,20 @@ pub struct SmallRng {
     s: [u64; 4],
 }
 
+impl SmallRng {
+    /// The full 256-bit generator state, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a previously captured [`state`](Self::state).
+    /// An all-zero state is the xoshiro fixed point; callers restoring a
+    /// state captured from a live generator never see it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+}
+
 impl SeedableRng for SmallRng {
     fn seed_from_u64(state: u64) -> Self {
         // SplitMix64 expansion of the seed, per the xoshiro authors'
