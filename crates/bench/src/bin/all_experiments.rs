@@ -19,6 +19,7 @@ const BINARIES: &[&str] = &[
     "fig15_sawl_bpa",
     "fig16_lifetime_apps",
     "fig17_ipc",
+    "fig_workloads",
     "sec45_overhead",
     "ablation_mechanism",
     "ablation_bpa_dwell",

@@ -35,11 +35,12 @@ use std::time::Duration;
 
 use crossbeam::channel;
 use sawl_simctl::{LifetimeExperiment, LifetimeResult, ResumableRun, DEFAULT_CHECKPOINT_INTERVAL};
+use sawl_trace::AddressStream as _;
 
 use crate::protocol::{serve_connection, Request, Response, TenantStatus};
 use crate::tenant::{
-    append_progress_line, paths, valid_name, write_json_atomic, ProgressLine, Tenant, TenantState,
-    PHASE_FINISHED, SPEC_SUFFIX,
+    append_progress_line, paths, trace_path, valid_name, write_bytes_atomic, write_json_atomic,
+    ProgressLine, Tenant, TenantState, PHASE_FINISHED, SPEC_SUFFIX,
 };
 
 /// Daemon tuning knobs.
@@ -208,6 +209,7 @@ impl Daemon {
         match req {
             Request::Ping => Response::Pong,
             Request::Submit { tenant, spec } => self.submit(tenant, spec),
+            Request::UploadTrace { name, data } => self.upload_trace(&name, &data),
             Request::Status => Response::Status { tenants: self.status() },
             Request::Tenant { tenant } => match self.tenants.lock().unwrap().get(&tenant) {
                 Some(t) => Response::Status { tenants: vec![t.status()] },
@@ -268,6 +270,39 @@ impl Daemon {
         }
         let _ = self.queue_tx.send(tenant);
         Response::Ok
+    }
+
+    /// Validate and store an uploaded trace under the state directory.
+    /// The bytes must parse as a complete trace (magic, header, whole
+    /// records) before anything is written — a daemon never hosts a
+    /// trace file it could not itself replay.
+    fn upload_trace(&self, name: &str, data: &str) -> Response {
+        if self.shutting_down() {
+            return Response::error("daemon is shutting down");
+        }
+        if !valid_name(name) {
+            return Response::error(format!(
+                "invalid trace name {name:?}: use 1-128 chars of [A-Za-z0-9._-], \
+                 not starting with a dot"
+            ));
+        }
+        let bytes = match crate::b64::decode(data) {
+            Ok(b) => b,
+            Err(e) => return Response::error(format!("trace upload {name:?}: {e}")),
+        };
+        let reader = match sawl_trace::TraceReader::from_reader(&bytes[..]) {
+            Ok(r) => r,
+            Err(e) => return Response::error(format!("trace upload {name:?}: {e}")),
+        };
+        let path = trace_path(&self.cfg.state_dir, name);
+        if let Err(e) = write_bytes_atomic(&path, &bytes) {
+            return Response::error(format!("cannot store trace {name:?}: {e}"));
+        }
+        Response::TraceStored {
+            path: path.display().to_string(),
+            requests: reader.len(),
+            space_lines: reader.space_lines(),
+        }
     }
 
     fn result(&self, name: &str) -> Response {

@@ -12,6 +12,9 @@
 //!   graceful shutdown, and restart recovery from the state directory.
 //! * [`signal`] — a dependency-free SIGTERM/SIGINT latch the binary
 //!   uses to turn signals into graceful shutdown.
+//! * [`b64`] — dependency-free standard base64, so clients can ship
+//!   binary workload traces ([`Request::UploadTrace`]) down the
+//!   line-JSON socket and replay them via `TraceFile` workloads.
 //!
 //! The crash-safety contract is inherited from
 //! [`sawl_simctl::ResumableRun`]: every checkpoint is a versioned,
@@ -21,6 +24,7 @@
 //! telemetry series — as if the daemon had never died. The integration
 //! tests SIGKILL a live daemon mid-run and pin exactly that.
 
+pub mod b64;
 pub mod daemon;
 pub mod protocol;
 pub mod signal;

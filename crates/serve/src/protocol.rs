@@ -26,6 +26,20 @@ pub enum Request {
         /// The lifetime experiment to run.
         spec: LifetimeExperiment,
     },
+    /// Store a binary workload trace in the daemon's state directory so
+    /// later `Submit` commands can replay it via a `TraceFile` workload.
+    /// The bytes are validated against the trace format before anything
+    /// touches disk; the answer ([`Response::TraceStored`]) carries the
+    /// server-side path to put in the spec. Clients that already share a
+    /// filesystem with the daemon can skip the upload and submit a
+    /// `TraceFile` spec pointing at any server-visible path directly.
+    UploadTrace {
+        /// File stem, same charset rules as tenant names; stored as
+        /// `<name>.trc`. Re-uploading a name replaces the trace.
+        name: String,
+        /// The trace bytes, standard padded base64 ([`crate::b64`]).
+        data: String,
+    },
     /// Progress of every tenant, alphabetically.
     Status,
     /// Progress of one tenant.
@@ -68,6 +82,17 @@ pub enum Response {
         tenant: String,
         /// The complete lifetime report.
         result: Box<LifetimeResult>,
+    },
+    /// An uploaded trace was validated and stored.
+    TraceStored {
+        /// Server-side path of the stored trace, ready to paste into a
+        /// `TraceFile` workload spec.
+        path: String,
+        /// Requests recorded in the trace.
+        requests: u64,
+        /// Address-space size (lines) the trace was recorded against —
+        /// the submitted experiment's `data_lines` must match.
+        space_lines: u64,
     },
     /// How many running tenants were checkpointed.
     Checkpointed {
@@ -153,6 +178,7 @@ mod tests {
         for req in [
             Request::Ping,
             Request::Status,
+            Request::UploadTrace { name: "t0".into(), data: "Zm9vYmFy".into() },
             Request::Tenant { tenant: "a".into() },
             Request::Result { tenant: "a".into() },
             Request::Checkpoint,

@@ -174,11 +174,18 @@ pub(crate) fn paths(dir: &Path, name: &str) -> TenantPaths {
 pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> std::io::Result<()> {
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut bytes = json.into_bytes();
+    bytes.push(b'\n');
+    write_bytes_atomic(path, &bytes)
+}
+
+/// Write raw bytes atomically with the same tmp + fsync + rename
+/// discipline as [`write_json_atomic`] — used for uploaded traces.
+pub(crate) fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
-        f.write_all(b"\n")?;
+        f.write_all(bytes)?;
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
@@ -189,6 +196,13 @@ pub(crate) fn write_json_atomic<T: Serialize>(path: &Path, value: &T) -> std::io
         }
     }
     Ok(())
+}
+
+/// Where an uploaded trace named `name` lives under `dir`. The `.trc`
+/// suffix keeps traces out of the tenant-recovery scan (which keys on
+/// [`SPEC_SUFFIX`]).
+pub(crate) fn trace_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.trc"))
 }
 
 /// Append one JSON line to the tenant's progress stream. Progress lines

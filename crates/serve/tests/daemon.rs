@@ -269,6 +269,130 @@ fn graceful_shutdown_checkpoints_and_restart_continues_byte_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn uploaded_trace_replays_byte_identically_to_the_live_generator() {
+    use sawl_trace::{AddressStream as _, TraceWriter};
+
+    let dir = unique_dir("upload");
+    let mut cfg = ServeConfig::new(&dir);
+    cfg.workers = 2;
+    cfg.slice_batches = 4;
+    let fx = Fixture::start(cfg);
+
+    // The live run: a drifting YCSB workload, capped small.
+    let mut live = small_exp("serve/upload", 50_000);
+    live.workload = WorkloadSpec::Ycsb {
+        hot_lines: 128,
+        exponent: 1.1,
+        write_ratio: 0.8,
+        rotate_every: 4_096,
+        drift: 13,
+    };
+    let reference = run_lifetime(&live).unwrap();
+
+    // Record the same generator to an in-memory trace, oversized so the
+    // replayed run hits its demand-write cap before the trace runs out.
+    let seed = sawl_simctl::stable_seed(&live.id);
+    let mut stream = live.workload.try_build(live.data_lines, seed).unwrap();
+    let mut w =
+        TraceWriter::with_name(std::io::Cursor::new(Vec::new()), live.data_lines, stream.name())
+            .unwrap();
+    w.record(stream.as_mut(), 4 * live.max_demand_writes).unwrap();
+    let (out, recorded) = w.finish().unwrap();
+    let trace_bytes = out.into_inner();
+
+    // Upload it and point a TraceFile submission at the stored path.
+    let resp = call(
+        fx.addr,
+        &Request::UploadTrace {
+            name: "ycsb-drift".into(),
+            data: sawl_serve::b64::encode(&trace_bytes),
+        },
+    );
+    let Response::TraceStored { path, requests, space_lines } = resp else {
+        panic!("upload failed: {resp:?}");
+    };
+    assert_eq!(requests, recorded);
+    assert_eq!(space_lines, live.data_lines);
+    assert!(std::fs::read(&path).unwrap() == trace_bytes, "stored trace diverged");
+
+    let mut replay = live.clone();
+    replay.workload = WorkloadSpec::TraceFile { path };
+    let resp = call(fx.addr, &Request::Submit { tenant: "replay".into(), spec: replay });
+    assert!(matches!(resp, Response::Ok), "{resp:?}");
+    wait_finished(fx.addr, &["replay"], Duration::from_secs(120));
+
+    let Response::Result { result, .. } =
+        call(fx.addr, &Request::Result { tenant: "replay".into() })
+    else {
+        panic!("result fetch failed");
+    };
+    assert_eq!(*result, reference, "trace replay diverged from the live generator");
+    assert_eq!(
+        serde_json::to_string(&*result).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "wire form must be byte-identical too"
+    );
+
+    fx.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_trace_uploads_are_rejected_before_touching_disk() {
+    let dir = unique_dir("upload-reject");
+    let daemon = Daemon::new(ServeConfig::new(&dir)).unwrap();
+
+    let cases: [(&str, Request, &str); 4] = [
+        (
+            "path-hostile name",
+            Request::UploadTrace { name: "../evil".into(), data: String::new() },
+            "invalid trace name",
+        ),
+        (
+            "bad base64",
+            Request::UploadTrace { name: "t".into(), data: "not base64!".into() },
+            "base64",
+        ),
+        (
+            "wrong magic",
+            Request::UploadTrace { name: "t".into(), data: sawl_serve::b64::encode(&[0x41u8; 64]) },
+            "bad trace magic",
+        ),
+        (
+            "truncated header",
+            Request::UploadTrace { name: "t".into(), data: sawl_serve::b64::encode(b"SAWLTRC2") },
+            "shorter than header",
+        ),
+    ];
+    for (what, req, needle) in cases {
+        let resp = daemon.handle(req);
+        let Response::Error { message } = resp else {
+            panic!("{what}: expected an error, got {resp:?}");
+        };
+        assert!(message.contains(needle), "{what}: {message}");
+    }
+    assert!(
+        !dir.join("t.trc").exists() && !dir.join("t.tmp").exists(),
+        "rejected uploads must leave no file behind"
+    );
+
+    // A well-formed empty trace is storable and replaceable.
+    let mut w = sawl_trace::TraceWriter::new(std::io::Cursor::new(Vec::new()), 64).unwrap();
+    w.push(sawl_trace::MemReq { la: 1, write: true }).unwrap();
+    let (out, _) = w.finish().unwrap();
+    let good = out.into_inner();
+    let resp = daemon
+        .handle(Request::UploadTrace { name: "t".into(), data: sawl_serve::b64::encode(&good) });
+    let Response::TraceStored { requests, space_lines, .. } = resp else {
+        panic!("good upload failed: {resp:?}");
+    };
+    assert_eq!((requests, space_lines), (1, 64));
+    assert!(dir.join("t.trc").exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Peak resident set of this process, from /proc (Linux only).
 #[cfg(target_os = "linux")]
 fn peak_rss_bytes() -> Option<u64> {

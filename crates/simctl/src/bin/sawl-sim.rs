@@ -42,12 +42,13 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use sawl_simctl::{
-    run_lifetime, run_perf, DeviceSpec, DriverError, FaultPlan, LifetimeExperiment, PerfExperiment,
-    ResumableRun, SchemeSpec, TelemetrySpec, TimingSpec, WorkloadSpec, DEFAULT_CHECKPOINT_INTERVAL,
+    run_lifetime, run_perf, stable_seed, DeviceSpec, DriverError, FaultPlan, LifetimeExperiment,
+    PerfExperiment, ResumableRun, SchemeSpec, TelemetrySpec, TimingSpec, WorkloadSpec,
+    DEFAULT_CHECKPOINT_INTERVAL,
 };
-use sawl_trace::SpecBenchmark;
+use sawl_trace::{SpecBenchmark, TraceWriter};
 
-const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress] [--threads N] [--checkpoint ckpt] [--checkpoint-interval N] [--resume]\n  sawl-sim perf <spec.json> [--threads N]\n  sawl-sim example lifetime|perf";
+const USAGE: &str = "usage:\n  sawl-sim lifetime <spec.json> [--telemetry out.json] [--timing] [--progress] [--threads N] [--checkpoint ckpt] [--checkpoint-interval N] [--resume]\n  sawl-sim perf <spec.json> [--threads N]\n  sawl-sim record <spec.json> <out.trc> --requests N\n  sawl-sim example lifetime|perf";
 
 /// Exit code for a run stopped by SIGINT/SIGTERM after emitting its
 /// partial report.
@@ -302,6 +303,89 @@ fn run_lifetime_cli(raw: &str, args: &RunArgs) -> Result<(String, u8), (String, 
     Ok((json, 0))
 }
 
+/// Parsed command line for `record`.
+#[derive(Debug, PartialEq)]
+struct RecordArgs {
+    spec_path: String,
+    out_path: String,
+    requests: u64,
+}
+
+/// Parse `<spec.json> <out.trc> --requests N`.
+fn parse_record_args(args: &[String]) -> Result<RecordArgs, String> {
+    let mut spec_path = None;
+    let mut out_path = None;
+    let mut requests = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => match it.next().map(|n| n.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => requests = Some(n),
+                Some(_) => return Err("--requests needs a request count >= 1".into()),
+                None => return Err("--requests needs a request count >= 1".into()),
+            },
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            path if out_path.is_none() => out_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument {extra}")),
+        }
+    }
+    let Some(spec_path) = spec_path else { return Err("missing <spec.json>".into()) };
+    let Some(out_path) = out_path else { return Err("missing <out.trc>".into()) };
+    let Some(requests) = requests else { return Err("missing --requests N".into()) };
+    Ok(RecordArgs { spec_path, out_path, requests })
+}
+
+/// Record a spec's workload — built exactly as a lifetime run would build
+/// it (same derived seed, same logical space) — into a binary trace file.
+/// Replaying the trace through any scheme then reproduces the live
+/// generator run byte for byte.
+fn run_record_cli(raw: &str, args: &RecordArgs) -> Result<(String, u8), (String, u8)> {
+    let exp = serde_json::from_str::<LifetimeExperiment>(raw)
+        .map_err(|e| (format!("invalid lifetime spec {}: {e}", args.spec_path), 2))?;
+    let seed = stable_seed(&exp.id);
+    let mut stream = exp
+        .workload
+        .try_build(exp.data_lines, seed)
+        .map_err(|e| (format!("record failed: {e}"), driver_exit_code(&e)))?;
+    if stream.wants_observation() {
+        // A wear-feedback stream's output depends on the device it runs
+        // against; recording it open loop (no device) would produce a trace
+        // no live run matches.
+        return Err((
+            format!(
+                "workload \"{}\" is observation-driven (it reacts to device wear) and cannot \
+                 be recorded open loop; record a generator workload instead",
+                stream.name()
+            ),
+            2,
+        ));
+    }
+    let name = stream.name().to_string();
+    let io_fail = |e: std::io::Error| (format!("cannot write {}: {e}", args.out_path), 1u8);
+    let file = std::fs::File::create(&args.out_path)
+        .map_err(|e| (format!("cannot create {}: {e}", args.out_path), 1))?;
+    let mut w = TraceWriter::with_name(std::io::BufWriter::new(file), exp.data_lines, &name)
+        .map_err(io_fail)?;
+    w.record(&mut *stream, args.requests).map_err(io_fail)?;
+    let (out, count) = w.finish().map_err(io_fail)?;
+    out.into_inner().map_err(|e| io_fail(e.into_error()))?;
+    #[derive(serde::Serialize)]
+    struct RecordReport {
+        trace: String,
+        workload: String,
+        space_lines: u64,
+        requests: u64,
+    }
+    let report = RecordReport {
+        trace: args.out_path.clone(),
+        workload: name,
+        space_lines: exp.data_lines,
+        requests: count,
+    };
+    Ok((report_json(&report)?, 0))
+}
+
 fn run_perf_cli(raw: &str, args: &RunArgs) -> Result<(String, u8), (String, u8)> {
     if args.telemetry_out.is_some() || args.progress || args.timing {
         return Err((
@@ -350,6 +434,32 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("record") => {
+            let rec_args = match parse_record_args(&args[2..]) {
+                Ok(a) => a,
+                Err(msg) => {
+                    eprintln!("{msg}\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            };
+            let raw = match std::fs::read_to_string(&rec_args.spec_path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", rec_args.spec_path);
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_record_cli(&raw, &rec_args) {
+                Ok((json, code)) => {
+                    println!("{json}");
+                    ExitCode::from(code)
+                }
+                Err((msg, code)) => {
+                    eprintln!("{msg}");
+                    ExitCode::from(code)
+                }
+            }
+        }
         Some(mode @ ("lifetime" | "perf")) => {
             let run_args = match parse_run_args(&args[2..]) {
                 Ok(a) => a,
@@ -658,6 +768,128 @@ mod tests {
         let (msg, code) = run_lifetime_cli(&raw, &args).unwrap_err();
         assert_eq!(code, 1, "{msg}");
         assert!(msg.contains("checkpoint error"), "{msg}");
+    }
+
+    #[test]
+    fn record_args_parse_and_validate() {
+        let parsed =
+            parse_record_args(&strs(&["spec.json", "out.trc", "--requests", "1000"])).unwrap();
+        assert_eq!(
+            parsed,
+            RecordArgs {
+                spec_path: "spec.json".into(),
+                out_path: "out.trc".into(),
+                requests: 1000
+            }
+        );
+        assert!(parse_record_args(&strs(&["spec.json", "out.trc"])).is_err());
+        assert!(parse_record_args(&strs(&["spec.json", "--requests", "10"])).is_err());
+        assert!(parse_record_args(&strs(&["s", "o", "--requests", "0"])).is_err());
+        assert!(parse_record_args(&strs(&["s", "o", "x", "--requests", "1"])).is_err());
+    }
+
+    #[test]
+    fn record_cli_writes_a_replayable_trace() {
+        let dir = std::env::temp_dir().join(format!("sawl-sim-record-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("ycsb.trc");
+        let exp = LifetimeExperiment {
+            id: "cli/record".into(),
+            scheme: SchemeSpec::Ideal,
+            workload: WorkloadSpec::Ycsb {
+                hot_lines: 128,
+                exponent: 1.1,
+                write_ratio: 0.9,
+                rotate_every: 500,
+                drift: 16,
+            },
+            data_lines: 1 << 10,
+            device: DeviceSpec::default(),
+            max_demand_writes: 0,
+            fault: None,
+            telemetry: None,
+            timing: None,
+        };
+        let raw = serde_json::to_string(&exp).unwrap();
+        let args = RecordArgs {
+            spec_path: "spec.json".into(),
+            out_path: out.to_str().unwrap().to_string(),
+            requests: 5_000,
+        };
+        let (json, code) = run_record_cli(&raw, &args).unwrap();
+        assert_eq!(code, 0);
+        assert!(json.contains("\"workload\": \"ycsb\""), "{json}");
+        assert!(json.contains("\"requests\": 5000"), "{json}");
+
+        // The recorded trace replays the exact live sequence: the header
+        // carries a real count (backpatched, not the until-EOF marker),
+        // the recorded name, and the stream's requests in order.
+        let mut replay =
+            sawl_trace::TraceFileStream::open(&out).expect("recorded trace must parse");
+        assert_eq!(replay.name(), "ycsb");
+        use sawl_trace::AddressStream;
+        let mut live = exp.workload.try_build(exp.data_lines, stable_seed(&exp.id)).unwrap();
+        for i in 0..5_000 {
+            assert_eq!(replay.next_req(), live.next_req(), "request {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_cli_rejects_observation_driven_workloads() {
+        let exp = LifetimeExperiment {
+            id: "cli/record-gc".into(),
+            scheme: SchemeSpec::Ideal,
+            workload: WorkloadSpec::GcFeedback {
+                exponent: 1.0,
+                write_ratio: 1.0,
+                base_threshold: 0.1,
+                waf_gain: 0.2,
+                cov_gain: 0.2,
+                gc_burst: 64,
+            },
+            data_lines: 1 << 10,
+            device: DeviceSpec::default(),
+            max_demand_writes: 0,
+            fault: None,
+            telemetry: None,
+            timing: None,
+        };
+        let raw = serde_json::to_string(&exp).unwrap();
+        let args = RecordArgs {
+            spec_path: "spec.json".into(),
+            out_path: "unused.trc".into(),
+            requests: 100,
+        };
+        let (msg, code) = run_record_cli(&raw, &args).unwrap_err();
+        assert_eq!(code, 2, "{msg}");
+        assert!(msg.contains("observation-driven"), "{msg}");
+    }
+
+    #[test]
+    fn record_cli_rejects_corrupt_trace_replay_specs() {
+        // A lifetime spec pointing at a malformed trace file dies with the
+        // typed spec error (exit 2), in the CLI as in the library.
+        let dir = std::env::temp_dir().join(format!("sawl-sim-badtrc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.trc");
+        std::fs::write(&bad, b"JUNKJUNKJUNKJUNKJUNKJUNKJUNK").unwrap();
+        let exp = LifetimeExperiment {
+            id: "cli/bad-trace".into(),
+            scheme: SchemeSpec::Ideal,
+            workload: WorkloadSpec::TraceFile { path: bad.to_str().unwrap().to_string() },
+            data_lines: 1 << 10,
+            device: DeviceSpec { endurance: 500, ..Default::default() },
+            max_demand_writes: 10_000,
+            fault: None,
+            telemetry: None,
+            timing: None,
+        };
+        let raw = serde_json::to_string(&exp).unwrap();
+        let (msg, code) = run_lifetime_cli(&raw, &plain_args("spec.json")).unwrap_err();
+        assert_eq!(code, 2, "{msg}");
+        assert!(msg.contains("bad trace magic"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::fmt;
 use sawl_algos::WearLeveler;
 use sawl_core::ConfigError;
 use sawl_nvm::{FaultPlanError, NvmDevice};
-use sawl_trace::{AddressStream, MemReq, ReqRun};
+use sawl_trace::{AddressStream, MemReq, ReqRun, WearObservation};
 
 use crate::telemetry::TelemetryRun;
 use crate::timing::TimingRun;
@@ -113,6 +113,36 @@ pub struct PumpStats {
     pub journal_rollbacks: u64,
 }
 
+/// Feed the device's current wear statistics to an observation-driven
+/// stream (the FTL/GC feedback loop, [`sawl_trace::GcFeedback`]). Every
+/// pump calls this immediately before each batch pull, so the stream sees
+/// the device at deterministic request offsets — the property the
+/// batched-vs-scalar equivalence tests rely on. Streams that do not ask
+/// for observations cost one branch per *block*, nothing per request.
+///
+/// The device's incremental wear probe is enabled on first use: runs
+/// without an observing stream never pay the probe's per-write upkeep.
+pub fn feed_observation<S>(stream: &mut S, dev: &mut NvmDevice)
+where
+    S: AddressStream + ?Sized,
+{
+    if !stream.wants_observation() {
+        return;
+    }
+    if !dev.wear_probe_enabled() {
+        dev.enable_wear_probe();
+    }
+    let snap = dev.wear_snapshot().expect("wear probe just enabled");
+    let w = dev.wear();
+    stream.observe_wear(&WearObservation {
+        demand_writes: w.demand_writes,
+        overhead_writes: w.overhead_writes,
+        wear_mean: snap.mean,
+        wear_cov: snap.cov,
+        wear_max: snap.max,
+    });
+}
+
 /// Drive `requests` requests from `stream` through `wl`.
 pub fn pump<W, S>(wl: &mut W, dev: &mut NvmDevice, stream: &mut S, requests: u64)
 where
@@ -123,6 +153,7 @@ where
     let mut left = requests;
     while left > 0 {
         let n = left.min(BLOCK as u64) as usize;
+        feed_observation(stream, dev);
         let filled = stream.fill(&mut buf[..n]);
         for req in &buf[..filled] {
             if req.write {
@@ -159,6 +190,7 @@ pub fn pump_telemetry<W, S>(
     let mut left = requests;
     while left > 0 {
         let n = left.min(BLOCK as u64) as usize;
+        feed_observation(stream, dev);
         let filled = stream.fill(&mut buf[..n]);
         for req in &buf[..filled] {
             if req.write {
@@ -191,6 +223,7 @@ pub fn pump_observed<W, S, F>(
     let mut left = requests;
     while left > 0 {
         let n = left.min(BLOCK as u64) as usize;
+        feed_observation(stream, dev);
         let filled = stream.fill(&mut buf[..n]);
         for &req in &buf[..filled] {
             let pa = if req.write { wl.write(req.la, dev) } else { wl.read(req.la, dev) };
@@ -241,6 +274,7 @@ where
     let mut consecutive_reads = 0u64;
     let mut stats = PumpStats::default();
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        feed_observation(stream, dev);
         stream.fill_runs(&mut runs, &mut scratch);
         for run in &runs {
             if !run.write {
@@ -320,6 +354,7 @@ where
     let mut consecutive_reads = 0u64;
     let mut stats = PumpStats::default();
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        feed_observation(stream, dev);
         stream.fill_runs(&mut runs, &mut scratch);
         for run in &runs {
             if !run.write {
@@ -416,6 +451,7 @@ where
     let stats = PumpStats::default();
     timing.prime(wl, dev);
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        feed_observation(stream, dev);
         stream.fill_runs(&mut runs, &mut scratch);
         for run in &runs {
             if !run.write {
@@ -491,6 +527,7 @@ where
     let mut stats = PumpStats::default();
     timing.prime(wl, dev);
     'blocks: while !dev.is_dead() && dev.wear().demand_writes < cap {
+        feed_observation(stream, dev);
         stream.fill_runs(&mut runs, &mut scratch);
         for run in &runs {
             if !run.write {

@@ -39,8 +39,8 @@ pub mod telemetry;
 pub mod timing;
 
 pub use driver::{
-    pump, pump_observed, pump_telemetry, pump_writes, pump_writes_telemetry, pump_writes_timed,
-    DriverError, PumpStats,
+    feed_observation, pump, pump_observed, pump_telemetry, pump_writes, pump_writes_telemetry,
+    pump_writes_timed, DriverError, PumpStats, BLOCK,
 };
 pub use lifetime::{run_lifetime, LifetimeExperiment, LifetimeResult};
 pub use perf::{run_perf, PerfExperiment, PerfResult};
@@ -51,7 +51,9 @@ pub use scenario::{
     run as run_scenario, run_all, AdaptationTrace, Probe, Report, Scenario, TraceReport,
 };
 pub use seed::stable_seed;
-pub use spec::{DeviceSpec, SchemeInstance, SchemeSpec, TranslationKind, WorkloadSpec};
+pub use spec::{
+    DeviceSpec, DiurnalPhase, SchemeInstance, SchemeSpec, TranslationKind, WorkloadSpec,
+};
 pub use sysconfig::SystemConfig;
 
 pub use telemetry::{device_sample, TelemetryRun};

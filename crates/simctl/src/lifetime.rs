@@ -134,7 +134,12 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
         }
         None => None,
     };
-    let mut stream = exp.workload.build(wl.logical_lines(), seed);
+    let mut stream = exp.workload.try_build(wl.logical_lines(), seed)?;
+    // The result reports the *stream's* name: for generators it equals the
+    // spec name, and for trace replay it is the name recorded in the trace
+    // header — which is what makes a replayed run's report byte-identical
+    // to the live generator run it was recorded from.
+    let workload_name = stream.name().to_string();
 
     let cap = if exp.max_demand_writes == 0 {
         4 * dev.config().ideal_lifetime_writes()
@@ -151,7 +156,7 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
     };
     let latency = timing.map(TimingRun::finish);
     let series = telemetry.map(|t| t.finish(&mut wl));
-    Ok(build_result(exp, &dev, &pump, series, latency))
+    Ok(build_result(exp, workload_name, &dev, &pump, series, latency))
 }
 
 /// Assemble a [`LifetimeResult`] from a finished run's final device state
@@ -160,6 +165,7 @@ pub fn run_lifetime(exp: &LifetimeExperiment) -> Result<LifetimeResult, DriverEr
 /// report byte-identical results from identical state.
 pub(crate) fn build_result(
     exp: &LifetimeExperiment,
+    workload: String,
     dev: &sawl_nvm::NvmDevice,
     pump: &crate::driver::PumpStats,
     telemetry: Option<Series>,
@@ -175,7 +181,7 @@ pub(crate) fn build_result(
     LifetimeResult {
         id: exp.id.clone(),
         scheme: exp.scheme.name(),
-        workload: exp.workload.name(),
+        workload,
         normalized_lifetime: wear.demand_writes as f64 / ideal,
         demand_writes: wear.demand_writes,
         overhead_writes: wear.overhead_writes,

@@ -37,9 +37,9 @@ use std::path::Path;
 use sawl_algos::WearLeveler;
 use sawl_ckpt::{CkptError, Reader, Writer};
 use sawl_nvm::NvmDevice;
-use sawl_trace::{AddressStream, MemReq, ReqRun};
+use sawl_trace::{AddressStream, CursorKind, MemReq, ReqRun};
 
-use crate::driver::{DriverError, PumpStats, BLOCK, READ_SPIN_LIMIT};
+use crate::driver::{feed_observation, DriverError, PumpStats, BLOCK, READ_SPIN_LIMIT};
 use crate::lifetime::{build_result, LifetimeExperiment, LifetimeResult};
 use crate::seed::stable_seed;
 use crate::spec::SchemeInstance;
@@ -113,7 +113,17 @@ impl ResumableRun {
             }
             None => None,
         };
-        let stream = exp.workload.build(wl.logical_lines(), seed);
+        let stream = exp.workload.try_build(wl.logical_lines(), seed)?;
+        if stream.wants_observation() && stream.cursor_kind() == CursorKind::Replay {
+            // A replay cursor fast-forwards by regenerating batches open
+            // loop, but an observation-driven stream's output depends on
+            // device feedback the fast-forward cannot reproduce.
+            return Err(DriverError::Spec(format!(
+                "stream \"{}\" is observation-driven but only supports replay cursors, \
+                 so a resumed run could not reproduce it",
+                stream.name()
+            )));
+        }
         let cap = if exp.max_demand_writes == 0 {
             4 * dev.config().ideal_lifetime_writes()
         } else {
@@ -183,6 +193,7 @@ impl ResumableRun {
             return Ok(false);
         }
         let mut runs = std::mem::take(&mut self.runs);
+        feed_observation(self.stream.as_mut(), &mut self.dev);
         self.stream.fill_runs(&mut runs, &mut self.scratch[..]);
         self.batches += 1;
         let served = self.serve_batch(&runs);
@@ -291,6 +302,17 @@ impl ResumableRun {
         w.put_str(&spec);
         w.put_u64(self.cap);
         w.put_u64(self.batches);
+        // The stream cursor: state-cursor streams serialize their full
+        // position (RNG, phase, replay offset, GC mode); replay-cursor
+        // streams rely on the batch count alone and are fast-forwarded by
+        // regeneration on restore.
+        match self.stream.cursor_kind() {
+            CursorKind::Replay => w.put_u8(0),
+            CursorKind::State => {
+                w.put_u8(1);
+                self.stream.cursor_save(w);
+            }
+        }
         w.put_u64(self.consecutive_reads);
         w.put_u64(self.stats.recoveries);
         w.put_u64(self.stats.journal_replays);
@@ -330,6 +352,21 @@ impl ResumableRun {
             )));
         }
         self.batches = r.get_u64()?;
+        let cursor_tag = r.get_u8()?;
+        let expected_tag = match self.stream.cursor_kind() {
+            CursorKind::Replay => 0,
+            CursorKind::State => 1,
+        };
+        if cursor_tag != expected_tag {
+            return Err(CkptError::Corrupt(format!(
+                "stream cursor tag {cursor_tag} does not match the rebuilt stream's \
+                 {:?} cursor",
+                self.stream.cursor_kind()
+            )));
+        }
+        if cursor_tag == 1 {
+            self.stream.cursor_restore(r)?;
+        }
         self.consecutive_reads = r.get_u64()?;
         self.stats = PumpStats {
             recoveries: r.get_u64()?,
@@ -349,8 +386,12 @@ impl ResumableRun {
         }
         self.wl.ckpt_restore(r)?;
         self.dev.ckpt_restore(r)?;
-        let mut scratch = [MemReq::read(0); BLOCK];
-        self.stream.skip_batches(self.batches, &mut scratch);
+        if cursor_tag == 0 {
+            // Replay cursor: fast-forward the freshly built stream by
+            // regenerating (and discarding) the completed batches.
+            let mut scratch = [MemReq::read(0); BLOCK];
+            self.stream.skip_batches(self.batches, &mut scratch);
+        }
         Ok(())
     }
 
@@ -367,7 +408,8 @@ impl ResumableRun {
     /// [`LifetimeResult`] exactly as `run_lifetime` does.
     pub fn into_result(mut self) -> LifetimeResult {
         let series = self.telemetry.take().map(|t| t.finish(&mut self.wl));
-        build_result(&self.exp, &self.dev, &self.stats, series, None)
+        let workload = self.stream.name().to_string();
+        build_result(&self.exp, workload, &self.dev, &self.stats, series, None)
     }
 }
 

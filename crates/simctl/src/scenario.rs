@@ -326,7 +326,7 @@ fn run_trace(s: &Scenario, requests: u64) -> Result<TraceReport, DriverError> {
     let seed = stable_seed(&s.id);
     let phys = s.scheme.physical_lines(s.data_lines);
     let mut dev = s.device.try_build(phys, seed)?;
-    let mut stream = s.workload.build(s.data_lines, seed);
+    let mut stream = s.workload.try_build(s.data_lines, seed)?;
 
     // One monomorphic pump over the enum instance; the concrete engines
     // are recovered afterwards for their post-run introspection.

@@ -14,7 +14,10 @@ use sawl_algos::{
 use sawl_core::{Sawl, SawlConfig};
 use sawl_nvm::{EnduranceModel, NvmConfig, NvmDevice};
 use sawl_tiered::{Nwl, NwlConfig};
-use sawl_trace::{AddressStream, Bpa, Raa, SpecBenchmark, Uniform, ZipfStream};
+use sawl_trace::{
+    AddressStream, Bpa, GcFeedback, Interleave, Phased, Raa, SpecBenchmark, TraceFileStream,
+    Uniform, Ycsb, ZipfStream,
+};
 
 use crate::driver::DriverError;
 use crate::seed::derive;
@@ -448,10 +451,76 @@ pub enum WorkloadSpec {
     },
     /// One of the 14 SPEC-like benchmark models.
     Spec(SpecBenchmark),
+    /// YCSB-style key-value skew: Zipf popularity over a sliding hot
+    /// window of `hot_lines` that rotates by `drift` lines every
+    /// `rotate_every` requests (hot-set drift on a request clock).
+    Ycsb {
+        /// Hot-window size in lines.
+        hot_lines: u64,
+        /// Zipf exponent over the window.
+        exponent: f64,
+        /// Fraction of requests that are writes.
+        write_ratio: f64,
+        /// Requests between window rotations.
+        rotate_every: u64,
+        /// Lines the window slides per rotation.
+        drift: u64,
+    },
+    /// Diurnal phase cycling: each phase serves its request budget in
+    /// order, and the schedule wraps around — the day/night regime shifts
+    /// a long-lived service sees.
+    Diurnal {
+        /// The phase schedule, in order.
+        phases: Vec<DiurnalPhase>,
+    },
+    /// Multi-tenant round-robin interleaving: each tenant's stream gets
+    /// the device for `slice` consecutive requests.
+    MultiTenant {
+        /// Requests per scheduling quantum.
+        slice: u64,
+        /// Per-tenant workloads (all built over the experiment's space).
+        tenants: Vec<WorkloadSpec>,
+    },
+    /// FTL/GC-style feedback workload: Zipf host traffic with sequential
+    /// cleaning bursts triggered by the device's own wear statistics
+    /// (`base + waf_gain·(WAF−1) − cov_gain·wear_CoV`). Requires a driver
+    /// that feeds wear observations.
+    GcFeedback {
+        /// Zipf exponent of the host traffic.
+        exponent: f64,
+        /// Fraction of host requests that are writes.
+        write_ratio: f64,
+        /// Base invalid-ratio trigger threshold.
+        base_threshold: f64,
+        /// Threshold gain on (WAF − 1).
+        waf_gain: f64,
+        /// Threshold gain on wear CoV.
+        cov_gain: f64,
+        /// Writes per cleaning burst.
+        gc_burst: u64,
+    },
+    /// Replay a recorded binary trace file (see DESIGN.md §16). The
+    /// trace's address space must match the experiment's logical space.
+    TraceFile {
+        /// Path to the `.trc` file.
+        path: String,
+    },
+}
+
+/// One phase of a [`WorkloadSpec::Diurnal`] schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPhase {
+    /// Workload served during this phase.
+    pub workload: WorkloadSpec,
+    /// Requests the phase serves before handing over.
+    pub requests: u64,
 }
 
 impl WorkloadSpec {
-    /// Display name.
+    /// Display name. For the generator variants this matches the built
+    /// stream's `AddressStream::name`, so spec-labelled and
+    /// stream-labelled reports agree; trace replay reports under the name
+    /// recorded in the trace header instead.
     pub fn name(&self) -> String {
         match self {
             Self::Raa => "raa".into(),
@@ -459,23 +528,156 @@ impl WorkloadSpec {
             Self::Uniform { .. } => "uniform".into(),
             Self::Zipf { .. } => "zipf".into(),
             Self::Spec(b) => b.name().into(),
+            Self::Ycsb { .. } => "ycsb".into(),
+            Self::Diurnal { phases } => format!(
+                "phased({})",
+                phases.iter().map(|p| p.workload.name()).collect::<Vec<_>>().join(">")
+            ),
+            Self::MultiTenant { tenants, .. } => {
+                format!("multi({})", tenants.iter().map(|t| t.name()).collect::<Vec<_>>().join("+"))
+            }
+            Self::GcFeedback { .. } => "gc-feedback".into(),
+            Self::TraceFile { path } => format!(
+                "trace:{}",
+                std::path::Path::new(path)
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            ),
         }
     }
 
-    /// Instantiate over `space` logical lines (power of two).
+    /// Instantiate over `space` logical lines (power of two). Panics on an
+    /// invalid spec; spec-driven entry points use
+    /// [`WorkloadSpec::try_build`] to surface the defect instead.
     pub fn build(&self, space: u64, seed: u64) -> Box<dyn AddressStream + Send> {
-        match *self {
+        self.try_build(space, seed).unwrap_or_else(|e| panic!("invalid workload spec: {e}"))
+    }
+
+    /// Fallible [`WorkloadSpec::build`]: parameter defects, unreadable or
+    /// malformed trace files, and space mismatches come back as a
+    /// [`DriverError`] instead of a panic.
+    pub fn try_build(
+        &self,
+        space: u64,
+        seed: u64,
+    ) -> Result<Box<dyn AddressStream + Send>, DriverError> {
+        Ok(match self {
             Self::Raa => Box::new(Raa::new(0, space)),
             Self::Bpa { writes_per_target } => {
-                Box::new(Bpa::new(space, writes_per_target, derive(seed, "bpa")))
+                Box::new(Bpa::new(space, *writes_per_target, derive(seed, "bpa")))
             }
             Self::Uniform { write_ratio } => {
-                Box::new(Uniform::new(space, write_ratio, derive(seed, "uniform")))
+                Self::check_ratio(*write_ratio)?;
+                Box::new(Uniform::new(space, *write_ratio, derive(seed, "uniform")))
             }
             Self::Zipf { exponent, write_ratio } => {
-                Box::new(ZipfStream::new(space, exponent, write_ratio, derive(seed, "zipf")))
+                Self::check_ratio(*write_ratio)?;
+                Box::new(ZipfStream::new(space, *exponent, *write_ratio, derive(seed, "zipf")))
             }
             Self::Spec(b) => Box::new(b.stream(space, derive(seed, b.name()))),
+            Self::Ycsb { hot_lines, exponent, write_ratio, rotate_every, drift } => {
+                Self::check_ratio(*write_ratio)?;
+                if *hot_lines == 0 || *hot_lines > space {
+                    return Err(DriverError::Spec(format!(
+                        "ycsb hot window of {hot_lines} lines must fit the {space}-line space"
+                    )));
+                }
+                if *rotate_every == 0 {
+                    return Err(DriverError::Spec("ycsb rotate_every must be non-zero".into()));
+                }
+                Box::new(Ycsb::new(
+                    space,
+                    *hot_lines,
+                    *exponent,
+                    *write_ratio,
+                    *rotate_every,
+                    *drift,
+                    derive(seed, "ycsb"),
+                ))
+            }
+            Self::Diurnal { phases } => {
+                if phases.is_empty() {
+                    return Err(DriverError::Spec("diurnal schedule has no phases".into()));
+                }
+                let mut children = Vec::with_capacity(phases.len());
+                for (i, p) in phases.iter().enumerate() {
+                    if p.requests == 0 {
+                        return Err(DriverError::Spec(format!(
+                            "diurnal phase {i} has a zero request budget"
+                        )));
+                    }
+                    children.push((
+                        p.requests,
+                        p.workload.try_build(space, derive(seed, &format!("phase{i}")))?,
+                    ));
+                }
+                Box::new(Phased::new(children))
+            }
+            Self::MultiTenant { slice, tenants } => {
+                if tenants.is_empty() {
+                    return Err(DriverError::Spec("multi-tenant spec has no tenants".into()));
+                }
+                if *slice == 0 {
+                    return Err(DriverError::Spec("multi-tenant slice must be non-zero".into()));
+                }
+                let mut children = Vec::with_capacity(tenants.len());
+                for (i, t) in tenants.iter().enumerate() {
+                    children.push(t.try_build(space, derive(seed, &format!("tenant{i}")))?);
+                }
+                Box::new(Interleave::new(children, *slice))
+            }
+            Self::GcFeedback {
+                exponent,
+                write_ratio,
+                base_threshold,
+                waf_gain,
+                cov_gain,
+                gc_burst,
+            } => {
+                Self::check_ratio(*write_ratio)?;
+                if !(0.0..=1.0).contains(base_threshold) {
+                    return Err(DriverError::Spec(format!(
+                        "gc base threshold {base_threshold} must be a ratio in [0, 1]"
+                    )));
+                }
+                if *gc_burst == 0 {
+                    return Err(DriverError::Spec("gc burst must be non-zero".into()));
+                }
+                Box::new(GcFeedback::new(
+                    space,
+                    *exponent,
+                    *write_ratio,
+                    *base_threshold,
+                    *waf_gain,
+                    *cov_gain,
+                    *gc_burst,
+                    derive(seed, "gc-feedback"),
+                ))
+            }
+            Self::TraceFile { path } => {
+                let stream = TraceFileStream::open(std::path::Path::new(path))
+                    .map_err(|e| DriverError::Spec(format!("trace file {path}: {e}")))?;
+                // Schemes may round the logical space up (e.g. to a whole
+                // number of regions), so a trace recorded against the
+                // experiment's data size must still replay: any space the
+                // trace's addresses cannot escape is acceptable.
+                if stream.space_lines() > space {
+                    return Err(DriverError::Spec(format!(
+                        "trace file {path} covers {} lines but the experiment only maps {space}",
+                        stream.space_lines()
+                    )));
+                }
+                Box::new(stream)
+            }
+        })
+    }
+
+    fn check_ratio(write_ratio: f64) -> Result<(), DriverError> {
+        if (0.0..=1.0).contains(&write_ratio) {
+            Ok(())
+        } else {
+            Err(DriverError::Spec(format!("write ratio {write_ratio} must be in [0, 1]")))
         }
     }
 }
@@ -601,6 +803,134 @@ mod tests {
         assert_eq!(WorkloadSpec::Raa.name(), "raa");
         assert_eq!(WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 0.5 }.name(), "zipf");
         assert_eq!(WorkloadSpec::Spec(SpecBenchmark::Gcc).name(), "gcc");
+    }
+
+    #[test]
+    fn zoo_workloads_round_trip_and_name_themselves() {
+        let ycsb = WorkloadSpec::Ycsb {
+            hot_lines: 64,
+            exponent: 1.1,
+            write_ratio: 0.8,
+            rotate_every: 1_024,
+            drift: 8,
+        };
+        let zoo = vec![
+            (ycsb.clone(), "ycsb"),
+            (
+                WorkloadSpec::Diurnal {
+                    phases: vec![
+                        DiurnalPhase { workload: ycsb.clone(), requests: 100 },
+                        DiurnalPhase {
+                            workload: WorkloadSpec::Uniform { write_ratio: 0.3 },
+                            requests: 50,
+                        },
+                    ],
+                },
+                "phased(ycsb>uniform)",
+            ),
+            (
+                WorkloadSpec::MultiTenant {
+                    slice: 32,
+                    tenants: vec![
+                        WorkloadSpec::Zipf { exponent: 1.2, write_ratio: 0.9 },
+                        WorkloadSpec::Uniform { write_ratio: 0.5 },
+                    ],
+                },
+                "multi(zipf+uniform)",
+            ),
+            (
+                WorkloadSpec::GcFeedback {
+                    exponent: 1.1,
+                    write_ratio: 0.8,
+                    base_threshold: 0.3,
+                    waf_gain: 0.05,
+                    cov_gain: 0.1,
+                    gc_burst: 64,
+                },
+                "gc-feedback",
+            ),
+            (WorkloadSpec::TraceFile { path: "/some/dir/run.trc".into() }, "trace:run.trc"),
+        ];
+        for (w, name) in &zoo {
+            assert_eq!(&w.name(), name);
+            let json = serde_json::to_string(w).unwrap();
+            assert_eq!(*w, serde_json::from_str::<WorkloadSpec>(&json).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn zoo_workload_defects_surface_typed_spec_errors() {
+        let cases: Vec<(WorkloadSpec, &str)> = vec![
+            (
+                WorkloadSpec::Ycsb {
+                    hot_lines: 0,
+                    exponent: 1.1,
+                    write_ratio: 0.8,
+                    rotate_every: 1_024,
+                    drift: 8,
+                },
+                "hot window",
+            ),
+            (
+                WorkloadSpec::Ycsb {
+                    hot_lines: 64,
+                    exponent: 1.1,
+                    write_ratio: 0.8,
+                    rotate_every: 0,
+                    drift: 8,
+                },
+                "rotate_every",
+            ),
+            (WorkloadSpec::Diurnal { phases: vec![] }, "no phases"),
+            (
+                WorkloadSpec::Diurnal {
+                    phases: vec![DiurnalPhase {
+                        workload: WorkloadSpec::Uniform { write_ratio: 0.3 },
+                        requests: 0,
+                    }],
+                },
+                "request budget",
+            ),
+            (WorkloadSpec::MultiTenant { slice: 32, tenants: vec![] }, "no tenants"),
+            (
+                WorkloadSpec::MultiTenant {
+                    slice: 0,
+                    tenants: vec![WorkloadSpec::Uniform { write_ratio: 0.5 }],
+                },
+                "slice",
+            ),
+            (
+                WorkloadSpec::GcFeedback {
+                    exponent: 1.1,
+                    write_ratio: 0.8,
+                    base_threshold: 1.5,
+                    waf_gain: 0.05,
+                    cov_gain: 0.1,
+                    gc_burst: 64,
+                },
+                "base threshold",
+            ),
+            (
+                WorkloadSpec::GcFeedback {
+                    exponent: 1.1,
+                    write_ratio: 0.8,
+                    base_threshold: 0.3,
+                    waf_gain: 0.05,
+                    cov_gain: 0.1,
+                    gc_burst: 0,
+                },
+                "burst",
+            ),
+            (WorkloadSpec::TraceFile { path: "/nonexistent/missing.trc".into() }, "trace file"),
+        ];
+        for (w, needle) in cases {
+            let err = match w.try_build(1 << 10, 1) {
+                Err(e) => e,
+                Ok(_) => panic!("{needle}: defective spec built a stream"),
+            };
+            assert!(matches!(err, DriverError::Spec(_)), "{needle}: {err:?}");
+            assert!(err.to_string().contains(needle), "{needle}: {err}");
+        }
     }
 
     #[test]

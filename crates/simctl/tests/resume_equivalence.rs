@@ -3,8 +3,10 @@
 //! 1. **Kill-point equivalence** — a run checkpointed at a random batch
 //!    boundary, torn down, and resumed from the file produces a
 //!    [`LifetimeResult`] (telemetry series included) equal to an
-//!    uninterrupted run, for all 10 `SchemeSpec` variants under BPA and
-//!    Zipf traffic.
+//!    uninterrupted run, for all 10 `SchemeSpec` variants under BPA,
+//!    Zipf, drifting YCSB, diurnal phases, tenant interleaving, GC
+//!    feedback, and binary trace replay. The restored run also
+//!    re-encodes to the exact bytes it was loaded from.
 //! 2. **Container rejection** — truncated, bit-rotted, wrong-magic and
 //!    wrong-version checkpoint files come back as typed
 //!    [`DriverError::Checkpoint`] errors: never a panic, never a silent
@@ -35,11 +37,83 @@ fn all_schemes() -> Vec<SchemeSpec> {
     ]
 }
 
+/// Workloads under test: the two classic generators plus every workload
+/// zoo addition — drifting YCSB, diurnal phases, tenant interleaving,
+/// closed-loop GC feedback, and binary trace replay.
+const WORKLOAD_KINDS: u64 = 7;
+
+/// A shared on-disk trace for the `TraceFile` workload, recorded once
+/// per process. Oversized so no capped run reaches EOF.
+fn shared_trace() -> String {
+    use sawl_trace::{AddressStream as _, TraceWriter};
+    static PATH: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    PATH.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("sawl-resume-equiv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shared.trc");
+        let spec = WorkloadSpec::Ycsb {
+            hot_lines: 64,
+            exponent: 1.1,
+            write_ratio: 0.8,
+            rotate_every: 2_048,
+            drift: 16,
+        };
+        let mut gen = spec.try_build(1 << 9, sawl_simctl::stable_seed("resume-trace")).unwrap();
+        let mut w =
+            TraceWriter::with_name(std::io::Cursor::new(Vec::new()), 1 << 9, gen.name()).unwrap();
+        w.record(gen.as_mut(), 400_000).unwrap();
+        let (out, _) = w.finish().unwrap();
+        std::fs::write(&path, out.into_inner()).unwrap();
+        path.to_str().unwrap().to_string()
+    })
+    .clone()
+}
+
 fn workload_for(pick: u64) -> WorkloadSpec {
-    if pick == 0 {
-        WorkloadSpec::Bpa { writes_per_target: 512 }
-    } else {
-        WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 0.7 }
+    match pick {
+        0 => WorkloadSpec::Bpa { writes_per_target: 512 },
+        1 => WorkloadSpec::Zipf { exponent: 1.0, write_ratio: 0.7 },
+        2 => WorkloadSpec::Ycsb {
+            hot_lines: 64,
+            exponent: 1.1,
+            write_ratio: 0.7,
+            rotate_every: 2_048,
+            drift: 16,
+        },
+        3 => WorkloadSpec::Diurnal {
+            phases: vec![
+                sawl_simctl::DiurnalPhase {
+                    workload: WorkloadSpec::Ycsb {
+                        hot_lines: 48,
+                        exponent: 1.2,
+                        write_ratio: 0.9,
+                        rotate_every: 1_024,
+                        drift: 8,
+                    },
+                    requests: 3_000,
+                },
+                sawl_simctl::DiurnalPhase {
+                    workload: WorkloadSpec::Uniform { write_ratio: 0.3 },
+                    requests: 1_500,
+                },
+            ],
+        },
+        4 => WorkloadSpec::MultiTenant {
+            slice: 64,
+            tenants: vec![
+                WorkloadSpec::Zipf { exponent: 1.2, write_ratio: 0.9 },
+                WorkloadSpec::Uniform { write_ratio: 0.5 },
+            ],
+        },
+        5 => WorkloadSpec::GcFeedback {
+            exponent: 1.1,
+            write_ratio: 0.8,
+            base_threshold: 0.3,
+            waf_gain: 0.05,
+            cov_gain: 0.1,
+            gc_burst: 256,
+        },
+        _ => WorkloadSpec::TraceFile { path: shared_trace() },
     }
 }
 
@@ -83,6 +157,18 @@ fn kill_and_resume_matches(exp: &LifetimeExperiment, kill_batches: u64, tag: &st
     drop(run);
 
     let mut resumed = ResumableRun::resume(exp, &path).unwrap();
+    // The restored run re-encodes to the same bytes: stream cursors
+    // (RNG state, phase clocks, trace positions) serialize
+    // deterministically through the checkpoint frame.
+    let resave = scratch_file(&format!("{tag}-resave"));
+    resumed.save(&resave).unwrap();
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        std::fs::read(&resave).unwrap(),
+        "{}: resumed checkpoint re-encoded differently",
+        exp.id
+    );
+    std::fs::remove_file(&resave).ok();
     resumed.run_to_end().unwrap();
     assert_eq!(
         resumed.into_result(),
@@ -94,9 +180,9 @@ fn kill_and_resume_matches(exp: &LifetimeExperiment, kill_batches: u64, tag: &st
 }
 
 #[test]
-fn every_scheme_resumes_identically_under_bpa_and_zipf() {
+fn every_scheme_resumes_identically_under_every_workload() {
     for (i, scheme) in all_schemes().into_iter().enumerate() {
-        for workload in 0..2u64 {
+        for workload in 0..WORKLOAD_KINDS {
             let exp = experiment(scheme.clone(), workload, 0);
             kill_and_resume_matches(&exp, 3, &format!("exhaustive-{i}-{workload}"));
         }
@@ -109,7 +195,7 @@ proptest! {
     #[test]
     fn random_kill_points_resume_identically(
         scheme_pick in 0usize..10,
-        workload in 0u64..2,
+        workload in 0u64..WORKLOAD_KINDS,
         kill_batches in 1u64..24,
         tag in 0u64..1 << 12,
     ) {

@@ -10,13 +10,20 @@
 
 use sawl_algos::WearLeveler;
 use sawl_simctl::{
-    run_lifetime, stable_seed, DeviceSpec, FaultPlan, LifetimeExperiment, LifetimeResult,
-    SchemeSpec, WorkloadSpec,
+    feed_observation, run_lifetime, stable_seed, DeviceSpec, DiurnalPhase, FaultPlan,
+    LifetimeExperiment, LifetimeResult, SchemeSpec, WorkloadSpec, BLOCK,
 };
 use sawl_trace::AddressStream;
 
 /// Scalar reference: `run_lifetime` with the pump replaced by the
 /// one-request-at-a-time loop the driver used before block pumping.
+///
+/// Observation-driven workloads (GC feedback) see device wear through
+/// the same hook the block pump uses, fed at the same request offsets —
+/// immediately before request 0, [`BLOCK`], 2×[`BLOCK`], … — because the
+/// pump observes once per block pull and the protocol freezes feedback
+/// in between. That makes the scalar loop a true reference even for
+/// closed-loop streams.
 fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
     let seed = stable_seed(&exp.id);
     let phys = exp.scheme.physical_lines(exp.data_lines);
@@ -28,14 +35,20 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
         // exactly that.
         dev.install_fault_plan(plan).unwrap();
     }
-    let mut stream = exp.workload.build(wl.logical_lines(), seed);
+    let mut stream = exp.workload.try_build(wl.logical_lines(), seed).unwrap();
+    let workload = stream.name().to_string();
     let cap = if exp.max_demand_writes == 0 {
         4 * dev.config().ideal_lifetime_writes()
     } else {
         exp.max_demand_writes
     };
 
+    let mut pulled: u64 = 0;
     while !dev.is_dead() && dev.wear().demand_writes < cap {
+        if pulled % BLOCK as u64 == 0 {
+            feed_observation(stream.as_mut(), &mut dev);
+        }
+        pulled += 1;
         let req = stream.next_req();
         if !req.write {
             continue;
@@ -50,7 +63,7 @@ fn scalar_lifetime(exp: &LifetimeExperiment) -> LifetimeResult {
     LifetimeResult {
         id: exp.id.clone(),
         scheme: exp.scheme.name(),
-        workload: exp.workload.name(),
+        workload,
         normalized_lifetime: wear.demand_writes as f64 / ideal,
         demand_writes: wear.demand_writes,
         overhead_writes: wear.overhead_writes,
@@ -230,6 +243,148 @@ fn batched_lifetime_matches_scalar_reference_at_a_write_cap() {
     }
 }
 
+/// The service-shaped workloads of the workload zoo: drifting YCSB, a
+/// diurnal phase schedule, tenant interleaving, and the closed-loop
+/// FTL/GC feedback stream. Parameters are sized for the 2^9-line
+/// equivalence device.
+fn service_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::Ycsb {
+            hot_lines: 64,
+            exponent: 1.1,
+            write_ratio: 0.7,
+            rotate_every: 2_048,
+            drift: 16,
+        },
+        WorkloadSpec::Diurnal {
+            phases: vec![
+                DiurnalPhase {
+                    workload: WorkloadSpec::Ycsb {
+                        hot_lines: 48,
+                        exponent: 1.2,
+                        write_ratio: 0.9,
+                        rotate_every: 1_024,
+                        drift: 8,
+                    },
+                    requests: 3_000,
+                },
+                DiurnalPhase {
+                    workload: WorkloadSpec::Uniform { write_ratio: 0.3 },
+                    requests: 1_500,
+                },
+            ],
+        },
+        WorkloadSpec::MultiTenant {
+            slice: 64,
+            tenants: vec![
+                WorkloadSpec::Zipf { exponent: 1.2, write_ratio: 0.9 },
+                WorkloadSpec::Uniform { write_ratio: 0.5 },
+            ],
+        },
+        WorkloadSpec::GcFeedback {
+            exponent: 1.1,
+            write_ratio: 0.8,
+            base_threshold: 0.3,
+            waf_gain: 0.05,
+            cov_gain: 0.1,
+            gc_burst: 256,
+        },
+    ]
+}
+
+#[test]
+fn batched_lifetime_matches_scalar_for_service_workloads() {
+    // The zoo's own equivalence sweep: every scheme variant × every
+    // service-shaped workload, including the observation-driven GC
+    // feedback stream (whose scalar reference feeds wear at the same
+    // block offsets as the pump — see `scalar_lifetime`).
+    for scheme in all_schemes() {
+        for workload in service_workloads() {
+            let exp = LifetimeExperiment {
+                id: format!("equiv-svc/{}/{}", scheme.name(), workload.name()),
+                scheme: scheme.clone(),
+                workload,
+                data_lines: 1 << 9,
+                device: DeviceSpec { endurance: 200, ..Default::default() },
+                max_demand_writes: 0,
+                fault: None,
+                telemetry: None,
+                timing: None,
+            };
+            let batched = run_lifetime(&exp).unwrap();
+            let scalar = scalar_lifetime(&exp);
+            assert_eq!(batched, scalar, "batched pump diverged from scalar for {}", exp.id);
+        }
+    }
+}
+
+#[test]
+fn trace_replay_is_byte_identical_to_the_live_generator_for_every_scheme() {
+    use sawl_trace::TraceWriter;
+
+    // One shared experiment id → one seed → one recorded trace serves
+    // every scheme (the workload seed derives from the id, not the
+    // scheme). Oversized so the capped runs never reach trace EOF.
+    let live_workload = WorkloadSpec::Ycsb {
+        hot_lines: 64,
+        exponent: 1.1,
+        write_ratio: 0.8,
+        rotate_every: 2_048,
+        drift: 16,
+    };
+    let id = "equiv-trace";
+    let space = 1u64 << 9;
+    let mut gen = live_workload.try_build(space, stable_seed(id)).unwrap();
+    let mut w =
+        TraceWriter::with_name(std::io::Cursor::new(Vec::new()), space, gen.name()).unwrap();
+    w.record(gen.as_mut(), 200_000).unwrap();
+    let (out, _) = w.finish().unwrap();
+    let dir = std::env::temp_dir().join(format!("sawl-equiv-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ycsb.trc");
+    std::fs::write(&path, out.into_inner()).unwrap();
+
+    for scheme in all_schemes() {
+        let live = LifetimeExperiment {
+            id: id.into(),
+            scheme: scheme.clone(),
+            workload: live_workload.clone(),
+            data_lines: space,
+            device: DeviceSpec { endurance: 200, ..Default::default() },
+            max_demand_writes: 30_000,
+            fault: None,
+            telemetry: Some(sawl_simctl::TelemetrySpec::with_stride(777)),
+            timing: None,
+        };
+        let replay = LifetimeExperiment {
+            workload: WorkloadSpec::TraceFile { path: path.to_str().unwrap().into() },
+            ..live.clone()
+        };
+        let reference = run_lifetime(&live).unwrap();
+        let replayed = run_lifetime(&replay).unwrap();
+        // Every field — including the embedded telemetry series and the
+        // reported workload name, which the replay reads back out of the
+        // trace header.
+        assert_eq!(replayed, reference, "trace replay diverged for {}", scheme.name());
+        assert_eq!(
+            serde_json::to_string(&replayed).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "serialized replay diverged for {}",
+            scheme.name()
+        );
+        let mut no_tel = replay.clone();
+        no_tel.telemetry = None;
+        let batched = run_lifetime(&no_tel).unwrap();
+        assert_eq!(
+            scalar_lifetime(&no_tel),
+            batched,
+            "scalar trace replay diverged for {}",
+            scheme.name()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn telemetry_is_observation_only_for_every_scheme() {
     // Attaching a recorder (wear probe + event ring + stride-clamped
@@ -240,7 +395,10 @@ fn telemetry_is_observation_only_for_every_scheme() {
         for workload in [
             WorkloadSpec::Uniform { write_ratio: 0.5 },
             WorkloadSpec::Bpa { writes_per_target: 512 },
-        ] {
+        ]
+        .into_iter()
+        .chain(service_workloads())
+        {
             let plain = LifetimeExperiment {
                 id: format!("equiv-tel/{}/{}", scheme.name(), workload.name()),
                 scheme: scheme.clone(),

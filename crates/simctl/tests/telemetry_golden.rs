@@ -80,6 +80,41 @@ fn pcms_bpa_series_matches_the_committed_golden() {
 }
 
 #[test]
+fn sawl_ycsb_drift_series_matches_the_committed_golden() {
+    // The workload zoo's service shape: Zipf over a sliding hot set.
+    // Pins the sampling clock and recorder deltas under read/write mixed
+    // traffic whose hot lines move between samples.
+    let mut exp = experiment("golden/sawl/ycsb", SchemeSpec::sawl_default(1024));
+    exp.workload = WorkloadSpec::Ycsb {
+        hot_lines: 512,
+        exponent: 1.1,
+        write_ratio: 0.8,
+        rotate_every: 8_192,
+        drift: 64,
+    };
+    check_golden("sawl_ycsb.jsonl", &exp);
+}
+
+#[test]
+fn sawl_gc_feedback_series_matches_the_committed_golden() {
+    // The closed-loop FTL/GC stream: the workload reacts to the device's
+    // WAF and wear variance through the observation hook, so this golden
+    // additionally pins the wear probe's snapshot values at every block
+    // boundary — any drift in the probe shows up as a different request
+    // sequence and therefore a different series.
+    let mut exp = experiment("golden/sawl/gc-feedback", SchemeSpec::sawl_default(1024));
+    exp.workload = WorkloadSpec::GcFeedback {
+        exponent: 1.1,
+        write_ratio: 0.8,
+        base_threshold: 0.3,
+        waf_gain: 0.05,
+        cov_gain: 0.1,
+        gc_burst: 512,
+    };
+    check_golden("sawl_gc_feedback.jsonl", &exp);
+}
+
+#[test]
 fn golden_runs_are_deterministic_across_consecutive_runs() {
     let exp = experiment("golden/sawl/bpa", SchemeSpec::sawl_default(1024));
     let a = run_lifetime(&exp).unwrap().telemetry.unwrap().to_json_lines();

@@ -16,7 +16,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AddressStream, MemReq, ReqRun};
+use crate::{AddressStream, CursorKind, MemReq, ReqRun};
 
 /// Repeated Address Attack: writes one logical line forever.
 #[derive(Debug, Clone)]
@@ -58,6 +58,11 @@ impl AddressStream for Raa {
 
     fn name(&self) -> &str {
         "raa"
+    }
+
+    // RAA is stateless: its cursor is the empty state.
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
     }
 }
 
@@ -151,6 +156,23 @@ impl AddressStream for Bpa {
 
     fn name(&self) -> &str {
         "bpa"
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+        w.put_u64(self.current);
+        w.put_u64(self.remaining);
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.current = r.get_u64()?;
+        self.remaining = r.get_u64()?;
+        Ok(())
     }
 }
 

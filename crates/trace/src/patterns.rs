@@ -7,7 +7,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::zipf::Zipf;
-use crate::{AddressStream, MemReq};
+use crate::{AddressStream, CursorKind, MemReq};
 
 /// Uniform random accesses over the whole space.
 #[derive(Debug, Clone)]
@@ -55,6 +55,19 @@ impl AddressStream for Uniform {
 
     fn name(&self) -> &str {
         "uniform"
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        Ok(())
     }
 }
 
@@ -143,6 +156,19 @@ impl AddressStream for ZipfStream {
     fn name(&self) -> &str {
         "zipf"
     }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        Ok(())
+    }
 }
 
 /// Sequential scan: walks `base..base+len` cyclically, one line at a time.
@@ -180,6 +206,21 @@ impl AddressStream for SeqScan {
 
     fn name(&self) -> &str {
         "seqscan"
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+        w.put_u64(self.pos);
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.pos = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -237,6 +278,21 @@ impl AddressStream for Stride {
     fn name(&self) -> &str {
         "stride"
     }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+        w.put_u64(self.pos);
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        self.pos = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// Hotspot: a fraction of requests hits a small hot window uniformly, the
@@ -286,6 +342,19 @@ impl AddressStream for Hotspot {
 
     fn name(&self) -> &str {
         "hotspot"
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        Ok(())
     }
 }
 

@@ -10,7 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AddressStream, MemReq};
+use crate::{AddressStream, CursorKind, MemReq, WearObservation};
 
 /// Weighted per-request interleaving of child streams.
 pub struct Mix {
@@ -64,6 +64,46 @@ impl AddressStream for Mix {
     fn name(&self) -> &str {
         &self.label
     }
+
+    fn wants_observation(&self) -> bool {
+        self.children.iter().any(|(_, c)| c.wants_observation())
+    }
+
+    fn observe_wear(&mut self, obs: &WearObservation) {
+        for (_, c) in &mut self.children {
+            c.observe_wear(obs);
+        }
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        combined_cursor_kind(self.children.iter().map(|(_, c)| c.cursor_kind()))
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+        for (_, c) in &self.children {
+            c.cursor_save(w);
+        }
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        for (_, c) in &mut self.children {
+            c.cursor_restore(r)?;
+        }
+        Ok(())
+    }
+}
+
+/// A combinator's cursor is serializable exactly when every child's is.
+pub(crate) fn combined_cursor_kind(kinds: impl Iterator<Item = CursorKind>) -> CursorKind {
+    let mut combined = CursorKind::State;
+    for k in kinds {
+        if k == CursorKind::Replay {
+            combined = CursorKind::Replay;
+        }
+    }
+    combined
 }
 
 /// Time-phased schedule: each child runs for its request budget, then the
@@ -129,6 +169,44 @@ impl AddressStream for Phased {
 
     fn name(&self) -> &str {
         &self.label
+    }
+
+    fn wants_observation(&self) -> bool {
+        self.children.iter().any(|(_, c)| c.wants_observation())
+    }
+
+    fn observe_wear(&mut self, obs: &WearObservation) {
+        for (_, c) in &mut self.children {
+            c.observe_wear(obs);
+        }
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        combined_cursor_kind(self.children.iter().map(|(_, c)| c.cursor_kind()))
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_u64(self.current as u64);
+        w.put_u64(self.remaining);
+        for (_, c) in &self.children {
+            c.cursor_save(w);
+        }
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        let current = r.get_u64()? as usize;
+        if current >= self.children.len() {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "phase cursor {current} past the {}-phase schedule",
+                self.children.len()
+            )));
+        }
+        self.current = current;
+        self.remaining = r.get_u64()?;
+        for (_, c) in &mut self.children {
+            c.cursor_restore(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -29,7 +29,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::zipf::Zipf;
-use crate::{AddressStream, MemReq};
+use crate::{AddressStream, CursorKind, MemReq};
 
 /// Multiplier for the block-scatter bijection (odd => invertible mod 2^k).
 const SCATTER_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -453,6 +453,34 @@ impl AddressStream for SpecModel {
 
     fn name(&self) -> &str {
         self.bench.name()
+    }
+
+    fn cursor_kind(&self) -> CursorKind {
+        CursorKind::State
+    }
+
+    fn cursor_save(&self, w: &mut sawl_ckpt::Writer) {
+        w.put_rng(self.rng.state());
+        w.put_u64(self.cur_phase as u64);
+        w.put_u64(self.until_switch);
+        w.put_u64(self.drift_offset);
+        w.put_u64(self.scan_pos);
+    }
+
+    fn cursor_restore(&mut self, r: &mut sawl_ckpt::Reader) -> Result<(), sawl_ckpt::CkptError> {
+        self.rng = SmallRng::from_state(r.get_rng()?);
+        let cur_phase = r.get_u64()? as usize;
+        if cur_phase >= self.phases.len() {
+            return Err(sawl_ckpt::CkptError::Corrupt(format!(
+                "spec-model phase cursor {cur_phase} past the {}-phase model",
+                self.phases.len()
+            )));
+        }
+        self.cur_phase = cur_phase;
+        self.until_switch = r.get_u64()?;
+        self.drift_offset = r.get_u64()?;
+        self.scan_pos = r.get_u64()?;
+        Ok(())
     }
 }
 

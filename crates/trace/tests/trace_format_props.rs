@@ -1,0 +1,146 @@
+//! Property tests for the binary trace container: any request sequence,
+//! any name, either finish path (seekable backpatch vs streaming
+//! until-EOF marker) must round-trip bit-exactly — and every structured
+//! corruption must come back as a typed `io::Error`, never a panic or a
+//! silently wrong replay.
+
+use proptest::prelude::*;
+
+use sawl_trace::{AddressStream, MemReq, TraceReader, TraceWriter};
+
+/// Offset of the record-count field in both header versions.
+const COUNT_OFFSET: usize = 16;
+
+fn encode(space: u64, name: &str, reqs: &[MemReq], streaming: bool) -> (Vec<u8>, u64) {
+    let mut w = TraceWriter::with_name(std::io::Cursor::new(Vec::new()), space, name).unwrap();
+    for r in reqs {
+        w.push(*r).unwrap();
+    }
+    let (out, count) = if streaming { w.finish_streaming().unwrap() } else { w.finish().unwrap() };
+    (out.into_inner(), count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48 })]
+
+    #[test]
+    fn any_sequence_round_trips_through_both_finish_paths(
+        space_shift in 1u32..40,
+        name_pick in 0u64..6,
+        raw in prop::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+        streaming in any::<bool>(),
+    ) {
+        let space = 1u64 << space_shift;
+        let name = match name_pick {
+            0 => String::new(),
+            1 => "ycsb".into(),
+            2 => "phased(ycsb>uniform)".into(),
+            3 => "multi(zipf+uniform)".into(),
+            4 => "gc-feedback".into(),
+            _ => format!("wl-{name_pick}-{space_shift}"),
+        };
+        let reqs: Vec<MemReq> =
+            raw.iter().map(|&(la, write)| MemReq { la: la % space, write }).collect();
+        let (bytes, count) = encode(space, &name, &reqs, streaming);
+        assert_eq!(count, reqs.len() as u64);
+
+        // The count field: exact after a seekable finish, the u64::MAX
+        // until-EOF marker after a streaming finish.
+        let declared =
+            u64::from_le_bytes(bytes[COUNT_OFFSET..COUNT_OFFSET + 8].try_into().unwrap());
+        if streaming {
+            assert_eq!(declared, u64::MAX);
+        } else {
+            assert_eq!(declared, count);
+        }
+
+        let mut r = TraceReader::from_reader(&bytes[..]).unwrap();
+        assert_eq!(r.len(), reqs.len() as u64);
+        assert_eq!(r.space_lines(), space);
+        let expect = if name.is_empty() { "trace-replay" } else { name.as_str() };
+        assert_eq!(r.name(), expect);
+        for (i, want) in reqs.iter().enumerate() {
+            assert_eq!(r.next_req(), *want, "record {i} diverged");
+        }
+    }
+
+    #[test]
+    fn structured_corruption_is_always_a_typed_error(
+        space_shift in 1u32..30,
+        raw in prop::collection::vec((any::<u64>(), any::<bool>()), 1..64),
+        cut_pick in 0u64..1000,
+        flavor in 0u64..4,
+    ) {
+        let space = 1u64 << space_shift;
+        let reqs: Vec<MemReq> =
+            raw.iter().map(|&(la, write)| MemReq { la: la % space, write }).collect();
+        let (bytes, _) = encode(space, "prop", &reqs, false);
+
+        let (mutated, must_fail) = match flavor {
+            // Truncation anywhere: fails unless the cut severs whole
+            // records off an until-EOF trace — so force an exact count
+            // here, where any shorter length is a mismatch or a torn
+            // record or a torn header.
+            0 => {
+                let cut = (cut_pick as usize) % bytes.len();
+                (bytes[..cut].to_vec(), true)
+            }
+            // Wrong magic.
+            1 => {
+                let mut b = bytes.clone();
+                b[(cut_pick as usize) % 8] ^= 0x40;
+                (b, true)
+            }
+            // Declared count inflated past the payload.
+            2 => {
+                let mut b = bytes.clone();
+                let lie = (reqs.len() as u64) + 1 + cut_pick;
+                b[COUNT_OFFSET..COUNT_OFFSET + 8].copy_from_slice(&lie.to_le_bytes());
+                (b, true)
+            }
+            // Trailing garbage that is not a whole number of records.
+            _ => {
+                let mut b = bytes.clone();
+                b.extend_from_slice(&[0xAB; 3]);
+                (b, true)
+            }
+        };
+        let outcome = TraceReader::from_reader(&mutated[..]);
+        if must_fail {
+            assert!(
+                outcome.is_err(),
+                "flavor {flavor} cut {cut_pick}: corrupt trace parsed successfully"
+            );
+        }
+    }
+}
+
+#[test]
+fn until_eof_marker_with_max_count_replays_every_record() {
+    // The streaming path's u64::MAX marker must mean "as many whole
+    // records as the payload holds".
+    for n in [1usize, 2, 255, 4096] {
+        let reqs: Vec<MemReq> =
+            (0..n).map(|i| MemReq { la: (i as u64 * 37) % 512, write: i % 3 != 0 }).collect();
+        let (bytes, count) = encode(512, "eof", &reqs, true);
+        assert_eq!(count, n as u64);
+        let mut r = TraceReader::from_reader(&bytes[..]).unwrap();
+        assert_eq!(r.len(), n as u64);
+        for want in &reqs {
+            assert_eq!(r.next_req(), *want);
+        }
+    }
+}
+
+#[test]
+fn zero_record_traces_are_rejected_as_unreplayable() {
+    // A trace with no records cannot drive a run (streams are pulled in
+    // full blocks), so both finish paths produce a file the reader
+    // refuses with a typed error.
+    for streaming in [false, true] {
+        let (bytes, count) = encode(512, "empty", &[], streaming);
+        assert_eq!(count, 0);
+        let err = TraceReader::from_reader(&bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("empty trace"), "{err}");
+    }
+}

@@ -27,9 +27,11 @@ fn main() {
     // 1. Record gcc-like traffic to an in-memory trace (a file works the
     //    same way: any io::Write/io::Read).
     let mut generator = SpecBenchmark::Gcc.stream(space, 99);
-    let mut writer = TraceWriter::new(Vec::new(), space).expect("trace header");
+    let mut writer =
+        TraceWriter::new(std::io::Cursor::new(Vec::new()), space).expect("trace header");
     writer.record(&mut generator, n_requests).expect("record");
-    let (buf, count) = writer.finish().expect("finish");
+    let (out, count) = writer.finish().expect("finish");
+    let buf = out.into_inner();
     println!("recorded {count} requests ({} MB)", buf.len() >> 20);
 
     // 2. Replay through NWL-4 and NWL-64 — bit-identical traffic.

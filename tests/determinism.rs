@@ -84,15 +84,15 @@ fn seed_derivation_is_stable() {
 fn trace_replay_equals_live_generation() {
     let space = 1 << 12;
     let mut live = SpecBenchmark::Hmmer.stream(space, 33);
-    let mut w = TraceWriter::new(Vec::new(), space).unwrap();
+    let mut w = TraceWriter::new(std::io::Cursor::new(Vec::new()), space).unwrap();
     let mut reference = Vec::new();
     for _ in 0..5_000 {
         let r = live.next_req();
         reference.push(r);
         w.push(r).unwrap();
     }
-    let (buf, _) = w.finish().unwrap();
-    let mut replay = TraceReader::from_bytes(Bytes::from(buf)).unwrap();
+    let (out, _) = w.finish().unwrap();
+    let mut replay = TraceReader::from_bytes(Bytes::from(out.into_inner())).unwrap();
     for (i, &expect) in reference.iter().enumerate() {
         assert_eq!(replay.next_req(), expect, "record {i}");
     }
@@ -104,9 +104,10 @@ fn same_trace_through_two_schemes_sees_identical_demand_addresses() {
     // replay identical traffic.
     let space = 1 << 10;
     let mut gen = SpecBenchmark::Gobmk.stream(space, 5);
-    let mut w = TraceWriter::new(Vec::new(), space).unwrap();
+    let mut w = TraceWriter::new(std::io::Cursor::new(Vec::new()), space).unwrap();
     w.record(&mut gen, 2_000).unwrap();
-    let (buf, count) = w.finish().unwrap();
+    let (out, count) = w.finish().unwrap();
+    let buf = out.into_inner();
 
     let demand = |scheme: SchemeSpec| {
         let mut reader = TraceReader::from_bytes(Bytes::from(buf.clone())).unwrap();

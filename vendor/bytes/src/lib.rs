@@ -16,6 +16,8 @@ pub trait Buf {
     fn copy_to_slice(&mut self, dst: &mut [u8]);
     /// Read a little-endian u64 and advance.
     fn get_u64_le(&mut self) -> u64;
+    /// Skip `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
 }
 
 /// Write side: little-endian appends.
@@ -24,6 +26,8 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
     /// Append a little-endian u64.
     fn put_u64_le(&mut self, v: u64);
+    /// Append a little-endian u32.
+    fn put_u32_le(&mut self, v: u32);
 }
 
 /// Immutable byte buffer; reads advance, and `Deref`/indexing expose the
@@ -75,6 +79,11 @@ impl Buf for Bytes {
         self.copy_to_slice(&mut raw);
         u64::from_le_bytes(raw)
     }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        self.pos += cnt;
+    }
 }
 
 /// Growable write buffer.
@@ -118,6 +127,10 @@ impl BufMut for BytesMut {
     }
 
     fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
 }
